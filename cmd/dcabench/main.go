@@ -1,0 +1,100 @@
+// Command dcabench regenerates the tables and figures of "Dynamic Cluster
+// Assignment Mechanisms" (Canal, Parcerisa, González — HPCA 2000) from the
+// repository's simulator and workload analogs.
+//
+// Usage:
+//
+//	dcabench                      # every exhibit, default budgets
+//	dcabench -exp fig14,fig16     # selected exhibits
+//	dcabench -measure 1000000     # longer measurement windows
+//	dcabench -benchmarks go,gcc   # restrict the workload set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated exhibit ids (table1,table2,fig3..fig16) or 'all'")
+		warmup  = flag.Uint64("warmup", 25_000, "warm-up instructions per run (not measured)")
+		measure = flag.Uint64("measure", 250_000, "measured instructions per run")
+		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
+		csvPath = flag.String("csv", "", "also write the raw grid as CSV to this file")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Warmup, opts.Measure = *warmup, *measure
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+		for _, b := range opts.Benchmarks {
+			if _, err := workload.Get(b); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	var wanted []experiments.Exhibit
+	if *exp == "all" {
+		wanted = experiments.Exhibits()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := experiments.ExhibitByID(strings.TrimSpace(id))
+			if !ok {
+				fatal(fmt.Errorf("unknown exhibit %q", id))
+			}
+			wanted = append(wanted, e)
+		}
+	}
+
+	// Collect the union of schemes the requested exhibits need and run the
+	// grid once.
+	seen := map[string]bool{}
+	var schemes []string
+	for _, e := range wanted {
+		for _, s := range e.Schemes {
+			if !seen[s] {
+				seen[s] = true
+				schemes = append(schemes, s)
+			}
+		}
+	}
+	start := time.Now()
+	fmt.Printf("running %d scheme(s) x %d benchmark(s), %d+%d instructions each...\n\n",
+		len(schemes)+1, len(opts.Benchmarks), opts.Warmup, opts.Measure)
+	res, err := experiments.Run(schemes, opts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, e := range wanted {
+		fmt.Println("==", e.Title)
+		fmt.Println(e.Render(res))
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("raw grid written to %s\n", *csvPath)
+	}
+	fmt.Printf("total simulation time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dcabench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command dcasim runs one benchmark under one steering scheme on the
+// clustered timing simulator and prints the full measurement record.
+//
+// Usage:
+//
+//	dcasim -bench compress -scheme general
+//	dcasim -bench go -scheme fifo            # FIFO queues implied
+//	dcasim -bench li -machine base           # the conventional baseline
+//	dcasim -program prog.s -scheme general   # assemble and run a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/asm"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/stats"
+	"repro/internal/steer"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "compress", "workload name (see -list)")
+		file    = flag.String("program", "", "assembly file to run instead of a named workload")
+		scheme  = flag.String("scheme", "general", "steering scheme (see -list)")
+		machine = flag.String("machine", "", "machine override: base | clustered | fifo | ub")
+		warmup  = flag.Uint64("warmup", 25_000, "warm-up instructions")
+		measure = flag.Uint64("measure", 250_000, "measured instructions (0 = run to halt)")
+		list    = flag.Bool("list", false, "list workloads and schemes, then exit")
+		traceAt = flag.Uint64("trace", 0, "print a pipeline trace for 30 cycles starting at this cycle")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", workload.Names())
+		fmt.Println("schemes:  ", steer.Names())
+		return
+	}
+
+	var p *prog.Program
+	var err error
+	if *file != "" {
+		src, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		p, err = asm.Assemble(filepath.Base(*file), string(src))
+	} else {
+		p, err = workload.Load(*bench)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	st, err := steer.New(*scheme, p)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := config.Clustered()
+	switch *machine {
+	case "":
+		if *scheme == "fifo" {
+			cfg = config.FIFOClustered()
+		}
+	case "base":
+		cfg = config.Base()
+	case "clustered":
+	case "fifo":
+		cfg = config.FIFOClustered()
+	case "ub":
+		cfg = config.UpperBound()
+	default:
+		fatal(fmt.Errorf("unknown machine %q", *machine))
+	}
+
+	m, err := core.New(cfg, p, st)
+	if err != nil {
+		fatal(err)
+	}
+	if *traceAt > 0 {
+		m.SetTracer(&core.TextTracer{W: os.Stdout, From: *traceAt, To: *traceAt + 30})
+	}
+	r, err := m.RunWithWarmup(*warmup, *measure)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := stats.NewTable(fmt.Sprintf("%s on %s (%s machine)", *scheme, p.Name, cfg.Name),
+		"metric", "value")
+	t.AddRow("cycles", fmt.Sprintf("%d", r.Cycles))
+	t.AddRow("instructions", fmt.Sprintf("%d", r.Instructions))
+	t.AddRow("IPC", fmt.Sprintf("%.3f", r.IPC()))
+	t.AddRow("communications/instr", fmt.Sprintf("%.4f", r.CommPerInstr()))
+	t.AddRow("critical comm/instr", fmt.Sprintf("%.4f", r.CriticalCommPerInstr()))
+	t.AddRow("steered int/fp", fmt.Sprintf("%d / %d", r.Steered[0], r.Steered[1]))
+	t.AddRow("replicated regs/cycle", fmt.Sprintf("%.2f", r.ReplicatedRegsAvg))
+	t.AddRow("branch mispredict rate", fmt.Sprintf("%.4f", r.MispredictRate()))
+	t.AddRow("L1D / L1I miss rate", fmt.Sprintf("%.4f / %.4f", r.L1DMissRate, r.L1IMissRate))
+	fmt.Print(t.String())
+
+	fmt.Println("\nworkload balance (readyFP - readyINT, % of cycles):")
+	for d := -stats.BalanceRange; d <= stats.BalanceRange; d++ {
+		bar := ""
+		for i := 0; i < int(r.Balance.Percent(d)); i++ {
+			bar += "#"
+		}
+		fmt.Printf("%+4d %5.1f%% %s\n", d, r.Balance.Percent(d), bar)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dcasim:", err)
+	os.Exit(1)
+}

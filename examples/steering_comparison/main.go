@@ -1,0 +1,77 @@
+// Steering comparison: run every cluster-assignment scheme of the paper on
+// one SpecInt95 analog and print the resulting ranking — a one-benchmark
+// version of the paper's Figures 3–16 story.
+//
+// Usage: go run ./examples/steering_comparison [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/steer"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := "go"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	p, err := workload.Load(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseMachine, err := core.New(config.Base(), p, core.NaiveSteerer{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := baseMachine.RunWithWarmup(20_000, 150_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		scheme  string
+		speedup float64
+		comm    float64
+	}
+	var rows []row
+	for _, scheme := range steer.Names() {
+		if scheme == "naive" {
+			continue // that is the base machine's rule
+		}
+		// Each scheme needs a fresh program-derived policy and machine.
+		policy, err := steer.New(scheme, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := config.Clustered()
+		if scheme == "fifo" {
+			cfg = config.FIFOClustered()
+		}
+		m, err := core.New(cfg, p, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := m.RunWithWarmup(20_000, 150_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{scheme, stats.Speedup(r, base), r.CommPerInstr()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].speedup > rows[j].speedup })
+
+	fmt.Printf("steering schemes on %q (speed-up over the conventional base, IPC %.2f)\n\n",
+		bench, base.IPC())
+	fmt.Printf("%-18s %9s %12s\n", "scheme", "speedup", "comm/instr")
+	for _, r := range rows {
+		fmt.Printf("%-18s %+8.1f%% %12.3f\n", r.scheme, r.speedup, r.comm)
+	}
+}

@@ -1,0 +1,227 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	src := `
+; sum an array
+.data
+arr:    .word 1, 2, 3, 4
+n:      .word 4
+.text
+start:  li   r1, arr
+        li   r2, 0      ; sum
+        li   r3, 4      ; count
+loop:   ld   r4, 0(r1)
+        add  r2, r2, r4
+        addi r1, r1, 8
+        addi r3, r3, -1
+        bne  r3, r0, loop
+        halt
+`
+	p, err := Assemble("sum", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "sum" {
+		t.Errorf("name = %q", p.Name)
+	}
+	// li r1, arr expands to lui+ori (arr = 0x10000) so expect:
+	// lui, addi(r2), addi(r3), ld, add, addi, addi, bne, halt
+	if p.Text[len(p.Text)-1].Op != isa.HALT {
+		t.Fatal("missing halt")
+	}
+	var bne isa.Inst
+	for _, in := range p.Text {
+		if in.Op == isa.BNE {
+			bne = in
+		}
+	}
+	if bne.Op != isa.BNE {
+		t.Fatal("missing bne")
+	}
+	loopIdx := p.Labels["loop"]
+	if int(bne.Imm) != loopIdx {
+		t.Fatalf("bne target = %d, want label loop at %d", bne.Imm, loopIdx)
+	}
+	if got := p.Symbols["arr"]; got != 0x10000 {
+		t.Fatalf("arr symbol = %#x", got)
+	}
+	if got := p.Symbols["n"]; got != 0x10000+32 {
+		t.Fatalf("n symbol = %#x", got)
+	}
+	if len(p.Data) != 40 {
+		t.Fatalf("data length = %d, want 40", len(p.Data))
+	}
+}
+
+func TestAssembleMemOperands(t *testing.T) {
+	p, err := Assemble("m", `
+.text
+  ld  r1, -16(r2)
+  st  r3, 8(r4)
+  fld f1, 0(r5)
+  fst f2, (r6)
+  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []isa.Inst{
+		{Op: isa.LD, Rd: isa.R(1), Rs1: isa.R(2), Imm: -16},
+		{Op: isa.ST, Rs2: isa.R(3), Rs1: isa.R(4), Imm: 8},
+		{Op: isa.FLD, Rd: isa.F(1), Rs1: isa.R(5), Imm: 0},
+		{Op: isa.FST, Rs2: isa.F(2), Rs1: isa.R(6), Imm: 0},
+		{Op: isa.HALT},
+	}
+	for i, w := range want {
+		if p.Text[i] != w {
+			t.Errorf("inst %d = %v, want %v", i, p.Text[i], w)
+		}
+	}
+}
+
+func TestAssembleJumpsAndPseudo(t *testing.T) {
+	p, err := Assemble("j", `
+.text
+main:  jal r31, sub
+       mov r5, r1
+       j   end
+sub:   addi r1, r0, 7
+       jr  r31
+end:   halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Text[0].Op != isa.JAL || int(p.Text[0].Imm) != p.Labels["sub"] {
+		t.Errorf("jal wrong: %v", p.Text[0])
+	}
+	if p.Text[1].Op != isa.ADDI || p.Text[1].Rd != isa.R(5) || p.Text[1].Rs1 != isa.R(1) {
+		t.Errorf("mov expansion wrong: %v", p.Text[1])
+	}
+	if p.Text[2].Op != isa.J || int(p.Text[2].Imm) != p.Labels["end"] {
+		t.Errorf("j wrong: %v", p.Text[2])
+	}
+	if p.Text[4].Op != isa.JR || p.Text[4].Rs1 != isa.R(31) {
+		t.Errorf("jr wrong: %v", p.Text[4])
+	}
+}
+
+func TestAssembleFP(t *testing.T) {
+	p, err := Assemble("fp", `
+.data
+x: .double 1.5, 2.5
+.text
+  li     r1, x
+  fld    f1, 0(r1)
+  fld    f2, 8(r1)
+  fadd   f3, f1, f2
+  fcvtfi r2, f3
+  fcvtif f4, r2
+  fmov   f5, f4
+  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []isa.Opcode
+	for _, in := range p.Text {
+		ops = append(ops, in.Op)
+	}
+	joined := ""
+	for _, o := range ops {
+		joined += o.String() + " "
+	}
+	for _, want := range []string{"fadd", "fcvtfi", "fcvtif", "fmov"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %s in %s", want, joined)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown mnemonic", ".text\n frob r1, r2, r3\n", "unknown mnemonic"},
+		{"undefined label", ".text\n j nowhere\n", "undefined label"},
+		{"duplicate label", ".text\nx: nop\nx: halt\n", "duplicate label"},
+		{"bad register", ".text\n add r1, r99, r2\n", "bad register"},
+		{"bad operand count", ".text\n add r1, r2\n", "needs 3 operands"},
+		{"bad mem operand", ".text\n ld r1, r2\n", "bad memory operand"},
+		{"data inst", ".data\n add r1, r2, r3\n", "outside .text"},
+		{"bad directive", ".frob 3\n", "unknown directive"},
+		{"bad word", ".data\nx: .word zork\n", "bad integer"},
+		{"li bad sym", ".text\n li r1, nosuch\n", "unknown symbol"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.name, c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestErrorsIncludeLineNumbers(t *testing.T) {
+	_, err := Assemble("line", ".text\n nop\n frob\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want line 3", err)
+	}
+}
+
+func TestPaperFigure2Example(t *testing.T) {
+	// The running example from Figure 2 of the paper, transcribed into our
+	// dialect: for (i=0;i<N;i++) { if (C[i]!=0) A[i]=B[i]/C[i]; else A[i]=0; }
+	src := `
+.data
+A: .word 0, 0, 0, 0
+B: .word 8, 12, 20, 36
+C: .word 2, 0, 5, 6
+.text
+     li   r9,  4       ; N
+     li   r1,  0       ; i*8
+     li   r10, 0
+     slli r9, r9, 3    ; N*8
+for: li   r2, B
+     add  r2, r2, r1
+     ld   r3, 0(r2)    ; B[i]
+     li   r4, C
+     add  r4, r4, r1
+     ld   r5, 0(r4)    ; C[i]
+     beq  r5, r0, l1
+     div  r7, r3, r5
+     j    l2
+l1:  mov  r7, r10
+l2:  li   r8, A
+     add  r8, r8, r1
+     st   r7, 0(r8)    ; A[i]
+     addi r1, r1, 8
+     bne  r1, r9, for
+     halt
+`
+	p, err := Assemble("fig2", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var haveDiv, haveStore bool
+	for _, in := range p.Text {
+		if in.Op == isa.DIV {
+			haveDiv = true
+		}
+		if in.Op == isa.ST {
+			haveStore = true
+		}
+	}
+	if !haveDiv || !haveStore {
+		t.Fatal("figure 2 program missing expected instructions")
+	}
+}

@@ -1,0 +1,286 @@
+// Package bpred implements the branch predictors used by the simulated
+// processor. The paper's Table 2 specifies a McFarling-style combined
+// predictor: a gshare component with 64K 2-bit counters and 16 bits of
+// global history, a bimodal component with 2K 2-bit counters, and a 1K-entry
+// selector. A branch target buffer and a return-address stack cover
+// indirect-target prediction for JR/JALR.
+package bpred
+
+import "fmt"
+
+// counter2 is a saturating 2-bit counter: 0,1 predict not-taken; 2,3
+// predict taken.
+type counter2 uint8
+
+func (c counter2) taken() bool { return c >= 2 }
+
+func (c counter2) update(taken bool) counter2 {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// DirPredictor predicts conditional-branch directions.
+type DirPredictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc int) bool
+	// Update trains the predictor with the actual outcome.
+	Update(pc int, taken bool)
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// Bimodal is a PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	table []counter2
+	mask  int
+}
+
+// NewBimodal builds a bimodal predictor with the given number of entries
+// (must be a power of two). Counters initialize to weakly-not-taken,
+// matching SimpleScalar's default.
+func NewBimodal(entries int) (*Bimodal, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("bpred: bimodal entries %d not a power of two", entries)
+	}
+	t := make([]counter2, entries)
+	for i := range t {
+		t[i] = 1
+	}
+	return &Bimodal{table: t, mask: entries - 1}, nil
+}
+
+func (b *Bimodal) index(pc int) int    { return pc & b.mask }
+func (b *Bimodal) Predict(pc int) bool { return b.table[b.index(pc)].taken() }
+func (b *Bimodal) Update(pc int, taken bool) {
+	i := b.index(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// Name implements DirPredictor.
+func (b *Bimodal) Name() string { return fmt.Sprintf("bimodal-%d", len(b.table)) }
+
+// Gshare XORs a global history register with the PC to index its counter
+// table.
+type Gshare struct {
+	table    []counter2
+	mask     int
+	history  uint32
+	histBits uint
+}
+
+// NewGshare builds a gshare predictor with the given table size and history
+// length.
+func NewGshare(entries int, historyBits uint) (*Gshare, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("bpred: gshare entries %d not a power of two", entries)
+	}
+	t := make([]counter2, entries)
+	for i := range t {
+		t[i] = 1
+	}
+	return &Gshare{table: t, mask: entries - 1, histBits: historyBits}, nil
+}
+
+func (g *Gshare) index(pc int) int {
+	return (pc ^ int(g.history)) & g.mask
+}
+
+func (g *Gshare) Predict(pc int) bool { return g.table[g.index(pc)].taken() }
+
+// Update trains the counter addressed by the *current* history, then shifts
+// the outcome into the history register.
+func (g *Gshare) Update(pc int, taken bool) {
+	i := g.index(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history = (g.history << 1) & ((1 << g.histBits) - 1)
+	if taken {
+		g.history |= 1
+	}
+}
+
+// Name implements DirPredictor.
+func (g *Gshare) Name() string { return fmt.Sprintf("gshare-%d/%d", len(g.table), g.histBits) }
+
+// Combined is McFarling's tournament predictor: a selector of 2-bit
+// counters chooses between two component predictors per branch.
+type Combined struct {
+	selector []counter2 // >=2 selects comp1 (gshare), <2 selects comp0 (bimodal)
+	mask     int
+	comp0    DirPredictor // bimodal
+	comp1    DirPredictor // gshare
+}
+
+// NewCombined builds the paper's combined predictor: selectorEntries 2-bit
+// chooser entries over the two components.
+func NewCombined(selectorEntries int, comp0, comp1 DirPredictor) (*Combined, error) {
+	if selectorEntries <= 0 || selectorEntries&(selectorEntries-1) != 0 {
+		return nil, fmt.Errorf("bpred: selector entries %d not a power of two", selectorEntries)
+	}
+	sel := make([]counter2, selectorEntries)
+	for i := range sel {
+		sel[i] = 1
+	}
+	return &Combined{selector: sel, mask: selectorEntries - 1, comp0: comp0, comp1: comp1}, nil
+}
+
+// NewPaperPredictor builds Table 2's exact configuration: 1K selector,
+// gshare with 64K counters and 16-bit history, bimodal with 2K counters.
+func NewPaperPredictor() *Combined {
+	bim, err := NewBimodal(2048)
+	if err != nil {
+		panic(err)
+	}
+	gs, err := NewGshare(64<<10, 16)
+	if err != nil {
+		panic(err)
+	}
+	c, err := NewCombined(1024, bim, gs)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c *Combined) Predict(pc int) bool {
+	if c.selector[pc&c.mask].taken() {
+		return c.comp1.Predict(pc)
+	}
+	return c.comp0.Predict(pc)
+}
+
+// Update trains both components and moves the selector toward whichever
+// component was right when they disagree.
+func (c *Combined) Update(pc int, taken bool) {
+	p0 := c.comp0.Predict(pc)
+	p1 := c.comp1.Predict(pc)
+	if p0 != p1 {
+		i := pc & c.mask
+		c.selector[i] = c.selector[i].update(p1 == taken)
+	}
+	c.comp0.Update(pc, taken)
+	c.comp1.Update(pc, taken)
+}
+
+// Name implements DirPredictor.
+func (c *Combined) Name() string {
+	return fmt.Sprintf("combined(%s,%s)", c.comp0.Name(), c.comp1.Name())
+}
+
+// Taken is a degenerate always-taken predictor for experiments.
+type Taken struct{}
+
+func (Taken) Predict(int) bool { return true }
+func (Taken) Update(int, bool) {}
+func (Taken) Name() string     { return "taken" }
+
+// BTB is a set-associative branch target buffer used for indirect jumps
+// (JR/JALR), whose targets are not encoded in the instruction.
+type BTB struct {
+	sets  [][]btbEntry
+	mask  int
+	clock uint64
+	// Hits and Misses count lookups.
+	Hits, Misses uint64
+}
+
+type btbEntry struct {
+	pc      int
+	target  int
+	valid   bool
+	lastUse uint64
+}
+
+// NewBTB builds a BTB with the given set count and associativity.
+func NewBTB(nsets, assoc int) (*BTB, error) {
+	if nsets <= 0 || nsets&(nsets-1) != 0 || assoc <= 0 {
+		return nil, fmt.Errorf("bpred: bad BTB geometry %dx%d", nsets, assoc)
+	}
+	sets := make([][]btbEntry, nsets)
+	backing := make([]btbEntry, nsets*assoc)
+	for i := range sets {
+		sets[i], backing = backing[:assoc], backing[assoc:]
+	}
+	return &BTB{sets: sets, mask: nsets - 1}, nil
+}
+
+// Lookup predicts the target of the branch at pc; ok is false when the BTB
+// has no entry.
+func (b *BTB) Lookup(pc int) (target int, ok bool) {
+	b.clock++
+	set := b.sets[pc&b.mask]
+	for i := range set {
+		if set[i].valid && set[i].pc == pc {
+			set[i].lastUse = b.clock
+			b.Hits++
+			return set[i].target, true
+		}
+	}
+	b.Misses++
+	return 0, false
+}
+
+// Update records the observed target for the branch at pc.
+func (b *BTB) Update(pc, target int) {
+	set := b.sets[pc&b.mask]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].pc == pc {
+			set[i].target = target
+			set[i].lastUse = b.clock
+			return
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	set[victim] = btbEntry{pc: pc, target: target, valid: true, lastUse: b.clock}
+}
+
+// RAS is a fixed-depth return-address stack. Pushes beyond capacity wrap
+// (overwriting the oldest entry), matching hardware behaviour.
+type RAS struct {
+	stack []int
+	top   int
+	depth int
+}
+
+// NewRAS builds a return-address stack with the given number of entries.
+func NewRAS(entries int) *RAS {
+	if entries <= 0 {
+		entries = 1
+	}
+	return &RAS{stack: make([]int, entries)}
+}
+
+// Push records a return address (at a call).
+func (r *RAS) Push(addr int) {
+	r.top = (r.top + 1) % len(r.stack)
+	r.stack[r.top] = addr
+	if r.depth < len(r.stack) {
+		r.depth++
+	}
+}
+
+// Pop predicts the return address (at a return); ok is false when empty.
+func (r *RAS) Pop() (addr int, ok bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	addr = r.stack[r.top]
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.depth--
+	return addr, true
+}
+
+// Depth reports the current occupancy.
+func (r *RAS) Depth() int { return r.depth }

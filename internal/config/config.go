@@ -1,0 +1,260 @@
+// Package config defines the machine parameters of the simulated processor.
+// The defaults reproduce Table 2 of Canal, Parcerisa and González (HPCA
+// 2000); presets build the paper's three machines: the conventional base,
+// the two-cluster machine the steering schemes run on, and the 16-way
+// upper-bound processor of Figure 14.
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// IQMode selects the issue-queue organization of a cluster.
+type IQMode int
+
+const (
+	// IQOutOfOrder is a fully associative window: any ready instruction
+	// may issue (the paper's main schemes).
+	IQOutOfOrder IQMode = iota
+	// IQFIFO models the Palacharla/Jouppi/Smith organization: a set of
+	// FIFOs from whose heads instructions issue (Figure 16's comparison).
+	IQFIFO
+)
+
+// Cluster describes one cluster's datapath.
+type Cluster struct {
+	// SimpleIntALUs count the single-cycle integer/logic units.
+	SimpleIntALUs int
+	// ComplexIntUnits count integer multiply/divide units.
+	ComplexIntUnits int
+	// FPALUs count pipelined FP add/compare units.
+	FPALUs int
+	// FPMulDivUnits count FP multiply/divide units.
+	FPMulDivUnits int
+	// IssueWidth is the per-cluster issue bandwidth (copies included).
+	IssueWidth int
+	// IQSize is the instruction queue capacity.
+	IQSize int
+	// PhysRegs is the physical register file size.
+	PhysRegs int
+	// FIFOs and FIFODepth configure the queue when Mode is IQFIFO.
+	FIFOs     int
+	FIFODepth int
+}
+
+// Latencies gives execution latencies in cycles per operation group.
+type Latencies struct {
+	SimpleInt int // add/logic/shift/compare, EA computation
+	IntMul    int
+	IntDiv    int // unpipelined
+	FPALU     int // add/sub/compare/convert/move
+	FPMul     int
+	FPDiv     int // unpipelined
+}
+
+// DefaultLatencies returns SimpleScalar's default functional-unit timings,
+// which the paper's framework inherits.
+func DefaultLatencies() Latencies {
+	return Latencies{SimpleInt: 1, IntMul: 3, IntDiv: 20, FPALU: 2, FPMul: 4, FPDiv: 12}
+}
+
+// Config is the full machine description.
+type Config struct {
+	// Name labels the configuration in reports.
+	Name string
+
+	// FetchWidth, DecodeWidth and RetireWidth are the front/back-end
+	// bandwidths (Table 2: 8 each).
+	FetchWidth  int
+	DecodeWidth int
+	RetireWidth int
+	// MaxInFlight bounds simultaneously in-flight instructions (ROB size).
+	MaxInFlight int
+	// FrontEndDepth is the fetch-to-dispatch pipeline depth in cycles; it
+	// sets the refill portion of the misprediction penalty.
+	FrontEndDepth int
+
+	// Clusters holds one entry per cluster; index 0 is the integer
+	// cluster, index 1 (when present) the FP cluster.
+	Clusters []Cluster
+	// Mode selects the issue-queue organization (both clusters).
+	Mode IQMode
+
+	// InterClusterBuses is the number of communications per cycle per
+	// direction (Table 2: 3). Zero disables inter-cluster copies (the
+	// base machine).
+	InterClusterBuses int
+	// CopyLatency is the bus traversal time in cycles (paper: 1).
+	CopyLatency int
+	// FPClusterSimpleInt reports whether the FP cluster can execute
+	// simple integer operations (true for the clustered machine, false
+	// for the conventional base).
+	FPClusterSimpleInt bool
+
+	// DCachePorts is the number of L1D read/write ports (Table 2: 3).
+	DCachePorts int
+
+	// Lat holds the functional-unit latencies.
+	Lat Latencies
+
+	// Mem configures the cache hierarchy.
+	Mem mem.HierarchyConfig
+
+	// BTBSets, BTBAssoc and RASEntries configure indirect-target
+	// prediction.
+	BTBSets    int
+	BTBAssoc   int
+	RASEntries int
+}
+
+// NumClusters returns the cluster count.
+func (c *Config) NumClusters() int { return len(c.Clusters) }
+
+// Validate checks the configuration for consistency.
+func (c *Config) Validate() error {
+	if len(c.Clusters) < 1 || len(c.Clusters) > 2 {
+		return fmt.Errorf("config %s: %d clusters unsupported (want 1 or 2)", c.Name, len(c.Clusters))
+	}
+	if c.FetchWidth <= 0 || c.DecodeWidth <= 0 || c.RetireWidth <= 0 {
+		return fmt.Errorf("config %s: non-positive pipeline widths", c.Name)
+	}
+	if c.MaxInFlight <= 0 {
+		return fmt.Errorf("config %s: MaxInFlight must be positive", c.Name)
+	}
+	for i, cl := range c.Clusters {
+		if cl.IssueWidth <= 0 || cl.IQSize <= 0 || cl.PhysRegs <= 0 {
+			return fmt.Errorf("config %s: cluster %d has non-positive resources", c.Name, i)
+		}
+		if c.Mode == IQFIFO && (cl.FIFOs <= 0 || cl.FIFODepth <= 0) {
+			return fmt.Errorf("config %s: cluster %d FIFO geometry missing", c.Name, i)
+		}
+		// Physical registers must cover the committed architectural state
+		// plus at least one in-flight rename or dispatch can deadlock.
+		if cl.PhysRegs < 64+1 {
+			return fmt.Errorf("config %s: cluster %d needs at least 65 physical registers", c.Name, i)
+		}
+	}
+	if len(c.Clusters) == 2 && c.InterClusterBuses > 0 && c.CopyLatency <= 0 {
+		return fmt.Errorf("config %s: CopyLatency must be positive with buses enabled", c.Name)
+	}
+	if c.DCachePorts <= 0 {
+		return fmt.Errorf("config %s: DCachePorts must be positive", c.Name)
+	}
+	for _, f := range []mem.Config{c.Mem.L1I, c.Mem.L1D, c.Mem.L2} {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("config %s: %w", c.Name, err)
+		}
+	}
+	return nil
+}
+
+// Clustered returns the paper's two-cluster machine (Table 2): 8-wide
+// fetch/decode/retire, 64 in-flight, two clusters with 64-entry queues,
+// 4-wide issue, 96 physical registers each; cluster 1 has 3 simple ALUs and
+// the integer mul/div, cluster 2 has 3 simple ALUs, 3 FP ALUs and the FP
+// mul/div; 3 buses per direction with 1-cycle copies.
+func Clustered() *Config {
+	return &Config{
+		Name:          "clustered",
+		FetchWidth:    8,
+		DecodeWidth:   8,
+		RetireWidth:   8,
+		MaxInFlight:   64,
+		FrontEndDepth: 2,
+		Clusters: []Cluster{
+			{SimpleIntALUs: 3, ComplexIntUnits: 1, IssueWidth: 4, IQSize: 64, PhysRegs: 96, FIFOs: 8, FIFODepth: 8},
+			{SimpleIntALUs: 3, FPALUs: 3, FPMulDivUnits: 1, IssueWidth: 4, IQSize: 64, PhysRegs: 96, FIFOs: 8, FIFODepth: 8},
+		},
+		InterClusterBuses:  3,
+		CopyLatency:        1,
+		FPClusterSimpleInt: true,
+		DCachePorts:        3,
+		Lat:                DefaultLatencies(),
+		Mem:                mem.DefaultHierarchyConfig(),
+		BTBSets:            512,
+		BTBAssoc:           4,
+		RASEntries:         32,
+	}
+}
+
+// Base returns the conventional microarchitecture the paper measures
+// speed-ups against: the same resources as Clustered but with no simple
+// integer units in the FP cluster and no inter-cluster bypasses. Integer
+// programs therefore run entirely on cluster 1. The rare integer↔FP
+// register transfers that remain (conversions, FP loads' address operands)
+// travel through memory in a real machine; they are modeled with a 4-cycle
+// transfer (see DESIGN.md).
+func Base() *Config {
+	c := Clustered()
+	c.Name = "base"
+	// One simple ALU remains as the FP pipeline's address-generation unit:
+	// a conventional FP datapath computes FP-load/store addresses even
+	// though it executes no general integer code (FPClusterSimpleInt=false
+	// keeps the steering from sending any there).
+	c.Clusters[1].SimpleIntALUs = 1
+	c.FPClusterSimpleInt = false
+	c.InterClusterBuses = 1
+	c.CopyLatency = 4
+	return c
+}
+
+// UpperBound returns Figure 14's reference machine: a single 16-way-issue
+// processor (8-way integer + 8-way FP) with no partitioning and therefore
+// no communication penalty. Its integer throughput matches the clustered
+// machine's combined width.
+func UpperBound() *Config {
+	c := Clustered()
+	c.Name = "upper-bound"
+	c.Clusters = []Cluster{{
+		SimpleIntALUs:   6,
+		ComplexIntUnits: 1,
+		FPALUs:          3,
+		FPMulDivUnits:   1,
+		IssueWidth:      16,
+		IQSize:          128,
+		PhysRegs:        192,
+		FIFOs:           16,
+		FIFODepth:       8,
+	}}
+	c.MaxInFlight = 64
+	c.InterClusterBuses = 0
+	c.FPClusterSimpleInt = true
+	return c
+}
+
+// Symmetric returns a two-cluster machine with identical, fully equipped
+// clusters — the "generic clustered architecture with symmetric clusters"
+// the paper's conclusions claim the schemes extend to. Every instruction
+// class can execute in either cluster, so steering is fully unconstrained
+// (the FP-register file is still split per cluster in hardware terms; the
+// simulator models the symmetric case by allowing FP mappings in both).
+func Symmetric() *Config {
+	c := Clustered()
+	c.Name = "symmetric"
+	for i := range c.Clusters {
+		c.Clusters[i] = Cluster{
+			SimpleIntALUs:   3,
+			ComplexIntUnits: 1,
+			FPALUs:          2,
+			FPMulDivUnits:   1,
+			IssueWidth:      4,
+			IQSize:          64,
+			PhysRegs:        96,
+			FIFOs:           8,
+			FIFODepth:       8,
+		}
+	}
+	return c
+}
+
+// FIFOClustered returns the clustered machine with the issue queues
+// organized as 8 FIFOs of depth 8 per cluster, for the Figure 16
+// comparison with Palacharla/Jouppi/Smith's steering.
+func FIFOClustered() *Config {
+	c := Clustered()
+	c.Name = "clustered-fifo"
+	c.Mode = IQFIFO
+	return c
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// checkRegisterConservation verifies that after a program has fully
+// drained, every physical register is either free or holds a committed
+// architectural mapping — i.e. the rename/commit protocol leaks nothing.
+func checkRegisterConservation(t *testing.T, m *Machine) {
+	t.Helper()
+	if len(m.rob) != 0 {
+		t.Fatalf("ROB not drained: %d entries", len(m.rob))
+	}
+	for c := 0; c < m.cfg.NumClusters(); c++ {
+		mapped := 0
+		for r := range m.rt.entries {
+			if m.rt.entries[r].valid[c] {
+				mapped++
+			}
+		}
+		total := m.cfg.Clusters[c].PhysRegs
+		free := m.files[c].FreeCount()
+		if free+mapped != total {
+			t.Errorf("cluster %d: free %d + mapped %d != %d physical registers (leak of %d)",
+				c, free, mapped, total, total-free-mapped)
+		}
+	}
+	if m.ldst.Len() != 0 {
+		t.Errorf("LSQ not drained: %d entries", m.ldst.Len())
+	}
+}
+
+// inFlight exposes the window occupancy for tests.
+func (m *Machine) inFlight() int { return len(m.rob) }
+
+// dumpState prints a diagnostic snapshot (used when debugging failed
+// invariant tests).
+func (m *Machine) dumpState() string {
+	s := fmt.Sprintf("cycle %d rob %d decodeQ %d", m.cycle, len(m.rob), len(m.decodeQ))
+	for c := range m.iqs {
+		s += fmt.Sprintf(" iq%d %d free-regs%d %d", c, m.iqs[c].Len(), c, m.files[c].FreeCount())
+	}
+	return s
+}

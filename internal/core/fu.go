@@ -1,0 +1,147 @@
+package core
+
+import (
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+// fuKind enumerates functional-unit classes within a cluster.
+type fuKind uint8
+
+const (
+	fuSimpleInt fuKind = iota
+	fuComplexInt
+	fuFPALU
+	fuFPMulDiv
+	numFUKinds
+)
+
+// fuPool models one cluster's functional units. Simple-int and FP-ALU units
+// are fully pipelined (one new operation per unit per cycle). The complex
+// integer unit and FP mul/div unit pipeline multiplies but are occupied for
+// the full latency by divides, following SimpleScalar's resource model.
+type fuPool struct {
+	lat config.Latencies
+	// counts per kind.
+	count [numFUKinds]int
+	// usedThisCycle per kind, reset by newCycle.
+	used [numFUKinds]int
+	// busyUntil holds per-unit occupancy deadlines for the unpipelined
+	// divide paths (indexed [kind][unit]).
+	busyUntil [numFUKinds][]uint64
+}
+
+func newFUPool(cl config.Cluster, lat config.Latencies) *fuPool {
+	p := &fuPool{lat: lat}
+	p.count[fuSimpleInt] = cl.SimpleIntALUs
+	p.count[fuComplexInt] = cl.ComplexIntUnits
+	p.count[fuFPALU] = cl.FPALUs
+	p.count[fuFPMulDiv] = cl.FPMulDivUnits
+	p.busyUntil[fuComplexInt] = make([]uint64, cl.ComplexIntUnits)
+	p.busyUntil[fuFPMulDiv] = make([]uint64, cl.FPMulDivUnits)
+	return p
+}
+
+// newCycle resets the per-cycle issue counters.
+func (p *fuPool) newCycle() {
+	for k := range p.used {
+		p.used[k] = 0
+	}
+}
+
+// kindFor maps an opcode to the unit class it needs. Loads and stores use a
+// simple ALU for their effective-address computation; branches compare on a
+// simple ALU; copies need no unit (they use a bus) and are not routed here.
+func kindFor(op isa.Opcode) fuKind {
+	switch op.Class() {
+	case isa.ClassComplexInt:
+		return fuComplexInt
+	case isa.ClassFP:
+		switch op {
+		case isa.FMUL, isa.FDIV:
+			return fuFPMulDiv
+		default:
+			return fuFPALU
+		}
+	default:
+		return fuSimpleInt
+	}
+}
+
+// latencyFor returns the execution latency of op.
+func (p *fuPool) latencyFor(op isa.Opcode) int {
+	switch op.Class() {
+	case isa.ClassComplexInt:
+		if op == isa.MUL {
+			return p.lat.IntMul
+		}
+		return p.lat.IntDiv
+	case isa.ClassFP:
+		switch op {
+		case isa.FMUL:
+			return p.lat.FPMul
+		case isa.FDIV:
+			return p.lat.FPDiv
+		default:
+			return p.lat.FPALU
+		}
+	default:
+		return p.lat.SimpleInt
+	}
+}
+
+// divOccupies reports whether op monopolizes its unit for the full latency.
+func divOccupies(op isa.Opcode) bool {
+	switch op {
+	case isa.DIV, isa.REM, isa.FDIV:
+		return true
+	}
+	return false
+}
+
+// TryIssue reserves a unit for op at cycle now. It returns the operation
+// latency and whether a unit was available.
+func (p *fuPool) TryIssue(op isa.Opcode, now uint64) (latency int, ok bool) {
+	k := kindFor(op)
+	if p.count[k] == 0 {
+		return 0, false
+	}
+	lat := p.latencyFor(op)
+	busy := p.busyUntil[k]
+	if busy == nil {
+		// Fully pipelined kind: limited only by per-cycle starts.
+		if p.used[k] >= p.count[k] {
+			return 0, false
+		}
+		p.used[k]++
+		return lat, true
+	}
+	// Kinds with unpipelined members: find a unit that is neither past its
+	// per-cycle start limit nor occupied by a divide.
+	if p.used[k] >= p.count[k] {
+		return 0, false
+	}
+	for u := range busy {
+		if busy[u] <= now {
+			p.used[k]++
+			if divOccupies(op) {
+				busy[u] = now + uint64(lat)
+			} else {
+				// A multiply occupies the unit's start slot this cycle
+				// only; mark it busy for one cycle so a divide cannot
+				// start on the same unit in the same cycle.
+				if busy[u] < now+1 {
+					busy[u] = now + 1
+				}
+			}
+			return lat, true
+		}
+	}
+	return 0, false
+}
+
+// CanEverIssue reports whether the pool has any unit of the kind op needs;
+// dispatch uses it to validate steering decisions.
+func (p *fuPool) CanEverIssue(op isa.Opcode) bool {
+	return p.count[kindFor(op)] > 0
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+)
+
+func intClusterPool() *fuPool {
+	return newFUPool(config.Clustered().Clusters[0], config.DefaultLatencies())
+}
+
+func fpClusterPool() *fuPool {
+	return newFUPool(config.Clustered().Clusters[1], config.DefaultLatencies())
+}
+
+func TestFUSimpleIntThroughput(t *testing.T) {
+	p := intClusterPool()
+	for i := 0; i < 3; i++ {
+		if lat, ok := p.TryIssue(isa.ADD, 0); !ok || lat != 1 {
+			t.Fatalf("add %d: lat=%d ok=%v", i, lat, ok)
+		}
+	}
+	if _, ok := p.TryIssue(isa.ADD, 0); ok {
+		t.Fatal("4th add issued with 3 ALUs")
+	}
+	p.newCycle()
+	if _, ok := p.TryIssue(isa.ADD, 0); !ok {
+		t.Fatal("ALU not free after newCycle")
+	}
+}
+
+func TestFULatencies(t *testing.T) {
+	p := intClusterPool()
+	cases := map[isa.Opcode]int{isa.ADD: 1, isa.LD: 1, isa.BEQ: 1, isa.MUL: 3, isa.DIV: 20}
+	for op, want := range cases {
+		p.newCycle()
+		p = intClusterPool()
+		if lat, ok := p.TryIssue(op, 0); !ok || lat != want {
+			t.Errorf("%v: lat=%d ok=%v, want %d", op, lat, ok, want)
+		}
+	}
+	fp := fpClusterPool()
+	fpCases := map[isa.Opcode]int{isa.FADD: 2, isa.FMUL: 4, isa.FDIV: 12}
+	for op, want := range fpCases {
+		fp = fpClusterPool()
+		if lat, ok := fp.TryIssue(op, 0); !ok || lat != want {
+			t.Errorf("%v: lat=%d ok=%v, want %d", op, lat, ok, want)
+		}
+	}
+}
+
+func TestFUDivOccupiesUnit(t *testing.T) {
+	p := intClusterPool() // 1 complex unit
+	if _, ok := p.TryIssue(isa.DIV, 0); !ok {
+		t.Fatal("div did not issue")
+	}
+	p.newCycle()
+	if _, ok := p.TryIssue(isa.DIV, 5); ok {
+		t.Fatal("second div issued while unit busy")
+	}
+	if _, ok := p.TryIssue(isa.MUL, 5); ok {
+		t.Fatal("mul issued while divider busy")
+	}
+	if _, ok := p.TryIssue(isa.DIV, 20); !ok {
+		t.Fatal("div did not issue after unit freed")
+	}
+}
+
+func TestFUMulIsPipelined(t *testing.T) {
+	p := intClusterPool()
+	if _, ok := p.TryIssue(isa.MUL, 0); !ok {
+		t.Fatal("mul 1 failed")
+	}
+	p.newCycle()
+	if _, ok := p.TryIssue(isa.MUL, 1); !ok {
+		t.Fatal("mul 2 not pipelined")
+	}
+}
+
+func TestFUWrongClusterRejects(t *testing.T) {
+	intp := intClusterPool()
+	if _, ok := intp.TryIssue(isa.FADD, 0); ok {
+		t.Fatal("FP op issued in int cluster")
+	}
+	if intp.CanEverIssue(isa.FADD) {
+		t.Fatal("CanEverIssue wrong for FP in int cluster")
+	}
+	fpp := fpClusterPool()
+	if _, ok := fpp.TryIssue(isa.DIV, 0); ok {
+		t.Fatal("complex int issued in FP cluster")
+	}
+	if !fpp.CanEverIssue(isa.ADD) {
+		t.Fatal("FP cluster must run simple int on clustered machine")
+	}
+}
+
+func TestKindForClassification(t *testing.T) {
+	cases := map[isa.Opcode]fuKind{
+		isa.ADD: fuSimpleInt, isa.LD: fuSimpleInt, isa.ST: fuSimpleInt,
+		isa.BEQ: fuSimpleInt, isa.J: fuSimpleInt,
+		isa.MUL: fuComplexInt, isa.REM: fuComplexInt,
+		isa.FADD: fuFPALU, isa.FCVTIF: fuFPALU, isa.FLE: fuFPALU,
+		isa.FMUL: fuFPMulDiv, isa.FDIV: fuFPMulDiv,
+	}
+	for op, want := range cases {
+		if got := kindFor(op); got != want {
+			t.Errorf("kindFor(%v) = %v, want %v", op, got, want)
+		}
+	}
+}

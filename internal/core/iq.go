@@ -1,0 +1,174 @@
+package core
+
+import "repro/internal/config"
+
+// issueQueue is one cluster's instruction window. In out-of-order mode it
+// is a single associative window from which any ready instruction may
+// issue, oldest first. In FIFO mode (the Palacharla/Jouppi/Smith
+// organization of Figure 16) it is a set of FIFOs and only the head of each
+// FIFO may issue.
+type issueQueue struct {
+	mode     config.IQMode
+	capacity int
+
+	// entries is maintained in dispatch (age) order for OoO selection.
+	entries []*DynInst
+
+	// fifos holds the FIFO-mode organization; entries is still maintained
+	// for occupancy accounting and ready counting.
+	fifos     [][]*DynInst
+	fifoDepth int
+}
+
+func newIssueQueue(cl config.Cluster, mode config.IQMode) *issueQueue {
+	q := &issueQueue{mode: mode, capacity: cl.IQSize}
+	if mode == config.IQFIFO {
+		q.fifos = make([][]*DynInst, cl.FIFOs)
+		q.fifoDepth = cl.FIFODepth
+		q.capacity = cl.FIFOs * cl.FIFODepth
+	}
+	return q
+}
+
+// Len returns the current occupancy.
+func (q *issueQueue) Len() int { return len(q.entries) }
+
+// Free returns the remaining capacity.
+func (q *issueQueue) Free() int { return q.capacity - len(q.entries) }
+
+// Add inserts a dispatched instruction. In FIFO mode the caller must have
+// chosen d.fifo via ChooseFIFO beforehand; copies bypass the FIFOs (they
+// wait only for their source value and a bus, in the copy buffer at the
+// cluster's bus interface).
+func (q *issueQueue) Add(d *DynInst) {
+	q.entries = append(q.entries, d)
+	if q.mode == config.IQFIFO && !d.IsCopy {
+		q.fifos[d.fifo] = append(q.fifos[d.fifo], d)
+	}
+}
+
+// FIFOTail returns the newest instruction in FIFO f, or nil when empty.
+func (q *issueQueue) FIFOTail(f int) *DynInst {
+	fifo := q.fifos[f]
+	if len(fifo) == 0 {
+		return nil
+	}
+	return fifo[len(fifo)-1]
+}
+
+// ChooseFIFO implements the dependence-chain heuristic: prefer a FIFO whose
+// tail produced one of d's source operands (so the chain stays in order),
+// otherwise any empty FIFO. ok is false when neither exists (dispatch must
+// stall, as in the original proposal).
+func (q *issueQueue) ChooseFIFO(d *DynInst) (int, bool) {
+	for f := range q.fifos {
+		tail := q.FIFOTail(f)
+		if tail == nil || tail.destPhys == noPhys || len(q.fifos[f]) >= q.fifoDepth {
+			continue
+		}
+		for i := 0; i < d.numSrcs; i++ {
+			if d.srcPhys[i] == tail.destPhys && !d.srcReady[i] {
+				return f, true
+			}
+		}
+	}
+	for f := range q.fifos {
+		if len(q.fifos[f]) == 0 {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// HasFIFOSlot reports whether any FIFO can accept an instruction.
+func (q *issueQueue) HasFIFOSlot(d *DynInst) bool {
+	_, ok := q.ChooseFIFO(d)
+	return ok
+}
+
+// ReadyCount returns the number of waiting instructions whose sources are
+// all available — the paper's per-cluster workload measure.
+func (q *issueQueue) ReadyCount() int {
+	n := 0
+	for _, d := range q.entries {
+		if d.state == stateWaiting && d.IssueReady() {
+			n++
+		}
+	}
+	return n
+}
+
+// Issuable appends to buf the instructions eligible for issue selection
+// this cycle, oldest first: ready waiting instructions, restricted to FIFO
+// heads in FIFO mode.
+func (q *issueQueue) Issuable(buf []*DynInst) []*DynInst {
+	if q.mode == config.IQFIFO {
+		for f := range q.fifos {
+			if len(q.fifos[f]) == 0 {
+				continue
+			}
+			head := q.fifos[f][0]
+			if head.state == stateWaiting && head.IssueReady() {
+				buf = append(buf, head)
+			}
+		}
+		// Copies sit in the bus-interface buffer, not the FIFOs.
+		for _, d := range q.entries {
+			if d.IsCopy && d.state == stateWaiting && d.IssueReady() {
+				buf = append(buf, d)
+			}
+		}
+		// Keep age order for fair selection across FIFOs.
+		sortBySeq(buf)
+		return buf
+	}
+	for _, d := range q.entries {
+		if d.state == stateWaiting && d.IssueReady() {
+			buf = append(buf, d)
+		}
+	}
+	return buf
+}
+
+// Remove deletes an issued instruction from the queue structures.
+func (q *issueQueue) Remove(d *DynInst) {
+	for i, e := range q.entries {
+		if e == d {
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			break
+		}
+	}
+	if q.mode == config.IQFIFO && !d.IsCopy {
+		fifo := q.fifos[d.fifo]
+		for i, e := range fifo {
+			if e == d {
+				q.fifos[d.fifo] = append(fifo[:i], fifo[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// WakeUp re-evaluates source readiness against the register file; called
+// after completions mark registers ready.
+func (q *issueQueue) WakeUp(rf *regFile) {
+	for _, d := range q.entries {
+		if d.state != stateWaiting {
+			continue
+		}
+		for i := 0; i < d.numSrcs; i++ {
+			if !d.srcReady[i] && rf.Ready(d.srcPhys[i]) {
+				d.srcReady[i] = true
+			}
+		}
+	}
+}
+
+func sortBySeq(ds []*DynInst) {
+	// Insertion sort: the slice is tiny (≤ FIFO count).
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].Seq < ds[j-1].Seq; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}

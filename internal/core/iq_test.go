@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+func ooQueue() *issueQueue {
+	return newIssueQueue(config.Clustered().Clusters[0], config.IQOutOfOrder)
+}
+
+func fifoQueue() *issueQueue {
+	return newIssueQueue(config.Clustered().Clusters[0], config.IQFIFO)
+}
+
+// mkInst builds a minimal waiting instruction with the given sources.
+func mkInst(seq uint64, dest physReg, srcs ...physReg) *DynInst {
+	d := &DynInst{Seq: seq, destPhys: dest, state: stateWaiting}
+	for i, s := range srcs {
+		d.srcPhys[i] = s
+		d.numSrcs++
+		_ = i
+	}
+	return d
+}
+
+func TestIQCapacityAccounting(t *testing.T) {
+	q := ooQueue()
+	if q.Free() != 64 {
+		t.Fatalf("fresh queue Free = %d", q.Free())
+	}
+	d := mkInst(1, noPhys)
+	q.Add(d)
+	if q.Len() != 1 || q.Free() != 63 {
+		t.Fatalf("Len=%d Free=%d", q.Len(), q.Free())
+	}
+	q.Remove(d)
+	if q.Len() != 0 || q.Free() != 64 {
+		t.Fatalf("after remove Len=%d Free=%d", q.Len(), q.Free())
+	}
+}
+
+func TestIQIssuableOldestFirstAndReadiness(t *testing.T) {
+	q := ooQueue()
+	ready := mkInst(2, noPhys)
+	ready.srcReady = [2]bool{true, true}
+	notReady := mkInst(1, noPhys, 5)
+	q.Add(notReady)
+	q.Add(ready)
+	got := q.Issuable(nil)
+	if len(got) != 1 || got[0] != ready {
+		t.Fatalf("Issuable = %v", got)
+	}
+	if q.ReadyCount() != 1 {
+		t.Fatalf("ReadyCount = %d", q.ReadyCount())
+	}
+}
+
+func TestIQWakeUp(t *testing.T) {
+	rf := newRegFile(8)
+	p, _ := rf.Alloc()
+	q := ooQueue()
+	d := mkInst(1, noPhys, p)
+	q.Add(d)
+	if d.IssueReady() {
+		t.Fatal("instruction ready before producer")
+	}
+	rf.SetReady(p)
+	q.WakeUp(rf)
+	if !d.IssueReady() {
+		t.Fatal("WakeUp did not mark source ready")
+	}
+}
+
+func TestStoreIssueReadyOnAddressAlone(t *testing.T) {
+	d := mkInst(1, noPhys, 3, 4)
+	d.isStore = true
+	d.srcReady[0] = true // base ready, data pending
+	if !d.IssueReady() {
+		t.Fatal("store not issue-ready on address operand alone")
+	}
+	if d.SrcsReady() {
+		t.Fatal("SrcsReady must still report the pending data operand")
+	}
+	ld := mkInst(2, 0, 3, 4)
+	ld.srcReady[0] = true
+	if ld.IssueReady() {
+		t.Fatal("non-store issue-ready with a pending source")
+	}
+}
+
+func TestFIFOChooseByDependenceChain(t *testing.T) {
+	q := fifoQueue()
+	producer := mkInst(1, 7)
+	f, ok := q.ChooseFIFO(producer)
+	if !ok {
+		t.Fatal("no FIFO for first instruction")
+	}
+	producer.fifo = f
+	q.Add(producer)
+
+	consumer := mkInst(2, 8, 7)
+	cf, ok := q.ChooseFIFO(consumer)
+	if !ok || cf != f {
+		t.Fatalf("consumer chose FIFO %d,%v want producer's %d", cf, ok, f)
+	}
+
+	// A ready-source instruction prefers an empty FIFO.
+	indep := mkInst(3, 9, 7)
+	indep.srcReady[0] = true
+	inf, ok := q.ChooseFIFO(indep)
+	if !ok || inf == f {
+		t.Fatalf("independent instruction chose the chain FIFO %d", inf)
+	}
+}
+
+func TestFIFOOnlyHeadsIssue(t *testing.T) {
+	q := fifoQueue()
+	head := mkInst(1, 7)
+	head.srcReady = [2]bool{true, true}
+	f, _ := q.ChooseFIFO(head)
+	head.fifo = f
+	q.Add(head)
+	second := mkInst(2, 8)
+	second.srcReady = [2]bool{true, true}
+	second.fifo = f
+	q.Add(second)
+
+	got := q.Issuable(nil)
+	if len(got) != 1 || got[0] != head {
+		t.Fatalf("Issuable in FIFO mode = %d entries (want just the head)", len(got))
+	}
+	q.Remove(head)
+	got = q.Issuable(nil)
+	if len(got) != 1 || got[0] != second {
+		t.Fatal("second instruction not issuable after head removed")
+	}
+}
+
+func TestFIFOCopiesBypassFIFOs(t *testing.T) {
+	q := fifoQueue()
+	cpy := &DynInst{Seq: 1, IsCopy: true, state: stateWaiting, numSrcs: 1, destPhys: 3}
+	cpy.srcReady[0] = true
+	q.Add(cpy)
+	for f := range q.fifos {
+		if len(q.fifos[f]) != 0 {
+			t.Fatal("copy occupied a FIFO slot")
+		}
+	}
+	got := q.Issuable(nil)
+	if len(got) != 1 || got[0] != cpy {
+		t.Fatal("copy not issuable from the bus buffer")
+	}
+	q.Remove(cpy)
+	if q.Len() != 0 {
+		t.Fatal("copy not removed")
+	}
+}
+
+func TestFIFOStallsWhenFull(t *testing.T) {
+	cl := config.Clustered().Clusters[0]
+	cl.FIFOs, cl.FIFODepth = 2, 1
+	q := newIssueQueue(cl, config.IQFIFO)
+	for seq := uint64(1); seq <= 2; seq++ {
+		d := mkInst(seq, physReg(seq))
+		f, ok := q.ChooseFIFO(d)
+		if !ok {
+			t.Fatalf("no slot for instruction %d", seq)
+		}
+		d.fifo = f
+		q.Add(d)
+	}
+	if _, ok := q.ChooseFIFO(mkInst(3, 9)); ok {
+		t.Fatal("ChooseFIFO succeeded on full FIFOs")
+	}
+}
+
+func TestSortBySeq(t *testing.T) {
+	ds := []*DynInst{{Seq: 3}, {Seq: 1}, {Seq: 2}}
+	sortBySeq(ds)
+	for i, want := range []uint64{1, 2, 3} {
+		if ds[i].Seq != want {
+			t.Fatalf("sortBySeq order wrong: %v", []uint64{ds[0].Seq, ds[1].Seq, ds[2].Seq})
+		}
+	}
+}

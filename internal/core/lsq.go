@@ -1,0 +1,106 @@
+package core
+
+// lsq is the centralized load/store disambiguation unit of Section 2: both
+// clusters' memory operations are forwarded here after their
+// effective-address computation. A load may access the data cache once
+// every earlier store's address is known (Table 2's policy); a store whose
+// address matches forwards its data instead. Stores write to memory at
+// commit.
+type lsq struct {
+	entries []*lsqEntry
+	cap     int
+}
+
+type lsqEntry struct {
+	d *DynInst
+	// addrKnown is set when the EA computation completes.
+	addrKnown bool
+	// accessed is set once a load has been sent to the cache (or had data
+	// forwarded) so it is not issued twice.
+	accessed bool
+}
+
+func newLSQ(capacity int) *lsq {
+	return &lsq{cap: capacity}
+}
+
+// Free returns remaining capacity.
+func (q *lsq) Free() int { return q.cap - len(q.entries) }
+
+// Add appends a dispatched memory instruction in program order.
+func (q *lsq) Add(d *DynInst) {
+	d.lsqIdx = len(q.entries)
+	q.entries = append(q.entries, &lsqEntry{d: d})
+}
+
+// MarkAddrKnown records that d's effective address is computed.
+func (q *lsq) MarkAddrKnown(d *DynInst) {
+	for _, e := range q.entries {
+		if e.d == d {
+			e.addrKnown = true
+			return
+		}
+	}
+}
+
+// overlap reports whether two accesses touch a common byte.
+func overlap(a1 uint64, w1 int, a2 uint64, w2 int) bool {
+	return a1 < a2+uint64(w2) && a2 < a1+uint64(w1)
+}
+
+// loadDisposition describes what a ready load may do this cycle.
+type loadDisposition int
+
+const (
+	loadBlocked loadDisposition = iota // an earlier store address is unknown or data pending
+	loadForward                        // store-to-load forwarding available
+	loadAccess                         // may access the data cache
+)
+
+// classify determines whether the load l can proceed: every earlier store
+// must have a known address; if the youngest earlier overlapping store has
+// its data ready it forwards, if the data is pending the load blocks.
+func (q *lsq) classify(l *lsqEntry, rf []*regFile) loadDisposition {
+	for i := len(q.entries) - 1; i >= 0; i-- {
+		e := q.entries[i]
+		if e.d.Seq >= l.d.Seq || !e.d.isStore {
+			continue
+		}
+		if !e.addrKnown {
+			return loadBlocked
+		}
+		if overlap(e.d.memAddr, e.d.memWidth, l.d.memAddr, l.d.memWidth) {
+			// Youngest earlier matching store (we scan youngest-first).
+			dataPhys := e.d.srcPhys[1]
+			if e.d.numSrcs > 1 && !rf[e.d.Cluster].Ready(dataPhys) {
+				return loadBlocked
+			}
+			return loadForward
+		}
+	}
+	return loadAccess
+}
+
+// ReadyLoads appends loads eligible to attempt a cache access or forward
+// this cycle, oldest first: EA computed, not yet accessed.
+func (q *lsq) ReadyLoads(buf []*lsqEntry) []*lsqEntry {
+	for _, e := range q.entries {
+		if e.d.isLoad && e.addrKnown && !e.accessed && e.d.state == stateMemWait {
+			buf = append(buf, e)
+		}
+	}
+	return buf
+}
+
+// Remove deletes a committed memory instruction.
+func (q *lsq) Remove(d *DynInst) {
+	for i, e := range q.entries {
+		if e.d == d {
+			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// Len returns the occupancy.
+func (q *lsq) Len() int { return len(q.entries) }

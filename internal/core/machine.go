@@ -1,0 +1,912 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/config"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prog"
+	"repro/internal/stats"
+)
+
+// textBase is where the text segment lives in the simulated address space
+// for instruction-cache purposes; it is disjoint from the data segment so
+// code and data contend in the shared L2 without aliasing.
+const textBase uint64 = 0x4000_0000
+
+// watchdogCycles bounds the number of cycles without a commit before the
+// simulator reports a deadlock instead of spinning forever.
+const watchdogCycles = 100_000
+
+// Machine is the cycle-level timing simulator.
+type Machine struct {
+	cfg     *config.Config
+	prog    *prog.Program
+	oracle  *emu.Machine
+	steerer Steerer
+
+	hier *mem.Hierarchy
+	bp   bpred.DirPredictor
+	btb  *bpred.BTB
+	ras  *bpred.RAS
+
+	cycle uint64
+	seq   uint64
+
+	files []*regFile
+	rt    *renameTable
+	iqs   []*issueQueue
+	fus   []*fuPool
+	ldst  *lsq
+	rob   []*DynInst
+
+	decodeQ []*fetched
+	// fetchStallUntil delays fetch (I-cache misses, post-redirect).
+	fetchStallUntil uint64
+	// waitBranchSeq is the ProgSeq of an unresolved mispredicted branch
+	// fetch is stalled on; waitingBranch gates it.
+	waitBranchSeq uint64
+	waitingBranch bool
+	fetchDone     bool
+
+	completions map[uint64][]*DynInst
+
+	// Per-cycle resource counters.
+	dcachePortsUsed int
+	busUsed         []int
+
+	// readySample holds this cycle's per-cluster ready counts for
+	// steering decisions.
+	readySample [2]int
+
+	// Measurement state.
+	measuring      bool
+	run            stats.Run
+	replicatedSum  uint64
+	cyclesMeasured uint64
+	committedProg  uint64
+	lastCommitAt   uint64
+
+	haltCommitted bool
+	progInFlight  int
+	tracer        Tracer
+	issueBuf      []*DynInst
+	loadBuf       []*lsqEntry
+}
+
+// New builds a machine running p under cfg with the given steering policy.
+func New(cfg *config.Config, p *prog.Program, st Steerer) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	hier, err := mem.NewHierarchy(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	btb, err := bpred.NewBTB(cfg.BTBSets, cfg.BTBAssoc)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:         cfg,
+		prog:        p,
+		oracle:      emu.New(p),
+		steerer:     st,
+		hier:        hier,
+		bp:          bpred.NewPaperPredictor(),
+		btb:         btb,
+		ras:         bpred.NewRAS(cfg.RASEntries),
+		rt:          newRenameTable(cfg.NumClusters()),
+		ldst:        newLSQ(cfg.MaxInFlight),
+		completions: make(map[uint64][]*DynInst),
+		busUsed:     make([]int, cfg.NumClusters()),
+	}
+	for _, cl := range cfg.Clusters {
+		m.files = append(m.files, newRegFile(cl.PhysRegs))
+		m.iqs = append(m.iqs, newIssueQueue(cl, cfg.Mode))
+		m.fus = append(m.fus, newFUPool(cl, cfg.Lat))
+	}
+	if err := m.rt.initArchState(m.files); err != nil {
+		return nil, err
+	}
+	m.run.Scheme = st.Name()
+	m.run.Benchmark = p.Name
+	return m, nil
+}
+
+// fetched is a decoded instruction waiting for dispatch.
+type fetched struct {
+	step        emu.Step
+	availableAt uint64
+	mispredict  bool
+	// steered caches the policy's decision: steering happens once at
+	// decode, so dispatch retries after a structural stall must not
+	// consult the policy (and update its tables) again.
+	steered bool
+	target  ClusterID
+}
+
+// Cycle returns the current cycle number.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// CommittedInstructions returns committed program instructions (copies
+// excluded).
+func (m *Machine) CommittedInstructions() uint64 { return m.committedProg }
+
+// Run simulates until max committed program instructions (0 = until HALT)
+// and returns the measurement record.
+func (m *Machine) Run(max uint64) (*stats.Run, error) {
+	return m.RunWithWarmup(0, max)
+}
+
+// RunWithWarmup simulates warmup committed instructions without measuring
+// (caches and predictors stay warm), resets the statistics, then measures
+// the next measure instructions (0 = until HALT).
+func (m *Machine) RunWithWarmup(warmup, measure uint64) (*stats.Run, error) {
+	m.measuring = warmup == 0
+	if m.measuring {
+		m.beginMeasurement()
+	}
+	target := func() uint64 {
+		if measure == 0 {
+			return 0
+		}
+		return warmup + measure
+	}()
+	for !m.haltCommitted {
+		if !m.measuring && m.committedProg >= warmup {
+			m.beginMeasurement()
+			m.measuring = true
+		}
+		if target > 0 && m.committedProg >= target {
+			break
+		}
+		if err := m.step(); err != nil {
+			return nil, err
+		}
+		if m.cycle-m.lastCommitAt > watchdogCycles {
+			return nil, fmt.Errorf("core: no commit for %d cycles at cycle %d (deadlock?)", watchdogCycles, m.cycle)
+		}
+	}
+	m.finishMeasurement()
+	return &m.run, nil
+}
+
+func (m *Machine) beginMeasurement() {
+	m.run.Cycles = 0
+	m.run.Instructions = 0
+	m.run.Copies = 0
+	m.run.CriticalCopies = 0
+	m.run.Balance = stats.BalanceHist{}
+	m.run.Steered = [2]uint64{}
+	m.run.Mispredicts = 0
+	m.run.Branches = 0
+	m.replicatedSum = 0
+	m.cyclesMeasured = 0
+	m.hier.L1D.Stat = mem.Stats{}
+	m.hier.L1I.Stat = mem.Stats{}
+}
+
+func (m *Machine) finishMeasurement() {
+	m.run.Cycles = m.cyclesMeasured
+	if m.cyclesMeasured > 0 {
+		m.run.ReplicatedRegsAvg = float64(m.replicatedSum) / float64(m.cyclesMeasured)
+	}
+	m.run.L1DMissRate = m.hier.L1D.Stat.MissRate()
+	m.run.L1IMissRate = m.hier.L1I.Stat.MissRate()
+}
+
+// step simulates one cycle.
+func (m *Machine) step() error {
+	// 1. Reset per-cycle resources.
+	m.dcachePortsUsed = 0
+	for i := range m.busUsed {
+		m.busUsed[i] = 0
+	}
+	for _, fu := range m.fus {
+		fu.newCycle()
+	}
+
+	// 2. Commit (uses D-cache ports for stores).
+	m.commit()
+
+	// 3. Completions and wakeup.
+	m.complete()
+
+	// 4. Sample workload balance and inform the steering policy.
+	m.sample()
+
+	// 5. Start eligible memory accesses.
+	m.memStep()
+
+	// 6. Issue per cluster (copies consume issue slots and buses).
+	m.issue()
+
+	// 7. Dispatch: steer, rename, insert copies.
+	if err := m.dispatch(); err != nil {
+		return err
+	}
+
+	// 8. Fetch from the oracle stream.
+	m.fetch()
+
+	if m.measuring {
+		m.cyclesMeasured++
+	}
+	m.cycle++
+	return nil
+}
+
+// --- Fetch ---
+
+func lineOf(pc int, lineBytes int) uint64 {
+	return (textBase + uint64(pc)*isa.Word) / uint64(lineBytes)
+}
+
+func (m *Machine) fetch() {
+	if m.fetchDone || m.waitingBranch || m.cycle < m.fetchStallUntil {
+		return
+	}
+	lineBytes := m.cfg.Mem.L1I.LineBytes
+	curLine := uint64(0)
+	haveLine := false
+	for n := 0; n < m.cfg.FetchWidth; n++ {
+		if m.oracle.Halted {
+			m.fetchDone = true
+			return
+		}
+		pc := m.oracle.PC
+		line := lineOf(pc, lineBytes)
+		if !haveLine || line != curLine {
+			lat := m.hier.L1I.Access(textBase+uint64(pc)*isa.Word, false)
+			if lat > m.cfg.Mem.L1I.HitLatency {
+				// Miss: the line arrives after the miss latency; retry
+				// then (the refill makes the next access hit).
+				m.fetchStallUntil = m.cycle + uint64(lat-1)
+				return
+			}
+			curLine, haveLine = line, true
+		}
+		st, err := m.oracle.Step()
+		if err != nil {
+			// The oracle only errors on malformed programs, which
+			// Validate excluded; treat as end of stream.
+			m.fetchDone = true
+			return
+		}
+		fi := &fetched{step: st, availableAt: m.cycle + uint64(m.cfg.FrontEndDepth)}
+		op := st.Inst.Op
+		if op == isa.HALT {
+			m.fetchDone = true
+		}
+		if op.IsBranch() {
+			fi.mispredict = m.predictBranch(st)
+			if m.measuring {
+				m.run.Branches++
+				if fi.mispredict {
+					m.run.Mispredicts++
+				}
+			}
+		}
+		m.decodeQ = append(m.decodeQ, fi)
+		if fi.mispredict {
+			// Fetch stalls until the branch resolves; wrong-path
+			// instructions are not simulated (see package comment).
+			m.waitingBranch = true
+			m.waitBranchSeq = st.Seq
+			return
+		}
+		if st.Inst.Op.IsBranch() && st.Taken {
+			// At most one taken branch per fetch group.
+			return
+		}
+	}
+}
+
+// predictBranch runs the predictors for a fetched control transfer and
+// reports whether it mispredicts.
+func (m *Machine) predictBranch(st emu.Step) bool {
+	op := st.Inst.Op
+	pc := st.PC
+	switch {
+	case op.IsCondBranch():
+		pred := m.bp.Predict(pc)
+		m.bp.Update(pc, st.Taken)
+		return pred != st.Taken
+	case op == isa.J:
+		return false // direct target, known at decode
+	case op == isa.JAL:
+		m.ras.Push(pc + 1)
+		return false
+	case op == isa.JALR:
+		m.ras.Push(pc + 1)
+		target, ok := m.btb.Lookup(pc)
+		m.btb.Update(pc, st.NextPC)
+		return !ok || target != st.NextPC
+	default: // JR: return prediction via RAS when it targets r31
+		if st.Inst.Rs1 == isa.R(31) {
+			target, ok := m.ras.Pop()
+			return !ok || target != st.NextPC
+		}
+		target, ok := m.btb.Lookup(pc)
+		m.btb.Update(pc, st.NextPC)
+		return !ok || target != st.NextPC
+	}
+}
+
+// --- Dispatch ---
+
+// forcedCluster returns the datapath constraint for an instruction,
+// derived from the machine's actual functional-unit placement: on the
+// paper's asymmetric machine, complex-integer ops must run in the integer
+// cluster and anything touching an FP register in the FP cluster; on the
+// base machine everything else is also integer-cluster-only; on a
+// symmetric machine (config.Symmetric) nothing is forced. AnyCluster
+// means the steering policy chooses.
+func (m *Machine) forcedCluster(in isa.Inst) ClusterID {
+	if m.cfg.NumClusters() == 1 {
+		return IntCluster
+	}
+	if in.Op.Class() == isa.ClassComplexInt && !m.fus[FPCluster].CanEverIssue(in.Op) {
+		return IntCluster
+	}
+	touchesFP := func() bool {
+		if d, ok := in.Dst(); ok && d.IsFP() {
+			return true
+		}
+		for _, r := range in.Srcs(nil) {
+			if r.IsFP() {
+				return true
+			}
+		}
+		return false
+	}()
+	if touchesFP && m.cfg.Clusters[IntCluster].FPALUs == 0 {
+		return FPCluster
+	}
+	if !m.cfg.FPClusterSimpleInt && !touchesFP && in.Op.Class() != isa.ClassComplexInt {
+		return IntCluster
+	}
+	return AnyCluster
+}
+
+// fifoCluster implements the joint cluster+FIFO half of the
+// Palacharla/Jouppi/Smith heuristic: prefer a cluster holding a FIFO whose
+// tail is the producer of one of the instruction's pending sources (the
+// dependence chain continues in order there); otherwise take the allowed
+// cluster with the most empty FIFOs, falling back to the policy's choice.
+func (m *Machine) fifoCluster(fi *fetched, forced, fallback ClusterID) ClusterID {
+	var allowed [2]ClusterID
+	n := 0
+	if forced != AnyCluster {
+		allowed[0], n = forced, 1
+	} else {
+		for c := 0; c < m.cfg.NumClusters(); c++ {
+			allowed[n] = ClusterID(c)
+			n++
+		}
+	}
+	srcs := fi.step.Inst.Srcs(nil)
+	for i := 0; i < n; i++ {
+		c := allowed[i]
+		q := m.iqs[c]
+		for f := range q.fifos {
+			tail := q.FIFOTail(f)
+			if tail == nil || tail.destPhys == noPhys || len(q.fifos[f]) >= q.fifoDepth {
+				continue
+			}
+			for _, r := range srcs {
+				if p, ok := m.rt.lookup(r, c); ok && p == tail.destPhys && !m.files[c].Ready(p) {
+					return c
+				}
+			}
+		}
+	}
+	best, bestEmpty := fallback, -1
+	for i := 0; i < n; i++ {
+		c := allowed[i]
+		empties := 0
+		for f := range m.iqs[c].fifos {
+			if len(m.iqs[c].fifos[f]) == 0 {
+				empties++
+			}
+		}
+		if empties > bestEmpty {
+			bestEmpty, best = empties, c
+		}
+	}
+	return best
+}
+
+// copyPlan describes one inter-cluster copy to insert for a source operand.
+type copyPlan struct {
+	srcIdx  int // which source of the consumer
+	logical isa.Reg
+	from    ClusterID
+	fromReg physReg
+}
+
+func (m *Machine) dispatch() error {
+	width := m.cfg.DecodeWidth
+	for width > 0 && len(m.decodeQ) > 0 {
+		fi := m.decodeQ[0]
+		if fi.availableAt > m.cycle {
+			return nil
+		}
+		in := fi.step.Inst
+		forced := m.forcedCluster(in)
+
+		// Build the steering view and consult the policy for every
+		// program instruction (it maintains its tables in decode order).
+		var target ClusterID
+		if fi.steered {
+			target = fi.target
+		} else {
+			info := m.steerInfo(fi, forced)
+			target = m.steerer.Steer(info)
+			if forced != AnyCluster {
+				target = forced
+			}
+			fi.steered = true
+			fi.target = target
+		}
+		if target != IntCluster && target != FPCluster || int(target) >= m.cfg.NumClusters() {
+			target = IntCluster
+		}
+		// Capability safety net: never dispatch to a cluster that lacks
+		// the functional unit the operation needs (a policy on a partially
+		// symmetric machine could otherwise deadlock an FP multiply in a
+		// cluster with only FP adders).
+		if !m.fus[target].CanEverIssue(in.Op) && m.cfg.NumClusters() > 1 &&
+			m.fus[target.Other()].CanEverIssue(in.Op) {
+			target = target.Other()
+		}
+		if m.cfg.Mode == config.IQFIFO {
+			// The FIFO organization chooses cluster and FIFO jointly: the
+			// dependence-chain heuristic looks at both clusters' FIFO
+			// tails (Palacharla/Jouppi/Smith), constrained by the
+			// datapath. The policy's choice is the tie-break.
+			target = m.fifoCluster(fi, forced, target)
+		}
+
+		// Plan the copies this placement requires.
+		var srcs [2]isa.Reg
+		nsrc := 0
+		for _, r := range in.Srcs(nil) {
+			srcs[nsrc] = r
+			nsrc++
+		}
+		var plans []copyPlan
+		needCopy := false
+	planSrcs:
+		for i := 0; i < nsrc; i++ {
+			if _, ok := m.rt.lookup(srcs[i], target); ok {
+				continue
+			}
+			// An instruction reading the same remote register twice needs
+			// only one copy.
+			for _, cp := range plans {
+				if cp.logical == srcs[i] {
+					continue planSrcs
+				}
+			}
+			other := target.Other()
+			p, ok := m.rt.lookup(srcs[i], other)
+			if !ok {
+				return fmt.Errorf("core: register %v mapped nowhere at PC %d", srcs[i], fi.step.PC)
+			}
+			plans = append(plans, copyPlan{srcIdx: i, logical: srcs[i], from: other, fromReg: p})
+			needCopy = true
+		}
+		if needCopy && m.cfg.InterClusterBuses == 0 {
+			return fmt.Errorf("core: copy required but no inter-cluster buses (PC %d, %v)", fi.step.PC, in)
+		}
+
+		// Resource check: in-flight window for the program instruction
+		// (copies ride along in the ROB for ordering and register
+		// reclamation but, as in the paper, compete only for issue slots,
+		// queue entries and registers — not window capacity), IQ slots,
+		// destination registers, LSQ slot.
+		if m.progInFlight+1 > m.cfg.MaxInFlight {
+			return nil
+		}
+		if m.files[target].FreeCount() < len(plans)+1 { // copies' dests + own dest
+			return nil
+		}
+		iqNeed := make([]int, m.cfg.NumClusters())
+		iqNeed[target]++
+		for _, cp := range plans {
+			iqNeed[cp.from]++
+		}
+		for c, need := range iqNeed {
+			if m.iqs[c].Free() < need {
+				return nil
+			}
+		}
+		if in.Op.IsMem() && m.ldst.Free() < 1 {
+			return nil
+		}
+
+		// Dispatch the copies first (they are older in dependence order).
+		// If dispatch stalls partway (e.g. no FIFO slot), the copies
+		// already inserted stay valid: the next attempt finds the
+		// replicated mappings present and plans no duplicates.
+		d := m.newDynInst(fi)
+		d.Cluster = target
+		for _, cp := range plans {
+			if _, ok := m.insertCopy(d, cp, target); !ok {
+				return nil // FIFO-slot exhaustion: stall this cycle
+			}
+		}
+		// Rename sources in the target cluster.
+		for i := 0; i < nsrc; i++ {
+			p, ok := m.rt.lookup(srcs[i], target)
+			if !ok {
+				return fmt.Errorf("core: source %v unmapped after copy insertion", srcs[i])
+			}
+			d.srcPhys[i] = p
+			d.srcReady[i] = m.files[target].Ready(p)
+		}
+		d.numSrcs = nsrc
+		// FIFO placement is decided before the destination rename so a
+		// stall here leaves the map table untouched.
+		if m.cfg.Mode == config.IQFIFO {
+			f, ok := m.iqs[target].ChooseFIFO(d)
+			if !ok {
+				return nil
+			}
+			d.fifo = f
+		}
+		// Rename destination.
+		if dst, ok := in.Dst(); ok {
+			p, okAlloc := m.files[target].Alloc()
+			if !okAlloc {
+				return fmt.Errorf("core: register file %v exhausted after reservation check", target)
+			}
+			d.destPhys = p
+			d.destLogical = dst
+			d.prevMapping = m.rt.redefine(dst, target, p)
+		}
+		if in.Op.IsMem() {
+			m.ldst.Add(d)
+		}
+		m.rob = append(m.rob, d)
+		m.progInFlight++
+		m.iqs[target].Add(d)
+		m.trace(EvDispatch, d)
+		if m.measuring {
+			m.run.Steered[target]++
+		}
+		m.decodeQ = m.decodeQ[1:]
+		width--
+	}
+	return nil
+}
+
+// newDynInst builds the DynInst skeleton for a fetched program instruction.
+func (m *Machine) newDynInst(fi *fetched) *DynInst {
+	st := fi.step
+	in := st.Inst
+	d := &DynInst{
+		Seq:          m.seq,
+		ProgSeq:      st.Seq,
+		PC:           st.PC,
+		Inst:         in,
+		destPhys:     noPhys,
+		prevMapping:  [2]physReg{noPhys, noPhys},
+		isLoad:       in.Op.IsLoad(),
+		isStore:      in.Op.IsStore(),
+		memAddr:      st.MemAddr,
+		memWidth:     in.Op.MemWidth(),
+		isBranch:     in.Op.IsBranch(),
+		taken:        st.Taken,
+		nextPC:       st.NextPC,
+		mispredicted: fi.mispredict,
+		state:        stateWaiting,
+		readyCycle:   m.cycle,
+	}
+	m.seq++
+	return d
+}
+
+// insertCopy creates and dispatches the copy instruction moving cp.logical
+// from cp.from into target, updating the map table (replication).
+func (m *Machine) insertCopy(consumer *DynInst, cp copyPlan, target ClusterID) (*DynInst, bool) {
+	p, ok := m.files[target].Alloc()
+	if !ok {
+		return nil, false
+	}
+	cpy := &DynInst{
+		Seq:         m.seq,
+		ProgSeq:     consumer.ProgSeq,
+		PC:          consumer.PC,
+		IsCopy:      true,
+		SrcCluster:  cp.from,
+		Cluster:     target,
+		numSrcs:     1,
+		destPhys:    p,
+		destLogical: cp.logical,
+		prevMapping: [2]physReg{noPhys, noPhys},
+		state:       stateWaiting,
+		readyCycle:  m.cycle,
+	}
+	m.seq++
+	cpy.srcPhys[0] = cp.fromReg
+	cpy.srcReady[0] = m.files[cp.from].Ready(cp.fromReg)
+	// In FIFO mode copies bypass the FIFOs (issueQueue.Add places them in
+	// the bus-interface buffer), so no FIFO slot is chosen here.
+	// The copied value now also lives in the target cluster: record the
+	// replicated mapping so later consumers there reuse it.
+	m.rt.setMapping(cp.logical, target, p)
+	m.rob = append(m.rob, cpy)
+	m.iqs[cp.from].Add(cpy)
+	m.trace(EvCopyInserted, cpy)
+	if m.measuring {
+		m.run.Copies++
+	}
+	return cpy, true
+}
+
+// steerInfo assembles the policy's decode-time view.
+func (m *Machine) steerInfo(fi *fetched, forced ClusterID) *SteerInfo {
+	in := fi.step.Inst
+	info := &SteerInfo{
+		Cycle:  m.cycle,
+		PC:     fi.step.PC,
+		Inst:   in,
+		Forced: forced,
+	}
+	for _, r := range in.Srcs(nil) {
+		if info.NumSrcs >= 2 {
+			break
+		}
+		i := info.NumSrcs
+		info.SrcReg[i] = r
+		info.SrcInInt[i], info.SrcInFP[i] = m.rt.home(r)
+		info.NumSrcs++
+	}
+	info.Ready[0] = m.readySample[0]
+	info.IssueWidth[0] = m.cfg.Clusters[0].IssueWidth
+	info.IQFree[0] = m.iqs[0].Free()
+	if m.cfg.NumClusters() > 1 {
+		info.Ready[1] = m.readySample[1]
+		info.IssueWidth[1] = m.cfg.Clusters[1].IssueWidth
+		info.IQFree[1] = m.iqs[1].Free()
+	}
+	return info
+}
+
+// --- Issue ---
+
+func (m *Machine) issue() {
+	for c := 0; c < m.cfg.NumClusters(); c++ {
+		budget := m.cfg.Clusters[c].IssueWidth
+		m.issueBuf = m.issueBuf[:0]
+		m.issueBuf = m.iqs[c].Issuable(m.issueBuf)
+		for _, d := range m.issueBuf {
+			if budget == 0 {
+				break
+			}
+			if d.IsCopy {
+				// A copy consumes an issue slot in its source cluster and
+				// one bus toward its destination cluster.
+				if m.busUsed[c] >= m.cfg.InterClusterBuses {
+					continue
+				}
+				m.busUsed[c]++
+				budget--
+				m.iqs[c].Remove(d)
+				d.state = stateIssued
+				d.issuedAt = m.cycle
+				d.completeAt = m.cycle + uint64(m.cfg.CopyLatency)
+				m.schedule(d)
+				m.trace(EvIssue, d)
+				continue
+			}
+			lat, ok := m.fus[c].TryIssue(d.Inst.Op, m.cycle)
+			if !ok {
+				continue
+			}
+			budget--
+			m.iqs[c].Remove(d)
+			d.state = stateIssued
+			d.issuedAt = m.cycle
+			if d.isLoad || d.isStore {
+				// The issued operation is the EA computation; the memory
+				// access is handled by the LSQ afterwards.
+				d.completeAt = m.cycle + uint64(m.cfg.Lat.SimpleInt)
+			} else {
+				d.completeAt = m.cycle + uint64(lat)
+			}
+			m.schedule(d)
+			m.trace(EvIssue, d)
+		}
+	}
+}
+
+func (m *Machine) schedule(d *DynInst) {
+	m.completions[d.completeAt] = append(m.completions[d.completeAt], d)
+}
+
+// --- Completion ---
+
+func (m *Machine) complete() {
+	ds := m.completions[m.cycle]
+	if len(ds) == 0 {
+		return
+	}
+	delete(m.completions, m.cycle)
+	wake := make([]bool, m.cfg.NumClusters())
+	for _, d := range ds {
+		m.trace(EvComplete, d)
+		switch {
+		case d.IsCopy:
+			m.files[d.Cluster].SetReady(d.destPhys)
+			wake[d.Cluster] = true
+			d.state = stateDone
+			m.noteCopyArrival(d)
+		case d.isLoad && !d.eaDone:
+			d.eaDone = true
+			d.state = stateMemWait
+			m.ldst.MarkAddrKnown(d)
+		case d.isLoad: // data returned
+			m.files[d.Cluster].SetReady(d.destPhys)
+			wake[d.Cluster] = true
+			d.state = stateDone
+		case d.isStore:
+			d.eaDone = true
+			m.ldst.MarkAddrKnown(d)
+			d.state = stateDone
+		default:
+			if d.destPhys != noPhys {
+				m.files[d.Cluster].SetReady(d.destPhys)
+				wake[d.Cluster] = true
+			}
+			d.state = stateDone
+			if d.isBranch {
+				m.resolveBranch(d)
+			}
+		}
+	}
+	for c, w := range wake {
+		if w {
+			m.iqs[c].WakeUp(m.files[c])
+		}
+	}
+}
+
+// noteCopyArrival implements the paper's criticality test: a communication
+// is critical when an instruction in the destination cluster was already
+// waiting for the value when it arrived.
+func (m *Machine) noteCopyArrival(cpy *DynInst) {
+	for _, d := range m.iqs[cpy.Cluster].entries {
+		if d.state != stateWaiting || d.readyCycle >= m.cycle {
+			continue
+		}
+		for i := 0; i < d.numSrcs; i++ {
+			if d.srcPhys[i] == cpy.destPhys && !d.srcReady[i] {
+				othersReady := true
+				for j := 0; j < d.numSrcs; j++ {
+					if j != i && !d.srcReady[j] {
+						othersReady = false
+					}
+				}
+				if othersReady {
+					cpy.waitingConsumer = true
+					if m.measuring {
+						m.run.CriticalCopies++
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+func (m *Machine) resolveBranch(d *DynInst) {
+	m.steerer.OnBranchResolved(d.PC, d.mispredicted)
+	if d.mispredicted && m.waitingBranch && d.ProgSeq == m.waitBranchSeq {
+		m.waitingBranch = false
+		if m.fetchStallUntil < m.cycle+1 {
+			m.fetchStallUntil = m.cycle + 1
+		}
+		m.trace(EvRedirect, d)
+	}
+}
+
+// --- Memory step ---
+
+func (m *Machine) memStep() {
+	m.loadBuf = m.loadBuf[:0]
+	m.loadBuf = m.ldst.ReadyLoads(m.loadBuf)
+	hit := m.cfg.Mem.L1D.HitLatency
+	for _, e := range m.loadBuf {
+		switch m.ldst.classify(e, m.files) {
+		case loadBlocked:
+			continue
+		case loadForward:
+			e.accessed = true
+			e.d.completeAt = m.cycle + uint64(hit)
+			m.schedule(e.d)
+			m.steerer.OnLoadResolved(e.d.PC, false)
+		case loadAccess:
+			if m.dcachePortsUsed >= m.cfg.DCachePorts {
+				return // ports exhausted this cycle; retry next cycle
+			}
+			m.dcachePortsUsed++
+			lat := m.hier.L1D.Access(e.d.memAddr, false)
+			e.accessed = true
+			e.d.completeAt = m.cycle + uint64(lat)
+			m.schedule(e.d)
+			m.steerer.OnLoadResolved(e.d.PC, lat > hit)
+		}
+	}
+}
+
+// --- Commit ---
+
+func (m *Machine) commit() {
+	retired := 0
+	for retired < m.cfg.RetireWidth && len(m.rob) > 0 {
+		d := m.rob[0]
+		if d.state != stateDone {
+			return
+		}
+		if d.isStore {
+			// The store needs its data and a cache port to write.
+			if d.numSrcs > 1 && !m.files[d.Cluster].Ready(d.srcPhys[1]) {
+				return
+			}
+			if m.dcachePortsUsed >= m.cfg.DCachePorts {
+				return
+			}
+			m.dcachePortsUsed++
+			m.hier.L1D.Access(d.memAddr, true)
+			m.ldst.Remove(d)
+		}
+		if d.isLoad {
+			m.ldst.Remove(d)
+		}
+		for c := 0; c < m.cfg.NumClusters(); c++ {
+			m.files[c].Release(d.prevMapping[c])
+		}
+		d.state = stateRetired
+		m.rob = m.rob[1:]
+		m.lastCommitAt = m.cycle
+		retired++
+		m.trace(EvCommit, d)
+		if !d.IsCopy {
+			m.progInFlight--
+			m.committedProg++
+			if m.measuring {
+				m.run.Instructions++
+			}
+			if d.Inst.Op == isa.HALT {
+				m.haltCommitted = true
+				return
+			}
+		}
+	}
+}
+
+// --- Sampling ---
+
+func (m *Machine) sample() {
+	readyInt := m.iqs[0].ReadyCount()
+	readyFP := 0
+	if m.cfg.NumClusters() > 1 {
+		readyFP = m.iqs[1].ReadyCount()
+	}
+	m.readySample[0], m.readySample[1] = readyInt, readyFP
+	m.steerer.OnCycle(m.cycle, readyInt, readyFP)
+	if m.measuring {
+		m.run.Balance.Record(readyFP - readyInt)
+		m.replicatedSum += uint64(m.rt.replicatedCount())
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// regFile is one cluster's physical register file: a ready bit per register
+// and a free list. Values are not stored — the functional emulator is the
+// value oracle — only availability timing.
+type regFile struct {
+	ready []bool
+	free  []physReg
+	inUse int
+}
+
+func newRegFile(n int) *regFile {
+	rf := &regFile{ready: make([]bool, n), free: make([]physReg, 0, n)}
+	// Stack the free list so low registers allocate first (deterministic).
+	for i := n - 1; i >= 0; i-- {
+		rf.free = append(rf.free, physReg(i))
+	}
+	return rf
+}
+
+// FreeCount returns the number of allocatable registers.
+func (rf *regFile) FreeCount() int { return len(rf.free) }
+
+// Alloc takes a register from the free list, marked not-ready. ok is false
+// when the file is exhausted (dispatch must stall).
+func (rf *regFile) Alloc() (physReg, bool) {
+	if len(rf.free) == 0 {
+		return noPhys, false
+	}
+	p := rf.free[len(rf.free)-1]
+	rf.free = rf.free[:len(rf.free)-1]
+	rf.ready[p] = false
+	rf.inUse++
+	return p, true
+}
+
+// Release returns a register to the free list.
+func (rf *regFile) Release(p physReg) {
+	if p == noPhys {
+		return
+	}
+	rf.free = append(rf.free, p)
+	rf.inUse--
+}
+
+// SetReady marks a register's value as produced.
+func (rf *regFile) SetReady(p physReg) {
+	if p != noPhys {
+		rf.ready[p] = true
+	}
+}
+
+// Ready reports whether the register's value is available.
+func (rf *regFile) Ready(p physReg) bool {
+	if p == noPhys {
+		return true
+	}
+	return rf.ready[p]
+}
+
+// mapEntry is one logical register's rename state: a physical register per
+// cluster plus validity. An integer value may be mapped in both clusters at
+// once (the paper's register replication); FP registers are only ever
+// mapped in the FP cluster.
+type mapEntry struct {
+	phys  [2]physReg
+	valid [2]bool
+}
+
+// renameTable is the single centralized register map table of Section 2,
+// with two mapping fields per integer logical register.
+type renameTable struct {
+	entries  [isa.NumRegs]mapEntry
+	clusters int
+}
+
+func newRenameTable(clusters int) *renameTable {
+	rt := &renameTable{clusters: clusters}
+	for i := range rt.entries {
+		rt.entries[i] = mapEntry{phys: [2]physReg{noPhys, noPhys}}
+	}
+	return rt
+}
+
+// initArchState allocates a physical register for every architectural
+// register in its home cluster so that initial values (e.g. the stack
+// pointer) have producers: integer registers in the int cluster, FP
+// registers in the FP cluster (or everything in cluster 0 on a
+// single-cluster machine). The allocated registers are marked ready.
+func (rt *renameTable) initArchState(files []*regFile) error {
+	for r := 0; r < isa.NumRegs; r++ {
+		reg := isa.Reg(r)
+		if reg.IsZero() {
+			continue
+		}
+		home := IntCluster
+		if reg.IsFP() && rt.clusters > 1 {
+			home = FPCluster
+		}
+		p, ok := files[home].Alloc()
+		if !ok {
+			return fmt.Errorf("core: register file %d too small for architectural state", home)
+		}
+		files[home].SetReady(p)
+		rt.entries[r].phys[home] = p
+		rt.entries[r].valid[home] = true
+	}
+	return nil
+}
+
+// lookup returns the mapping of logical register r in cluster c.
+func (rt *renameTable) lookup(r isa.Reg, c ClusterID) (physReg, bool) {
+	e := &rt.entries[r]
+	if !e.valid[c] {
+		return noPhys, false
+	}
+	return e.phys[c], true
+}
+
+// home returns which clusters currently hold a valid mapping of r.
+func (rt *renameTable) home(r isa.Reg) (inInt, inFP bool) {
+	e := &rt.entries[r]
+	return e.valid[0], rt.clusters > 1 && e.valid[1]
+}
+
+// setMapping records that r's current value lives in physical register p of
+// cluster c, in addition to any existing mapping (replication path used by
+// copies).
+func (rt *renameTable) setMapping(r isa.Reg, c ClusterID, p physReg) {
+	rt.entries[r].phys[c] = p
+	rt.entries[r].valid[c] = true
+}
+
+// redefine makes cluster c's physical register p the sole mapping of r,
+// invalidating any mapping in the other cluster. It returns the previous
+// physical registers per cluster (noPhys where none), which the writer
+// frees at commit.
+func (rt *renameTable) redefine(r isa.Reg, c ClusterID, p physReg) (prev [2]physReg) {
+	prev = [2]physReg{noPhys, noPhys}
+	e := &rt.entries[r]
+	for cl := 0; cl < rt.clusters; cl++ {
+		if e.valid[cl] {
+			prev[cl] = e.phys[cl]
+		}
+		e.valid[cl] = false
+		e.phys[cl] = noPhys
+	}
+	e.phys[c] = p
+	e.valid[c] = true
+	return prev
+}
+
+// replicatedCount returns how many integer logical registers are currently
+// mapped in both clusters (Figure 15's metric).
+func (rt *renameTable) replicatedCount() int {
+	if rt.clusters < 2 {
+		return 0
+	}
+	n := 0
+	for r := 0; r < isa.NumIntRegs; r++ {
+		e := &rt.entries[r]
+		if e.valid[0] && e.valid[1] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,97 @@
+package core
+
+import "repro/internal/isa"
+
+// SteerInfo is the decode-time information the steering logic sees for one
+// instruction, mirroring the hardware of Section 3: the instruction, its
+// operands' current cluster locations (from the dual map table), and the
+// per-cluster workload measures used by the balance heuristics.
+type SteerInfo struct {
+	// Cycle is the current cycle.
+	Cycle uint64
+	// PC identifies the static instruction (the slice tables index on it).
+	PC int
+	// Inst is the decoded instruction.
+	Inst isa.Inst
+	// Forced is the placement constraint from the datapath (complex
+	// integer ops must run in the int cluster, FP ops in the FP cluster);
+	// AnyCluster when the policy is free to choose.
+	Forced ClusterID
+
+	// NumSrcs and SrcReg list the architectural register sources.
+	NumSrcs int
+	SrcReg  [2]isa.Reg
+	// SrcInInt/SrcInFP report where each source's current mapping lives
+	// (both true = replicated value).
+	SrcInInt [2]bool
+	SrcInFP  [2]bool
+
+	// Ready is the per-cluster count of ready waiting instructions this
+	// cycle (metric I2's raw input).
+	Ready [2]int
+	// IssueWidth is each cluster's issue bandwidth.
+	IssueWidth [2]int
+	// IQFree is each cluster's remaining queue capacity.
+	IQFree [2]int
+}
+
+// OperandsIn counts how many sources currently reside in cluster c
+// (replicated operands count for both clusters).
+func (si *SteerInfo) OperandsIn(c ClusterID) int {
+	n := 0
+	for i := 0; i < si.NumSrcs; i++ {
+		if (c == IntCluster && si.SrcInInt[i]) || (c == FPCluster && si.SrcInFP[i]) {
+			n++
+		}
+	}
+	return n
+}
+
+// Steerer is a dynamic cluster-assignment policy. The core calls Steer for
+// every program instruction in decode order (copies excluded), even when
+// the placement is forced, so policies can maintain their slice and parent
+// tables; the returned cluster is overridden by Forced constraints.
+type Steerer interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Steer chooses a cluster for the instruction described by info.
+	Steer(info *SteerInfo) ClusterID
+	// OnCycle is called once per simulated cycle with the per-cluster
+	// ready counts, before any Steer call of that cycle (input to the
+	// balance metrics).
+	OnCycle(cycle uint64, readyInt, readyFP int)
+	// OnBranchResolved reports a resolved control transfer and whether it
+	// mispredicted (input to the priority scheme's criticality counters).
+	OnBranchResolved(pc int, mispredicted bool)
+	// OnLoadResolved reports a load's cache outcome (true = L1 miss).
+	OnLoadResolved(pc int, l1Miss bool)
+}
+
+// NopSteerer provides no-op hook implementations for policies that do not
+// need them; embed it and override Steer.
+type NopSteerer struct{}
+
+// OnCycle implements Steerer.
+func (NopSteerer) OnCycle(uint64, int, int) {}
+
+// OnBranchResolved implements Steerer.
+func (NopSteerer) OnBranchResolved(int, bool) {}
+
+// OnLoadResolved implements Steerer.
+func (NopSteerer) OnLoadResolved(int, bool) {}
+
+// NaiveSteerer is the conventional partitioning the base machine uses:
+// every steerable instruction goes to the integer cluster; only
+// FP-constrained instructions end up in the FP cluster.
+type NaiveSteerer struct{ NopSteerer }
+
+// Name implements Steerer.
+func (NaiveSteerer) Name() string { return "naive" }
+
+// Steer implements Steerer.
+func (NaiveSteerer) Steer(info *SteerInfo) ClusterID {
+	if info.Forced != AnyCluster {
+		return info.Forced
+	}
+	return IntCluster
+}

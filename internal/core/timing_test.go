@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/stats"
+)
+
+// chainProg builds a loop whose body is one long dependent add chain.
+func chainProg(n int) *prog.Program {
+	b := prog.NewBuilder("chain")
+	b.Label("top")
+	for i := 0; i < n; i++ {
+		b.Addi(isa.R(1), isa.R(1), 1)
+	}
+	b.Jmp("top")
+	return b.MustBuild()
+}
+
+func measure(t *testing.T, cfg *config.Config, p *prog.Program, st Steerer) *stats.Run {
+	t.Helper()
+	m, err := New(cfg, p, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.RunWithWarmup(4_000, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// A dependent 1-cycle chain executes at IPC 1 locally; ping-ponged across
+// clusters by modulo steering, every hop adds exactly the 1-cycle bypass
+// latency plus the copy, halving throughput. This pins the copy-timing
+// model quantitatively.
+func TestInterClusterHopCostsOneCycle(t *testing.T) {
+	p := chainProg(512)
+	local := measure(t, config.Clustered(), p, NaiveSteerer{})
+	pingpong := measure(t, config.Clustered(), p, &moduloSteerer{})
+
+	if ipc := local.IPC(); ipc < 0.93 || ipc > 1.02 {
+		t.Errorf("local chain IPC = %.3f, want ~1.0", ipc)
+	}
+	// Each instruction's input now arrives one cycle later (copy latency
+	// 1): steady-state IPC ~0.5.
+	if ipc := pingpong.IPC(); ipc < 0.42 || ipc > 0.58 {
+		t.Errorf("ping-pong chain IPC = %.3f, want ~0.5", ipc)
+	}
+	// One copy per instruction (every value is consumed remotely).
+	if cpi := pingpong.CommPerInstr(); cpi < 0.9 || cpi > 1.1 {
+		t.Errorf("comm/instr = %.3f, want ~1.0", cpi)
+	}
+}
+
+// With copy latency 2 the same ping-pong chain drops to ~1/3 IPC.
+func TestCopyLatencyScalesChainThroughput(t *testing.T) {
+	p := chainProg(512)
+	cfg := config.Clustered()
+	cfg.CopyLatency = 2
+	pingpong := measure(t, cfg, p, &moduloSteerer{})
+	if ipc := pingpong.IPC(); ipc < 0.28 || ipc > 0.40 {
+		t.Errorf("latency-2 ping-pong IPC = %.3f, want ~1/3", ipc)
+	}
+}
+
+// randomBranchProg branches on pre-generated pseudo-random bits: the
+// pattern (period 8191) exceeds what the 16-bit-history gshare can learn,
+// so nearly every branch mispredicts.
+func randomBranchProg() *prog.Program {
+	b := prog.NewBuilder("randbr")
+	bits := make([]int64, 8191)
+	x := xorshiftT(12345)
+	for i := range bits {
+		bits[i] = int64(x.next() & 1)
+	}
+	b.Word64("bits", bits...)
+	b.La(isa.R(1), "bits")
+	b.Li(isa.R(2), 0)
+	b.Label("top")
+	b.Slli(isa.R(3), isa.R(2), 3)
+	b.Add(isa.R(3), isa.R(1), isa.R(3))
+	b.Ld(isa.R(4), isa.R(3), 0)
+	b.Beq(isa.R(4), isa.R(0), "zero")
+	b.Addi(isa.R(5), isa.R(5), 1)
+	b.Jmp("next")
+	b.Label("zero")
+	b.Addi(isa.R(6), isa.R(6), 1)
+	b.Label("next")
+	b.Addi(isa.R(2), isa.R(2), 1)
+	b.Slti(isa.R(7), isa.R(2), 8191)
+	b.Bne(isa.R(7), isa.R(0), "top")
+	b.Li(isa.R(2), 0)
+	b.Jmp("top")
+	return b.MustBuild()
+}
+
+// predictableBranchProg is the same loop with an always-taken data branch.
+func predictableBranchProg() *prog.Program {
+	b := prog.NewBuilder("predbr")
+	bits := make([]int64, 8191)
+	for i := range bits {
+		bits[i] = 1
+	}
+	b.Word64("bits", bits...)
+	b.La(isa.R(1), "bits")
+	b.Li(isa.R(2), 0)
+	b.Label("top")
+	b.Slli(isa.R(3), isa.R(2), 3)
+	b.Add(isa.R(3), isa.R(1), isa.R(3))
+	b.Ld(isa.R(4), isa.R(3), 0)
+	b.Beq(isa.R(4), isa.R(0), "zero")
+	b.Addi(isa.R(5), isa.R(5), 1)
+	b.Jmp("next")
+	b.Label("zero")
+	b.Addi(isa.R(6), isa.R(6), 1)
+	b.Label("next")
+	b.Addi(isa.R(2), isa.R(2), 1)
+	b.Slti(isa.R(7), isa.R(2), 8191)
+	b.Bne(isa.R(7), isa.R(0), "top")
+	b.Li(isa.R(2), 0)
+	b.Jmp("top")
+	return b.MustBuild()
+}
+
+// TestMispredictionPenalty compares identical loops differing only in
+// branch predictability and bounds the implied penalty per misprediction.
+func TestMispredictionPenalty(t *testing.T) {
+	random := measure(t, config.Clustered(), randomBranchProg(), NaiveSteerer{})
+	pred := measure(t, config.Clustered(), predictableBranchProg(), NaiveSteerer{})
+
+	if rate := random.MispredictRate(); rate < 0.15 {
+		t.Fatalf("random branches mispredicting at only %.2f", rate)
+	}
+	if rate := pred.MispredictRate(); rate > 0.02 {
+		t.Fatalf("predictable branches mispredicting at %.2f", rate)
+	}
+	extraCycles := float64(random.Cycles) - float64(pred.Cycles)
+	if random.Mispredicts == 0 || extraCycles <= 0 {
+		t.Fatalf("no measurable penalty (extra=%.0f, mispredicts=%d)", extraCycles, random.Mispredicts)
+	}
+	penalty := extraCycles / float64(random.Mispredicts)
+	// Resolve-at-execute plus front-end refill: mid-single-digits to low
+	// teens on this machine.
+	if penalty < 3 || penalty > 18 {
+		t.Errorf("implied misprediction penalty %.1f cycles out of range", penalty)
+	}
+}
+
+// xorshiftT is a local copy of the workload generator's RNG (kept separate
+// so core tests do not depend on the workload package).
+type xorshiftT uint64
+
+func (x *xorshiftT) next() uint64 {
+	v := *x
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return uint64(v)
+}

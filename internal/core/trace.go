@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Event identifies a pipeline event for tracing.
+type Event uint8
+
+const (
+	// EvDispatch is rename+steer placing an instruction in a cluster.
+	EvDispatch Event = iota
+	// EvCopyInserted is the creation of an inter-cluster copy.
+	EvCopyInserted
+	// EvIssue is an instruction leaving an issue queue.
+	EvIssue
+	// EvComplete is a result (or address) becoming available.
+	EvComplete
+	// EvCommit is in-order retirement.
+	EvCommit
+	// EvRedirect is fetch resuming after a resolved misprediction.
+	EvRedirect
+)
+
+// String names the event.
+func (e Event) String() string {
+	switch e {
+	case EvDispatch:
+		return "dispatch"
+	case EvCopyInserted:
+		return "copy"
+	case EvIssue:
+		return "issue"
+	case EvComplete:
+		return "complete"
+	case EvCommit:
+		return "commit"
+	case EvRedirect:
+		return "redirect"
+	default:
+		return fmt.Sprintf("Event(%d)", uint8(e))
+	}
+}
+
+// Tracer receives pipeline events. Implementations must be fast; the
+// machine calls them inline.
+type Tracer interface {
+	Trace(cycle uint64, ev Event, d *DynInst)
+}
+
+// SetTracer installs (or, with nil, removes) a pipeline tracer.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+func (m *Machine) trace(ev Event, d *DynInst) {
+	if m.tracer != nil {
+		m.tracer.Trace(m.cycle, ev, d)
+	}
+}
+
+// TextTracer writes one line per event within a cycle window, in the style
+// of SimpleScalar's pipetrace output.
+type TextTracer struct {
+	// W receives the trace.
+	W io.Writer
+	// From and To bound the traced cycles (To = 0 means unbounded).
+	From, To uint64
+}
+
+// Trace implements Tracer.
+func (t *TextTracer) Trace(cycle uint64, ev Event, d *DynInst) {
+	if cycle < t.From || (t.To > 0 && cycle > t.To) {
+		return
+	}
+	what := "—"
+	if d != nil {
+		if d.IsCopy {
+			what = fmt.Sprintf("copy %v->%v (r%d seq %d)", d.SrcCluster, d.Cluster, d.destLogical, d.Seq)
+		} else {
+			what = fmt.Sprintf("pc=%d %v [%v] seq %d", d.PC, d.Inst, d.Cluster, d.Seq)
+		}
+	}
+	fmt.Fprintf(t.W, "%8d %-9s %s\n", cycle, ev, what)
+}
+
+// CountingTracer tallies events by type; tests and quick profiles use it.
+type CountingTracer struct {
+	// Counts is indexed by Event.
+	Counts [6]uint64
+}
+
+// Trace implements Tracer.
+func (t *CountingTracer) Trace(_ uint64, ev Event, _ *DynInst) {
+	if int(ev) < len(t.Counts) {
+		t.Counts[ev]++
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+func TestCountingTracerSeesPipelineFlow(t *testing.T) {
+	p := mustProg(t, `
+.data
+x: .word 7
+.text
+  li  r1, x
+  ld  r2, 0(r1)
+  add r3, r2, r2
+  beq r3, r0, skip
+  addi r4, r4, 1
+skip:
+  halt
+`)
+	m, err := New(config.Clustered(), p, NaiveSteerer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct CountingTracer
+	m.SetTracer(&ct)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	n := p.Text // every instruction dispatches, issues, completes, commits
+	if ct.Counts[EvDispatch] != uint64(len(n)) {
+		t.Errorf("dispatch events = %d, want %d", ct.Counts[EvDispatch], len(n))
+	}
+	if ct.Counts[EvCommit] != uint64(len(n)) {
+		t.Errorf("commit events = %d, want %d", ct.Counts[EvCommit], len(n))
+	}
+	if ct.Counts[EvIssue] < ct.Counts[EvDispatch] {
+		t.Errorf("issue events (%d) below dispatch (%d)", ct.Counts[EvIssue], ct.Counts[EvDispatch])
+	}
+	// A load has two completions (EA + data): completes > dispatches.
+	if ct.Counts[EvComplete] <= ct.Counts[EvDispatch] {
+		t.Errorf("complete events = %d, want > %d", ct.Counts[EvComplete], ct.Counts[EvDispatch])
+	}
+}
+
+func TestTextTracerOutput(t *testing.T) {
+	p := mustProg(t, `
+.text
+  addi r1, r0, 1
+  add  r2, r1, r1
+  halt
+`)
+	m, err := New(config.Clustered(), p, NaiveSteerer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	m.SetTracer(&TextTracer{W: &buf})
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dispatch", "issue", "complete", "commit", "addi r1, r0, 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTextTracerCycleWindow(t *testing.T) {
+	p := mustProg(t, `
+.text
+loop:
+  addi r1, r1, 1
+  j loop
+`)
+	m, err := New(config.Clustered(), p, NaiveSteerer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	m.SetTracer(&TextTracer{W: &buf, From: 100, To: 105})
+	if _, err := m.Run(2000); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var cyc uint64
+		if _, err := fmt.Sscan(line, &cyc); err != nil {
+			t.Fatalf("unparseable trace line %q", line)
+		}
+		if cyc < 100 || cyc > 105 {
+			t.Fatalf("trace line outside window: %q", line)
+		}
+	}
+}
+
+func TestCopyEventsTraced(t *testing.T) {
+	b := prog.NewBuilder("chain")
+	b.Addi(isa.R(1), isa.R(0), 1)
+	for i := 0; i < 50; i++ {
+		b.Addi(isa.R(1), isa.R(1), 1)
+	}
+	b.Halt()
+	m, err := New(config.Clustered(), b.MustBuild(), &moduloSteerer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ct CountingTracer
+	m.SetTracer(&ct)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if ct.Counts[EvCopyInserted] == 0 {
+		t.Error("no copy events on a modulo-steered chain")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	names := map[Event]string{
+		EvDispatch: "dispatch", EvCopyInserted: "copy", EvIssue: "issue",
+		EvComplete: "complete", EvCommit: "commit", EvRedirect: "redirect",
+	}
+	for ev, want := range names {
+		if ev.String() != want {
+			t.Errorf("Event %d = %q, want %q", ev, ev.String(), want)
+		}
+	}
+}

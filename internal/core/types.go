@@ -1,0 +1,155 @@
+// Package core implements the cycle-level timing simulator of the clustered
+// dynamically-scheduled processor studied in "Dynamic Cluster Assignment
+// Mechanisms" (Canal, Parcerisa, González — HPCA 2000).
+//
+// The microarchitecture follows Section 2 of the paper: centralized fetch,
+// decode and rename; a steering stage that assigns each instruction to one
+// of two clusters; per-cluster issue queues, issue logic, physical register
+// files and functional units; inter-cluster communication through explicit
+// copy instructions that compete for issue slots and traverse a limited
+// number of 1-cycle buses; a centralized load/store disambiguation unit;
+// and in-order commit from a shared reorder buffer.
+//
+// Execution is oracle-driven: the functional emulator (package emu)
+// produces the committed-path instruction stream; the timing model imposes
+// structural and data hazards on it. Branch mispredictions stall fetch
+// until the branch resolves (wrong-path instructions are not simulated);
+// see DESIGN.md for the fidelity argument.
+package core
+
+import (
+	"repro/internal/isa"
+)
+
+// ClusterID names a cluster. On the two-cluster machine, cluster 0 is the
+// integer cluster (C1 in the paper's Figure 1) and cluster 1 is the FP
+// cluster (C2).
+type ClusterID int8
+
+// Cluster identifiers and the sentinel for "no preference".
+const (
+	IntCluster ClusterID = 0
+	FPCluster  ClusterID = 1
+	// AnyCluster is returned by steering helpers when the instruction has
+	// no placement constraint.
+	AnyCluster ClusterID = -1
+)
+
+// String returns "int"/"fp" for the two paper clusters.
+func (c ClusterID) String() string {
+	switch c {
+	case IntCluster:
+		return "int"
+	case FPCluster:
+		return "fp"
+	default:
+		return "any"
+	}
+}
+
+// Other returns the opposite cluster on a two-cluster machine.
+func (c ClusterID) Other() ClusterID { return 1 - c }
+
+// instState tracks a dynamic instruction through the pipeline.
+type instState uint8
+
+const (
+	stateWaiting instState = iota // in an issue queue, sources pending
+	stateIssued                   // executing on a functional unit or bus
+	stateMemWait                  // load waiting in the LSQ for access
+	stateDone                     // result produced, awaiting commit
+	stateRetired                  // committed
+)
+
+// physReg names a physical register within one cluster's file.
+type physReg int16
+
+// noPhys marks an absent physical register operand (zero register,
+// immediate, or no destination).
+const noPhys physReg = -1
+
+// DynInst is one in-flight dynamic instruction (or inserted copy).
+type DynInst struct {
+	// Seq is the global dispatch order, copies included; it orders the
+	// ROB and the issue-queue age priority.
+	Seq uint64
+	// ProgSeq is the committed-path dynamic instruction number from the
+	// emulator; copies share their consumer's ProgSeq.
+	ProgSeq uint64
+	// PC is the static instruction index.
+	PC int
+	// Inst is the architectural instruction (zero-valued for copies).
+	Inst isa.Inst
+	// Cluster is the cluster the instruction was dispatched to.
+	Cluster ClusterID
+
+	// IsCopy marks inter-cluster copy instructions. For a copy, srcPhys[0]
+	// is read in cluster SrcCluster and destPhys is written in Cluster.
+	IsCopy     bool
+	SrcCluster ClusterID
+
+	// Renamed operands.
+	numSrcs  int
+	srcPhys  [2]physReg
+	srcReady [2]bool
+	destPhys physReg
+	// destLogical is the architectural destination (NoReg if none).
+	destLogical isa.Reg
+	// prevMapping records the per-cluster physical registers that held
+	// destLogical before this instruction, freed at commit.
+	prevMapping [2]physReg
+
+	// State machine.
+	state      instState
+	readyCycle uint64 // earliest cycle the instruction may issue
+	completeAt uint64 // cycle the result becomes available
+	issuedAt   uint64
+
+	// Memory operation fields (from the oracle).
+	isLoad, isStore bool
+	memAddr         uint64
+	memWidth        int
+	lsqIdx          int
+	// eaDone distinguishes the two completion events of a memory
+	// instruction: effective-address computation, then (for loads) the
+	// cache access.
+	eaDone bool
+
+	// Branch fields.
+	isBranch     bool
+	taken        bool
+	nextPC       int
+	mispredicted bool
+
+	// waitingConsumer is set on copies when some instruction in the
+	// destination cluster stalled waiting for this copy's value; such
+	// communications are the paper's "critical" ones (Figure 5).
+	waitingConsumer bool
+
+	// fifo is the FIFO index the instruction occupies in IQFIFO mode.
+	fifo int
+}
+
+// HasDest reports whether the instruction allocates a destination register.
+func (d *DynInst) HasDest() bool { return d.destPhys != noPhys }
+
+// SrcsReady reports whether every source operand is available.
+func (d *DynInst) SrcsReady() bool {
+	for i := 0; i < d.numSrcs; i++ {
+		if !d.srcReady[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IssueReady reports whether the instruction may leave the issue queue.
+// Stores issue on their address operand alone (source 0): the effective
+// address is computed as soon as the base register is available, while the
+// data operand is only needed at commit, when the store writes memory.
+func (d *DynInst) IssueReady() bool {
+	if d.isStore {
+		return d.numSrcs == 0 || d.srcReady[0]
+	}
+	return d.SrcsReady()
+}

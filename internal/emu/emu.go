@@ -1,0 +1,289 @@
+// Package emu is the functional (architectural) emulator for the
+// repository's ISA. It defines the reference semantics of every opcode and
+// is used in three roles:
+//
+//   - as the oracle front end of the timing simulator (the committed-path
+//     instruction stream, branch outcomes and memory addresses);
+//   - as the co-simulation reference that the timing core's commit stream is
+//     checked against in tests;
+//   - as a standalone interpreter for running workloads functionally.
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// Step describes one executed (committed) dynamic instruction.
+type Step struct {
+	// Seq is the dynamic instruction number, starting at 0.
+	Seq uint64
+	// PC is the instruction index that executed.
+	PC int
+	// Inst is the executed instruction.
+	Inst isa.Inst
+	// NextPC is the index of the next instruction to execute.
+	NextPC int
+	// Taken reports the branch outcome for control transfers.
+	Taken bool
+	// MemAddr is the effective address for loads and stores.
+	MemAddr uint64
+	// WroteReg and Value describe the register result, if any.
+	WroteReg bool
+	Value    int64
+}
+
+// Machine is architectural state plus the loaded program.
+type Machine struct {
+	// Prog is the loaded program.
+	Prog *prog.Program
+	// Mem is the data memory (text is held separately in Prog).
+	Mem *Memory
+	// Reg holds the 64 architectural registers; FP values are stored as
+	// IEEE754 bit patterns. Reg[0] is hardwired to zero.
+	Reg [isa.NumRegs]int64
+	// PC is the index of the next instruction to execute.
+	PC int
+	// Halted is set once HALT executes.
+	Halted bool
+	// Count is the number of instructions executed so far.
+	Count uint64
+}
+
+// New loads p into a fresh machine: data segment copied to memory, PC at the
+// entry point, stack pointer (r30) initialized to the conventional stack
+// base.
+func New(p *prog.Program) *Machine {
+	m := &Machine{Prog: p, Mem: NewMemory(), PC: p.Entry}
+	m.Mem.LoadImage(p.DataBase, p.Data)
+	m.Reg[isa.R(30)] = prog.DefaultStackBase
+	return m
+}
+
+// f64 interprets a register value as a float64.
+func f64(bits int64) float64 { return math.Float64frombits(uint64(bits)) }
+
+// bits64 stores a float64 as register bits.
+func bits64(v float64) int64 { return int64(math.Float64bits(v)) }
+
+// setReg writes a register, honoring the hardwired zero register.
+func (m *Machine) setReg(r isa.Reg, v int64) {
+	if r == isa.NoReg || r.IsZero() || !r.Valid() {
+		return
+	}
+	m.Reg[r] = v
+}
+
+// Step executes one instruction and reports what happened. Calling Step on
+// a halted machine returns an error.
+func (m *Machine) Step() (Step, error) {
+	if m.Halted {
+		return Step{}, fmt.Errorf("emu: machine is halted")
+	}
+	if m.PC < 0 || m.PC >= len(m.Prog.Text) {
+		return Step{}, fmt.Errorf("emu: PC %d out of range [0,%d)", m.PC, len(m.Prog.Text))
+	}
+	in := m.Prog.Text[m.PC]
+	st := Step{Seq: m.Count, PC: m.PC, Inst: in, NextPC: m.PC + 1}
+
+	r := func(reg isa.Reg) int64 {
+		if reg == isa.NoReg || !reg.Valid() {
+			return 0
+		}
+		return m.Reg[reg]
+	}
+	write := func(reg isa.Reg, v int64) {
+		m.setReg(reg, v)
+		if reg != isa.NoReg && !reg.IsZero() && reg.Valid() {
+			st.WroteReg, st.Value = true, v
+		}
+	}
+
+	switch in.Op {
+	case isa.NOP:
+	case isa.HALT:
+		m.Halted = true
+		st.NextPC = m.PC
+
+	// Integer ALU.
+	case isa.ADD:
+		write(in.Rd, r(in.Rs1)+r(in.Rs2))
+	case isa.SUB:
+		write(in.Rd, r(in.Rs1)-r(in.Rs2))
+	case isa.AND:
+		write(in.Rd, r(in.Rs1)&r(in.Rs2))
+	case isa.OR:
+		write(in.Rd, r(in.Rs1)|r(in.Rs2))
+	case isa.XOR:
+		write(in.Rd, r(in.Rs1)^r(in.Rs2))
+	case isa.NOR:
+		write(in.Rd, ^(r(in.Rs1) | r(in.Rs2)))
+	case isa.SLL:
+		write(in.Rd, r(in.Rs1)<<(uint64(r(in.Rs2))&63))
+	case isa.SRL:
+		write(in.Rd, int64(uint64(r(in.Rs1))>>(uint64(r(in.Rs2))&63)))
+	case isa.SRA:
+		write(in.Rd, r(in.Rs1)>>(uint64(r(in.Rs2))&63))
+	case isa.SLT:
+		write(in.Rd, boolTo64(r(in.Rs1) < r(in.Rs2)))
+	case isa.SLTU:
+		write(in.Rd, boolTo64(uint64(r(in.Rs1)) < uint64(r(in.Rs2))))
+	case isa.ADDI:
+		write(in.Rd, r(in.Rs1)+int64(in.Imm))
+	case isa.ANDI:
+		write(in.Rd, r(in.Rs1)&int64(in.Imm))
+	case isa.ORI:
+		write(in.Rd, r(in.Rs1)|int64(in.Imm))
+	case isa.XORI:
+		write(in.Rd, r(in.Rs1)^int64(in.Imm))
+	case isa.SLLI:
+		write(in.Rd, r(in.Rs1)<<(uint32(in.Imm)&63))
+	case isa.SRLI:
+		write(in.Rd, int64(uint64(r(in.Rs1))>>(uint32(in.Imm)&63)))
+	case isa.SRAI:
+		write(in.Rd, r(in.Rs1)>>(uint32(in.Imm)&63))
+	case isa.SLTI:
+		write(in.Rd, boolTo64(r(in.Rs1) < int64(in.Imm)))
+	case isa.LUI:
+		write(in.Rd, int64(in.Imm)<<16)
+
+	// Complex integer. Division by zero is defined to produce zero so that
+	// buggy workloads fail loudly in their own logic rather than crash the
+	// simulator.
+	case isa.MUL:
+		write(in.Rd, r(in.Rs1)*r(in.Rs2))
+	case isa.DIV:
+		if d := r(in.Rs2); d != 0 {
+			write(in.Rd, r(in.Rs1)/d)
+		} else {
+			write(in.Rd, 0)
+		}
+	case isa.REM:
+		if d := r(in.Rs2); d != 0 {
+			write(in.Rd, r(in.Rs1)%d)
+		} else {
+			write(in.Rd, 0)
+		}
+
+	// Memory.
+	case isa.LD, isa.LW, isa.LB, isa.FLD:
+		addr := uint64(r(in.Rs1) + int64(in.Imm))
+		st.MemAddr = addr
+		raw := m.Mem.Read(addr, in.Op.MemWidth())
+		var v int64
+		switch in.Op {
+		case isa.LW:
+			v = int64(int32(uint32(raw))) // sign-extend
+		case isa.LB:
+			v = int64(int8(uint8(raw)))
+		default:
+			v = int64(raw)
+		}
+		write(in.Rd, v)
+	case isa.ST, isa.SW, isa.SB, isa.FST:
+		addr := uint64(r(in.Rs1) + int64(in.Imm))
+		st.MemAddr = addr
+		m.Mem.Write(addr, in.Op.MemWidth(), uint64(r(in.Rs2)))
+
+	// Control transfers.
+	case isa.BEQ:
+		st.Taken = r(in.Rs1) == r(in.Rs2)
+	case isa.BNE:
+		st.Taken = r(in.Rs1) != r(in.Rs2)
+	case isa.BLT:
+		st.Taken = r(in.Rs1) < r(in.Rs2)
+	case isa.BGE:
+		st.Taken = r(in.Rs1) >= r(in.Rs2)
+	case isa.BLTU:
+		st.Taken = uint64(r(in.Rs1)) < uint64(r(in.Rs2))
+	case isa.BGEU:
+		st.Taken = uint64(r(in.Rs1)) >= uint64(r(in.Rs2))
+	case isa.J:
+		st.Taken = true
+		st.NextPC = int(in.Imm)
+	case isa.JAL:
+		st.Taken = true
+		write(in.Rd, int64(m.PC+1))
+		st.NextPC = int(in.Imm)
+	case isa.JR:
+		st.Taken = true
+		st.NextPC = int(r(in.Rs1))
+	case isa.JALR:
+		st.Taken = true
+		target := int(r(in.Rs1))
+		write(in.Rd, int64(m.PC+1))
+		st.NextPC = target
+
+	// Floating point.
+	case isa.FADD:
+		write(in.Rd, bits64(f64(r(in.Rs1))+f64(r(in.Rs2))))
+	case isa.FSUB:
+		write(in.Rd, bits64(f64(r(in.Rs1))-f64(r(in.Rs2))))
+	case isa.FMUL:
+		write(in.Rd, bits64(f64(r(in.Rs1))*f64(r(in.Rs2))))
+	case isa.FDIV:
+		write(in.Rd, bits64(f64(r(in.Rs1))/f64(r(in.Rs2))))
+	case isa.FNEG:
+		write(in.Rd, bits64(-f64(r(in.Rs1))))
+	case isa.FABS:
+		write(in.Rd, bits64(math.Abs(f64(r(in.Rs1)))))
+	case isa.FMOV:
+		write(in.Rd, r(in.Rs1))
+	case isa.FCVTIF:
+		write(in.Rd, bits64(float64(r(in.Rs1))))
+	case isa.FCVTFI:
+		write(in.Rd, int64(f64(r(in.Rs1))))
+	case isa.FEQ:
+		write(in.Rd, boolTo64(f64(r(in.Rs1)) == f64(r(in.Rs2))))
+	case isa.FLT:
+		write(in.Rd, boolTo64(f64(r(in.Rs1)) < f64(r(in.Rs2))))
+	case isa.FLE:
+		write(in.Rd, boolTo64(f64(r(in.Rs1)) <= f64(r(in.Rs2))))
+
+	default:
+		return Step{}, fmt.Errorf("emu: unimplemented opcode %v at PC %d", in.Op, m.PC)
+	}
+
+	if in.Op.IsCondBranch() && st.Taken {
+		st.NextPC = int(in.Imm)
+	}
+	if !m.Halted {
+		if st.NextPC < 0 || st.NextPC >= len(m.Prog.Text) {
+			return Step{}, fmt.Errorf("emu: jump to out-of-range PC %d from %d (%v)", st.NextPC, m.PC, in)
+		}
+		m.PC = st.NextPC
+	}
+	m.Count++
+	return st, nil
+}
+
+// Run executes until HALT or until max instructions have run (0 = no
+// limit). It returns the number of instructions executed.
+func (m *Machine) Run(max uint64) (uint64, error) {
+	start := m.Count
+	for !m.Halted {
+		if max > 0 && m.Count-start >= max {
+			break
+		}
+		if _, err := m.Step(); err != nil {
+			return m.Count - start, err
+		}
+	}
+	return m.Count - start, nil
+}
+
+// IntReg returns the value of integer register i.
+func (m *Machine) IntReg(i int) int64 { return m.Reg[isa.R(i)] }
+
+// FPReg returns the value of FP register i as a float64.
+func (m *Machine) FPReg(i int) float64 { return f64(m.Reg[isa.F(i)]) }
+
+func boolTo64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

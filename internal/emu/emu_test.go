@@ -1,0 +1,445 @@
+package emu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+func mustAsm(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	p, err := asm.Assemble(t.Name(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, src string, max uint64) *Machine {
+	t.Helper()
+	m := New(mustAsm(t, src))
+	if _, err := m.Run(max); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted {
+		t.Fatal("program did not halt")
+	}
+	return m
+}
+
+func TestArithmetic(t *testing.T) {
+	m := run(t, `
+.text
+  li   r1, 7
+  li   r2, 3
+  add  r3, r1, r2    ; 10
+  sub  r4, r1, r2    ; 4
+  mul  r5, r1, r2    ; 21
+  div  r6, r1, r2    ; 2
+  rem  r7, r1, r2    ; 1
+  and  r8, r1, r2    ; 3
+  or   r9, r1, r2    ; 7
+  xor  r10, r1, r2   ; 4
+  nor  r11, r1, r2   ; ^7
+  slt  r12, r2, r1   ; 1
+  sltu r13, r1, r2   ; 0
+  halt
+`, 100)
+	want := map[int]int64{3: 10, 4: 4, 5: 21, 6: 2, 7: 1, 8: 3, 9: 7, 10: 4, 11: ^int64(7), 12: 1, 13: 0}
+	for reg, v := range want {
+		if got := m.IntReg(reg); got != v {
+			t.Errorf("r%d = %d, want %d", reg, got, v)
+		}
+	}
+}
+
+func TestShiftsAndImmediates(t *testing.T) {
+	m := run(t, `
+.text
+  li   r1, -8
+  slli r2, r1, 2     ; -32
+  srai r3, r1, 1     ; -4
+  srli r4, r1, 60    ; high bits of two's complement
+  li   r5, 5
+  sll  r6, r5, r5    ; 5<<5 = 160
+  slti r7, r1, 0     ; 1
+  andi r8, r5, 4     ; 4
+  ori  r9, r5, 2     ; 7
+  xori r10, r5, 1    ; 4
+  lui  r11, 2        ; 131072
+  halt
+`, 100)
+	checks := map[int]int64{
+		2: -32, 3: -4, 4: int64(^uint64(7) >> 60), 6: 160,
+		7: 1, 8: 4, 9: 7, 10: 4, 11: 131072,
+	}
+	for reg, v := range checks {
+		if got := m.IntReg(reg); got != v {
+			t.Errorf("r%d = %d, want %d", reg, got, v)
+		}
+	}
+}
+
+func TestDivByZeroDefined(t *testing.T) {
+	m := run(t, `
+.text
+  li  r1, 42
+  div r2, r1, r0
+  rem r3, r1, r0
+  halt
+`, 10)
+	if m.IntReg(2) != 0 || m.IntReg(3) != 0 {
+		t.Errorf("div/rem by zero = %d,%d want 0,0", m.IntReg(2), m.IntReg(3))
+	}
+}
+
+func TestZeroRegisterHardwired(t *testing.T) {
+	m := run(t, `
+.text
+  addi r0, r0, 99
+  add  r1, r0, r0
+  halt
+`, 10)
+	if m.IntReg(0) != 0 || m.IntReg(1) != 0 {
+		t.Errorf("r0 = %d r1 = %d, want 0, 0", m.IntReg(0), m.IntReg(1))
+	}
+}
+
+func TestMemoryWidthsAndSignExtension(t *testing.T) {
+	m := run(t, `
+.data
+buf: .space 32
+.text
+  li  r1, buf
+  li  r2, -1
+  sb  r2, 0(r1)
+  lb  r3, 0(r1)      ; -1 sign extended
+  li  r4, 0x7FFF
+  sw  r4, 8(r1)
+  lw  r5, 8(r1)      ; 32767
+  li  r6, -100000
+  sw  r6, 12(r1)
+  lw  r7, 12(r1)     ; -100000 sign extended from 32 bits
+  st  r6, 16(r1)
+  ld  r8, 16(r1)
+  halt
+`, 100)
+	if m.IntReg(3) != -1 {
+		t.Errorf("lb = %d, want -1", m.IntReg(3))
+	}
+	if m.IntReg(5) != 0x7FFF {
+		t.Errorf("lw = %d, want 32767", m.IntReg(5))
+	}
+	if m.IntReg(7) != -100000 {
+		t.Errorf("lw signed = %d, want -100000", m.IntReg(7))
+	}
+	if m.IntReg(8) != -100000 {
+		t.Errorf("ld = %d, want -100000", m.IntReg(8))
+	}
+}
+
+func TestLoadsSeeStores(t *testing.T) {
+	// Store-to-load through the same address with different bases.
+	m := run(t, `
+.data
+a: .word 5
+.text
+  li r1, a
+  li r2, 123
+  st r2, 0(r1)
+  ld r3, 0(r1)
+  halt
+`, 20)
+	if m.IntReg(3) != 123 {
+		t.Errorf("ld after st = %d, want 123", m.IntReg(3))
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	m := run(t, `
+.text
+  li r1, 0
+  li r2, 10
+  li r3, 0
+loop:
+  add r3, r3, r1
+  addi r1, r1, 1
+  blt r1, r2, loop
+  halt
+`, 1000)
+	if m.IntReg(3) != 45 {
+		t.Errorf("sum 0..9 = %d, want 45", m.IntReg(3))
+	}
+}
+
+func TestAllBranchConditions(t *testing.T) {
+	m := run(t, `
+.text
+  li r1, -1
+  li r2, 1
+  li r10, 0
+  beq r1, r1, a
+  halt
+a: li r10, 1
+  bne r1, r2, b
+  halt
+b: li r10, 2
+  blt r1, r2, c      ; signed: -1 < 1
+  halt
+c: li r10, 3
+  bge r2, r1, d
+  halt
+d: li r10, 4
+  bltu r2, r1, e     ; unsigned: 1 < 0xFFFF... true
+  halt
+e: li r10, 5
+  bgeu r1, r2, f
+  halt
+f: li r10, 6
+  halt
+`, 100)
+	if m.IntReg(10) != 6 {
+		t.Errorf("reached stage %d, want 6", m.IntReg(10))
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	m := run(t, `
+.text
+  li  r4, 5
+  jal r31, double
+  mov r6, r5
+  jal r31, double2
+  halt
+double:
+  add r5, r4, r4
+  jr  r31
+double2:
+  add r5, r6, r6
+  jalr r0, r31
+`, 100)
+	if m.IntReg(5) != 20 {
+		t.Errorf("nested call result = %d, want 20", m.IntReg(5))
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	m := run(t, `
+.data
+vals: .double 1.5, 2.5
+.text
+  li     r1, vals
+  fld    f1, 0(r1)
+  fld    f2, 8(r1)
+  fadd   f3, f1, f2    ; 4.0
+  fsub   f4, f2, f1    ; 1.0
+  fmul   f5, f1, f2    ; 3.75
+  fdiv   f6, f2, f1    ; 1.666..
+  fneg   f7, f1        ; -1.5
+  fabs   f8, f7        ; 1.5
+  fcvtfi r2, f3        ; 4
+  fcvtif f9, r2        ; 4.0
+  flt    r3, f1, f2    ; 1
+  fle    r4, f2, f1    ; 0
+  feq    r5, f1, f1    ; 1
+  fst    f3, 16(r1)
+  fld    f10, 16(r1)
+  halt
+`, 100)
+	fpChecks := map[int]float64{3: 4.0, 4: 1.0, 5: 3.75, 7: -1.5, 8: 1.5, 9: 4.0, 10: 4.0}
+	for reg, v := range fpChecks {
+		if got := m.FPReg(reg); got != v {
+			t.Errorf("f%d = %g, want %g", reg, got, v)
+		}
+	}
+	if m.IntReg(2) != 4 || m.IntReg(3) != 1 || m.IntReg(4) != 0 || m.IntReg(5) != 1 {
+		t.Errorf("fp compares/convert wrong: r2=%d r3=%d r4=%d r5=%d",
+			m.IntReg(2), m.IntReg(3), m.IntReg(4), m.IntReg(5))
+	}
+}
+
+func TestStepReportsBranchOutcomes(t *testing.T) {
+	p := mustAsm(t, `
+.text
+  li  r1, 1
+  beq r1, r0, skip   ; not taken
+  bne r1, r0, skip   ; taken
+  halt
+skip:
+  halt
+`)
+	m := New(p)
+	steps := []struct {
+		taken  bool
+		branch bool
+	}{{false, false}, {false, true}, {true, true}}
+	for i, want := range steps {
+		st, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Inst.Op.IsBranch() != want.branch || st.Taken != want.taken {
+			t.Errorf("step %d: branch=%v taken=%v, want %+v (inst %v)",
+				i, st.Inst.Op.IsBranch(), st.Taken, want, st.Inst)
+		}
+	}
+}
+
+func TestStepReportsMemAddr(t *testing.T) {
+	p := mustAsm(t, `
+.data
+x: .word 9
+.text
+  li r1, x
+  ld r2, 8(r1)
+  halt
+`)
+	m := New(p)
+	var last Step
+	for !m.Halted {
+		st, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Inst.Op.IsMem() {
+			last = st
+		}
+	}
+	wantAddr := p.Symbols["x"] + 8
+	if last.MemAddr != wantAddr {
+		t.Errorf("MemAddr = %#x, want %#x", last.MemAddr, wantAddr)
+	}
+}
+
+func TestHaltedMachineRefusesStep(t *testing.T) {
+	m := run(t, ".text\n halt\n", 10)
+	if _, err := m.Step(); err == nil {
+		t.Fatal("Step on halted machine did not error")
+	}
+}
+
+func TestRunWithMaxStopsEarly(t *testing.T) {
+	p := mustAsm(t, `
+.text
+loop: j loop
+`)
+	m := New(p)
+	n, err := m.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 || m.Halted {
+		t.Errorf("ran %d halted=%v, want 100, false", n, m.Halted)
+	}
+}
+
+func TestJumpOutOfRangeErrors(t *testing.T) {
+	p := &prog.Program{
+		Name: "bad",
+		Text: []isa.Inst{
+			{Op: isa.ADDI, Rd: isa.R(1), Imm: 999},
+			{Op: isa.JR, Rs1: isa.R(1)},
+			{Op: isa.HALT},
+		},
+	}
+	m := New(p)
+	_, err := m.Run(10)
+	if err == nil {
+		t.Fatal("expected out-of-range jump error")
+	}
+}
+
+// Property: memory read-after-write returns the written value for any
+// address/width combination.
+func TestMemoryReadAfterWrite(t *testing.T) {
+	widths := []int{1, 4, 8}
+	f := func(addrSeed uint32, val uint64, wIdx uint8) bool {
+		m := NewMemory()
+		addr := uint64(addrSeed)
+		w := widths[int(wIdx)%len(widths)]
+		m.Write(addr, w, val)
+		got := m.Read(addr, w)
+		var mask uint64 = ^uint64(0)
+		if w < 8 {
+			mask = (1 << (8 * uint(w))) - 1
+		}
+		return got == val&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: writes to one region never disturb another disjoint region,
+// including across page boundaries.
+func TestMemoryDisjointWrites(t *testing.T) {
+	m := NewMemory()
+	r := rand.New(rand.NewSource(7))
+	ref := map[uint64]byte{}
+	for i := 0; i < 5000; i++ {
+		// Cluster addresses near page boundaries to stress straddling.
+		addr := uint64(r.Intn(8))*pageSize + uint64(r.Intn(16)) + pageSize - 8
+		val := uint64(r.Int63())
+		m.Write(addr, 8, val)
+		for j := 0; j < 8; j++ {
+			ref[addr+uint64(j)] = byte(val >> (8 * uint(j)))
+		}
+	}
+	for addr, want := range ref {
+		if got := m.ByteAt(addr); got != want {
+			t.Fatalf("mem[%#x] = %#x, want %#x", addr, got, want)
+		}
+	}
+}
+
+func TestUntouchedMemoryReadsZero(t *testing.T) {
+	m := NewMemory()
+	if m.Read(0xDEAD_BEEF, 8) != 0 {
+		t.Fatal("untouched memory not zero")
+	}
+	if m.Pages() != 0 {
+		t.Fatal("read allocated a page")
+	}
+}
+
+// The paper's Figure 2 loop must produce A[i] = B[i]/C[i] with C[i]==0
+// handled. This doubles as an end-to-end emulator check on div, branches,
+// and memory.
+func TestFigure2Semantics(t *testing.T) {
+	m := run(t, `
+.data
+A: .word 0, 0, 0, 0
+B: .word 8, 12, 20, 36
+C: .word 2, 0, 5, 6
+.text
+     li   r9,  32      ; N*8
+     li   r1,  0       ; i*8
+for: li   r2, B
+     add  r2, r2, r1
+     ld   r3, 0(r2)
+     li   r4, C
+     add  r4, r4, r1
+     ld   r5, 0(r4)
+     beq  r5, r0, l1
+     div  r7, r3, r5
+     j    l2
+l1:  li   r7, 0
+l2:  li   r8, A
+     add  r8, r8, r1
+     st   r7, 0(r8)
+     addi r1, r1, 8
+     bne  r1, r9, for
+     halt
+`, 10000)
+	base := m.Prog.Symbols["A"]
+	want := []int64{4, 0, 4, 6}
+	for i, w := range want {
+		if got := int64(m.Mem.Read(base+uint64(i*8), 8)); got != w {
+			t.Errorf("A[%d] = %d, want %d", i, got, w)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package emu
+
+import "encoding/binary"
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type page [pageSize]byte
+
+// Memory is a sparse, byte-addressable 64-bit memory. Pages are allocated
+// on first touch; reads of untouched memory return zero, matching a
+// zero-initialized address space.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+func (m *Memory) pageFor(addr uint64, create bool) *page {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at addr.
+func (m *Memory) ByteAt(addr uint64) byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// SetByte stores b at addr.
+func (m *Memory) SetByte(addr uint64, b byte) {
+	m.pageFor(addr, true)[addr&pageMask] = b
+}
+
+// Read returns width bytes starting at addr as a little-endian unsigned
+// integer. width must be 1, 4 or 8. Accesses may straddle page boundaries.
+func (m *Memory) Read(addr uint64, width int) uint64 {
+	var buf [8]byte
+	for i := 0; i < width; i++ {
+		buf[i] = m.ByteAt(addr + uint64(i))
+	}
+	switch width {
+	case 1:
+		return uint64(buf[0])
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(buf[:4]))
+	default:
+		return binary.LittleEndian.Uint64(buf[:])
+	}
+}
+
+// Write stores the low width bytes of val at addr, little-endian.
+func (m *Memory) Write(addr uint64, width int, val uint64) {
+	for i := 0; i < width; i++ {
+		m.SetByte(addr+uint64(i), byte(val>>(8*uint(i))))
+	}
+}
+
+// LoadImage copies data into memory starting at base.
+func (m *Memory) LoadImage(base uint64, data []byte) {
+	for i, b := range data {
+		m.SetByte(base+uint64(i), b)
+	}
+}
+
+// Pages reports how many pages have been touched (for tests and memory
+// footprint diagnostics).
+func (m *Memory) Pages() int { return len(m.pages) }

@@ -1,0 +1,197 @@
+package emu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// runOp executes a single instruction with the given register inputs and
+// returns the destination value.
+func runOp(t *testing.T, op isa.Opcode, a, b int64, imm int32) int64 {
+	t.Helper()
+	p := &prog.Program{
+		Name: "op",
+		Text: []isa.Inst{
+			{Op: op, Rd: isa.R(3), Rs1: isa.R(1), Rs2: isa.R(2), Imm: imm},
+			{Op: isa.HALT},
+		},
+	}
+	m := New(p)
+	m.Reg[isa.R(1)] = a
+	m.Reg[isa.R(2)] = b
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return m.IntReg(3)
+}
+
+// Property: every integer ALU opcode matches its Go reference semantics on
+// random operands.
+func TestALUSemanticsMatchGo(t *testing.T) {
+	refs := map[isa.Opcode]func(a, b int64) int64{
+		isa.ADD:  func(a, b int64) int64 { return a + b },
+		isa.SUB:  func(a, b int64) int64 { return a - b },
+		isa.AND:  func(a, b int64) int64 { return a & b },
+		isa.OR:   func(a, b int64) int64 { return a | b },
+		isa.XOR:  func(a, b int64) int64 { return a ^ b },
+		isa.NOR:  func(a, b int64) int64 { return ^(a | b) },
+		isa.SLL:  func(a, b int64) int64 { return a << (uint64(b) & 63) },
+		isa.SRL:  func(a, b int64) int64 { return int64(uint64(a) >> (uint64(b) & 63)) },
+		isa.SRA:  func(a, b int64) int64 { return a >> (uint64(b) & 63) },
+		isa.SLT:  func(a, b int64) int64 { return b2i(a < b) },
+		isa.SLTU: func(a, b int64) int64 { return b2i(uint64(a) < uint64(b)) },
+		isa.MUL:  func(a, b int64) int64 { return a * b },
+		isa.DIV: func(a, b int64) int64 {
+			if b == 0 {
+				return 0
+			}
+			return a / b
+		},
+		isa.REM: func(a, b int64) int64 {
+			if b == 0 {
+				return 0
+			}
+			return a % b
+		},
+	}
+	r := rand.New(rand.NewSource(1))
+	for op, ref := range refs {
+		for trial := 0; trial < 50; trial++ {
+			a, b := r.Int63()-r.Int63(), r.Int63()-r.Int63()
+			if trial == 0 {
+				b = 0 // always cover the divide-by-zero path
+			}
+			got, want := runOp(t, op, a, b, 0), ref(a, b)
+			if got != want {
+				t.Fatalf("%v(%d, %d) = %d, want %d", op, a, b, got, want)
+			}
+		}
+	}
+}
+
+// Property: immediate forms agree with their register forms.
+func TestImmediateFormsAgree(t *testing.T) {
+	pairs := map[isa.Opcode]isa.Opcode{
+		isa.ADDI: isa.ADD, isa.ANDI: isa.AND, isa.ORI: isa.OR, isa.XORI: isa.XOR,
+	}
+	f := func(a int64, imm int16) bool {
+		for immOp, regOp := range pairs {
+			p1 := runOpQuick(immOp, a, 0, int32(imm))
+			p2 := runOpQuick(regOp, a, int64(imm), 0)
+			if p1 != p2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func runOpQuick(op isa.Opcode, a, b int64, imm int32) int64 {
+	p := &prog.Program{
+		Name: "op",
+		Text: []isa.Inst{
+			{Op: op, Rd: isa.R(3), Rs1: isa.R(1), Rs2: isa.R(2), Imm: imm},
+			{Op: isa.HALT},
+		},
+	}
+	m := New(p)
+	m.Reg[isa.R(1)] = a
+	m.Reg[isa.R(2)] = b
+	if _, err := m.Run(0); err != nil {
+		return 0
+	}
+	return m.IntReg(3)
+}
+
+// Property: FP arithmetic matches float64 semantics bit-for-bit.
+func TestFPSemanticsMatchGo(t *testing.T) {
+	type fpCase struct {
+		op  isa.Opcode
+		ref func(a, b float64) float64
+	}
+	cases := []fpCase{
+		{isa.FADD, func(a, b float64) float64 { return a + b }},
+		{isa.FSUB, func(a, b float64) float64 { return a - b }},
+		{isa.FMUL, func(a, b float64) float64 { return a * b }},
+		{isa.FDIV, func(a, b float64) float64 { return a / b }},
+	}
+	r := rand.New(rand.NewSource(2))
+	for _, c := range cases {
+		for trial := 0; trial < 100; trial++ {
+			a := (r.Float64() - 0.5) * 1e6
+			b := (r.Float64() - 0.5) * 1e6
+			p := &prog.Program{
+				Name: "fp",
+				Text: []isa.Inst{
+					{Op: c.op, Rd: isa.F(3), Rs1: isa.F(1), Rs2: isa.F(2)},
+					{Op: isa.HALT},
+				},
+			}
+			m := New(p)
+			m.Reg[isa.F(1)] = int64(math.Float64bits(a))
+			m.Reg[isa.F(2)] = int64(math.Float64bits(b))
+			if _, err := m.Run(0); err != nil {
+				t.Fatal(err)
+			}
+			got := m.FPReg(3)
+			want := c.ref(a, b)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%v(%g, %g) = %g, want %g", c.op, a, b, got, want)
+			}
+		}
+	}
+}
+
+// Property: branch outcomes match Go comparison semantics.
+func TestBranchSemanticsMatchGo(t *testing.T) {
+	refs := map[isa.Opcode]func(a, b int64) bool{
+		isa.BEQ:  func(a, b int64) bool { return a == b },
+		isa.BNE:  func(a, b int64) bool { return a != b },
+		isa.BLT:  func(a, b int64) bool { return a < b },
+		isa.BGE:  func(a, b int64) bool { return a >= b },
+		isa.BLTU: func(a, b int64) bool { return uint64(a) < uint64(b) },
+		isa.BGEU: func(a, b int64) bool { return uint64(a) >= uint64(b) },
+	}
+	r := rand.New(rand.NewSource(3))
+	for op, ref := range refs {
+		for trial := 0; trial < 100; trial++ {
+			a, b := r.Int63()-r.Int63(), r.Int63()-r.Int63()
+			if trial%5 == 0 {
+				b = a // cover the equality boundary
+			}
+			p := &prog.Program{
+				Name: "br",
+				Text: []isa.Inst{
+					{Op: op, Rs1: isa.R(1), Rs2: isa.R(2), Imm: 2},
+					{Op: isa.HALT},
+					{Op: isa.HALT},
+				},
+			}
+			m := New(p)
+			m.Reg[isa.R(1)] = a
+			m.Reg[isa.R(2)] = b
+			st, err := m.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Taken != ref(a, b) {
+				t.Fatalf("%v(%d, %d): taken=%v, want %v", op, a, b, st.Taken, ref(a, b))
+			}
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCSV dumps the full grid as CSV — one row per (scheme, benchmark)
+// cell with every derived metric — for external plotting of the figures.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"scheme", "benchmark", "cycles", "instructions", "ipc",
+		"speedup_pct", "comm_per_instr", "critical_comm_per_instr",
+		"steered_int", "steered_fp", "replicated_regs",
+		"mispredict_rate", "l1d_miss_rate", "l1i_miss_rate",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	schemes := make([]string, 0, len(r.Runs))
+	for s := range r.Runs {
+		schemes = append(schemes, s)
+	}
+	sort.Strings(schemes)
+	f := func(v float64) string { return fmt.Sprintf("%.6f", v) }
+	for _, scheme := range schemes {
+		for _, bench := range r.Opts.Benchmarks {
+			run := r.Get(scheme, bench)
+			if run == nil {
+				continue
+			}
+			row := []string{
+				scheme, bench,
+				fmt.Sprintf("%d", run.Cycles),
+				fmt.Sprintf("%d", run.Instructions),
+				f(run.IPC()),
+				f(r.Speedup(scheme, bench)),
+				f(run.CommPerInstr()),
+				f(run.CriticalCommPerInstr()),
+				fmt.Sprintf("%d", run.Steered[0]),
+				fmt.Sprintf("%d", run.Steered[1]),
+				f(run.ReplicatedRegsAvg),
+				f(run.MispredictRate()),
+				f(run.L1DMissRate),
+				f(run.L1IMissRate),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,185 @@
+// Package experiments runs the paper's evaluation grid — steering scheme ×
+// SpecInt95-analog benchmark — and formats each table and figure of Canal,
+// Parcerisa and González (HPCA 2000) from the measurements. cmd/dcabench
+// and the repository's benchmark targets are thin wrappers around it.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/steer"
+	"repro/internal/workload"
+)
+
+// BaseScheme and UBScheme are the pseudo-scheme names for the two
+// reference machines: the conventional base (speed-up denominator) and the
+// 16-way upper bound of Figure 14.
+const (
+	BaseScheme = "base"
+	UBScheme   = "ub"
+)
+
+// Options controls a grid run.
+type Options struct {
+	// Warmup and Measure are per-run committed-instruction budgets. The
+	// paper used 100M after skipping 100M; defaults are scaled down to
+	// laptop time (shape, not absolute numbers, is the target).
+	Warmup  uint64
+	Measure uint64
+	// Benchmarks selects the workloads (default: all eight).
+	Benchmarks []string
+	// Params are the balance-machinery constants.
+	Params steer.Params
+}
+
+// DefaultOptions returns the standard grid configuration.
+func DefaultOptions() Options {
+	return Options{
+		Warmup:     25_000,
+		Measure:    250_000,
+		Benchmarks: workload.Names(),
+		Params:     steer.DefaultParams(),
+	}
+}
+
+// Result holds the measurement grid.
+type Result struct {
+	// Runs maps scheme -> benchmark -> measurements.
+	Runs map[string]map[string]*stats.Run
+	// Opts echoes the options the grid ran with.
+	Opts Options
+}
+
+// configFor maps scheme names to machine configurations: the base and
+// upper-bound pseudo-schemes use their dedicated machines, the FIFO scheme
+// uses the FIFO-queue machine, and everything else runs on the paper's
+// two-cluster processor.
+func configFor(scheme string) *config.Config {
+	switch scheme {
+	case BaseScheme:
+		return config.Base()
+	case UBScheme:
+		return config.UpperBound()
+	case "fifo":
+		return config.FIFOClustered()
+	default:
+		return config.Clustered()
+	}
+}
+
+// RunOne simulates a single (scheme, benchmark) cell.
+func RunOne(scheme, bench string, opts Options) (*stats.Run, error) {
+	p, err := workload.Load(bench)
+	if err != nil {
+		return nil, err
+	}
+	var st core.Steerer
+	if scheme == BaseScheme || scheme == UBScheme {
+		st = core.NaiveSteerer{}
+	} else {
+		st, err = steer.NewWithParams(scheme, p, opts.Params)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m, err := core.New(configFor(scheme), p, st)
+	if err != nil {
+		return nil, err
+	}
+	r, err := m.RunWithWarmup(opts.Warmup, opts.Measure)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s: %w", scheme, bench, err)
+	}
+	r.Scheme = scheme
+	return r, nil
+}
+
+// Run simulates the grid for the given schemes (BaseScheme is always added
+// — every figure normalizes to it).
+func Run(schemes []string, opts Options) (*Result, error) {
+	if len(opts.Benchmarks) == 0 {
+		opts.Benchmarks = workload.Names()
+	}
+	res := &Result{Runs: make(map[string]map[string]*stats.Run), Opts: opts}
+	withBase := append([]string{BaseScheme}, schemes...)
+	for _, scheme := range withBase {
+		if _, done := res.Runs[scheme]; done {
+			continue
+		}
+		res.Runs[scheme] = make(map[string]*stats.Run, len(opts.Benchmarks))
+		for _, bench := range opts.Benchmarks {
+			r, err := RunOne(scheme, bench, opts)
+			if err != nil {
+				return nil, err
+			}
+			res.Runs[scheme][bench] = r
+		}
+	}
+	return res, nil
+}
+
+// Get returns the run for (scheme, benchmark), or nil when absent.
+func (r *Result) Get(scheme, bench string) *stats.Run {
+	if m, ok := r.Runs[scheme]; ok {
+		return m[bench]
+	}
+	return nil
+}
+
+// Speedup returns the percent IPC improvement of scheme over the base
+// machine on bench.
+func (r *Result) Speedup(scheme, bench string) float64 {
+	run, base := r.Get(scheme, bench), r.Get(BaseScheme, bench)
+	if run == nil || base == nil {
+		return 0
+	}
+	return stats.Speedup(run, base)
+}
+
+// MeanSpeedup returns the geometric-mean speed-up of a scheme across the
+// grid's benchmarks (the figures' "G-mean"/"H-mean" summary bar).
+func (r *Result) MeanSpeedup(scheme string) float64 {
+	var runs, bases []*stats.Run
+	for _, bench := range r.Opts.Benchmarks {
+		run, base := r.Get(scheme, bench), r.Get(BaseScheme, bench)
+		if run == nil || base == nil {
+			continue
+		}
+		runs = append(runs, run)
+		bases = append(bases, base)
+	}
+	return stats.GeoMeanSpeedup(runs, bases)
+}
+
+// MeanComm returns the average communications per instruction of a scheme
+// across benchmarks, split into (total, critical).
+func (r *Result) MeanComm(scheme string) (total, critical float64) {
+	n := 0
+	for _, bench := range r.Opts.Benchmarks {
+		if run := r.Get(scheme, bench); run != nil {
+			total += run.CommPerInstr()
+			critical += run.CriticalCommPerInstr()
+			n++
+		}
+	}
+	if n > 0 {
+		total /= float64(n)
+		critical /= float64(n)
+	}
+	return total, critical
+}
+
+// MergedBalance returns the scheme's ready-difference distribution summed
+// over all benchmarks (the paper's "SpecInt95 average" histograms).
+func (r *Result) MergedBalance(scheme string) stats.BalanceHist {
+	var h stats.BalanceHist
+	for _, bench := range r.Opts.Benchmarks {
+		if run := r.Get(scheme, bench); run != nil {
+			h.Merge(&run.Balance)
+		}
+	}
+	return h
+}

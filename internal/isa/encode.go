@@ -1,0 +1,77 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Word is the fixed binary size of one encoded instruction in bytes.
+const Word = 8
+
+// Encode packs the instruction into its fixed 64-bit binary form:
+//
+//	byte 0: opcode
+//	byte 1: rd
+//	byte 2: rs1
+//	byte 3: rs2
+//	bytes 4-7: imm (little-endian two's-complement)
+func (in Inst) Encode() [Word]byte {
+	var b [Word]byte
+	b[0] = byte(in.Op)
+	b[1] = byte(in.Rd)
+	b[2] = byte(in.Rs1)
+	b[3] = byte(in.Rs2)
+	binary.LittleEndian.PutUint32(b[4:], uint32(in.Imm))
+	return b
+}
+
+// Decode unpacks a 64-bit encoded instruction. It returns an error for
+// undefined opcodes or malformed register fields so corrupted images are
+// detected at load time rather than mid-simulation.
+func Decode(b [Word]byte) (Inst, error) {
+	in := Inst{
+		Op:  Opcode(b[0]),
+		Rd:  Reg(b[1]),
+		Rs1: Reg(b[2]),
+		Rs2: Reg(b[3]),
+		Imm: int32(binary.LittleEndian.Uint32(b[4:])),
+	}
+	if int(in.Op) >= NumOpcodes {
+		return Inst{}, fmt.Errorf("isa: undefined opcode %d", b[0])
+	}
+	for _, r := range []Reg{in.Rd, in.Rs1, in.Rs2} {
+		if r != NoReg && !r.Valid() {
+			return Inst{}, fmt.Errorf("isa: invalid register %d in %v", uint8(r), in.Op)
+		}
+	}
+	return in, nil
+}
+
+// EncodeText serializes a whole instruction sequence.
+func EncodeText(text []Inst) []byte {
+	out := make([]byte, 0, len(text)*Word)
+	for _, in := range text {
+		b := in.Encode()
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// DecodeText parses a serialized instruction sequence produced by
+// [EncodeText].
+func DecodeText(raw []byte) ([]Inst, error) {
+	if len(raw)%Word != 0 {
+		return nil, fmt.Errorf("isa: text length %d not a multiple of %d", len(raw), Word)
+	}
+	text := make([]Inst, 0, len(raw)/Word)
+	for i := 0; i < len(raw); i += Word {
+		var b [Word]byte
+		copy(b[:], raw[i:i+Word])
+		in, err := Decode(b)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i/Word, err)
+		}
+		text = append(text, in)
+	}
+	return text, nil
+}

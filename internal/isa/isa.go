@@ -1,0 +1,424 @@
+// Package isa defines the instruction set architecture simulated by this
+// repository: a small 64-bit load/store RISC machine with 32 integer and 32
+// floating-point registers.
+//
+// The ISA deliberately mirrors the operand classes that the clustered
+// microarchitecture of Canal, Parcerisa and González (HPCA 2000)
+// distinguishes:
+//
+//   - simple integer and logic operations, executable in either cluster;
+//   - complex integer operations (multiply/divide), integer cluster only;
+//   - floating-point operations, FP cluster only;
+//   - memory operations, split by the core into an effective-address
+//     computation (a simple integer add, steerable) and a memory access
+//     (handled by a centralized disambiguation unit);
+//   - control transfers.
+//
+// Instructions are represented as decoded structs ([Inst]); a fixed-width
+// 64-bit binary encoding is provided by [Inst.Encode] and [Decode] for
+// round-trip storage and testing.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. Values 0–31 are the integer
+// registers R0–R31 (R0 reads as zero and ignores writes); values 32–63 are
+// the floating-point registers F0–F31. The dedicated value [NoReg] means
+// "no register".
+type Reg uint8
+
+// NumIntRegs and NumFPRegs give the architectural register file sizes.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	// NumRegs is the total number of architectural registers across both
+	// files; valid Reg values are in [0, NumRegs).
+	NumRegs = NumIntRegs + NumFPRegs
+	// NoReg marks an absent register operand.
+	NoReg Reg = 0xFF
+)
+
+// R returns the i'th integer register. It panics if i is out of range.
+func R(i int) Reg {
+	if i < 0 || i >= NumIntRegs {
+		panic(fmt.Sprintf("isa: integer register index %d out of range", i))
+	}
+	return Reg(i)
+}
+
+// F returns the i'th floating-point register. It panics if i is out of range.
+func F(i int) Reg {
+	if i < 0 || i >= NumFPRegs {
+		panic(fmt.Sprintf("isa: FP register index %d out of range", i))
+	}
+	return Reg(NumIntRegs + i)
+}
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r != NoReg && r >= NumIntRegs }
+
+// IsZero reports whether r is the hardwired integer zero register R0.
+func (r Reg) IsZero() bool { return r == 0 }
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// String returns the assembler name of the register ("r7", "f3", or "-").
+func (r Reg) String() string {
+	switch {
+	case r == NoReg:
+		return "-"
+	case r.IsFP():
+		return fmt.Sprintf("f%d", int(r)-NumIntRegs)
+	default:
+		return fmt.Sprintf("r%d", int(r))
+	}
+}
+
+// Opcode identifies an operation.
+type Opcode uint8
+
+// Integer ALU operations (register-register unless suffixed I).
+const (
+	NOP Opcode = iota
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	NOR
+	SLL
+	SRL
+	SRA
+	SLT  // set rd = 1 if rs1 < rs2 (signed) else 0
+	SLTU // unsigned compare
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	LUI // rd = imm << 16
+
+	// Complex integer operations: only the integer cluster has the
+	// multiplier/divider.
+	MUL
+	DIV
+	REM
+
+	// Memory operations. Loads/stores transfer 64-bit words (LD/ST), 32-bit
+	// words (LW/SW) or bytes (LB/SB); FLD/FST move 64-bit FP values.
+	LD
+	LW
+	LB
+	ST
+	SW
+	SB
+	FLD
+	FST
+
+	// Control transfers. Conditional branches compare two integer
+	// registers; targets are absolute instruction indices resolved by the
+	// assembler/builder into Imm.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	J    // unconditional jump to Imm
+	JAL  // rd = return index; jump to Imm
+	JR   // jump to rs1
+	JALR // rd = return index; jump to rs1
+
+	// Floating-point operations (double precision).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+	FABS
+	FMOV
+	FCVTIF // rd(fp) = float64(rs1 int)
+	FCVTFI // rd(int) = int64(rs1 fp)
+	FEQ    // rd(int) = 1 if fs1 == fs2
+	FLT
+	FLE
+
+	// HALT stops the machine.
+	HALT
+
+	numOpcodes
+)
+
+// NumOpcodes is the number of defined opcodes; valid opcodes are in
+// [0, NumOpcodes).
+const NumOpcodes = int(numOpcodes)
+
+// Class groups opcodes by the functional-unit type they require, which is
+// what the steering logic and cluster datapaths care about.
+type Class uint8
+
+const (
+	// ClassSimpleInt operations execute on the simple integer ALUs present
+	// in both clusters.
+	ClassSimpleInt Class = iota
+	// ClassComplexInt operations (MUL/DIV/REM) execute only on the integer
+	// cluster's multiplier/divider.
+	ClassComplexInt
+	// ClassFP operations execute only on the FP cluster's FP units.
+	ClassFP
+	// ClassLoad and ClassStore are memory operations; their
+	// effective-address computation is a simple integer operation steerable
+	// to either cluster, while the access itself goes through the
+	// centralized load/store unit.
+	ClassLoad
+	ClassStore
+	// ClassBranch covers all control transfers (conditional branches and
+	// jumps).
+	ClassBranch
+	// ClassMisc covers NOP and HALT.
+	ClassMisc
+)
+
+// String returns a short human-readable class name.
+func (c Class) String() string {
+	switch c {
+	case ClassSimpleInt:
+		return "simple-int"
+	case ClassComplexInt:
+		return "complex-int"
+	case ClassFP:
+		return "fp"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassMisc:
+		return "misc"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+var opClasses = [NumOpcodes]Class{
+	NOP:  ClassMisc,
+	HALT: ClassMisc,
+
+	ADD: ClassSimpleInt, SUB: ClassSimpleInt, AND: ClassSimpleInt,
+	OR: ClassSimpleInt, XOR: ClassSimpleInt, NOR: ClassSimpleInt,
+	SLL: ClassSimpleInt, SRL: ClassSimpleInt, SRA: ClassSimpleInt,
+	SLT: ClassSimpleInt, SLTU: ClassSimpleInt,
+	ADDI: ClassSimpleInt, ANDI: ClassSimpleInt, ORI: ClassSimpleInt,
+	XORI: ClassSimpleInt, SLLI: ClassSimpleInt, SRLI: ClassSimpleInt,
+	SRAI: ClassSimpleInt, SLTI: ClassSimpleInt, LUI: ClassSimpleInt,
+
+	MUL: ClassComplexInt, DIV: ClassComplexInt, REM: ClassComplexInt,
+
+	LD: ClassLoad, LW: ClassLoad, LB: ClassLoad, FLD: ClassLoad,
+	ST: ClassStore, SW: ClassStore, SB: ClassStore, FST: ClassStore,
+
+	BEQ: ClassBranch, BNE: ClassBranch, BLT: ClassBranch, BGE: ClassBranch,
+	BLTU: ClassBranch, BGEU: ClassBranch,
+	J: ClassBranch, JAL: ClassBranch, JR: ClassBranch, JALR: ClassBranch,
+
+	FADD: ClassFP, FSUB: ClassFP, FMUL: ClassFP, FDIV: ClassFP,
+	FNEG: ClassFP, FABS: ClassFP, FMOV: ClassFP,
+	FCVTIF: ClassFP, FCVTFI: ClassFP,
+	FEQ: ClassFP, FLT: ClassFP, FLE: ClassFP,
+}
+
+// ClassOf returns the functional class of op.
+func (op Opcode) Class() Class {
+	if int(op) >= NumOpcodes {
+		return ClassMisc
+	}
+	return opClasses[op]
+}
+
+// IsBranch reports whether op is any control transfer.
+func (op Opcode) IsBranch() bool { return op.Class() == ClassBranch }
+
+// IsCondBranch reports whether op is a conditional branch.
+func (op Opcode) IsCondBranch() bool {
+	switch op {
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether op accesses memory.
+func (op Opcode) IsMem() bool {
+	c := op.Class()
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsLoad reports whether op reads memory.
+func (op Opcode) IsLoad() bool { return op.Class() == ClassLoad }
+
+// IsStore reports whether op writes memory.
+func (op Opcode) IsStore() bool { return op.Class() == ClassStore }
+
+// HasImm reports whether op uses its immediate field.
+func (op Opcode) HasImm() bool {
+	switch op {
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, LUI,
+		LD, LW, LB, ST, SW, SB, FLD, FST,
+		BEQ, BNE, BLT, BGE, BLTU, BGEU, J, JAL:
+		return true
+	}
+	return false
+}
+
+// MemWidth returns the access width in bytes for memory opcodes and 0 for
+// everything else.
+func (op Opcode) MemWidth() int {
+	switch op {
+	case LD, ST, FLD, FST:
+		return 8
+	case LW, SW:
+		return 4
+	case LB, SB:
+		return 1
+	}
+	return 0
+}
+
+// Inst is one decoded instruction. The interpretation of the fields depends
+// on the opcode:
+//
+//   - ALU reg-reg: Rd = Rs1 op Rs2
+//   - ALU reg-imm: Rd = Rs1 op Imm
+//   - loads:  Rd = mem[Rs1 + Imm]
+//   - stores: mem[Rs1 + Imm] = Rs2
+//   - conditional branches: if Rs1 cmp Rs2 then PC = Imm
+//   - J/JAL: PC = Imm (JAL also writes the return index to Rd)
+//   - JR/JALR: PC = Rs1
+//
+// Branch and jump targets (Imm) are absolute instruction indices within the
+// program text, as produced by the assembler or program builder.
+type Inst struct {
+	Op  Opcode
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int32
+}
+
+// Nop is the canonical no-operation instruction.
+var Nop = Inst{Op: NOP, Rd: NoReg, Rs1: NoReg, Rs2: NoReg}
+
+// Dst returns the destination register and whether the instruction writes
+// one.
+func (in Inst) Dst() (Reg, bool) {
+	switch in.Op.Class() {
+	case ClassSimpleInt, ClassComplexInt, ClassFP, ClassLoad:
+		if in.Rd == NoReg || in.Rd.IsZero() {
+			return NoReg, false
+		}
+		return in.Rd, true
+	case ClassBranch:
+		if (in.Op == JAL || in.Op == JALR) && in.Rd != NoReg && !in.Rd.IsZero() {
+			return in.Rd, true
+		}
+	}
+	return NoReg, false
+}
+
+// Srcs appends the source registers of the instruction to dst and returns
+// the extended slice. The zero register is never reported as a source.
+func (in Inst) Srcs(dst []Reg) []Reg {
+	add := func(r Reg) {
+		if r != NoReg && r.Valid() && !r.IsZero() {
+			dst = append(dst, r)
+		}
+	}
+	switch in.Op {
+	case NOP, HALT, J, JAL, LUI:
+		// no register sources
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI,
+		LD, LW, LB, FLD, JR, JALR,
+		FNEG, FABS, FMOV, FCVTIF, FCVTFI:
+		add(in.Rs1)
+	default:
+		add(in.Rs1)
+		add(in.Rs2)
+	}
+	return dst
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	op := in.Op
+	name := op.String()
+	switch {
+	case op == NOP || op == HALT:
+		return name
+	case op == LUI:
+		return fmt.Sprintf("%s %s, %d", name, in.Rd, in.Imm)
+	case op == J:
+		return fmt.Sprintf("%s %d", name, in.Imm)
+	case op == JAL:
+		return fmt.Sprintf("%s %s, %d", name, in.Rd, in.Imm)
+	case op == JR:
+		return fmt.Sprintf("%s %s", name, in.Rs1)
+	case op == JALR:
+		return fmt.Sprintf("%s %s, %s", name, in.Rd, in.Rs1)
+	case op.IsCondBranch():
+		return fmt.Sprintf("%s %s, %s, %d", name, in.Rs1, in.Rs2, in.Imm)
+	case op.IsLoad():
+		return fmt.Sprintf("%s %s, %d(%s)", name, in.Rd, in.Imm, in.Rs1)
+	case op.IsStore():
+		return fmt.Sprintf("%s %s, %d(%s)", name, in.Rs2, in.Imm, in.Rs1)
+	case op == FNEG || op == FABS || op == FMOV || op == FCVTIF || op == FCVTFI:
+		return fmt.Sprintf("%s %s, %s", name, in.Rd, in.Rs1)
+	case op.HasImm():
+		return fmt.Sprintf("%s %s, %s, %d", name, in.Rd, in.Rs1, in.Imm)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", name, in.Rd, in.Rs1, in.Rs2)
+	}
+}
+
+var opNames = [NumOpcodes]string{
+	NOP: "nop", ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	NOR: "nor", SLL: "sll", SRL: "srl", SRA: "sra", SLT: "slt", SLTU: "sltu",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori", SLLI: "slli",
+	SRLI: "srli", SRAI: "srai", SLTI: "slti", LUI: "lui",
+	MUL: "mul", DIV: "div", REM: "rem",
+	LD: "ld", LW: "lw", LB: "lb", ST: "st", SW: "sw", SB: "sb",
+	FLD: "fld", FST: "fst",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+	J: "j", JAL: "jal", JR: "jr", JALR: "jalr",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv", FNEG: "fneg",
+	FABS: "fabs", FMOV: "fmov", FCVTIF: "fcvtif", FCVTFI: "fcvtfi",
+	FEQ: "feq", FLT: "flt", FLE: "fle",
+	HALT: "halt",
+}
+
+// String returns the assembler mnemonic for op.
+func (op Opcode) String() string {
+	if int(op) < NumOpcodes && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Opcode(%d)", uint8(op))
+}
+
+// OpcodeByName returns the opcode for an assembler mnemonic (lower case) and
+// whether it exists.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}
+
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()

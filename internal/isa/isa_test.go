@@ -1,0 +1,246 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegConstructors(t *testing.T) {
+	if R(0) != 0 || R(31) != 31 {
+		t.Fatalf("R mapping wrong: R(0)=%d R(31)=%d", R(0), R(31))
+	}
+	if F(0) != 32 || F(31) != 63 {
+		t.Fatalf("F mapping wrong: F(0)=%d F(31)=%d", F(0), F(31))
+	}
+	if !F(3).IsFP() || R(3).IsFP() {
+		t.Fatal("IsFP misclassifies")
+	}
+	if !R(0).IsZero() || R(1).IsZero() {
+		t.Fatal("IsZero misclassifies")
+	}
+	if NoReg.Valid() {
+		t.Fatal("NoReg must not be Valid")
+	}
+}
+
+func TestRegConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { R(-1) }, func() { R(32) },
+		func() { F(-1) }, func() { F(32) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range register index")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{R(0): "r0", R(17): "r17", F(0): "f0", F(5): "f5", NoReg: "-"}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q, want %q", uint8(r), got, want)
+		}
+	}
+}
+
+func TestEveryOpcodeHasNameAndClass(t *testing.T) {
+	seen := map[string]Opcode{}
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		name := op.String()
+		if name == "" || name[0] == 'O' { // "Opcode(n)" fallback
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("mnemonic %q reused by opcodes %d and %d", name, prev, op)
+		}
+		seen[name] = op
+		back, ok := OpcodeByName(name)
+		if !ok || back != op {
+			t.Errorf("OpcodeByName(%q) = %v,%v want %v", name, back, ok, op)
+		}
+	}
+	if _, ok := OpcodeByName("not-an-op"); ok {
+		t.Error("OpcodeByName accepted junk")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		want Class
+	}{
+		{ADD, ClassSimpleInt}, {ADDI, ClassSimpleInt}, {LUI, ClassSimpleInt},
+		{SLTU, ClassSimpleInt},
+		{MUL, ClassComplexInt}, {DIV, ClassComplexInt}, {REM, ClassComplexInt},
+		{LD, ClassLoad}, {LB, ClassLoad}, {FLD, ClassLoad},
+		{ST, ClassStore}, {SB, ClassStore}, {FST, ClassStore},
+		{BEQ, ClassBranch}, {J, ClassBranch}, {JALR, ClassBranch},
+		{FADD, ClassFP}, {FCVTFI, ClassFP}, {FLE, ClassFP},
+		{NOP, ClassMisc}, {HALT, ClassMisc},
+	}
+	for _, c := range cases {
+		if got := c.op.Class(); got != c.want {
+			t.Errorf("%v.Class() = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !BEQ.IsBranch() || !J.IsBranch() || ADD.IsBranch() {
+		t.Error("IsBranch wrong")
+	}
+	if !BNE.IsCondBranch() || J.IsCondBranch() || JR.IsCondBranch() {
+		t.Error("IsCondBranch wrong")
+	}
+	if !LD.IsMem() || !ST.IsMem() || ADD.IsMem() {
+		t.Error("IsMem wrong")
+	}
+	if !LD.IsLoad() || ST.IsLoad() || !FST.IsStore() || FLD.IsStore() {
+		t.Error("IsLoad/IsStore wrong")
+	}
+	if LD.MemWidth() != 8 || LW.MemWidth() != 4 || SB.MemWidth() != 1 || ADD.MemWidth() != 0 {
+		t.Error("MemWidth wrong")
+	}
+}
+
+func TestDstAndSrcs(t *testing.T) {
+	cases := []struct {
+		in       Inst
+		wantDst  Reg
+		hasDst   bool
+		wantSrcs []Reg
+	}{
+		{Inst{Op: ADD, Rd: R(1), Rs1: R(2), Rs2: R(3)}, R(1), true, []Reg{R(2), R(3)}},
+		{Inst{Op: ADD, Rd: R(0), Rs1: R(2), Rs2: R(3)}, NoReg, false, []Reg{R(2), R(3)}},
+		{Inst{Op: ADDI, Rd: R(1), Rs1: R(0), Imm: 5}, R(1), true, nil},
+		{Inst{Op: LD, Rd: R(4), Rs1: R(5), Imm: 8}, R(4), true, []Reg{R(5)}},
+		{Inst{Op: ST, Rs1: R(5), Rs2: R(6), Imm: 8}, NoReg, false, []Reg{R(5), R(6)}},
+		{Inst{Op: BEQ, Rs1: R(1), Rs2: R(2), Imm: 9}, NoReg, false, []Reg{R(1), R(2)}},
+		{Inst{Op: J, Imm: 3}, NoReg, false, nil},
+		{Inst{Op: JAL, Rd: R(31), Imm: 3}, R(31), true, nil},
+		{Inst{Op: JR, Rs1: R(31)}, NoReg, false, []Reg{R(31)}},
+		{Inst{Op: JALR, Rd: R(31), Rs1: R(7)}, R(31), true, []Reg{R(7)}},
+		{Inst{Op: FADD, Rd: F(1), Rs1: F(2), Rs2: F(3)}, F(1), true, []Reg{F(2), F(3)}},
+		{Inst{Op: FCVTIF, Rd: F(1), Rs1: R(2)}, F(1), true, []Reg{R(2)}},
+		{Inst{Op: FCVTFI, Rd: R(1), Rs1: F(2)}, R(1), true, []Reg{F(2)}},
+		{Inst{Op: FMOV, Rd: F(1), Rs1: F(2)}, F(1), true, []Reg{F(2)}},
+		{Inst{Op: LUI, Rd: R(9), Imm: 1}, R(9), true, nil},
+		{Nop, NoReg, false, nil},
+		{Inst{Op: HALT}, NoReg, false, nil},
+	}
+	for _, c := range cases {
+		d, ok := c.in.Dst()
+		if d != c.wantDst || ok != c.hasDst {
+			t.Errorf("%v.Dst() = %v,%v want %v,%v", c.in, d, ok, c.wantDst, c.hasDst)
+		}
+		srcs := c.in.Srcs(nil)
+		if len(srcs) != len(c.wantSrcs) {
+			t.Errorf("%v.Srcs() = %v want %v", c.in, srcs, c.wantSrcs)
+			continue
+		}
+		for i := range srcs {
+			if srcs[i] != c.wantSrcs[i] {
+				t.Errorf("%v.Srcs()[%d] = %v want %v", c.in, i, srcs[i], c.wantSrcs[i])
+			}
+		}
+	}
+}
+
+func TestZeroRegNeverASource(t *testing.T) {
+	in := Inst{Op: ADD, Rd: R(1), Rs1: R(0), Rs2: R(0)}
+	if srcs := in.Srcs(nil); len(srcs) != 0 {
+		t.Errorf("zero register reported as source: %v", srcs)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := map[string]Inst{
+		"add r1, r2, r3":  {Op: ADD, Rd: R(1), Rs1: R(2), Rs2: R(3)},
+		"addi r1, r2, -4": {Op: ADDI, Rd: R(1), Rs1: R(2), Imm: -4},
+		"ld r4, 16(r5)":   {Op: LD, Rd: R(4), Rs1: R(5), Imm: 16},
+		"st r6, 0(r5)":    {Op: ST, Rs1: R(5), Rs2: R(6), Imm: 0},
+		"beq r1, r2, 12":  {Op: BEQ, Rs1: R(1), Rs2: R(2), Imm: 12},
+		"j 7":             {Op: J, Imm: 7},
+		"jr r31":          {Op: JR, Rs1: R(31)},
+		"fadd f1, f2, f3": {Op: FADD, Rd: F(1), Rs1: F(2), Rs2: F(3)},
+		"fmov f1, f2":     {Op: FMOV, Rd: F(1), Rs1: F(2)},
+		"lui r9, 4":       {Op: LUI, Rd: R(9), Imm: 4},
+		"nop":             Nop,
+		"halt":            {Op: HALT},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// randInst builds a structurally valid random instruction for property tests.
+func randInst(r *rand.Rand) Inst {
+	op := Opcode(r.Intn(NumOpcodes))
+	reg := func() Reg { return Reg(r.Intn(NumRegs)) }
+	return Inst{Op: op, Rd: reg(), Rs1: reg(), Rs2: reg(), Imm: int32(r.Uint32())}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randInst(r)
+		out, err := Decode(in.Encode())
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsBadOpcode(t *testing.T) {
+	var b [Word]byte
+	b[0] = byte(NumOpcodes)
+	if _, err := Decode(b); err == nil {
+		t.Error("Decode accepted undefined opcode")
+	}
+}
+
+func TestDecodeRejectsBadRegister(t *testing.T) {
+	in := Inst{Op: ADD, Rd: R(1), Rs1: R(2), Rs2: R(3)}
+	b := in.Encode()
+	b[2] = 100 // invalid, not NoReg
+	if _, err := Decode(b); err == nil {
+		t.Error("Decode accepted invalid register")
+	}
+	b[2] = byte(NoReg) // explicitly allowed
+	if _, err := Decode(b); err != nil {
+		t.Errorf("Decode rejected NoReg: %v", err)
+	}
+}
+
+func TestEncodeDecodeText(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	text := make([]Inst, 100)
+	for i := range text {
+		text[i] = randInst(r)
+	}
+	raw := EncodeText(text)
+	if len(raw) != len(text)*Word {
+		t.Fatalf("EncodeText length = %d, want %d", len(raw), len(text)*Word)
+	}
+	back, err := DecodeText(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range text {
+		if back[i] != text[i] {
+			t.Fatalf("instruction %d: round trip %v != %v", i, back[i], text[i])
+		}
+	}
+	if _, err := DecodeText(raw[:len(raw)-1]); err == nil {
+		t.Error("DecodeText accepted truncated image")
+	}
+}

@@ -1,0 +1,284 @@
+// Package mem models the memory hierarchy of the simulated processor: a
+// generic set-associative cache with LRU replacement, composable into the
+// paper's configuration (separate 64KB L1 instruction and data caches, a
+// unified 256KB L2, and a DRAM latency model).
+//
+// The model is a latency oracle: an access returns the number of cycles
+// until the data is available, updating tag state along the way. Bandwidth
+// at the L1 data cache (3 read/write ports in the paper's Table 2) is
+// arbitrated by the core, which limits how many accesses start per cycle.
+package mem
+
+import "fmt"
+
+// Level is anything that can service a memory access and report its
+// latency in cycles.
+type Level interface {
+	// Access performs a read (write=false) or write (write=true) of the
+	// line containing addr and returns the total latency in cycles until
+	// the data is available at this level's consumer.
+	Access(addr uint64, write bool) int
+	// Name identifies the level in statistics output.
+	Name() string
+}
+
+// Config describes one cache level.
+type Config struct {
+	// Name identifies the cache in statistics ("L1I", "L1D", "L2").
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// LineBytes is the line (block) size.
+	LineBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// HitLatency is the access time in cycles on a hit.
+	HitLatency int
+}
+
+// Validate checks that the geometry is well formed (power-of-two line and
+// set counts, size divisible by line×assoc).
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("mem %s: non-positive geometry %+v", c.Name, c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("mem %s: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Assoc) != 0 {
+		return fmt.Errorf("mem %s: size %d not divisible by line*assoc", c.Name, c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem %s: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses/accesses (0 when idle).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// lastUse implements LRU: higher is more recent.
+	lastUse uint64
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with LRU
+// replacement.
+type Cache struct {
+	cfg      Config
+	next     Level
+	sets     [][]cacheLine
+	setMask  uint64
+	lineBits uint
+	clock    uint64
+	// Stat is the activity counter set; read it directly for reports.
+	Stat Stats
+}
+
+// NewCache builds a cache over the given next level (which may be nil for
+// tests, making every miss cost only the hit latency).
+func NewCache(cfg Config, next Level) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Assoc)
+	sets := make([][]cacheLine, nsets)
+	backing := make([]cacheLine, nsets*cfg.Assoc)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineBytes {
+		lineBits++
+	}
+	return &Cache{
+		cfg:      cfg,
+		next:     next,
+		sets:     sets,
+		setMask:  uint64(nsets - 1),
+		lineBits: lineBits,
+	}, nil
+}
+
+// MustCache is NewCache for statically known-good configurations.
+func MustCache(cfg Config, next Level) *Cache {
+	c, err := NewCache(cfg, next)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name implements Level.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access implements Level: it looks up the line containing addr, fetching
+// it from the next level on a miss, and returns the total latency.
+func (c *Cache) Access(addr uint64, write bool) int {
+	c.clock++
+	c.Stat.Accesses++
+	setIdx := (addr >> c.lineBits) & c.setMask
+	tag := addr >> c.lineBits
+	set := c.sets[setIdx]
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.Stat.Hits++
+			set[i].lastUse = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			return c.cfg.HitLatency
+		}
+	}
+
+	// Miss: choose LRU victim, write back if dirty, fill from next level.
+	c.Stat.Misses++
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		c.Stat.Writebacks++
+		// Writebacks go down the hierarchy off the critical path; tag
+		// state below is updated but their latency is not charged to this
+		// access (standard write-buffer assumption).
+		if c.next != nil {
+			c.next.Access(set[victim].tag<<c.lineBits, true)
+		}
+	}
+	latency := c.cfg.HitLatency
+	if c.next != nil {
+		latency += c.next.Access(addr, false)
+	}
+	set[victim] = cacheLine{tag: tag, valid: true, dirty: write, lastUse: c.clock}
+	return latency
+}
+
+// Contains reports whether the line holding addr is currently resident
+// (without touching LRU or statistics); used by tests and by the priority
+// steering scheme's miss-profiling hooks.
+func (c *Cache) Contains(addr uint64) bool {
+	setIdx := (addr >> c.lineBits) & c.setMask
+	tag := addr >> c.lineBits
+	for _, ln := range c.sets[setIdx] {
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates all lines (statistics are preserved).
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = cacheLine{}
+		}
+	}
+}
+
+// DRAM is the fixed-latency main-memory model: a first-chunk latency plus
+// an inter-chunk latency for each additional bus-width transfer of a line.
+type DRAM struct {
+	// FirstChunk is the latency of the first BusBytes transfer.
+	FirstChunk int
+	// InterChunk is the latency of each subsequent transfer.
+	InterChunk int
+	// BusBytes is the memory bus width.
+	BusBytes int
+	// LineBytes is the transfer (line) size requests arrive in.
+	LineBytes int
+	// Stat counts accesses (hits/misses are meaningless here).
+	Stat Stats
+}
+
+// NewDRAM returns the paper's main-memory model: 16-byte bus, 16-cycle
+// first chunk, 2-cycle inter-chunk, filling 64-byte L2 lines.
+func NewDRAM() *DRAM {
+	return &DRAM{FirstChunk: 16, InterChunk: 2, BusBytes: 16, LineBytes: 64}
+}
+
+// Name implements Level.
+func (d *DRAM) Name() string { return "DRAM" }
+
+// Access implements Level.
+func (d *DRAM) Access(addr uint64, write bool) int {
+	d.Stat.Accesses++
+	chunks := d.LineBytes / d.BusBytes
+	if chunks < 1 {
+		chunks = 1
+	}
+	return d.FirstChunk + (chunks-1)*d.InterChunk
+}
+
+// Hierarchy bundles the paper's full memory system.
+type Hierarchy struct {
+	L1I  *Cache
+	L1D  *Cache
+	L2   *Cache
+	Main *DRAM
+}
+
+// HierarchyConfig carries the tunable parameters of the paper's Table 2
+// memory system.
+type HierarchyConfig struct {
+	L1I Config
+	L1D Config
+	L2  Config
+}
+
+// DefaultHierarchyConfig returns Table 2's memory parameters: 64KB 2-way
+// 32B-line L1s with 1-cycle hits and 6-cycle miss penalty (the L2 hit
+// time), and a 256KB 4-way 64B-line unified L2.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I: Config{Name: "L1I", SizeBytes: 64 << 10, LineBytes: 32, Assoc: 2, HitLatency: 1},
+		L1D: Config{Name: "L1D", SizeBytes: 64 << 10, LineBytes: 32, Assoc: 2, HitLatency: 1},
+		L2:  Config{Name: "L2", SizeBytes: 256 << 10, LineBytes: 64, Assoc: 4, HitLatency: 6},
+	}
+}
+
+// NewHierarchy builds the two-level hierarchy over DRAM.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	main := NewDRAM()
+	l2, err := NewCache(cfg.L2, main)
+	if err != nil {
+		return nil, err
+	}
+	l1i, err := NewCache(cfg.L1I, l2)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := NewCache(cfg.L1D, l2)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1I: l1i, L1D: l1d, L2: l2, Main: main}, nil
+}

@@ -1,0 +1,194 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testCfg() Config {
+	return Config{Name: "T", SizeBytes: 1024, LineBytes: 32, Assoc: 2, HitLatency: 1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := testCfg()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Name: "z", SizeBytes: 0, LineBytes: 32, Assoc: 2},
+		{Name: "l", SizeBytes: 1024, LineBytes: 33, Assoc: 2, HitLatency: 1},
+		{Name: "d", SizeBytes: 1000, LineBytes: 32, Assoc: 2, HitLatency: 1},
+		{Name: "s", SizeBytes: 32 * 2 * 3, LineBytes: 32, Assoc: 2, HitLatency: 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate accepted bad config %+v", c)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := MustCache(testCfg(), nil)
+	if lat := c.Access(0x100, false); lat != 1 {
+		t.Errorf("first access latency %d", lat)
+	}
+	if c.Stat.Misses != 1 {
+		t.Errorf("misses = %d, want 1", c.Stat.Misses)
+	}
+	c.Access(0x100, false)
+	c.Access(0x11F, false) // same 32-byte line
+	if c.Stat.Hits != 2 {
+		t.Errorf("hits = %d, want 2", c.Stat.Hits)
+	}
+	if c.Stat.Accesses != 3 {
+		t.Errorf("accesses = %d", c.Stat.Accesses)
+	}
+}
+
+func TestMissLatencyIncludesNextLevel(t *testing.T) {
+	l2 := MustCache(Config{Name: "L2", SizeBytes: 4096, LineBytes: 64, Assoc: 4, HitLatency: 6}, nil)
+	l1 := MustCache(testCfg(), l2)
+	if lat := l1.Access(0x40, false); lat != 7 { // 1 + 6
+		t.Errorf("L1 miss latency = %d, want 7", lat)
+	}
+	if lat := l1.Access(0x40, false); lat != 1 {
+		t.Errorf("L1 hit latency = %d, want 1", lat)
+	}
+	// Different L1 line, same L2 line: L1 miss, L2 hit.
+	if lat := l1.Access(0x60, false); lat != 7 {
+		t.Errorf("L1 miss L2 hit latency = %d, want 7", lat)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way, 16 sets of 32B lines: addresses with the same set index
+	// differ by 512 bytes.
+	c := MustCache(testCfg(), nil)
+	const stride = 512
+	c.Access(0*stride, false) // way 0
+	c.Access(1*stride, false) // way 1
+	c.Access(0*stride, false) // touch way 0: way 1 is now LRU
+	c.Access(2*stride, false) // evicts way 1 (addr stride)
+	if !c.Contains(0) || !c.Contains(2*stride) || c.Contains(1*stride) {
+		t.Fatalf("LRU eviction wrong: contains(0)=%v contains(2s)=%v contains(1s)=%v",
+			c.Contains(0), c.Contains(2*stride), c.Contains(1*stride))
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	next := MustCache(Config{Name: "L2", SizeBytes: 4096, LineBytes: 64, Assoc: 4, HitLatency: 6}, nil)
+	c := MustCache(testCfg(), next)
+	const stride = 512
+	c.Access(0, true)         // dirty line in way 0
+	c.Access(1*stride, false) // way 1
+	c.Access(2*stride, false) // evicts dirty line 0 -> writeback
+	if c.Stat.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Stat.Writebacks)
+	}
+	// Clean eviction must not write back.
+	c.Access(3*stride, false)
+	if c.Stat.Writebacks != 1 {
+		t.Errorf("clean eviction wrote back: %d", c.Stat.Writebacks)
+	}
+}
+
+func TestDRAMLatency(t *testing.T) {
+	d := NewDRAM()
+	// 64-byte line over a 16-byte bus: 16 + 3*2 = 22 cycles.
+	if lat := d.Access(0, false); lat != 22 {
+		t.Errorf("DRAM latency = %d, want 22", lat)
+	}
+}
+
+func TestHierarchyEndToEnd(t *testing.T) {
+	h, err := NewHierarchy(DefaultHierarchyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold: L1 miss (1) + L2 miss (6) + DRAM (22) = 29.
+	if lat := h.L1D.Access(0x1000, false); lat != 29 {
+		t.Errorf("cold access latency = %d, want 29", lat)
+	}
+	if lat := h.L1D.Access(0x1000, false); lat != 1 {
+		t.Errorf("warm access latency = %d, want 1", lat)
+	}
+	// Neighboring L1 line but same L2 line: 1 + 6 = 7.
+	if lat := h.L1D.Access(0x1020, false); lat != 7 {
+		t.Errorf("L2-hit latency = %d, want 7", lat)
+	}
+	if h.L2.Stat.Accesses != 2 {
+		t.Errorf("L2 accesses = %d, want 2", h.L2.Stat.Accesses)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 {
+		t.Error("idle miss rate should be 0")
+	}
+	s = Stats{Accesses: 10, Misses: 3}
+	if got := s.MissRate(); got != 0.3 {
+		t.Errorf("miss rate = %g", got)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := MustCache(testCfg(), nil)
+	c.Access(0x40, false)
+	if !c.Contains(0x40) {
+		t.Fatal("line not resident after access")
+	}
+	c.Flush()
+	if c.Contains(0x40) {
+		t.Fatal("line resident after flush")
+	}
+}
+
+// Property: a second access to any address immediately after the first is
+// always a hit with hit latency (temporal locality invariant).
+func TestAccessThenHitProperty(t *testing.T) {
+	c := MustCache(Config{Name: "P", SizeBytes: 8192, LineBytes: 32, Assoc: 4, HitLatency: 1}, nil)
+	f := func(addr uint64) bool {
+		c.Access(addr, false)
+		return c.Access(addr, false) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the cache never holds more distinct lines than its capacity.
+func TestCapacityInvariant(t *testing.T) {
+	cfg := Config{Name: "C", SizeBytes: 512, LineBytes: 32, Assoc: 2, HitLatency: 1}
+	c := MustCache(cfg, nil)
+	r := rand.New(rand.NewSource(3))
+	addrs := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		a := uint64(r.Intn(1 << 20))
+		c.Access(a, r.Intn(2) == 0)
+		addrs[a&^31] = true
+	}
+	resident := 0
+	for a := range addrs {
+		if c.Contains(a) {
+			resident++
+		}
+	}
+	maxLines := cfg.SizeBytes / cfg.LineBytes
+	if resident > maxLines {
+		t.Fatalf("%d lines resident, capacity %d", resident, maxLines)
+	}
+}
+
+// Property: hits + misses == accesses always.
+func TestStatsConservation(t *testing.T) {
+	c := MustCache(testCfg(), nil)
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		c.Access(uint64(r.Intn(1<<16)), r.Intn(2) == 0)
+	}
+	if c.Stat.Hits+c.Stat.Misses != c.Stat.Accesses {
+		t.Fatalf("hits %d + misses %d != accesses %d", c.Stat.Hits, c.Stat.Misses, c.Stat.Accesses)
+	}
+}

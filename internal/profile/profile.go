@@ -1,0 +1,214 @@
+// Package profile characterizes workloads the way architecture papers
+// table them: dynamic instruction mix, branch behaviour, memory working
+// set, register dependence distances and slice coverage. The experiment
+// write-ups use it to argue each SpecInt95 analog matches its original's
+// signature (see workload.Info.Character), and cmd/dcaprofile prints it.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/prog"
+	"repro/internal/rdg"
+)
+
+// Report is a workload characterization over an execution window.
+type Report struct {
+	// Name is the program name; Window the dynamic instructions profiled.
+	Name   string
+	Window uint64
+
+	// Mix fractions by class (of all instructions).
+	SimpleInt  float64
+	ComplexInt float64
+	FP         float64
+	Loads      float64
+	Stores     float64
+	Branches   float64
+
+	// CondBranchFraction is conditional branches / all control transfers;
+	// TakenRate their taken fraction; IndirectFraction the JR/JALR share.
+	CondBranchFraction float64
+	TakenRate          float64
+	IndirectFraction   float64
+
+	// UniquePCs is the static footprint touched; UniqueLines the distinct
+	// 32-byte data cache lines touched (working set, in lines).
+	UniquePCs   int
+	UniqueLines int
+
+	// DepDistance histogram: for each consumed register, the number of
+	// dynamic instructions since its producer. Buckets: 1, 2-3, 4-7, 8-15,
+	// 16-63, 64+.
+	DepBuckets [6]uint64
+
+	// LdStSlicePCs and BrSlicePCs are the static slice coverages (of
+	// UniquePCs) computed over the window's dynamic RDG.
+	LdStSlicePCs int
+	BrSlicePCs   int
+}
+
+// depBucket maps a dependence distance to its histogram bucket.
+func depBucket(d uint64) int {
+	switch {
+	case d <= 1:
+		return 0
+	case d <= 3:
+		return 1
+	case d <= 7:
+		return 2
+	case d <= 15:
+		return 3
+	case d <= 63:
+		return 4
+	default:
+		return 5
+	}
+}
+
+// DepBucketLabels names the histogram buckets.
+var DepBucketLabels = [6]string{"1", "2-3", "4-7", "8-15", "16-63", "64+"}
+
+// Profile runs p functionally for window instructions (0 = a 200K default)
+// and characterizes it.
+func Profile(p *prog.Program, window uint64) (*Report, error) {
+	if window == 0 {
+		window = 200_000
+	}
+	rep := &Report{Name: p.Name}
+	m := emu.New(p)
+
+	var counts struct {
+		simple, complex, fp, loads, stores, branches uint64
+		cond, taken, indirect                        uint64
+	}
+	pcs := map[int]bool{}
+	lines := map[uint64]bool{}
+	lastWriter := map[isa.Reg]uint64{}
+
+	var i uint64
+	for i = 0; i < window && !m.Halted; i++ {
+		st, err := m.Step()
+		if err != nil {
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		in := st.Inst
+		pcs[st.PC] = true
+		switch in.Op.Class() {
+		case isa.ClassSimpleInt:
+			counts.simple++
+		case isa.ClassComplexInt:
+			counts.complex++
+		case isa.ClassFP:
+			counts.fp++
+		case isa.ClassLoad:
+			counts.loads++
+			lines[st.MemAddr/32] = true
+		case isa.ClassStore:
+			counts.stores++
+			lines[st.MemAddr/32] = true
+		case isa.ClassBranch:
+			counts.branches++
+			if in.Op.IsCondBranch() {
+				counts.cond++
+				if st.Taken {
+					counts.taken++
+				}
+			}
+			if in.Op == isa.JR || in.Op == isa.JALR {
+				counts.indirect++
+			}
+		}
+		for _, r := range in.Srcs(nil) {
+			if w, ok := lastWriter[r]; ok {
+				rep.DepBuckets[depBucket(i-w)]++
+			}
+		}
+		if d, ok := in.Dst(); ok {
+			lastWriter[d] = i
+		}
+	}
+	rep.Window = i
+	if i == 0 {
+		return rep, nil
+	}
+	n := float64(i)
+	rep.SimpleInt = float64(counts.simple) / n
+	rep.ComplexInt = float64(counts.complex) / n
+	rep.FP = float64(counts.fp) / n
+	rep.Loads = float64(counts.loads) / n
+	rep.Stores = float64(counts.stores) / n
+	rep.Branches = float64(counts.branches) / n
+	if counts.branches > 0 {
+		rep.CondBranchFraction = float64(counts.cond) / float64(counts.branches)
+		rep.IndirectFraction = float64(counts.indirect) / float64(counts.branches)
+	}
+	if counts.cond > 0 {
+		rep.TakenRate = float64(counts.taken) / float64(counts.cond)
+	}
+	rep.UniquePCs = len(pcs)
+	rep.UniqueLines = len(lines)
+
+	g, err := rdg.BuildDynamic(p, window)
+	if err != nil {
+		return nil, err
+	}
+	for pc := range g.LdStSlice() {
+		if pcs[pc] {
+			rep.LdStSlicePCs++
+		}
+	}
+	for pc := range g.BrSlice() {
+		if pcs[pc] {
+			rep.BrSlicePCs++
+		}
+	}
+	return rep, nil
+}
+
+// String renders the report as an aligned text block.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %d dynamic instructions\n", r.Name, r.Window)
+	fmt.Fprintf(&sb, "  mix: %.1f%% simple-int, %.1f%% complex-int, %.1f%% FP, %.1f%% loads, %.1f%% stores, %.1f%% branches\n",
+		100*r.SimpleInt, 100*r.ComplexInt, 100*r.FP, 100*r.Loads, 100*r.Stores, 100*r.Branches)
+	fmt.Fprintf(&sb, "  branches: %.0f%% conditional (%.0f%% taken), %.0f%% indirect\n",
+		100*r.CondBranchFraction, 100*r.TakenRate, 100*r.IndirectFraction)
+	fmt.Fprintf(&sb, "  footprint: %d static instructions, %d data lines (~%dKB)\n",
+		r.UniquePCs, r.UniqueLines, r.UniqueLines*32/1024)
+	fmt.Fprintf(&sb, "  slices: LdSt %d/%d PCs, Br %d/%d PCs\n",
+		r.LdStSlicePCs, r.UniquePCs, r.BrSlicePCs, r.UniquePCs)
+	var total uint64
+	for _, v := range r.DepBuckets {
+		total += v
+	}
+	if total > 0 {
+		sb.WriteString("  dependence distances: ")
+		parts := make([]string, 0, len(r.DepBuckets))
+		for i, v := range r.DepBuckets {
+			parts = append(parts, fmt.Sprintf("%s:%.0f%%", DepBucketLabels[i], 100*float64(v)/float64(total)))
+		}
+		sb.WriteString(strings.Join(parts, " ") + "\n")
+	}
+	return sb.String()
+}
+
+// Compare renders several reports side by side (one row per metric),
+// sorted by name, for the Table 1 companion in experiment write-ups.
+func Compare(reports []*Report) string {
+	sorted := append([]*Report(nil), reports...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %7s %7s %7s %7s %7s %9s %9s\n",
+		"name", "branch", "load", "store", "taken", "indir", "staticPC", "WS(KB)")
+	for _, r := range sorted {
+		fmt.Fprintf(&sb, "%-10s %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %9d %9d\n",
+			r.Name, 100*r.Branches, 100*r.Loads, 100*r.Stores,
+			100*r.TakenRate, 100*r.IndirectFraction, r.UniquePCs, r.UniqueLines*32/1024)
+	}
+	return sb.String()
+}

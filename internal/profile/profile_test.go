@@ -1,0 +1,140 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/workload"
+)
+
+func TestProfileSimpleLoop(t *testing.T) {
+	src := `
+.data
+arr: .space 80
+.text
+  li r1, arr
+  li r2, 10
+loop:
+  ld  r3, 0(r1)
+  add r4, r4, r3
+  st  r4, 0(r1)
+  addi r1, r1, 8
+  addi r2, r2, -1
+  bne r2, r0, loop
+  halt
+`
+	p, err := asm.Assemble("loop", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Profile(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Window != 62 { // 2 li + 10*6 = 62 (halt not stepped... includes halt)
+		// 2 setup + 60 loop + halt = 63; allow either accounting.
+		if rep.Window != 63 {
+			t.Fatalf("window = %d", rep.Window)
+		}
+	}
+	// Mix: per iteration 1 load, 1 store, 1 branch of 6 instructions.
+	if rep.Loads < 0.12 || rep.Loads > 0.20 {
+		t.Errorf("load fraction = %.2f", rep.Loads)
+	}
+	if rep.Stores < 0.12 || rep.Stores > 0.20 {
+		t.Errorf("store fraction = %.2f", rep.Stores)
+	}
+	if rep.Branches < 0.12 || rep.Branches > 0.20 {
+		t.Errorf("branch fraction = %.2f", rep.Branches)
+	}
+	if rep.FP != 0 || rep.ComplexInt != 0 {
+		t.Error("unexpected FP/complex instructions")
+	}
+	// The loop branch is taken 9 of 10 times.
+	if rep.TakenRate < 0.85 || rep.TakenRate > 0.95 {
+		t.Errorf("taken rate = %.2f", rep.TakenRate)
+	}
+	// 10 different 8-byte slots over 80 bytes = 3 cache lines.
+	if rep.UniqueLines != 3 {
+		t.Errorf("unique lines = %d, want 3", rep.UniqueLines)
+	}
+	if rep.UniquePCs != 9 {
+		t.Errorf("unique PCs = %d, want 9", rep.UniquePCs)
+	}
+	if rep.LdStSlicePCs == 0 || rep.BrSlicePCs == 0 {
+		t.Error("slice coverage empty")
+	}
+	var deps uint64
+	for _, v := range rep.DepBuckets {
+		deps += v
+	}
+	if deps == 0 {
+		t.Error("no dependence distances recorded")
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	p, err := workload.Load("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Profile(p, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, want := range []string{"compress", "mix:", "branches:", "footprint:", "slices:", "dependence"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareAllWorkloads(t *testing.T) {
+	var reports []*Report
+	for _, name := range workload.Names() {
+		p, err := workload.Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Profile(p, 20_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	out := Compare(reports)
+	for _, name := range workload.Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("comparison missing %s", name)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 9 { // header + 8 benchmarks
+		t.Errorf("comparison has %d lines", len(lines))
+	}
+}
+
+func TestPerlIndirectSignature(t *testing.T) {
+	p, err := workload.Load("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Profile(p, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IndirectFraction < 0.02 {
+		t.Errorf("perl indirect fraction %.3f — dispatch signature missing", rep.IndirectFraction)
+	}
+}
+
+func TestDepBucketBoundaries(t *testing.T) {
+	cases := map[uint64]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 15: 3, 16: 4, 63: 4, 64: 5, 1000: 5}
+	for d, want := range cases {
+		if got := depBucket(d); got != want {
+			t.Errorf("depBucket(%d) = %d, want %d", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package prog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// imageMagic identifies a serialized program image ("DCA1").
+var imageMagic = [4]byte{'D', 'C', 'A', '1'}
+
+// WriteImage serializes the program — text, data, entry point, labels and
+// symbols — in a stable binary format, so assembled workloads can be
+// shipped and reloaded without the assembler.
+//
+// Layout (all integers little-endian):
+//
+//	magic "DCA1"
+//	u32 nameLen, name bytes
+//	u32 entry
+//	u32 textCount, textCount × 8-byte encoded instructions
+//	u64 dataBase, u32 dataLen, data bytes
+//	u32 labelCount, { u32 nameLen, name, u32 pc }...
+//	u32 symbolCount, { u32 nameLen, name, u64 addr }...
+func (p *Program) WriteImage(w io.Writer) error {
+	var buf bytes.Buffer
+	buf.Write(imageMagic[:])
+	writeString := func(s string) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+		buf.Write(n[:])
+		buf.WriteString(s)
+	}
+	writeU32 := func(v uint32) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], v)
+		buf.Write(n[:])
+	}
+	writeU64 := func(v uint64) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], v)
+		buf.Write(n[:])
+	}
+
+	writeString(p.Name)
+	writeU32(uint32(p.Entry))
+	writeU32(uint32(len(p.Text)))
+	buf.Write(isa.EncodeText(p.Text))
+	writeU64(p.DataBase)
+	writeU32(uint32(len(p.Data)))
+	buf.Write(p.Data)
+
+	writeU32(uint32(len(p.Labels)))
+	for _, name := range sortedLabelNames(p.Labels) {
+		writeString(name)
+		writeU32(uint32(p.Labels[name]))
+	}
+	writeU32(uint32(len(p.Symbols)))
+	for _, name := range sortedSymbolNames(p.Symbols) {
+		writeString(name)
+		writeU64(p.Symbols[name])
+	}
+
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// ReadImage deserializes a program written by WriteImage and validates it.
+func ReadImage(r io.Reader) (*Program, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("prog: reading image: %w", err)
+	}
+	b := &imageReader{raw: raw}
+	var magic [4]byte
+	b.read(magic[:])
+	if magic != imageMagic {
+		return nil, fmt.Errorf("prog: bad image magic %q", magic)
+	}
+	p := &Program{
+		Labels:  map[string]int{},
+		Symbols: map[string]uint64{},
+	}
+	p.Name = b.readString()
+	p.Entry = int(b.readU32())
+	textCount := int(b.readU32())
+	textRaw := make([]byte, textCount*isa.Word)
+	b.read(textRaw)
+	if b.err == nil {
+		p.Text, b.err = isa.DecodeText(textRaw)
+	}
+	p.DataBase = b.readU64()
+	p.Data = make([]byte, int(b.readU32()))
+	b.read(p.Data)
+	for i, n := 0, int(b.readU32()); i < n && b.err == nil; i++ {
+		name := b.readString()
+		p.Labels[name] = int(b.readU32())
+	}
+	for i, n := 0, int(b.readU32()); i < n && b.err == nil; i++ {
+		name := b.readString()
+		p.Symbols[name] = b.readU64()
+	}
+	if b.err != nil {
+		return nil, fmt.Errorf("prog: malformed image: %w", b.err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// imageReader is a bounds-checked cursor over the raw image.
+type imageReader struct {
+	raw []byte
+	off int
+	err error
+}
+
+func (b *imageReader) read(dst []byte) {
+	if b.err != nil {
+		return
+	}
+	if b.off+len(dst) > len(b.raw) {
+		b.err = fmt.Errorf("truncated at offset %d (need %d bytes)", b.off, len(dst))
+		return
+	}
+	copy(dst, b.raw[b.off:])
+	b.off += len(dst)
+}
+
+func (b *imageReader) readU32() uint32 {
+	var v [4]byte
+	b.read(v[:])
+	return binary.LittleEndian.Uint32(v[:])
+}
+
+func (b *imageReader) readU64() uint64 {
+	var v [8]byte
+	b.read(v[:])
+	return binary.LittleEndian.Uint64(v[:])
+}
+
+func (b *imageReader) readString() string {
+	n := int(b.readU32())
+	if b.err != nil {
+		return ""
+	}
+	if n > len(b.raw)-b.off {
+		b.err = fmt.Errorf("string length %d exceeds image", n)
+		return ""
+	}
+	s := make([]byte, n)
+	b.read(s)
+	return string(s)
+}
+
+func sortedLabelNames(m map[string]int) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+func sortedSymbolNames(m map[string]uint64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+// sortStrings is a tiny insertion sort to avoid importing sort in this
+// file's hot path — image writing happens rarely and name lists are short.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package prog
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func buildImageProg(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("image-test")
+	b.Word64("data", 1, 2, 3)
+	b.Space("buf", 64)
+	b.La(isa.R(1), "data")
+	b.Label("top")
+	b.Ld(isa.R(2), isa.R(1), 0)
+	b.Addi(isa.R(1), isa.R(1), 8)
+	b.Bne(isa.R(2), isa.R(0), "top")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	p := buildImageProg(t)
+	var buf bytes.Buffer
+	if err := p.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.Entry != p.Entry || q.DataBase != p.DataBase {
+		t.Fatalf("header mismatch: %+v vs %+v", q, p)
+	}
+	if len(q.Text) != len(p.Text) {
+		t.Fatalf("text length %d vs %d", len(q.Text), len(p.Text))
+	}
+	for i := range p.Text {
+		if q.Text[i] != p.Text[i] {
+			t.Fatalf("instruction %d: %v vs %v", i, q.Text[i], p.Text[i])
+		}
+	}
+	if !bytes.Equal(q.Data, p.Data) {
+		t.Fatal("data mismatch")
+	}
+	if len(q.Labels) != len(p.Labels) || q.Labels["top"] != p.Labels["top"] {
+		t.Fatalf("labels mismatch: %v vs %v", q.Labels, p.Labels)
+	}
+	if len(q.Symbols) != len(p.Symbols) || q.Symbols["buf"] != p.Symbols["buf"] {
+		t.Fatalf("symbols mismatch: %v vs %v", q.Symbols, p.Symbols)
+	}
+}
+
+func TestImageDeterministic(t *testing.T) {
+	p := buildImageProg(t)
+	var a, b bytes.Buffer
+	if err := p.WriteImage(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteImage(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("image serialization not deterministic")
+	}
+}
+
+func TestImageRejectsBadMagic(t *testing.T) {
+	if _, err := ReadImage(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestImageRejectsTruncation(t *testing.T) {
+	p := buildImageProg(t)
+	var buf bytes.Buffer
+	if err := p.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Every prefix must be rejected, not crash.
+	for _, n := range []int{0, 3, 4, 10, len(raw) / 2, len(raw) - 1} {
+		if _, err := ReadImage(bytes.NewReader(raw[:n])); err == nil {
+			t.Errorf("truncated image of %d bytes accepted", n)
+		}
+	}
+}
+
+func TestImageRejectsCorruptText(t *testing.T) {
+	p := buildImageProg(t)
+	var buf bytes.Buffer
+	if err := p.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Find the first instruction's opcode byte and corrupt it. Header:
+	// magic(4) + nameLen(4) + name + entry(4) + textCount(4).
+	off := 4 + 4 + len(p.Name) + 4 + 4
+	raw[off] = 0xEE // undefined opcode
+	if _, err := ReadImage(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupt opcode accepted")
+	}
+}

@@ -1,0 +1,178 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBuilderSimpleLoop(t *testing.T) {
+	b := NewBuilder("loop")
+	b.Li(isa.R(1), 0).
+		Li(isa.R(2), 10).
+		Label("top").
+		Addi(isa.R(1), isa.R(1), 1).
+		Bne(isa.R(1), isa.R(2), "top").
+		Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 5 {
+		t.Fatalf("text length = %d, want 5", len(p.Text))
+	}
+	br := p.Text[3]
+	if br.Op != isa.BNE || br.Imm != 2 {
+		t.Fatalf("branch not patched to label: %v", br)
+	}
+	if lbl, ok := p.LabelAt(2); !ok || lbl != "top" {
+		t.Fatalf("LabelAt(2) = %q,%v", lbl, ok)
+	}
+	if _, ok := p.LabelAt(0); ok {
+		t.Fatal("LabelAt(0) should be empty")
+	}
+}
+
+func TestBuilderForwardReference(t *testing.T) {
+	b := NewBuilder("fwd")
+	b.Beq(isa.R(1), isa.R(2), "done").
+		Addi(isa.R(1), isa.R(1), 1).
+		Label("done").
+		Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Text[0].Imm != 2 {
+		t.Fatalf("forward branch patched to %d, want 2", p.Text[0].Imm)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Jmp("nowhere").Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("expected undefined-label error, got %v", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("x").Nop().Label("x").Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Fatalf("expected duplicate-label error, got %v", err)
+	}
+}
+
+func TestBuilderDataSymbols(t *testing.T) {
+	b := NewBuilder("data")
+	a1 := b.Word64("arr", 1, 2, 3)
+	a2 := b.Space("buf", 64)
+	a3 := b.Float64s("pi", 3.14)
+	if a1 != DefaultDataBase {
+		t.Fatalf("first symbol at %#x, want %#x", a1, DefaultDataBase)
+	}
+	if a2 != a1+24 {
+		t.Fatalf("buf at %#x, want %#x", a2, a1+24)
+	}
+	if a3 != a2+64 {
+		t.Fatalf("pi at %#x, want %#x", a3, a2+64)
+	}
+	b.La(isa.R(1), "arr").Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := p.Symbols["buf"]; !ok || got != a2 {
+		t.Fatalf("Symbols[buf] = %#x,%v", got, ok)
+	}
+	if len(p.Data) != 24+64+8 {
+		t.Fatalf("data length = %d", len(p.Data))
+	}
+}
+
+func TestBuilderAlignment(t *testing.T) {
+	b := NewBuilder("align")
+	b.Bytes("b", []byte{1, 2, 3}) // 3 bytes, unaligned
+	addr := b.Word64("w", 7)
+	if addr%8 != 0 {
+		t.Fatalf("Word64 not 8-byte aligned: %#x", addr)
+	}
+}
+
+func TestBuilderDuplicateSymbol(t *testing.T) {
+	b := NewBuilder("dupsym")
+	b.Word64("x", 1)
+	b.Word64("x", 2)
+	b.Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate data symbol") {
+		t.Fatalf("expected duplicate-symbol error, got %v", err)
+	}
+}
+
+func TestBuilderLaUndefined(t *testing.T) {
+	b := NewBuilder("laund")
+	b.La(isa.R(1), "missing").Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("expected undefined-symbol error, got %v", err)
+	}
+}
+
+func TestLiWideConstants(t *testing.T) {
+	cases := []int32{0, 1, -1, 32767, -32768, 32768, 0x12340000, 0x12345678, -40000}
+	for _, v := range cases {
+		b := NewBuilder("li")
+		b.Li(isa.R(1), v).Halt()
+		p, err := b.Build()
+		if err != nil {
+			t.Fatalf("Li(%d): %v", v, err)
+		}
+		// Emulate the one-or-two-instruction sequence by hand.
+		var r1 int64
+		for _, in := range p.Text {
+			switch in.Op {
+			case isa.ADDI:
+				r1 = int64(in.Imm)
+			case isa.LUI:
+				r1 = int64(in.Imm) << 16
+			case isa.ORI:
+				r1 |= int64(in.Imm)
+			}
+		}
+		if int32(r1) != v {
+			t.Errorf("Li(%d) materialized %d", v, int32(r1))
+		}
+	}
+}
+
+func TestValidateCatchesBadTarget(t *testing.T) {
+	p := &Program{
+		Name: "bad",
+		Text: []isa.Inst{{Op: isa.J, Imm: 99}, {Op: isa.HALT}},
+	}
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range jump target")
+	}
+}
+
+func TestValidateCatchesEmptyAndBadEntry(t *testing.T) {
+	if err := (&Program{Name: "e"}).Validate(); err == nil {
+		t.Fatal("Validate accepted empty text")
+	}
+	p := &Program{Name: "e2", Text: []isa.Inst{{Op: isa.HALT}}, Entry: 5}
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted bad entry")
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic")
+		}
+	}()
+	b := NewBuilder("panics")
+	b.Jmp("nowhere")
+	b.MustBuild()
+}

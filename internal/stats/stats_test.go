@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBalanceHistRecordAndClip(t *testing.T) {
+	var h BalanceHist
+	h.Record(0)
+	h.Record(5)
+	h.Record(-5)
+	h.Record(100)  // clips to +10
+	h.Record(-100) // clips to -10
+	if h.Samples != 5 {
+		t.Fatalf("samples = %d", h.Samples)
+	}
+	if h.Buckets[BalanceRange] != 1 {
+		t.Error("bucket 0 wrong")
+	}
+	if h.Buckets[2*BalanceRange] != 1 || h.Buckets[0] != 1 {
+		t.Error("clipping wrong")
+	}
+	if got := h.Percent(0); got != 20 {
+		t.Errorf("Percent(0) = %g, want 20", got)
+	}
+}
+
+func TestBalanceHistImbalancePercent(t *testing.T) {
+	var h BalanceHist
+	for i := 0; i < 6; i++ {
+		h.Record(0)
+	}
+	h.Record(4)
+	h.Record(-4)
+	h.Record(8)
+	h.Record(-8)
+	if got := h.ImbalancePercent(4); got != 40 {
+		t.Errorf("ImbalancePercent(4) = %g, want 40", got)
+	}
+	if got := h.ImbalancePercent(5); got != 20 {
+		t.Errorf("ImbalancePercent(5) = %g, want 20", got)
+	}
+}
+
+func TestBalanceHistMerge(t *testing.T) {
+	var a, b BalanceHist
+	a.Record(1)
+	b.Record(1)
+	b.Record(-2)
+	a.Merge(&b)
+	if a.Samples != 3 || a.Buckets[1+BalanceRange] != 2 || a.Buckets[-2+BalanceRange] != 1 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+}
+
+// Property: percentages over all buckets sum to ~100 whenever samples > 0.
+func TestBalanceHistPercentSums(t *testing.T) {
+	f := func(diffs []int8) bool {
+		if len(diffs) == 0 {
+			return true
+		}
+		var h BalanceHist
+		for _, d := range diffs {
+			h.Record(int(d))
+		}
+		sum := 0.0
+		for d := -BalanceRange; d <= BalanceRange; d++ {
+			sum += h.Percent(d)
+		}
+		return math.Abs(sum-100) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunDerivedMetrics(t *testing.T) {
+	r := &Run{Cycles: 1000, Instructions: 2500, Copies: 100, CriticalCopies: 40,
+		Mispredicts: 5, Branches: 50}
+	if got := r.IPC(); got != 2.5 {
+		t.Errorf("IPC = %g", got)
+	}
+	if got := r.CommPerInstr(); got != 0.04 {
+		t.Errorf("CommPerInstr = %g", got)
+	}
+	if got := r.CriticalCommPerInstr(); got != 0.016 {
+		t.Errorf("CriticalCommPerInstr = %g", got)
+	}
+	if got := r.MispredictRate(); got != 0.1 {
+		t.Errorf("MispredictRate = %g", got)
+	}
+	var zero Run
+	if zero.IPC() != 0 || zero.CommPerInstr() != 0 || zero.MispredictRate() != 0 {
+		t.Error("zero run metrics must be 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := &Run{Cycles: 1000, Instructions: 1000} // IPC 1
+	fast := &Run{Cycles: 1000, Instructions: 1360} // IPC 1.36
+	if got := Speedup(fast, base); math.Abs(got-36) > 1e-9 {
+		t.Errorf("Speedup = %g, want 36", got)
+	}
+	if got := Speedup(base, &Run{}); got != 0 {
+		t.Errorf("Speedup vs zero base = %g", got)
+	}
+}
+
+func TestGeoMeanSpeedup(t *testing.T) {
+	bases := []*Run{
+		{Cycles: 100, Instructions: 100},
+		{Cycles: 100, Instructions: 100},
+	}
+	runs := []*Run{
+		{Cycles: 100, Instructions: 121}, // +21%
+		{Cycles: 100, Instructions: 100}, // +0%
+	}
+	// G-mean of 1.21 and 1.00 = 1.1 -> +10%.
+	if got := GeoMeanSpeedup(runs, bases); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMeanSpeedup = %g, want 10", got)
+	}
+	if got := GeoMeanSpeedup(nil, nil); got != 0 {
+		t.Errorf("empty = %g", got)
+	}
+	if got := GeoMeanSpeedup(runs, bases[:1]); got != 0 {
+		t.Errorf("mismatched lengths = %g", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Figure X", "bench", "speedup")
+	tb.AddRow("go", "12.5")
+	tb.AddRowF("gcc", 1, 30.0)
+	out := tb.String()
+	for _, want := range []string{"Figure X", "bench", "speedup", "go", "12.5", "gcc", "30.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedKeys = %v", got)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package steer
+
+import "repro/internal/core"
+
+// Operand is a decomposition baseline, not a paper scheme: pure
+// operand-following with no balance machinery — an instruction goes where
+// most of its operands live, ties to the integer cluster. Comparing it
+// with General isolates how much of the general-balance gain comes from
+// communication avoidance alone versus the imbalance counter.
+type Operand struct {
+	core.NopSteerer
+}
+
+// NewOperand returns the operand-following baseline.
+func NewOperand() *Operand { return &Operand{} }
+
+// Name implements core.Steerer.
+func (*Operand) Name() string { return "operand" }
+
+// Steer implements core.Steerer.
+func (*Operand) Steer(info *core.SteerInfo) core.ClusterID {
+	if info.Forced != core.AnyCluster {
+		return info.Forced
+	}
+	inInt := info.OperandsIn(core.IntCluster)
+	inFP := info.OperandsIn(core.FPCluster)
+	if inFP > inInt {
+		return core.FPCluster
+	}
+	return core.IntCluster
+}
+
+// Random steers uniformly at random (deterministic xorshift), the second
+// decomposition baseline: like modulo it ignores dependences, but without
+// modulo's perfect short-term balance. It bounds how much of modulo's
+// behaviour is the alternation itself.
+type Random struct {
+	core.NopSteerer
+	state uint64
+}
+
+// NewRandom returns the deterministic random baseline.
+func NewRandom(seed uint64) *Random { return &Random{state: seed | 1} }
+
+// Name implements core.Steerer.
+func (*Random) Name() string { return "random" }
+
+// Steer implements core.Steerer.
+func (s *Random) Steer(info *core.SteerInfo) core.ClusterID {
+	if info.Forced != core.AnyCluster {
+		return info.Forced
+	}
+	s.state ^= s.state << 13
+	s.state ^= s.state >> 7
+	s.state ^= s.state << 17
+	if s.state&1 == 0 {
+		return core.IntCluster
+	}
+	return core.FPCluster
+}

@@ -1,0 +1,50 @@
+package steer
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestOperandBaseline(t *testing.T) {
+	s := NewOperand()
+	fpInfo := &core.SteerInfo{Forced: core.AnyCluster, NumSrcs: 2}
+	fpInfo.SrcInFP = [2]bool{true, true}
+	if s.Steer(fpInfo) != core.FPCluster {
+		t.Error("operands in FP, steered elsewhere")
+	}
+	intInfo := &core.SteerInfo{Forced: core.AnyCluster, NumSrcs: 1}
+	intInfo.SrcInInt[0] = true
+	if s.Steer(intInfo) != core.IntCluster {
+		t.Error("operand in int, steered elsewhere")
+	}
+	// Tie (and no-operand) goes to the integer cluster — deterministic.
+	if s.Steer(&core.SteerInfo{Forced: core.AnyCluster}) != core.IntCluster {
+		t.Error("tie not resolved to the integer cluster")
+	}
+	forced := &core.SteerInfo{Forced: core.FPCluster}
+	if s.Steer(forced) != core.FPCluster {
+		t.Error("Forced ignored")
+	}
+}
+
+func TestRandomBaselineDeterministicAndBalanced(t *testing.T) {
+	a, b := NewRandom(7), NewRandom(7)
+	info := &core.SteerInfo{Forced: core.AnyCluster}
+	counts := [2]int{}
+	for i := 0; i < 10_000; i++ {
+		ca, cb := a.Steer(info), b.Steer(info)
+		if ca != cb {
+			t.Fatal("same seed diverged")
+		}
+		counts[ca]++
+	}
+	// Roughly balanced in the long run.
+	if counts[0] < 4_000 || counts[0] > 6_000 {
+		t.Errorf("random split %v far from uniform", counts)
+	}
+	forced := &core.SteerInfo{Forced: core.IntCluster}
+	if a.Steer(forced) != core.IntCluster {
+		t.Error("Forced ignored")
+	}
+}

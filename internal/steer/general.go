@@ -1,0 +1,105 @@
+package steer
+
+import "repro/internal/core"
+
+// General implements Section 3.8's general balance steering — the paper's
+// best scheme (+36% average on SpecInt95). It is the limiting case of the
+// priority scheme with the criticality threshold at infinity: no slices are
+// tracked at all. Every steerable instruction goes to the least loaded
+// cluster when there is a strong imbalance or its operands are tied
+// between the clusters, and to the cluster holding most of its operands
+// otherwise. No slice/parent/cluster tables are needed.
+type General struct {
+	core.NopSteerer
+	im *imbalance
+}
+
+// NewGeneral returns the general balance steering scheme.
+func NewGeneral(p Params) *General {
+	return &General{im: newImbalance(p)}
+}
+
+// Name implements core.Steerer.
+func (s *General) Name() string { return "general" }
+
+// OnCycle implements core.Steerer.
+func (s *General) OnCycle(cycle uint64, readyInt, readyFP int) {
+	s.im.onCycle(readyInt, readyFP)
+}
+
+// Steer implements core.Steerer.
+func (s *General) Steer(info *core.SteerInfo) core.ClusterID {
+	var c core.ClusterID
+	if info.Forced != core.AnyCluster {
+		c = info.Forced
+	} else {
+		c = steerByOperandsAndBalance(info, s.im)
+	}
+	s.im.onSteer(c)
+	return c
+}
+
+// Modulo implements the control scheme of Section 3.6/Figure 12: steerable
+// instructions alternate clusters. It achieves near-perfect balance and
+// pathological communication volume, bounding the balance axis of the
+// trade-off.
+type Modulo struct {
+	core.NopSteerer
+	next core.ClusterID
+}
+
+// NewModulo returns modulo steering.
+func NewModulo() *Modulo { return &Modulo{} }
+
+// Name implements core.Steerer.
+func (s *Modulo) Name() string { return "modulo" }
+
+// Steer implements core.Steerer.
+func (s *Modulo) Steer(info *core.SteerInfo) core.ClusterID {
+	if info.Forced != core.AnyCluster {
+		return info.Forced
+	}
+	c := s.next
+	s.next = s.next.Other()
+	return c
+}
+
+// FIFOBased is the cluster-choice half of the Palacharla/Jouppi/Smith
+// steering of Section 3.9; the FIFO placement within the chosen cluster is
+// performed by the core's FIFO-mode issue queues (config.IQFIFO). An
+// instruction follows its not-yet-ready source operand so the dependence
+// chain stays in one FIFO; with no pending operand to chase it takes the
+// emptier cluster.
+type FIFOBased struct {
+	core.NopSteerer
+	next core.ClusterID
+}
+
+// NewFIFOBased returns the FIFO-based steering scheme. Use it with
+// config.FIFOClustered.
+func NewFIFOBased() *FIFOBased { return &FIFOBased{} }
+
+// Name implements core.Steerer.
+func (s *FIFOBased) Name() string { return "fifo" }
+
+// Steer implements core.Steerer.
+func (s *FIFOBased) Steer(info *core.SteerInfo) core.ClusterID {
+	if info.Forced != core.AnyCluster {
+		return info.Forced
+	}
+	// Chase the first operand that lives in exactly one cluster.
+	for i := 0; i < info.NumSrcs; i++ {
+		inInt, inFP := info.SrcInInt[i], info.SrcInFP[i]
+		if inInt && !inFP {
+			return core.IntCluster
+		}
+		if inFP && !inInt {
+			return core.FPCluster
+		}
+	}
+	// No chain to follow: alternate to spread load (the original proposal
+	// fills FIFOs round-robin).
+	c := s.next
+	s.next = s.next.Other()
+	return c
+}

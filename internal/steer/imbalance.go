@@ -1,0 +1,162 @@
+// Package steer implements the dynamic cluster-assignment policies of
+// Canal, Parcerisa and González (HPCA 2000), Section 3: slice steering,
+// non-slice balance steering, slice balance steering, priority slice
+// balance steering, general balance steering, modulo steering, the
+// FIFO-based scheme of Palacharla/Jouppi/Smith, and a profile-based
+// re-creation of Sastry/Palacharla/Smith's static partitioning.
+//
+// Policies implement the core.Steerer interface: the pipeline calls Steer
+// for every program instruction in decode order, plus per-cycle and
+// resolution hooks that feed the balance and criticality machinery.
+package steer
+
+import "repro/internal/core"
+
+// Params carries the tunable constants of the balance machinery. The
+// paper's empirically chosen values are the defaults.
+type Params struct {
+	// Threshold is the strong-imbalance cutoff on the combined counter
+	// (paper: 8).
+	Threshold int
+	// Window is the number of cycles the instantaneous imbalance metric
+	// I2 is averaged over (paper: N=16).
+	Window int
+	// Epoch is the criticality-threshold adjustment period in cycles for
+	// the priority scheme (paper: 8192).
+	Epoch uint64
+	// CriticalFraction is the target fraction of instructions in critical
+	// slices (paper: 0.5).
+	CriticalFraction float64
+	// IssueWidth is the per-cluster issue width the I2 metric compares
+	// ready counts against (Table 2: 4).
+	IssueWidth int
+	// UseI1 and UseI2 optionally disable one component of the combined
+	// imbalance metric for the ablation study (nil or true = enabled).
+	UseI1 *bool
+	UseI2 *bool
+}
+
+// DefaultParams returns the paper's constants.
+func DefaultParams() Params {
+	return Params{Threshold: 8, Window: 16, Epoch: 8192, CriticalFraction: 0.5, IssueWidth: 4}
+}
+
+// imbalance implements Section 3.5's workload-imbalance estimation. It
+// combines two metrics:
+//
+//   - I2: the instantaneous difference in ready instructions between the
+//     clusters, counted only when one cluster has more ready instructions
+//     than its issue width while the other has fewer (otherwise both issue
+//     at full rate and the workload is considered balanced). I2 is
+//     averaged over the last Window cycles.
+//   - I1: the running difference in the number of instructions steered to
+//     each cluster, incremented or decremented as each instruction is
+//     steered — so every instruction decoded in the same cycle sees a
+//     different balance value and massed same-cluster steerings are
+//     avoided (Section 3.5's wording). Because it is cumulative, policies
+//     that react to it alternate clusters in hysteresis-band-sized chunks.
+//
+// The combined counter is avg(I2) + I1. Positive values mean the FP
+// cluster is the more loaded one.
+type imbalance struct {
+	p      Params
+	window []int
+	idx    int
+	sum    int
+	filled int
+	i1     int
+	useI1  bool
+	useI2  bool
+}
+
+func newImbalance(p Params) *imbalance {
+	im := &imbalance{p: p, window: make([]int, p.Window), useI1: true, useI2: true}
+	if p.UseI1 != nil {
+		im.useI1 = *p.UseI1
+	}
+	if p.UseI2 != nil {
+		im.useI2 = *p.UseI2
+	}
+	return im
+}
+
+// onCycle records the cycle's instantaneous I2 and restarts the
+// per-instruction adjustment.
+func (im *imbalance) onCycle(readyInt, readyFP int) {
+	widthInt, widthFP := im.p.IssueWidth, im.p.IssueWidth
+	i2 := 0
+	if im.useI2 {
+		switch {
+		case readyFP > widthFP && readyInt < widthInt:
+			i2 = readyFP - readyInt
+		case readyInt > widthInt && readyFP < widthFP:
+			i2 = readyFP - readyInt // negative
+		}
+	}
+	im.sum -= im.window[im.idx]
+	im.window[im.idx] = i2
+	im.sum += i2
+	im.idx = (im.idx + 1) % len(im.window)
+	if im.filled < len(im.window) {
+		im.filled++
+	}
+}
+
+// onSteer adjusts the counter for one steered instruction. The counter is
+// a saturating hardware counter: it clamps at ±4×threshold so a long
+// one-sided phase (e.g. a large slice pinned to one cluster) cannot wind
+// it up beyond what a few balancing cycles can work off.
+func (im *imbalance) onSteer(c core.ClusterID) {
+	if !im.useI1 {
+		return
+	}
+	limit := 4 * im.p.Threshold
+	if c == core.FPCluster {
+		if im.i1 < limit {
+			im.i1++
+		}
+	} else if im.i1 > -limit {
+		im.i1--
+	}
+}
+
+// value returns the combined imbalance counter.
+func (im *imbalance) value() int {
+	avg := 0
+	if im.filled > 0 {
+		avg = im.sum / im.filled
+	}
+	return avg + im.i1
+}
+
+// strong reports whether the imbalance exceeds the threshold.
+func (im *imbalance) strong() bool {
+	v := im.value()
+	if v < 0 {
+		v = -v
+	}
+	return v >= im.p.Threshold
+}
+
+// overloaded reports whether cluster c is currently on the loaded side of
+// the counter.
+func (im *imbalance) overloaded(c core.ClusterID) bool {
+	v := im.value()
+	return (c == core.FPCluster && v > 0) || (c == core.IntCluster && v < 0)
+}
+
+// leastLoaded returns the cluster the counter says has spare capacity,
+// falling back to the raw ready counts on a tie.
+func (im *imbalance) leastLoaded(readyInt, readyFP int) core.ClusterID {
+	switch v := im.value(); {
+	case v > 0:
+		return core.IntCluster
+	case v < 0:
+		return core.FPCluster
+	default:
+		if readyInt <= readyFP {
+			return core.IntCluster
+		}
+		return core.FPCluster
+	}
+}

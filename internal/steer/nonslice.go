@@ -1,0 +1,71 @@
+package steer
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// NonSliceBalance implements Section 3.5: slice instructions steer to the
+// integer cluster as in the plain slice schemes, while non-slice
+// instructions are used to repair workload balance — they go to the least
+// loaded cluster when the imbalance counter signals a strong imbalance,
+// and to the cluster holding their operands otherwise.
+type NonSliceBalance struct {
+	core.NopSteerer
+	slice *Slice
+	im    *imbalance
+}
+
+// NewNonSliceBalance returns the scheme over the given slice kind with the
+// paper's balance constants.
+func NewNonSliceBalance(kind SliceKind, p Params) *NonSliceBalance {
+	return &NonSliceBalance{slice: NewSlice(kind), im: newImbalance(p)}
+}
+
+// Name implements core.Steerer.
+func (s *NonSliceBalance) Name() string {
+	return fmt.Sprintf("%s-nonslice", s.slice.kind)
+}
+
+// OnCycle implements core.Steerer.
+func (s *NonSliceBalance) OnCycle(cycle uint64, readyInt, readyFP int) {
+	s.im.onCycle(readyInt, readyFP)
+}
+
+// Steer implements core.Steerer.
+func (s *NonSliceBalance) Steer(info *core.SteerInfo) core.ClusterID {
+	inSlice := s.slice.observe(info)
+	c := s.choose(info, inSlice)
+	s.im.onSteer(c)
+	return c
+}
+
+func (s *NonSliceBalance) choose(info *core.SteerInfo, inSlice bool) core.ClusterID {
+	if info.Forced != core.AnyCluster {
+		return info.Forced
+	}
+	if inSlice {
+		return core.IntCluster
+	}
+	return steerByOperandsAndBalance(info, s.im)
+}
+
+// steerByOperandsAndBalance is the shared non-slice placement rule: under
+// strong imbalance go to the least loaded cluster; otherwise follow the
+// operands (majority cluster), breaking ties toward the least loaded side.
+func steerByOperandsAndBalance(info *core.SteerInfo, im *imbalance) core.ClusterID {
+	if im.strong() {
+		return im.leastLoaded(info.Ready[0], info.Ready[1])
+	}
+	inInt := info.OperandsIn(core.IntCluster)
+	inFP := info.OperandsIn(core.FPCluster)
+	switch {
+	case inInt > inFP:
+		return core.IntCluster
+	case inFP > inInt:
+		return core.FPCluster
+	default:
+		return im.leastLoaded(info.Ready[0], info.Ready[1])
+	}
+}

@@ -1,0 +1,435 @@
+package steer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// feed runs the program functionally and presents each committed
+// instruction to the policy in decode order, mimicking the core's calls.
+// It returns per-PC steering decisions of the final iteration.
+func feed(t *testing.T, p *prog.Program, s core.Steerer, max uint64) map[int]core.ClusterID {
+	t.Helper()
+	m := emu.New(p)
+	decisions := make(map[int]core.ClusterID)
+	for i := uint64(0); i < max && !m.Halted; i++ {
+		if i%8 == 0 {
+			s.OnCycle(i/8, 3, 3)
+		}
+		st, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := &core.SteerInfo{
+			Cycle:  i / 8,
+			PC:     st.PC,
+			Inst:   st.Inst,
+			Forced: forcedFor(st.Inst),
+		}
+		for _, r := range st.Inst.Srcs(nil) {
+			if info.NumSrcs >= 2 {
+				break
+			}
+			info.SrcReg[info.NumSrcs] = r
+			info.SrcInInt[info.NumSrcs] = true
+			info.NumSrcs++
+		}
+		c := s.Steer(info)
+		if info.Forced != core.AnyCluster {
+			c = info.Forced
+		}
+		decisions[st.PC] = c
+	}
+	return decisions
+}
+
+func forcedFor(in isa.Inst) core.ClusterID {
+	if in.Op.Class() == isa.ClassComplexInt {
+		return core.IntCluster
+	}
+	if d, ok := in.Dst(); ok && d.IsFP() {
+		return core.FPCluster
+	}
+	for _, r := range in.Srcs(nil) {
+		if r.IsFP() {
+			return core.FPCluster
+		}
+	}
+	return core.AnyCluster
+}
+
+// figure2Src is the paper's running example (Figure 2), written so each
+// significant instruction is easy to locate by label.
+const figure2Src = `
+.data
+A: .word 0, 0, 0, 0
+B: .word 8, 12, 20, 36
+C: .word 2, 1, 5, 6
+.text
+     addi r9, r0, 32    ; 0: N*8
+     addi r1, r0, 0     ; 1: i*8
+for: lui  r2, 1         ; 2: B base (0x10020)
+     ori  r2, r2, 32    ; 3
+     add  r2, r2, r1    ; 4: &B[i]
+     ld   r3, 0(r2)     ; 5: B[i]
+     lui  r4, 1         ; 6: C base (0x10040)
+     ori  r4, r4, 64    ; 7
+     add  r4, r4, r1    ; 8: &C[i]
+     ld   r5, 0(r4)     ; 9: C[i]
+     beq  r5, r0, l1    ; 10
+     div  r7, r3, r5    ; 11
+     j    l2            ; 12
+l1:  addi r7, r0, 0     ; 13
+l2:  lui  r8, 1         ; 14: A base (0x10000)
+     add  r8, r8, r1    ; 15: &A[i]
+     st   r7, 0(r8)     ; 16: A[i] =
+     addi r1, r1, 8     ; 17
+     bne  r1, r9, for   ; 18
+     halt               ; 19
+`
+
+func mustFig2(t *testing.T) *prog.Program {
+	t.Helper()
+	p, err := asm.Assemble("fig2", figure2Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLdStSliceMembershipOnFigure2(t *testing.T) {
+	p := mustFig2(t)
+	s := NewSlice(LdStSlice)
+	feed(t, p, s, 10_000)
+
+	// Address chains must be in the LdSt slice. (PC 1, the one-time loop
+	// initialization of r1, executes before the slice learning converges
+	// and is never re-decoded, so the incremental hardware algorithm never
+	// flags it — a faithful property of the paper's mechanism.)
+	inSlice := []int{2, 3, 4, 5, 6, 7, 8, 9, 14, 15, 16, 17}
+	for _, pc := range inSlice {
+		if !s.InSlice(pc) {
+			t.Errorf("PC %d (%v) should be in the LdSt slice", pc, p.Text[pc])
+		}
+	}
+	// Branch chain (r9), the div (store *data*), and branches themselves
+	// must not be.
+	notInSlice := []int{0, 10, 11, 12, 13, 18}
+	for _, pc := range notInSlice {
+		if s.InSlice(pc) {
+			t.Errorf("PC %d (%v) should NOT be in the LdSt slice", pc, p.Text[pc])
+		}
+	}
+}
+
+func TestBrSliceMembershipOnFigure2(t *testing.T) {
+	p := mustFig2(t)
+	s := NewSlice(BrSlice)
+	feed(t, p, s, 10_000)
+
+	// The loop-control chain (r9 init, r1 increment) and the compare input
+	// load C[i] belong to the Br slice; the EA chain of that load does not
+	// (the RDG splits memory instructions into disconnected nodes). PC 1
+	// executes once before learning converges, so it is never flagged.
+	inSlice := []int{0, 9, 10, 17, 18}
+	for _, pc := range inSlice {
+		if !s.InSlice(pc) {
+			t.Errorf("PC %d (%v) should be in the Br slice", pc, p.Text[pc])
+		}
+	}
+	notInSlice := []int{2, 3, 4, 6, 7, 8, 11, 14, 15, 16}
+	for _, pc := range notInSlice {
+		if s.InSlice(pc) {
+			t.Errorf("PC %d (%v) should NOT be in the Br slice", pc, p.Text[pc])
+		}
+	}
+}
+
+func TestSliceSteeringDecisions(t *testing.T) {
+	p := mustFig2(t)
+	s := NewSlice(LdStSlice)
+	dec := feed(t, p, s, 10_000)
+	// Once learned, slice members steer to the integer cluster, the rest
+	// to the FP cluster (div is forced integer).
+	if dec[5] != core.IntCluster || dec[16] != core.IntCluster {
+		t.Error("memory instructions not steered to the integer cluster")
+	}
+	if dec[11] != core.IntCluster {
+		t.Error("div must be forced to the integer cluster")
+	}
+	if dec[12] != core.FPCluster { // j l2: not in LdSt slice
+		t.Errorf("non-slice jump steered to %v, want fp", dec[12])
+	}
+}
+
+func TestImbalanceCounter(t *testing.T) {
+	im := newImbalance(DefaultParams())
+	// Strong FP overload: readyFP > width, readyInt < width.
+	for i := 0; i < 20; i++ {
+		im.onCycle(0, 12)
+	}
+	if !im.strong() {
+		t.Fatalf("counter %d not strong under sustained overload", im.value())
+	}
+	if im.leastLoaded(0, 12) != core.IntCluster {
+		t.Fatal("least loaded should be the integer cluster")
+	}
+	if !im.overloaded(core.FPCluster) || im.overloaded(core.IntCluster) {
+		t.Fatal("overloaded cluster misidentified")
+	}
+	// Balanced epochs decay the window average.
+	for i := 0; i < 20; i++ {
+		im.onCycle(3, 3)
+	}
+	if im.strong() {
+		t.Fatalf("counter %d still strong after balanced cycles", im.value())
+	}
+}
+
+func TestImbalanceIgnoresBalancedOverload(t *testing.T) {
+	im := newImbalance(DefaultParams())
+	// Both clusters above issue width: both issue at full rate, I2 = 0.
+	for i := 0; i < 20; i++ {
+		im.onCycle(10, 20)
+	}
+	if im.value() != 0 {
+		t.Fatalf("I2 counted while both clusters saturated: %d", im.value())
+	}
+}
+
+func TestImbalanceI1Cumulative(t *testing.T) {
+	im := newImbalance(DefaultParams())
+	im.onCycle(0, 0)
+	for i := 0; i < 8; i++ {
+		im.onSteer(core.FPCluster)
+	}
+	if im.value() != 8 {
+		t.Fatalf("I1 after 8 FP steers = %d, want 8", im.value())
+	}
+	if !im.strong() {
+		t.Fatal("8 same-cluster steers must trip the threshold")
+	}
+	// I1 is the cumulative steered-count difference: it persists across
+	// cycles and is worked off by steering the other way.
+	im.onCycle(0, 0)
+	if im.value() != 8 {
+		t.Fatalf("I1 did not persist: %d", im.value())
+	}
+	for i := 0; i < 8; i++ {
+		im.onSteer(core.IntCluster)
+	}
+	if im.value() != 0 {
+		t.Fatalf("I1 not worked off by opposite steers: %d", im.value())
+	}
+}
+
+func TestGeneralFollowsOperands(t *testing.T) {
+	s := NewGeneral(DefaultParams())
+	info := &core.SteerInfo{Forced: core.AnyCluster, NumSrcs: 2}
+	info.SrcInFP = [2]bool{true, true}
+	if c := s.Steer(info); c != core.FPCluster {
+		t.Errorf("both operands FP, steered to %v", c)
+	}
+	info2 := &core.SteerInfo{Forced: core.AnyCluster, NumSrcs: 2}
+	info2.SrcInInt = [2]bool{true, true}
+	if c := s.Steer(info2); c != core.IntCluster {
+		t.Errorf("both operands int, steered to %v", c)
+	}
+}
+
+func TestGeneralBreaksTieTowardLeastLoaded(t *testing.T) {
+	s := NewGeneral(DefaultParams())
+	info := &core.SteerInfo{Forced: core.AnyCluster, NumSrcs: 2}
+	info.SrcInInt = [2]bool{true, false}
+	info.SrcInFP = [2]bool{false, true}
+	info.Ready = [2]int{9, 0}
+	if c := s.Steer(info); c != core.FPCluster {
+		t.Errorf("tie with loaded int cluster steered to %v", c)
+	}
+}
+
+func TestGeneralRespectsStrongImbalance(t *testing.T) {
+	s := NewGeneral(DefaultParams())
+	for i := 0; i < 20; i++ {
+		s.OnCycle(uint64(i), 12, 0) // int cluster overloaded
+	}
+	info := &core.SteerInfo{Forced: core.AnyCluster, NumSrcs: 1}
+	info.SrcInInt[0] = true // operand home says int...
+	if c := s.Steer(info); c != core.FPCluster {
+		t.Errorf("strong imbalance ignored: steered to %v", c)
+	}
+}
+
+func TestModuloAlternates(t *testing.T) {
+	s := NewModulo()
+	info := &core.SteerInfo{Forced: core.AnyCluster}
+	a := s.Steer(info)
+	b := s.Steer(info)
+	c := s.Steer(info)
+	if a == b || b == c || a != c {
+		t.Fatalf("modulo sequence %v %v %v", a, b, c)
+	}
+	forced := &core.SteerInfo{Forced: core.FPCluster}
+	if s.Steer(forced) != core.FPCluster {
+		t.Fatal("modulo ignored Forced")
+	}
+}
+
+func TestSliceBalanceAssignsAndRemaps(t *testing.T) {
+	s := NewSliceBalance(LdStSlice, DefaultParams())
+	p := mustFig2(t)
+	feed(t, p, s, 10_000)
+	if len(s.table) == 0 {
+		t.Fatal("no slices recorded")
+	}
+	// Pick any assigned slice, force a strong overload toward its cluster,
+	// and re-steer a member: the whole slice must re-map away.
+	sid := -1
+	var home core.ClusterID
+	for id, st := range s.table {
+		if st.assigned {
+			sid, home = id, st.cluster
+			break
+		}
+	}
+	if sid < 0 {
+		t.Fatal("no assigned slices after feeding figure 2")
+	}
+	s.im.i1 = 0 // neutralize the steering history accumulated by feed
+	for i := 0; i < 20; i++ {
+		if home == core.IntCluster {
+			s.OnCycle(uint64(1000+i), 12, 0)
+		} else {
+			s.OnCycle(uint64(1000+i), 0, 12)
+		}
+	}
+	before := s.Remaps
+	info := &core.SteerInfo{Forced: core.AnyCluster, PC: sid, Inst: p.Text[sid]}
+	s.Steer(info)
+	if s.Remaps == before {
+		t.Error("overloaded slice did not re-map")
+	}
+	if s.table[sid].cluster != home.Other() {
+		t.Error("slice cluster unchanged after remap")
+	}
+}
+
+func TestPriorityThresholdAdapts(t *testing.T) {
+	params := DefaultParams()
+	params.Epoch = 10
+	s := NewPriority(BrSlice, params)
+	// Mark one slice as highly critical and feed many instructions from it.
+	for i := 0; i < 50; i++ {
+		s.OnBranchResolved(7, true)
+	}
+	s.ids.set(7, 7)
+	info := &core.SteerInfo{Forced: core.AnyCluster, PC: 7, Inst: isa.Inst{Op: isa.BNE}}
+	start := s.Threshold()
+	for cyc := uint64(0); cyc < 100; cyc++ {
+		s.OnCycle(cyc, 2, 2)
+		for k := 0; k < 4; k++ {
+			s.Steer(info)
+		}
+	}
+	// All instructions are in critical slices (fraction 1.0 > 0.5): the
+	// threshold must rise.
+	if s.Threshold() <= start {
+		t.Errorf("threshold did not adapt upward: %d -> %d", start, s.Threshold())
+	}
+}
+
+func TestPriorityCountsOnlyMatchingKind(t *testing.T) {
+	br := NewPriority(BrSlice, DefaultParams())
+	br.OnLoadResolved(3, true) // wrong kind: ignored
+	if br.state(3).missCount != 0 {
+		t.Error("Br priority counted a cache miss")
+	}
+	br.OnBranchResolved(3, true)
+	if br.state(3).missCount != 1 {
+		t.Error("Br priority missed a misprediction")
+	}
+	ld := NewPriority(LdStSlice, DefaultParams())
+	ld.OnBranchResolved(3, true) // ignored
+	if ld.state(3).missCount != 0 {
+		t.Error("LdSt priority counted a misprediction")
+	}
+	ld.OnLoadResolved(3, true)
+	if ld.state(3).missCount != 1 {
+		t.Error("LdSt priority missed a cache miss")
+	}
+}
+
+func TestFIFOBasedChasesOperands(t *testing.T) {
+	s := NewFIFOBased()
+	info := &core.SteerInfo{Forced: core.AnyCluster, NumSrcs: 1}
+	info.SrcInFP[0] = true
+	if c := s.Steer(info); c != core.FPCluster {
+		t.Errorf("operand in FP, steered %v", c)
+	}
+	// No operands: alternates.
+	e1 := s.Steer(&core.SteerInfo{Forced: core.AnyCluster})
+	e2 := s.Steer(&core.SteerInfo{Forced: core.AnyCluster})
+	if e1 == e2 {
+		t.Error("empty-operand instructions did not alternate")
+	}
+}
+
+func TestStaticPartitionerFreezesAssignment(t *testing.T) {
+	p := mustFig2(t)
+	s, err := NewStatic(p, LdStSlice, 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Address-chain instructions must be fixed to the integer cluster.
+	for _, pc := range []int{4, 5, 8, 9, 15, 16, 17} {
+		if c, ok := s.Assignment(pc); !ok || c != core.IntCluster {
+			t.Errorf("PC %d assigned %v,%v want int", pc, c, ok)
+		}
+	}
+	// The div's slice-free data computation goes to the FP cluster in the
+	// static table (the datapath constraint overrides at dispatch).
+	if c, _ := s.Assignment(11); c != core.FPCluster {
+		t.Errorf("PC 11 assigned %v, want fp (pre-constraint)", c)
+	}
+	// Decisions are stable: same PC always steers the same way.
+	info := &core.SteerInfo{Forced: core.AnyCluster, PC: 4}
+	first := s.Steer(info)
+	for i := 0; i < 10; i++ {
+		if s.Steer(info) != first {
+			t.Fatal("static assignment varied across instances")
+		}
+	}
+}
+
+func TestRegistryBuildsEverything(t *testing.T) {
+	p := mustFig2(t)
+	for _, name := range Names() {
+		s, err := New(name, p)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if s.Name() == "" {
+			t.Errorf("%q: empty Name()", name)
+		}
+		if !strings.Contains(name, "static") && s.Name() != name && name != "naive" {
+			// naive maps to core.NaiveSteerer with Name "naive" too.
+			t.Errorf("Name() = %q, registry key %q", s.Name(), name)
+		}
+	}
+	if _, err := New("bogus", p); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestSliceKindString(t *testing.T) {
+	if LdStSlice.String() != "ldst" || BrSlice.String() != "br" {
+		t.Fatal("SliceKind names wrong")
+	}
+}

@@ -1,0 +1,118 @@
+package steer
+
+import "repro/internal/isa"
+
+// SliceKind selects which backward slices a policy tracks: those of memory
+// instructions' address computations (the LdSt slice) or those of branches
+// (the Br slice).
+type SliceKind uint8
+
+const (
+	// LdStSlice marks the backward slices of address calculations.
+	LdStSlice SliceKind = iota
+	// BrSlice marks the backward slices of branches.
+	BrSlice
+)
+
+// String returns "ldst" or "br".
+func (k SliceKind) String() string {
+	if k == BrSlice {
+		return "br"
+	}
+	return "ldst"
+}
+
+// defines reports whether op starts a slice of this kind.
+func (k SliceKind) defines(op isa.Opcode) bool {
+	if k == BrSlice {
+		return op.IsBranch()
+	}
+	return op.IsMem()
+}
+
+// parentTable is the hardware of Section 3.3: for each logical register,
+// the PC of the last decoded instruction that wrote it. Slice membership
+// propagates backwards through it one producer level per decode.
+type parentTable struct {
+	pc    [isa.NumRegs]int
+	valid [isa.NumRegs]bool
+}
+
+// lookup returns the last writer's PC for register r.
+func (t *parentTable) lookup(r isa.Reg) (int, bool) {
+	if !r.Valid() || r.IsZero() {
+		return 0, false
+	}
+	return t.pc[r], t.valid[r]
+}
+
+// record notes that the instruction at pc wrote register r.
+func (t *parentTable) record(r isa.Reg, pc int) {
+	if !r.Valid() || r.IsZero() {
+		return
+	}
+	t.pc[r] = pc
+	t.valid[r] = true
+}
+
+// sliceSources returns the registers through which slice membership
+// propagates backwards from an in-slice instruction at decode. The paper's
+// RDG splits each memory instruction into two *disconnected* nodes — the
+// effective-address calculation and the access — so propagation through a
+// memory instruction depends on the slice kind:
+//
+//   - in the LdSt slice (backward slices of address calculations), a memory
+//     instruction propagates only through its address operand: store data
+//     and the loaded value's own history are not part of the slice;
+//   - in the Br slice, a load reached through its value is the access node,
+//     which has no RDG parents — propagation stops there (Figure 2: LD RCi
+//     is in the Br slice, its EA is not);
+//   - every other instruction propagates through all register sources.
+func sliceSources(kind SliceKind, in isa.Inst, buf []isa.Reg) []isa.Reg {
+	if in.Op.IsMem() {
+		if kind == BrSlice {
+			return buf
+		}
+		if in.Rs1 != isa.NoReg && in.Rs1.Valid() && !in.Rs1.IsZero() {
+			buf = append(buf, in.Rs1)
+		}
+		return buf
+	}
+	return in.Srcs(buf)
+}
+
+// sliceBitTable is the one-bit-per-PC table of the plain slice-steering
+// schemes (Section 3.3): a set bit means the static instruction belongs to
+// the tracked slice. The hardware proposal indexes it by PC; we model it as
+// an exact per-PC table.
+type sliceBitTable struct {
+	bits map[int]bool
+}
+
+func newSliceBitTable() *sliceBitTable {
+	return &sliceBitTable{bits: make(map[int]bool)}
+}
+
+func (t *sliceBitTable) set(pc int)      { t.bits[pc] = true }
+func (t *sliceBitTable) get(pc int) bool { return t.bits[pc] }
+
+// sliceIDTable maps each static instruction to the slice it belongs to,
+// identified by the PC of the slice's defining load/store/branch (Section
+// 3.6's slice table). The zero value of an entry means "no slice".
+type sliceIDTable struct {
+	ids map[int]int // pc -> defining pc + 1 (0 = none)
+}
+
+func newSliceIDTable() *sliceIDTable {
+	return &sliceIDTable{ids: make(map[int]int)}
+}
+
+func (t *sliceIDTable) set(pc, slice int) { t.ids[pc] = slice + 1 }
+
+func (t *sliceIDTable) get(pc int) (int, bool) {
+	v, ok := t.ids[pc]
+	if !ok {
+		return 0, false
+	}
+	return v - 1, true
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// The FP analogs are an extension beyond the paper's SpecInt95 evaluation:
+// Section 1 motivates the clustered design with the observation that FP
+// applications are rich in *integer* instructions (address arithmetic,
+// loop control), which is why giving the FP cluster simple integer units
+// pays. These workloads let the extension benches measure steering when
+// the FP cluster has first-class work of its own.
+
+// buildTomcatv is a 101.tomcatv analog: a 2-D mesh relaxation sweep —
+// load a 5-point stencil of doubles, combine with FP multiplies/adds,
+// store the relaxed value, with the usual integer index arithmetic and
+// loop control around it.
+//
+// Registers: r1 grid base, r2 out base, r3 row, r4 col, r5-r9 int scratch,
+// f1-f9 stencil values.
+func buildTomcatv() *prog.Program {
+	b := prog.NewBuilder("tomcatv")
+	const dim = 64
+	vals := make([]float64, dim*dim)
+	x := xorshift64(0x70CA7)
+	for i := range vals {
+		vals[i] = float64(int(x.next()%1000)) / 100.0
+	}
+	b.Float64s("grid", vals...)
+	b.Space("out", dim*dim*8)
+	b.Float64s("coef", 0.25, 0.125, 1.0e-3)
+
+	b.La(isa.R(1), "grid")
+	b.La(isa.R(2), "out")
+	b.La(isa.R(10), "coef")
+	b.Fld(isa.F(10), isa.R(10), 0) // 0.25
+	b.Fld(isa.F(11), isa.R(10), 8) // 0.125
+	b.Li(isa.R(3), 1)              // row
+
+	b.Label("row")
+	b.Li(isa.R(4), 1) // col
+	b.Label("col")
+	// idx = (row*dim + col) * 8
+	b.Slli(isa.R(5), isa.R(3), 6)
+	b.Add(isa.R(5), isa.R(5), isa.R(4))
+	b.Slli(isa.R(5), isa.R(5), 3)
+	b.Add(isa.R(6), isa.R(1), isa.R(5))
+	// 5-point stencil loads.
+	b.Fld(isa.F(1), isa.R(6), 0)
+	b.Fld(isa.F(2), isa.R(6), 8)
+	b.Fld(isa.F(3), isa.R(6), -8)
+	b.Fld(isa.F(4), isa.R(6), dim*8)
+	b.Fld(isa.F(5), isa.R(6), -dim*8)
+	// relaxed = 0.25*(n+s+e+w) + 0.125*center... (tomcatv-ish blend)
+	b.Fadd(isa.F(6), isa.F(2), isa.F(3))
+	b.Fadd(isa.F(7), isa.F(4), isa.F(5))
+	b.Fadd(isa.F(6), isa.F(6), isa.F(7))
+	b.Fmul(isa.F(6), isa.F(6), isa.F(10))
+	b.Fmul(isa.F(8), isa.F(1), isa.F(11))
+	b.Fadd(isa.F(6), isa.F(6), isa.F(8))
+	// store to the output grid
+	b.Add(isa.R(7), isa.R(2), isa.R(5))
+	b.Fst(isa.F(6), isa.R(7), 0)
+	// residual accumulation (FP compare feeding int, tomcatv's RESID)
+	b.Fsub(isa.F(9), isa.F(6), isa.F(1))
+	b.Fabs(isa.F(9), isa.F(9))
+	b.Fcvtfi(isa.R(8), isa.F(9))
+	b.Add(isa.R(9), isa.R(9), isa.R(8))
+	// next column/row with wraparound
+	b.Addi(isa.R(4), isa.R(4), 1)
+	b.Slti(isa.R(5), isa.R(4), dim-1)
+	b.Bne(isa.R(5), isa.R(0), "col")
+	b.Addi(isa.R(3), isa.R(3), 1)
+	b.Slti(isa.R(5), isa.R(3), dim-1)
+	b.Bne(isa.R(5), isa.R(0), "row")
+	b.Li(isa.R(3), 1)
+	b.Jmp("row")
+	return b.MustBuild()
+}
+
+// buildSwim is a 102.swim analog: shallow-water finite differences over
+// three field arrays (u, v, p) — per point, load from all three, compute
+// the characteristic u/v/p updates with FP arithmetic, store back; heavier
+// on FP multiplies and with three independent output streams.
+//
+// Registers: r1 u, r2 v, r3 p bases, r4 index, r5-r8 scratch, f1-f12 fields.
+func buildSwim() *prog.Program {
+	b := prog.NewBuilder("swim")
+	const n = 4096
+	mk := func(sym string, seed uint64) {
+		vals := make([]float64, n)
+		x := xorshift64(seed)
+		for i := range vals {
+			vals[i] = float64(int(x.next()%2000)-1000) / 500.0
+		}
+		b.Float64s(sym, vals...)
+	}
+	mk("u", 0x5417)
+	mk("v", 0x5418)
+	mk("p", 0x5419)
+	b.Float64s("consts", 0.5, 0.1, 9.8)
+
+	b.La(isa.R(1), "u")
+	b.La(isa.R(2), "v")
+	b.La(isa.R(3), "p")
+	b.La(isa.R(7), "consts")
+	b.Fld(isa.F(10), isa.R(7), 0)  // 0.5
+	b.Fld(isa.F(11), isa.R(7), 8)  // dt
+	b.Fld(isa.F(12), isa.R(7), 16) // g
+	b.Li(isa.R(4), 0)
+
+	b.Label("point")
+	b.Slli(isa.R(5), isa.R(4), 3)
+	b.Add(isa.R(6), isa.R(1), isa.R(5))
+	b.Fld(isa.F(1), isa.R(6), 0) // u[i]
+	b.Fld(isa.F(2), isa.R(6), 8) // u[i+1]
+	b.Add(isa.R(6), isa.R(2), isa.R(5))
+	b.Fld(isa.F(3), isa.R(6), 0) // v[i]
+	b.Fld(isa.F(4), isa.R(6), 8)
+	b.Add(isa.R(8), isa.R(3), isa.R(5))
+	b.Fld(isa.F(5), isa.R(8), 0) // p[i]
+	b.Fld(isa.F(6), isa.R(8), 8)
+	// du = dt*(g*(p[i+1]-p[i]) + 0.5*(v[i]+v[i+1]))
+	b.Fsub(isa.F(7), isa.F(6), isa.F(5))
+	b.Fmul(isa.F(7), isa.F(7), isa.F(12))
+	b.Fadd(isa.F(8), isa.F(3), isa.F(4))
+	b.Fmul(isa.F(8), isa.F(8), isa.F(10))
+	b.Fadd(isa.F(7), isa.F(7), isa.F(8))
+	b.Fmul(isa.F(7), isa.F(7), isa.F(11))
+	b.Fadd(isa.F(1), isa.F(1), isa.F(7))
+	// dv = dt*0.5*(u[i]+u[i+1]); p += dt*(u'+v')
+	b.Fadd(isa.F(9), isa.F(1), isa.F(2))
+	b.Fmul(isa.F(9), isa.F(9), isa.F(10))
+	b.Fmul(isa.F(9), isa.F(9), isa.F(11))
+	b.Fadd(isa.F(3), isa.F(3), isa.F(9))
+	b.Fadd(isa.F(8), isa.F(1), isa.F(3))
+	b.Fmul(isa.F(8), isa.F(8), isa.F(11))
+	b.Fadd(isa.F(5), isa.F(5), isa.F(8))
+	// stores
+	b.Add(isa.R(6), isa.R(1), isa.R(5))
+	b.Fst(isa.F(1), isa.R(6), 0)
+	b.Add(isa.R(6), isa.R(2), isa.R(5))
+	b.Fst(isa.F(3), isa.R(6), 0)
+	b.Fst(isa.F(5), isa.R(8), 0)
+	// next point, wrapping (leave the last slot as boundary)
+	b.Addi(isa.R(4), isa.R(4), 1)
+	b.Andi(isa.R(4), isa.R(4), n-2)
+	b.Jmp("point")
+	return b.MustBuild()
+}

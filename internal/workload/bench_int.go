@@ -1,0 +1,380 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// buildCompress is the 129.compress analog: the LZW compression kernel —
+// read a byte, combine it with the previous code into a hash, probe the
+// code table, and either follow the match or insert a new entry. It
+// reproduces compress's signature behaviour: a tight loop around a
+// hash-table probe whose hit/miss branch is data-dependent (hard to
+// predict) and whose table stores scatter across a 128KB structure.
+//
+// The kernel processes the hash recurrence alongside the output bit-packing
+// and checksum work real compress interleaves with it, so consecutive
+// iterations expose the across-chain parallelism an 8-wide window sees in
+// the -O5 binary.
+//
+// Registers: r1 input base, r2 position, r3 position mask, r4 table base,
+// r5 previous code, r6 current byte, r7-r12 scratch, r13 output count,
+// r14 table index mask, r15 output base; checksum chain: r16 adler-a,
+// r17 adler-b, r18 position, r19-r21 scratch; bit packer: r22 bit buffer,
+// r23 bit count.
+func buildCompress() *prog.Program {
+	b := prog.NewBuilder("compress")
+	const inputLen = 64 << 10
+	b.Bytes("input", synthBytes(0xC0FFEE, inputLen, 26))
+	b.Space("table", 8192*16) // 8192 entries of {key, code}
+	b.Space("output", 4096*8)
+
+	b.La(isa.R(1), "input")
+	b.La(isa.R(4), "table")
+	b.La(isa.R(15), "output")
+	b.Li(isa.R(2), 0)
+	b.Li(isa.R(3), inputLen-1)
+	b.Li(isa.R(5), 0)
+	b.Li(isa.R(13), 0)
+	b.Li(isa.R(14), 8191)
+	b.Li(isa.R(16), 1)
+	b.Li(isa.R(17), 0)
+	b.Li(isa.R(18), 32768) // checksum scans the other half of the input
+	b.Li(isa.R(22), 0)
+	b.Li(isa.R(23), 0)
+
+	b.Label("top")
+	// --- LZW hash recurrence ---
+	// c = input[i]
+	b.Add(isa.R(7), isa.R(1), isa.R(2))
+	b.Lb(isa.R(6), isa.R(7), 0)
+	// h = ((k << 4) ^ c) & 8191
+	b.Slli(isa.R(8), isa.R(5), 4)
+	b.Xor(isa.R(8), isa.R(8), isa.R(6))
+	b.And(isa.R(8), isa.R(8), isa.R(14))
+	// entry = &table[h*16]
+	b.Slli(isa.R(9), isa.R(8), 4)
+	b.Add(isa.R(9), isa.R(4), isa.R(9))
+	// key = (k << 8) | c
+	b.Slli(isa.R(10), isa.R(5), 8)
+	b.Or(isa.R(10), isa.R(10), isa.R(6))
+	// --- independent checksum chain (adler-style) ---
+	b.Add(isa.R(19), isa.R(1), isa.R(18))
+	b.Lb(isa.R(20), isa.R(19), 0)
+	b.Add(isa.R(16), isa.R(16), isa.R(20))
+	b.Andi(isa.R(16), isa.R(16), 0xFFF)
+	b.Add(isa.R(17), isa.R(17), isa.R(16))
+	b.Andi(isa.R(17), isa.R(17), 0xFFF)
+	b.Addi(isa.R(18), isa.R(18), 1)
+	b.And(isa.R(18), isa.R(18), isa.R(3))
+	// --- probe ---
+	b.Ld(isa.R(11), isa.R(9), 0)
+	b.Bne(isa.R(11), isa.R(10), "miss")
+	// hit: follow the chain code
+	b.Ld(isa.R(5), isa.R(9), 8)
+	b.Jmp("pack")
+	b.Label("miss")
+	// emit current code to the output ring and insert the new entry
+	b.Andi(isa.R(12), isa.R(13), 4095)
+	b.Slli(isa.R(12), isa.R(12), 3)
+	b.Add(isa.R(12), isa.R(15), isa.R(12))
+	b.St(isa.R(5), isa.R(12), 0)
+	b.Addi(isa.R(13), isa.R(13), 1)
+	b.St(isa.R(10), isa.R(9), 0)
+	b.St(isa.R(6), isa.R(9), 8)
+	b.Mov(isa.R(5), isa.R(6))
+	b.Label("pack")
+	// --- output bit packer (independent of the probe result path) ---
+	b.Slli(isa.R(22), isa.R(22), 9)
+	b.Or(isa.R(22), isa.R(22), isa.R(6))
+	b.Addi(isa.R(23), isa.R(23), 9)
+	b.Slti(isa.R(21), isa.R(23), 54)
+	b.Bne(isa.R(21), isa.R(0), "next")
+	b.Andi(isa.R(21), isa.R(13), 4095)
+	b.Slli(isa.R(21), isa.R(21), 3)
+	b.Add(isa.R(21), isa.R(15), isa.R(21))
+	b.St(isa.R(22), isa.R(21), 0)
+	b.Li(isa.R(22), 0)
+	b.Li(isa.R(23), 0)
+	b.Label("next")
+	b.Addi(isa.R(2), isa.R(2), 1)
+	b.And(isa.R(2), isa.R(2), isa.R(3))
+	b.Jmp("top")
+	return b.MustBuild()
+}
+
+// buildGo is the 099.go analog: positional evaluation over a 19x19 board —
+// for every point, classify it (empty/own/opponent) and score local
+// patterns from its four neighbours. It reproduces go's signature: the
+// highest branch density in SpecInt95, short data-dependent branch chains,
+// and a small, cache-resident working set.
+//
+// Registers: r1 board base, r2 point index, r3 board size, r4 score,
+// r5-r12 scratch, r13 row stride, r14 captured count.
+func buildGo() *prog.Program {
+	b := prog.NewBuilder("go")
+	const stride = 21 // 19 columns + sentinel border
+	const size = stride * 21
+	board := make([]byte, size)
+	x := xorshift64(0x60B0A12D)
+	for r := 1; r < 20; r++ {
+		for c := 1; c < 20; c++ {
+			v := x.next() % 10
+			switch {
+			case v < 4:
+				board[r*stride+c] = 0 // empty
+			case v < 7:
+				board[r*stride+c] = 1 // black
+			default:
+				board[r*stride+c] = 2 // white
+			}
+		}
+	}
+	b.Bytes("board", board)
+	b.Space("scores", size*8)
+
+	b.La(isa.R(1), "board")
+	b.La(isa.R(15), "scores")
+	b.Li(isa.R(2), stride+1)
+	b.Li(isa.R(3), size-stride-1)
+	b.Li(isa.R(4), 0)
+	b.Li(isa.R(13), stride)
+	b.Li(isa.R(14), 0)
+
+	b.Label("point")
+	b.Add(isa.R(5), isa.R(1), isa.R(2))
+	b.Lb(isa.R(6), isa.R(5), 0) // stone at p
+	// Load the four neighbours.
+	b.Lb(isa.R(7), isa.R(5), 1)
+	b.Lb(isa.R(8), isa.R(5), -1)
+	b.Lb(isa.R(9), isa.R(5), stride)
+	b.Lb(isa.R(10), isa.R(5), -stride)
+	b.Beq(isa.R(6), isa.R(0), "empty")
+	// Occupied: count same-colour neighbours (group strength).
+	b.Li(isa.R(11), 0)
+	b.Bne(isa.R(7), isa.R(6), "s1")
+	b.Addi(isa.R(11), isa.R(11), 1)
+	b.Label("s1")
+	b.Bne(isa.R(8), isa.R(6), "s2")
+	b.Addi(isa.R(11), isa.R(11), 1)
+	b.Label("s2")
+	b.Bne(isa.R(9), isa.R(6), "s3")
+	b.Addi(isa.R(11), isa.R(11), 1)
+	b.Label("s3")
+	b.Bne(isa.R(10), isa.R(6), "s4")
+	b.Addi(isa.R(11), isa.R(11), 1)
+	b.Label("s4")
+	// A stone with no same-colour neighbour and no empty neighbour is
+	// captured-ish: test liberties.
+	b.Bne(isa.R(11), isa.R(0), "scored")
+	b.Beq(isa.R(7), isa.R(0), "scored")
+	b.Beq(isa.R(8), isa.R(0), "scored")
+	b.Beq(isa.R(9), isa.R(0), "scored")
+	b.Beq(isa.R(10), isa.R(0), "scored")
+	b.Addi(isa.R(14), isa.R(14), 1)
+	b.Jmp("scored")
+	b.Label("empty")
+	// Empty point: influence = black neighbours - white neighbours.
+	b.Li(isa.R(11), 0)
+	b.Slti(isa.R(12), isa.R(7), 2) // 1 if empty/black
+	b.Add(isa.R(11), isa.R(11), isa.R(12))
+	b.Slti(isa.R(12), isa.R(8), 2)
+	b.Add(isa.R(11), isa.R(11), isa.R(12))
+	b.Slti(isa.R(12), isa.R(9), 2)
+	b.Add(isa.R(11), isa.R(11), isa.R(12))
+	b.Slti(isa.R(12), isa.R(10), 2)
+	b.Add(isa.R(11), isa.R(11), isa.R(12))
+	b.Blt(isa.R(11), isa.R(13), "scored") // always true; keeps branch mix
+	b.Label("scored")
+	b.Add(isa.R(4), isa.R(4), isa.R(11))
+	// scores[p] += strength
+	b.Slli(isa.R(12), isa.R(2), 3)
+	b.Add(isa.R(12), isa.R(15), isa.R(12))
+	b.Ld(isa.R(5), isa.R(12), 0)
+	b.Add(isa.R(5), isa.R(5), isa.R(11))
+	b.St(isa.R(5), isa.R(12), 0)
+	// next point, wrapping inside the playable area
+	b.Addi(isa.R(2), isa.R(2), 1)
+	b.Blt(isa.R(2), isa.R(3), "point")
+	b.Li(isa.R(2), stride+1)
+	b.Jmp("point")
+	return b.MustBuild()
+}
+
+// buildGCC is the 126.gcc analog: a pass over a synthetic RTL instruction
+// chain — load a node, dispatch on its opcode through a compare tree,
+// transform its value, store the result, follow the next pointer. It
+// reproduces gcc's signature: pointer chasing over a multi-hundred-KB IR,
+// dispatch-heavy control flow, and stores back into the walked structure.
+//
+// Node layout (32 bytes): op, value, next, aux.
+// Registers: r1 current node, r2 head, r3 op, r4 value, r5-r9 scratch,
+// r10 transform count.
+func buildGCC() *prog.Program {
+	b := prog.NewBuilder("gcc")
+	const nodes = 1024
+	const nodeSize = 32
+	// Build a locality-preserving permutation ring: nodes are shuffled
+	// only within ±8 positions, so the walk is irregular at instruction
+	// granularity but cache-friendly overall (gcc's IR lists are allocated
+	// roughly in traversal order, giving it a moderate ~32KB hot set).
+	perm := make([]int, nodes)
+	for i := range perm {
+		perm[i] = i
+	}
+	x := xorshift64(0x6CC)
+	for i := 0; i < nodes-8; i++ {
+		j := i + int(x.next()%8)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	raw := make([]int64, nodes*4)
+	base := int64(prog.DefaultDataBase)
+	for i := 0; i < nodes; i++ {
+		nextIdx := perm[(indexOf(perm, i)+1)%nodes]
+		raw[i*4+0] = int64(x.next() % 8)       // op
+		raw[i*4+1] = int64(x.next() % 100_000) // value
+		raw[i*4+2] = base + int64(nextIdx*nodeSize)
+		raw[i*4+3] = 0
+	}
+	b.Word64("nodes", raw...)
+
+	b.La(isa.R(2), "nodes")
+	b.Mov(isa.R(1), isa.R(2))
+	b.Li(isa.R(10), 0)
+
+	b.Label("walk")
+	b.Ld(isa.R(3), isa.R(1), 0) // op
+	b.Ld(isa.R(4), isa.R(1), 8) // value
+	// Dispatch tree (binary over 8 opcodes).
+	b.Slti(isa.R(5), isa.R(3), 4)
+	b.Beq(isa.R(5), isa.R(0), "hi")
+	b.Slti(isa.R(5), isa.R(3), 2)
+	b.Beq(isa.R(5), isa.R(0), "op23")
+	b.Bne(isa.R(3), isa.R(0), "op1")
+	// op0: negate-ish
+	b.Sub(isa.R(4), isa.R(0), isa.R(4))
+	b.Jmp("store")
+	b.Label("op1") // strength-reduced multiply
+	b.Slli(isa.R(6), isa.R(4), 2)
+	b.Add(isa.R(4), isa.R(6), isa.R(4))
+	b.Jmp("store")
+	b.Label("op23")
+	b.Slti(isa.R(5), isa.R(3), 3)
+	b.Beq(isa.R(5), isa.R(0), "op3")
+	b.Xori(isa.R(4), isa.R(4), 0x5A5)
+	b.Jmp("store")
+	b.Label("op3") // constant-fold add
+	b.Addi(isa.R(4), isa.R(4), 42)
+	b.Jmp("store")
+	b.Label("hi")
+	b.Slti(isa.R(5), isa.R(3), 6)
+	b.Beq(isa.R(5), isa.R(0), "op67")
+	b.Slti(isa.R(5), isa.R(3), 5)
+	b.Beq(isa.R(5), isa.R(0), "op5")
+	b.Srai(isa.R(4), isa.R(4), 1)
+	b.Jmp("store")
+	b.Label("op5") // CSE hit: reuse aux
+	b.Ld(isa.R(6), isa.R(1), 24)
+	b.Add(isa.R(4), isa.R(4), isa.R(6))
+	b.Jmp("store")
+	b.Label("op67")
+	b.Andi(isa.R(4), isa.R(4), 0xFFF)
+	b.Label("store")
+	b.St(isa.R(4), isa.R(1), 24) // aux = transformed value
+	b.Addi(isa.R(10), isa.R(10), 1)
+	b.Ld(isa.R(1), isa.R(1), 16) // follow next
+	b.Jmp("walk")
+	return b.MustBuild()
+}
+
+func indexOf(s []int, v int) int {
+	for i, x := range s {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// buildLi is the 130.li analog: the xlisp evaluator's hot path — walk cons
+// cells, test type tags, sum immediate integers, and rebuild list spines
+// with bump allocation. It reproduces li's signature: car/cdr pointer
+// chasing with a tag-test branch per cell and periodic allocation stores.
+//
+// Cell layout (16 bytes): car, cdr. Tagged values: odd = integer (value in
+// high 63 bits), even = pointer.
+// Registers: r1 current cell, r2 heap base, r3 sum, r4 bump pointer,
+// r5-r9 scratch, r11 list head, r12 alloc mask.
+func buildLi() *prog.Program {
+	b := prog.NewBuilder("li")
+	const cells = 2048 // 32KB heap: xlisp's hot set is cache-resident
+	const cellSize = 16
+	base := int64(prog.DefaultDataBase)
+	raw := make([]int64, cells*2)
+	x := xorshift64(0x11)
+	for i := 0; i < cells; i++ {
+		if x.next()%3 == 0 {
+			// Pointer car: reference a random earlier cell (a shared
+			// sublist, as lisp heaps have).
+			raw[i*2] = base + int64(int(x.next()%uint64(cells))*cellSize)
+		} else {
+			raw[i*2] = int64(x.next()%1000)<<1 | 1 // tagged int
+		}
+		raw[i*2+1] = base + int64(((i+1)%cells)*cellSize) // cdr ring
+	}
+	b.Word64("heap", raw...)
+	b.Space("newspace", cells*cellSize)
+
+	b.La(isa.R(2), "heap")
+	b.La(isa.R(4), "newspace")
+	b.Mov(isa.R(1), isa.R(2))
+	b.Li(isa.R(3), 0)
+	b.Li(isa.R(12), cells*cellSize-1)
+	b.Li(isa.R(13), 0) // alloc offset
+	// Second evaluator walker (the interpreter's environment scan),
+	// starting mid-heap: an independent chain the window overlaps with
+	// the first.
+	b.La(isa.R(20), "heap")
+	b.Addi(isa.R(20), isa.R(20), cells/2*cellSize)
+	b.Li(isa.R(21), 0)
+
+	b.Label("eval")
+	b.Ld(isa.R(5), isa.R(1), 0)   // car (walker 1)
+	b.Ld(isa.R(22), isa.R(20), 0) // car (walker 2)
+	b.Andi(isa.R(6), isa.R(5), 1)
+	// Walker 2: tag test and accumulate (no allocation on this path).
+	b.Andi(isa.R(23), isa.R(22), 1)
+	b.Beq(isa.R(23), isa.R(0), "w2ptr")
+	b.Srai(isa.R(24), isa.R(22), 1)
+	b.Add(isa.R(21), isa.R(21), isa.R(24))
+	b.Jmp("w2done")
+	b.Label("w2ptr")
+	b.Ld(isa.R(24), isa.R(22), 8) // peek the sublist's cdr
+	b.Xor(isa.R(21), isa.R(21), isa.R(24))
+	b.Label("w2done")
+	b.Ld(isa.R(20), isa.R(20), 8)
+	// Walker 1: full evaluator path with allocation.
+	b.Beq(isa.R(6), isa.R(0), "pointer")
+	b.Srai(isa.R(5), isa.R(5), 1)
+	b.Add(isa.R(3), isa.R(3), isa.R(5))
+	b.Jmp("cdr")
+	b.Label("pointer")
+	// Pointer: peek one level (bounded recursion of the evaluator).
+	b.Ld(isa.R(7), isa.R(5), 0)
+	b.Andi(isa.R(8), isa.R(7), 1)
+	b.Beq(isa.R(8), isa.R(0), "cons")
+	b.Srai(isa.R(7), isa.R(7), 1)
+	b.Add(isa.R(3), isa.R(3), isa.R(7))
+	b.Jmp("cdr")
+	b.Label("cons")
+	// Allocate a cell recording the visit (bump allocator).
+	b.Add(isa.R(9), isa.R(4), isa.R(13))
+	b.St(isa.R(5), isa.R(9), 0)
+	b.St(isa.R(1), isa.R(9), 8)
+	b.Addi(isa.R(13), isa.R(13), cellSize)
+	b.And(isa.R(13), isa.R(13), isa.R(12))
+	b.Label("cdr")
+	b.Ld(isa.R(1), isa.R(1), 8)
+	b.Jmp("eval")
+	return b.MustBuild()
+}

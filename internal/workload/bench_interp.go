@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// buildPerl is the 134.perl analog: the bytecode interpreter main loop —
+// fetch an opcode, jump through a dispatch table (an indirect jump per
+// operation, the defining feature of perl's control flow), and run short
+// handlers doing string hashing, variable arithmetic and associative-array
+// stores. It reproduces perl's signature: indirect-jump dispatch that
+// stresses the BTB, plus byte-granularity string traffic.
+//
+// Registers: r1 bytecode base, r2 vpc, r3 bytecode mask, r4 dispatch
+// table, r5 opcode, r6-r12 scratch, r13 string arena, r14 hash state,
+// r15 variable A, r16 variable B, r17 assoc table.
+func buildPerl() *prog.Program {
+	b := prog.NewBuilder("perl")
+	const ops = 256
+	// Real perl bytecode is locally repetitive (loops re-execute the same
+	// op sequence) with occasional data-dependent detours: build it from a
+	// repeating 16-op motif perturbed at a few sites, so the dispatch
+	// indirect jump is partially — not fully — predictable.
+	motif := []int64{0, 2, 1, 6, 0, 3, 4, 6, 5, 2, 0, 7, 1, 6, 3, 4}
+	code := make([]int64, ops)
+	x := xorshift64(0x9E71)
+	for i := range code {
+		code[i] = motif[i%len(motif)]
+		if x.next()%8 == 0 {
+			code[i] = int64(x.next() % 8)
+		}
+	}
+	b.Word64("bytecode", code...)
+	b.Space("dispatch", 8*8)
+	b.Bytes("arena", synthBytes(0x57217, 8192, 26))
+	b.Space("assoc", 1024*8)
+
+	b.La(isa.R(1), "bytecode")
+	b.La(isa.R(4), "dispatch")
+	b.La(isa.R(13), "arena")
+	b.La(isa.R(17), "assoc")
+	b.Li(isa.R(2), 0)
+	b.Li(isa.R(3), ops-1)
+	b.Li(isa.R(14), 5381)
+	b.Li(isa.R(15), 7)
+	b.Li(isa.R(16), 3)
+
+	// Fill the dispatch table with handler instruction indices.
+	handlers := []string{"op_hash", "op_concat", "op_add", "op_cmp",
+		"op_store", "op_shift", "op_inc", "op_mix"}
+	for i, h := range handlers {
+		b.LiLabel(isa.R(6), h)
+		b.St(isa.R(6), isa.R(4), int32(i*8))
+	}
+
+	b.Label("dispatch_loop")
+	// op = bytecode[vpc]
+	b.Slli(isa.R(6), isa.R(2), 3)
+	b.Add(isa.R(6), isa.R(1), isa.R(6))
+	b.Ld(isa.R(5), isa.R(6), 0)
+	// target = dispatch[op]; jr target  (the indirect jump)
+	b.Slli(isa.R(7), isa.R(5), 3)
+	b.Add(isa.R(7), isa.R(4), isa.R(7))
+	b.Ld(isa.R(8), isa.R(7), 0)
+	b.Jr(isa.R(8))
+
+	b.Label("op_hash") // djb2 over a 16-byte string (counted inner loop)
+	b.Andi(isa.R(9), isa.R(14), 8176)
+	b.Add(isa.R(9), isa.R(13), isa.R(9))
+	b.Li(isa.R(12), 16)
+	b.Label("hash_byte")
+	b.Lb(isa.R(10), isa.R(9), 0)
+	b.Slli(isa.R(6), isa.R(14), 5)
+	b.Add(isa.R(14), isa.R(14), isa.R(6))
+	b.Add(isa.R(14), isa.R(14), isa.R(10))
+	b.Addi(isa.R(9), isa.R(9), 1)
+	b.Addi(isa.R(12), isa.R(12), -1)
+	b.Bne(isa.R(12), isa.R(0), "hash_byte")
+	b.Jmp("next")
+	b.Label("op_concat") // 16-byte string move within the arena
+	b.Andi(isa.R(9), isa.R(14), 8176)
+	b.Add(isa.R(9), isa.R(13), isa.R(9))
+	b.Andi(isa.R(11), isa.R(15), 8176)
+	b.Add(isa.R(11), isa.R(13), isa.R(11))
+	b.Li(isa.R(12), 4)
+	b.Label("concat_word")
+	b.Lb(isa.R(10), isa.R(9), 0)
+	b.Sb(isa.R(10), isa.R(11), 0)
+	b.Lb(isa.R(10), isa.R(9), 1)
+	b.Sb(isa.R(10), isa.R(11), 1)
+	b.Lb(isa.R(10), isa.R(9), 2)
+	b.Sb(isa.R(10), isa.R(11), 2)
+	b.Lb(isa.R(10), isa.R(9), 3)
+	b.Sb(isa.R(10), isa.R(11), 3)
+	b.Addi(isa.R(9), isa.R(9), 4)
+	b.Addi(isa.R(11), isa.R(11), 4)
+	b.Addi(isa.R(12), isa.R(12), -1)
+	b.Bne(isa.R(12), isa.R(0), "concat_word")
+	b.Jmp("next")
+	b.Label("op_add")
+	b.Add(isa.R(15), isa.R(15), isa.R(16))
+	b.Jmp("next")
+	b.Label("op_cmp")
+	b.Blt(isa.R(15), isa.R(16), "cmp_lt")
+	b.Sub(isa.R(15), isa.R(15), isa.R(16))
+	b.Jmp("next")
+	b.Label("cmp_lt")
+	b.Add(isa.R(16), isa.R(16), isa.R(15))
+	b.Jmp("next")
+	b.Label("op_store") // assoc[hash & mask] = A
+	b.Andi(isa.R(9), isa.R(14), 1023)
+	b.Slli(isa.R(9), isa.R(9), 3)
+	b.Add(isa.R(9), isa.R(17), isa.R(9))
+	b.St(isa.R(15), isa.R(9), 0)
+	b.Jmp("next")
+	b.Label("op_shift")
+	b.Srai(isa.R(15), isa.R(15), 1)
+	b.Slli(isa.R(16), isa.R(16), 1)
+	b.Andi(isa.R(16), isa.R(16), 0xFFFF)
+	b.Jmp("next")
+	b.Label("op_inc")
+	b.Addi(isa.R(15), isa.R(15), 1)
+	b.Jmp("next")
+	b.Label("op_mix")
+	b.Xor(isa.R(15), isa.R(15), isa.R(14))
+	b.Andi(isa.R(15), isa.R(15), 0xFFFF)
+	b.Label("next")
+	b.Addi(isa.R(2), isa.R(2), 1)
+	b.And(isa.R(2), isa.R(2), isa.R(3))
+	b.Jmp("dispatch_loop")
+	return b.MustBuild()
+}
+
+// buildM88ksim is the 124.m88ksim analog: the Motorola 88100 simulator's
+// fetch-decode-execute loop — load a target instruction word, extract its
+// fields with shifts and masks, dispatch on the opcode, and execute
+// against an architected register file kept in memory. It reproduces
+// m88ksim's signature: a regular simulator loop with field-extraction ALU
+// chains, a small hot working set, and well-predicted dispatch (one
+// dominant path per static target instruction).
+//
+// Target encoding: op = bits 0..2, rd = 3..7, rs = 8..12, imm = 13..20.
+// Registers: r1 target program base, r2 target pc, r3 pc mask,
+// r4 register-file base, r5 insn, r6 op, r7 rd, r8 rs, r9 imm,
+// r10-r12 scratch, r13 target memory, r14 cycle count.
+func buildM88ksim() *prog.Program {
+	b := prog.NewBuilder("m88ksim")
+	const tprogLen = 64
+	tprog := make([]int64, tprogLen)
+	x := xorshift64(0x88100)
+	for i := range tprog {
+		op := int64(x.next() % 5)
+		rd := int64(x.next() % 32)
+		rs := int64(x.next() % 32)
+		imm := int64(x.next() % 256)
+		tprog[i] = op | rd<<3 | rs<<8 | imm<<13
+	}
+	b.Word64("tprog", tprog...)
+	b.Space("tregs", 32*8)
+	b.Space("tmem", 2048*8)
+	b.Space("histo", 8*8)
+
+	b.La(isa.R(1), "tprog")
+	b.La(isa.R(4), "tregs")
+	b.La(isa.R(13), "tmem")
+	b.La(isa.R(19), "histo")
+	b.Li(isa.R(2), 0)
+	b.Li(isa.R(3), tprogLen-1)
+	b.Li(isa.R(14), 0)
+	b.Li(isa.R(18), 0) // trace checksum
+
+	b.Label("cycle")
+	// fetch
+	b.Slli(isa.R(5), isa.R(2), 3)
+	b.Add(isa.R(5), isa.R(1), isa.R(5))
+	b.Ld(isa.R(5), isa.R(5), 0)
+	// decode
+	b.Andi(isa.R(6), isa.R(5), 7)
+	b.Srai(isa.R(7), isa.R(5), 3)
+	b.Andi(isa.R(7), isa.R(7), 31)
+	b.Srai(isa.R(8), isa.R(5), 8)
+	b.Andi(isa.R(8), isa.R(8), 31)
+	b.Srai(isa.R(9), isa.R(5), 13)
+	b.Andi(isa.R(9), isa.R(9), 255)
+	// Simulator bookkeeping, independent of the execute path (the real
+	// m88ksim updates per-opcode statistics and an execution trace every
+	// simulated cycle): histogram[op]++ and a rolling trace checksum.
+	b.Slli(isa.R(15), isa.R(6), 3)
+	b.Add(isa.R(15), isa.R(19), isa.R(15))
+	b.Ld(isa.R(16), isa.R(15), 0)
+	b.Addi(isa.R(16), isa.R(16), 1)
+	b.St(isa.R(16), isa.R(15), 0)
+	b.Slli(isa.R(17), isa.R(18), 5)
+	b.Add(isa.R(18), isa.R(18), isa.R(17))
+	b.Xor(isa.R(18), isa.R(18), isa.R(5))
+	b.Andi(isa.R(18), isa.R(18), 0xFFFF)
+	// rs value
+	b.Slli(isa.R(10), isa.R(8), 3)
+	b.Add(isa.R(10), isa.R(4), isa.R(10))
+	b.Ld(isa.R(10), isa.R(10), 0)
+	// dispatch
+	b.Beq(isa.R(6), isa.R(0), "t_add")
+	b.Slti(isa.R(11), isa.R(6), 2)
+	b.Bne(isa.R(11), isa.R(0), "t_add") // unreachable guard, keeps mix
+	b.Slti(isa.R(11), isa.R(6), 3)
+	b.Bne(isa.R(11), isa.R(0), "t_addi") // op 2... op1 handled above
+	b.Slti(isa.R(11), isa.R(6), 4)
+	b.Bne(isa.R(11), isa.R(0), "t_load")
+	b.Jmp("t_store")
+
+	b.Label("t_add") // tregs[rd] = rs_val + rd_val
+	b.Slli(isa.R(11), isa.R(7), 3)
+	b.Add(isa.R(11), isa.R(4), isa.R(11))
+	b.Ld(isa.R(12), isa.R(11), 0)
+	b.Add(isa.R(12), isa.R(12), isa.R(10))
+	b.St(isa.R(12), isa.R(11), 0)
+	b.Jmp("retire")
+	b.Label("t_addi") // tregs[rd] = rs_val + imm
+	b.Add(isa.R(12), isa.R(10), isa.R(9))
+	b.Slli(isa.R(11), isa.R(7), 3)
+	b.Add(isa.R(11), isa.R(4), isa.R(11))
+	b.St(isa.R(12), isa.R(11), 0)
+	b.Jmp("retire")
+	b.Label("t_load") // tregs[rd] = tmem[(rs_val + imm) & mask]
+	b.Add(isa.R(12), isa.R(10), isa.R(9))
+	b.Andi(isa.R(12), isa.R(12), 2047)
+	b.Slli(isa.R(12), isa.R(12), 3)
+	b.Add(isa.R(12), isa.R(13), isa.R(12))
+	b.Ld(isa.R(12), isa.R(12), 0)
+	b.Slli(isa.R(11), isa.R(7), 3)
+	b.Add(isa.R(11), isa.R(4), isa.R(11))
+	b.St(isa.R(12), isa.R(11), 0)
+	b.Jmp("retire")
+	b.Label("t_store") // tmem[(rs_val + imm) & mask] = rd_val
+	b.Slli(isa.R(11), isa.R(7), 3)
+	b.Add(isa.R(11), isa.R(4), isa.R(11))
+	b.Ld(isa.R(12), isa.R(11), 0)
+	b.Add(isa.R(11), isa.R(10), isa.R(9))
+	b.Andi(isa.R(11), isa.R(11), 2047)
+	b.Slli(isa.R(11), isa.R(11), 3)
+	b.Add(isa.R(11), isa.R(13), isa.R(11))
+	b.St(isa.R(12), isa.R(11), 0)
+	b.Label("retire")
+	b.Addi(isa.R(14), isa.R(14), 1)
+	b.Addi(isa.R(2), isa.R(2), 1)
+	b.And(isa.R(2), isa.R(2), isa.R(3))
+	b.Jmp("cycle")
+	return b.MustBuild()
+}

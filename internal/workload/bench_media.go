@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// buildIJpeg is the 132.ijpeg analog: the forward-DCT and quantization
+// inner loops — load a row of pixels, butterfly add/subtract, multiply by
+// cosine-table constants, shift-normalize, quantize, store coefficients.
+// It reproduces ijpeg's signature: the most ILP-rich and least branchy
+// member of SpecInt95, multiply-heavy with strided, predictable memory
+// access.
+//
+// Registers: r1 image base, r2 block offset, r3 coefficient base,
+// r4 quant base, r5-r14 row scratch, r15 row counter, r16 block limit.
+func buildIJpeg() *prog.Program {
+	b := prog.NewBuilder("ijpeg")
+	const dim = 64
+	img := make([]byte, dim*dim)
+	x := xorshift64(0x1396)
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			img[r*dim+c] = byte((r*3+c*2)&0x7F) + byte(x.next()%16)
+		}
+	}
+	b.Bytes("image", img)
+	b.Space("coeffs", dim*dim*8)
+	// Reciprocal quantizers (4096/q for the standard luminance table).
+	b.Word64("quant", 256, 372, 409, 256, 170, 102, 80, 67)
+
+	b.La(isa.R(1), "image")
+	b.La(isa.R(3), "coeffs")
+	b.La(isa.R(4), "quant")
+	b.Li(isa.R(2), 0)            // linear row offset in the image
+	b.Li(isa.R(16), dim*dim-dim) // wrap limit
+	b.Li(isa.R(15), 0)
+
+	b.Label("row")
+	b.Add(isa.R(5), isa.R(1), isa.R(2))
+	// Load 8 pixels of the row.
+	b.Lb(isa.R(6), isa.R(5), 0)
+	b.Lb(isa.R(7), isa.R(5), 1)
+	b.Lb(isa.R(8), isa.R(5), 2)
+	b.Lb(isa.R(9), isa.R(5), 3)
+	b.Lb(isa.R(10), isa.R(5), 4)
+	b.Lb(isa.R(11), isa.R(5), 5)
+	b.Lb(isa.R(12), isa.R(5), 6)
+	b.Lb(isa.R(13), isa.R(5), 7)
+	// Butterfly stage: sums and differences (independent, high ILP).
+	b.Add(isa.R(17), isa.R(6), isa.R(13))
+	b.Sub(isa.R(18), isa.R(6), isa.R(13))
+	b.Add(isa.R(19), isa.R(7), isa.R(12))
+	b.Sub(isa.R(20), isa.R(7), isa.R(12))
+	b.Add(isa.R(21), isa.R(8), isa.R(11))
+	b.Sub(isa.R(22), isa.R(8), isa.R(11))
+	b.Add(isa.R(23), isa.R(9), isa.R(10))
+	b.Sub(isa.R(24), isa.R(9), isa.R(10))
+	// Cosine "multiplies" as shift-adds, the way libjpeg's fast integer
+	// DCT strength-reduces its constants: x*362>>9 ~ (x>>1)+(x>>3)+... —
+	// two or three shift-add terms per coefficient keep the precision the
+	// quantizer needs while leaving the (single, shared) multiplier for
+	// the quantization step.
+	b.Srai(isa.R(14), isa.R(17), 1)
+	b.Srai(isa.R(25), isa.R(17), 3)
+	b.Add(isa.R(17), isa.R(14), isa.R(25))
+	b.Srai(isa.R(14), isa.R(18), 1)
+	b.Srai(isa.R(25), isa.R(18), 2)
+	b.Add(isa.R(18), isa.R(14), isa.R(25))
+	b.Srai(isa.R(14), isa.R(19), 2)
+	b.Srai(isa.R(25), isa.R(19), 4)
+	b.Add(isa.R(19), isa.R(14), isa.R(25))
+	b.Srai(isa.R(14), isa.R(20), 1)
+	b.Srai(isa.R(25), isa.R(20), 2)
+	b.Add(isa.R(20), isa.R(14), isa.R(25))
+	// Second butterfly.
+	b.Add(isa.R(21), isa.R(21), isa.R(17))
+	b.Sub(isa.R(22), isa.R(22), isa.R(18))
+	b.Add(isa.R(23), isa.R(23), isa.R(19))
+	b.Sub(isa.R(24), isa.R(24), isa.R(20))
+	// Quantize four coefficients by reciprocal multiplication (what real
+	// JPEG encoders do instead of dividing: coeff * recip >> 16).
+	b.Ld(isa.R(14), isa.R(4), 0)
+	b.Mul(isa.R(21), isa.R(21), isa.R(14))
+	b.Srai(isa.R(21), isa.R(21), 12)
+	b.Ld(isa.R(14), isa.R(4), 8)
+	b.Mul(isa.R(22), isa.R(22), isa.R(14))
+	b.Srai(isa.R(22), isa.R(22), 12)
+	// Clamp negative coefficients to zero (saturation step; these are the
+	// data-dependent branches real quantization has).
+	b.Bge(isa.R(21), isa.R(0), "c1")
+	b.Li(isa.R(21), 0)
+	b.Label("c1")
+	b.Bge(isa.R(22), isa.R(0), "c2")
+	b.Li(isa.R(22), 0)
+	b.Label("c2")
+	b.Bge(isa.R(23), isa.R(0), "c3")
+	b.Li(isa.R(23), 0)
+	b.Label("c3")
+	b.Bge(isa.R(24), isa.R(0), "c4")
+	b.Li(isa.R(24), 0)
+	b.Label("c4")
+	// Store the row's coefficients.
+	b.Slli(isa.R(14), isa.R(2), 3)
+	b.Add(isa.R(14), isa.R(3), isa.R(14))
+	b.St(isa.R(21), isa.R(14), 0)
+	b.St(isa.R(22), isa.R(14), 8)
+	b.St(isa.R(23), isa.R(14), 16)
+	b.St(isa.R(24), isa.R(14), 24)
+	// Next row of the block; wrap over the image.
+	b.Addi(isa.R(2), isa.R(2), dim)
+	b.Blt(isa.R(2), isa.R(16), "row")
+	b.Addi(isa.R(15), isa.R(15), 1)
+	b.Andi(isa.R(2), isa.R(15), 7) // restart at a shifted column
+	b.Jmp("row")
+	return b.MustBuild()
+}
+
+// buildVortex is the 147.vortex analog: the object-store transaction loop —
+// hash a key, walk a two-level index, then copy the found record's fields
+// into a result buffer and bump its reference count. It reproduces
+// vortex's signature: the largest working set in SpecInt95 (record pool +
+// index), load-dominated with field-copy store bursts and moderately
+// predictable branches.
+//
+// Record layout: 64 bytes (8 fields). Index: 2 levels of 64 entries.
+// Registers: r1 records base, r2 l1 index, r3 l2 index, r4 key state,
+// r5-r12 scratch, r13 result buffer, r14 transaction count.
+func buildVortex() *prog.Program {
+	b := prog.NewBuilder("vortex")
+	const records = 1024
+	const recSize = 64
+	base := int64(prog.DefaultDataBase)
+	rec := make([]int64, records*recSize/8)
+	x := xorshift64(0x7077)
+	for i := range rec {
+		rec[i] = int64(x.next() % 1_000_000)
+	}
+	b.Word64("records", rec...)
+	// Two-level index: l1[i] -> address of l2 block; l2 blocks hold record
+	// addresses.
+	l2base := base + int64(records*recSize) + 64*8
+	l1 := make([]int64, 64)
+	for i := range l1 {
+		l1[i] = l2base + int64(i*16*8)
+	}
+	b.Word64("l1", l1...)
+	l2 := make([]int64, 64*16)
+	for i := range l2 {
+		l2[i] = base + int64(int(x.next()%records)*recSize)
+	}
+	b.Word64("l2", l2...)
+	b.Space("result", recSize)
+
+	b.La(isa.R(1), "records")
+	b.La(isa.R(2), "l1")
+	b.La(isa.R(13), "result")
+	b.Li(isa.R(4), 12345)
+	b.Li(isa.R(14), 0)
+
+	b.Label("txn")
+	// key = key*1103515245-ish via shifts (LCG without overflow drama)
+	b.Slli(isa.R(5), isa.R(4), 3)
+	b.Add(isa.R(4), isa.R(4), isa.R(5))
+	b.Addi(isa.R(4), isa.R(4), 12345)
+	// l1 slot = (key >> 4) & 63
+	b.Srai(isa.R(5), isa.R(4), 4)
+	b.Andi(isa.R(5), isa.R(5), 63)
+	b.Slli(isa.R(5), isa.R(5), 3)
+	b.Add(isa.R(5), isa.R(2), isa.R(5))
+	b.Ld(isa.R(6), isa.R(5), 0) // l2 block address
+	// l2 slot = key & 15
+	b.Andi(isa.R(7), isa.R(4), 15)
+	b.Slli(isa.R(7), isa.R(7), 3)
+	b.Add(isa.R(7), isa.R(6), isa.R(7))
+	b.Ld(isa.R(8), isa.R(7), 0) // record address
+	// Copy 4 fields to the result buffer.
+	b.Ld(isa.R(9), isa.R(8), 0)
+	b.St(isa.R(9), isa.R(13), 0)
+	b.Ld(isa.R(10), isa.R(8), 8)
+	b.St(isa.R(10), isa.R(13), 8)
+	b.Ld(isa.R(11), isa.R(8), 16)
+	b.St(isa.R(11), isa.R(13), 16)
+	b.Ld(isa.R(12), isa.R(8), 24)
+	b.St(isa.R(12), isa.R(13), 24)
+	// Conditional update path: even keys bump the record's refcount.
+	b.Andi(isa.R(5), isa.R(4), 1)
+	b.Bne(isa.R(5), isa.R(0), "skip")
+	b.Ld(isa.R(9), isa.R(8), 56)
+	b.Addi(isa.R(9), isa.R(9), 1)
+	b.St(isa.R(9), isa.R(8), 56)
+	b.Label("skip")
+	b.Addi(isa.R(14), isa.R(14), 1)
+	b.Jmp("txn")
+	return b.MustBuild()
+}

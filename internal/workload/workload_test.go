@@ -1,0 +1,264 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+func TestNamesMatchRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("want the 8 SpecInt95 analogs, got %d", len(names))
+	}
+	for _, n := range names {
+		if _, err := Get(n); err != nil {
+			t.Errorf("Get(%q): %v", n, err)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestAllBenchmarksBuildAndValidate(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Load(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(p.Text) < 20 {
+			t.Errorf("%s: suspiciously small (%d instructions)", name, len(p.Text))
+		}
+	}
+}
+
+func TestBenchmarksAreDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := Load(name)
+		b, _ := Load(name)
+		if len(a.Text) != len(b.Text) || len(a.Data) != len(b.Data) {
+			t.Errorf("%s: sizes differ between builds", name)
+			continue
+		}
+		for i := range a.Text {
+			if a.Text[i] != b.Text[i] {
+				t.Errorf("%s: instruction %d differs", name, i)
+				break
+			}
+		}
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Errorf("%s: data byte %d differs", name, i)
+				break
+			}
+		}
+	}
+}
+
+// instruction-mix sanity: every analog must look like its SpecInt original
+// in the coarse sense — it branches, it loads, it stores, and it never
+// touches FP (SpecInt95 integer codes).
+func TestBenchmarkInstructionMix(t *testing.T) {
+	const window = 100_000
+	for _, name := range Names() {
+		p, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := emu.New(p)
+		var branches, loads, stores, fp, total uint64
+		for total = 0; total < window && !m.Halted; total++ {
+			st, err := m.Step()
+			if err != nil {
+				t.Fatalf("%s: step %d: %v", name, total, err)
+			}
+			switch st.Inst.Op.Class() {
+			case isa.ClassBranch:
+				branches++
+			case isa.ClassLoad:
+				loads++
+			case isa.ClassStore:
+				stores++
+			case isa.ClassFP:
+				fp++
+			}
+		}
+		if total < window {
+			t.Errorf("%s: halted after %d instructions (must loop forever)", name, total)
+		}
+		brFrac := float64(branches) / float64(total)
+		ldFrac := float64(loads) / float64(total)
+		stFrac := float64(stores) / float64(total)
+		if brFrac < 0.05 || brFrac > 0.45 {
+			t.Errorf("%s: branch fraction %.2f out of SpecInt-like range", name, brFrac)
+		}
+		if ldFrac < 0.03 {
+			t.Errorf("%s: load fraction %.2f too low", name, ldFrac)
+		}
+		if stFrac == 0 {
+			t.Errorf("%s: no stores at all", name)
+		}
+		if fp != 0 {
+			t.Errorf("%s: %d FP instructions in an integer benchmark", name, fp)
+		}
+	}
+}
+
+// The go analog must be the branchiest, ijpeg among the least branchy —
+// the property Figure 4's per-benchmark spread rests on.
+func TestBranchinessOrdering(t *testing.T) {
+	frac := func(name string) float64 {
+		p, _ := Load(name)
+		m := emu.New(p)
+		var branches, total uint64
+		for total = 0; total < 50_000; total++ {
+			st, err := m.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Inst.Op.IsBranch() {
+				branches++
+			}
+		}
+		return float64(branches) / float64(total)
+	}
+	goFrac, ijpegFrac := frac("go"), frac("ijpeg")
+	if goFrac <= ijpegFrac {
+		t.Errorf("go branch fraction (%.3f) not above ijpeg's (%.3f)", goFrac, ijpegFrac)
+	}
+}
+
+// Every analog must run on the timing core without deadlock and with a
+// plausible IPC.
+func TestBenchmarksRunOnCore(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, err := Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := core.New(config.Clustered(), p, core.NaiveSteerer{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := m.RunWithWarmup(5_000, 20_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.IPC() <= 0.1 || r.IPC() > 8 {
+				t.Errorf("%s: IPC %.2f implausible", name, r.IPC())
+			}
+			if r.Branches == 0 {
+				t.Errorf("%s: no branches observed", name)
+			}
+		})
+	}
+}
+
+// The perl analog's indirect dispatch must actually mispredict sometimes
+// (its defining microarchitectural property).
+func TestPerlIndirectJumpsMispredict(t *testing.T) {
+	p, err := Load("perl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(config.Clustered(), p, core.NaiveSteerer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.RunWithWarmup(5_000, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MispredictRate() < 0.01 {
+		t.Errorf("perl mispredict rate %.3f — dispatch too predictable", r.MispredictRate())
+	}
+}
+
+// The FP extension workloads must be genuinely FP-heavy while still
+// carrying the integer work (indexing, loop control) that motivates the
+// paper's shared-simple-int clusters.
+func TestFPWorkloadsCharacter(t *testing.T) {
+	for _, name := range FPNames() {
+		p, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m := emu.New(p)
+		var fp, simple, total uint64
+		for total = 0; total < 50_000 && !m.Halted; total++ {
+			st, err := m.Step()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			switch st.Inst.Op.Class() {
+			case isa.ClassFP:
+				fp++
+			case isa.ClassSimpleInt:
+				simple++
+			}
+		}
+		fpFrac := float64(fp) / float64(total)
+		intFrac := float64(simple) / float64(total)
+		if fpFrac < 0.15 {
+			t.Errorf("%s: FP fraction %.2f too low for a SpecFP analog", name, fpFrac)
+		}
+		if intFrac < 0.15 {
+			t.Errorf("%s: simple-int fraction %.2f too low (the paper's motivation needs it)", name, intFrac)
+		}
+	}
+}
+
+// On FP workloads the base machine already uses both clusters; general
+// balance steering must still run correctly and not lose performance.
+func TestFPWorkloadsRunOnCore(t *testing.T) {
+	for _, name := range FPNames() {
+		p, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := core.New(config.Clustered(), p, core.NaiveSteerer{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m.RunWithWarmup(5_000, 20_000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Steered[0] == 0 || r.Steered[1] == 0 {
+			t.Errorf("%s: FP workload did not use both clusters (%v)", name, r.Steered)
+		}
+	}
+}
+
+func TestSynthHelpersDeterministic(t *testing.T) {
+	a := synthBytes(1, 100, 26)
+	b := synthBytes(1, 100, 26)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("synthBytes not deterministic")
+		}
+	}
+	w1 := synthWords(2, 50, 100)
+	w2 := synthWords(2, 50, 100)
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatal("synthWords not deterministic")
+		}
+		if w1[i] < 0 || w1[i] >= 100 {
+			t.Fatalf("synthWords value %d out of bound", w1[i])
+		}
+	}
+}
