@@ -13,6 +13,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -323,6 +324,32 @@ func BenchmarkExtensionSymmetricClusters(b *testing.B) {
 		if i == 0 {
 			fmt.Print(line)
 		}
+	}
+}
+
+// --- Engine benches ---
+
+// BenchmarkGridParallelism measures how the experiment grid scales with
+// the worker-pool size, from a serial run up to every core. The grid is
+// fig14's (modulo, general, ub + implicit base over all benchmarks) — the
+// paper's headline figure and a representative mix of cheap and expensive
+// cells. Compare ns/op across the j=N sub-benchmarks for the speed-up.
+func BenchmarkGridParallelism(b *testing.B) {
+	var levels []int
+	for j := 1; j < runtime.NumCPU(); j *= 2 {
+		levels = append(levels, j)
+	}
+	levels = append(levels, runtime.NumCPU())
+	for _, j := range levels {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			opts := benchOpts()
+			opts.Parallelism = j
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Run([]string{"modulo", "general", experiments.UBScheme}, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -8,6 +8,8 @@
 //	dcabench -exp fig14,fig16     # selected exhibits
 //	dcabench -measure 1000000     # longer measurement windows
 //	dcabench -benchmarks go,gcc   # restrict the workload set
+//	dcabench -j 4                 # bound the worker pool (default: all cores)
+//	dcabench -progress=false      # silence the per-cell completion log
 package main
 
 import (
@@ -23,16 +25,31 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated exhibit ids (table1,table2,fig3..fig16) or 'all'")
-		warmup  = flag.Uint64("warmup", 25_000, "warm-up instructions per run (not measured)")
-		measure = flag.Uint64("measure", 250_000, "measured instructions per run")
-		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
-		csvPath = flag.String("csv", "", "also write the raw grid as CSV to this file")
+		exp      = flag.String("exp", "all", "comma-separated exhibit ids (table1,table2,fig3..fig16) or 'all'")
+		warmup   = flag.Uint64("warmup", 25_000, "warm-up instructions per run (not measured)")
+		measure  = flag.Uint64("measure", 250_000, "measured instructions per run")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
+		csvPath  = flag.String("csv", "", "also write the raw grid as CSV to this file")
+		jobs     = flag.Int("j", 0, "grid cells to simulate in parallel (0 = all cores)")
+		progress = flag.Bool("progress", true, "log per-cell completion and ETA to stderr")
 	)
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
 	opts.Warmup, opts.Measure = *warmup, *measure
+	opts.Parallelism = *jobs
+	if *progress {
+		opts.Progress = func(p experiments.Progress) {
+			if p.Err != nil {
+				fmt.Fprintf(os.Stderr, "[%3d/%3d] %s/%s FAILED: %v\n",
+					p.Completed, p.Total, p.Cell.Scheme, p.Cell.Benchmark, p.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-16s %-8s %8v  ETA %v\n",
+				p.Completed, p.Total, p.Cell.Scheme, p.Cell.Benchmark,
+				p.Elapsed.Round(time.Millisecond), p.Remaining.Round(time.Second))
+		}
+	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 		for _, b := range opts.Benchmarks {
@@ -67,9 +84,10 @@ func main() {
 			}
 		}
 	}
+	workers := opts.Workers(len(experiments.Cells(schemes, opts.Benchmarks)))
 	start := time.Now()
-	fmt.Printf("running %d scheme(s) x %d benchmark(s), %d+%d instructions each...\n\n",
-		len(schemes)+1, len(opts.Benchmarks), opts.Warmup, opts.Measure)
+	fmt.Printf("running %d scheme(s) x %d benchmark(s), %d+%d instructions each, %d worker(s)...\n\n",
+		len(schemes)+1, len(opts.Benchmarks), opts.Warmup, opts.Measure, workers)
 	res, err := experiments.Run(schemes, opts)
 	if err != nil {
 		fatal(err)

@@ -4,6 +4,10 @@
 // and general (the proposed compromise) — print the ready-difference
 // histogram the paper plots in Figures 6, 9 and 12, as ASCII bars.
 //
+// The three simulations run concurrently on the experiments engine's
+// worker pool; the histograms print in scheme order regardless of which
+// simulation finishes first.
+//
 // Usage: go run ./examples/balance_study [benchmark]
 package main
 
@@ -13,11 +17,8 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/config"
-	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/stats"
-	"repro/internal/steer"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -27,25 +28,22 @@ func main() {
 	}
 	schemes := []string{"modulo", "ldst-slice", "general"}
 
-	for _, scheme := range schemes {
-		p, err := workload.Load(bench)
-		if err != nil {
-			log.Fatal(err)
-		}
-		policy, err := steer.New(scheme, p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		m, err := core.New(config.Clustered(), p, policy)
-		if err != nil {
-			log.Fatal(err)
-		}
-		r, err := m.RunWithWarmup(20_000, 150_000)
-		if err != nil {
-			log.Fatal(err)
-		}
+	opts := experiments.DefaultOptions()
+	opts.Warmup, opts.Measure = 20_000, 150_000
+	opts.Benchmarks = []string{bench}
+	res, err := experiments.Run(schemes, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-		fmt.Printf("\n%s on %q — IPC %.2f, comm/instr %.3f\n", scheme, bench, r.IPC(), r.CommPerInstr())
+	// The engine always runs the base machine too; use it as the yardstick.
+	base := res.Get(experiments.BaseScheme, bench)
+	fmt.Printf("conventional base on %q — IPC %.2f\n", bench, base.IPC())
+
+	for _, scheme := range schemes {
+		r := res.Get(scheme, bench)
+		fmt.Printf("\n%s on %q — IPC %.2f (%+.1f%% over base), comm/instr %.3f\n",
+			scheme, bench, r.IPC(), res.Speedup(scheme, bench), r.CommPerInstr())
 		fmt.Println("ready(FP) - ready(INT) distribution (% of cycles):")
 		for d := -stats.BalanceRange; d <= stats.BalanceRange; d++ {
 			pct := r.Balance.Percent(d)

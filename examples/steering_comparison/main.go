@@ -2,6 +2,10 @@
 // one SpecInt95 analog and print the resulting ranking — a one-benchmark
 // version of the paper's Figures 3–16 story.
 //
+// The schemes run concurrently on the experiments package's worker pool
+// (one grid cell per scheme), so the ranking arrives in roughly the time
+// of the slowest single simulation.
+//
 // Usage: go run ./examples/steering_comparison [benchmark]
 package main
 
@@ -11,11 +15,8 @@ import (
 	"os"
 	"sort"
 
-	"repro/internal/config"
-	"repro/internal/core"
-	"repro/internal/stats"
+	"repro/internal/experiments"
 	"repro/internal/steer"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -23,16 +24,20 @@ func main() {
 	if len(os.Args) > 1 {
 		bench = os.Args[1]
 	}
-	p, err := workload.Load(bench)
-	if err != nil {
-		log.Fatal(err)
+
+	// Every registered scheme except naive (that is the base machine's own
+	// rule); the engine adds the base run implicitly.
+	var schemes []string
+	for _, scheme := range steer.Names() {
+		if scheme != "naive" {
+			schemes = append(schemes, scheme)
+		}
 	}
 
-	baseMachine, err := core.New(config.Base(), p, core.NaiveSteerer{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	base, err := baseMachine.RunWithWarmup(20_000, 150_000)
+	opts := experiments.DefaultOptions()
+	opts.Warmup, opts.Measure = 20_000, 150_000
+	opts.Benchmarks = []string{bench}
+	res, err := experiments.Run(schemes, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,33 +48,14 @@ func main() {
 		comm    float64
 	}
 	var rows []row
-	for _, scheme := range steer.Names() {
-		if scheme == "naive" {
-			continue // that is the base machine's rule
-		}
-		// Each scheme needs a fresh program-derived policy and machine.
-		policy, err := steer.New(scheme, p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		cfg := config.Clustered()
-		if scheme == "fifo" {
-			cfg = config.FIFOClustered()
-		}
-		m, err := core.New(cfg, p, policy)
-		if err != nil {
-			log.Fatal(err)
-		}
-		r, err := m.RunWithWarmup(20_000, 150_000)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rows = append(rows, row{scheme, stats.Speedup(r, base), r.CommPerInstr()})
+	for _, scheme := range schemes {
+		r := res.Get(scheme, bench)
+		rows = append(rows, row{scheme, res.Speedup(scheme, bench), r.CommPerInstr()})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].speedup > rows[j].speedup })
 
 	fmt.Printf("steering schemes on %q (speed-up over the conventional base, IPC %.2f)\n\n",
-		bench, base.IPC())
+		bench, res.Get(experiments.BaseScheme, bench).IPC())
 	fmt.Printf("%-18s %9s %12s\n", "scheme", "speedup", "comm/instr")
 	for _, r := range rows {
 		fmt.Printf("%-18s %+8.1f%% %12.3f\n", r.scheme, r.speedup, r.comm)

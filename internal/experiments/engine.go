@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/steer"
+	"repro/internal/workload"
+)
+
+// Cell identifies one (scheme, benchmark) cell of the evaluation grid.
+// Cells are fully independent — each owns a fresh core.Machine — so the
+// engine is free to simulate them in any order and on any worker.
+type Cell struct {
+	Scheme    string
+	Benchmark string
+}
+
+// Progress reports one completed cell to Options.Progress. Completed counts
+// finished cells (including the reporting one); Remaining estimates the
+// wall-clock time left for the rest of the grid from the throughput so far.
+type Progress struct {
+	Cell Cell
+	// Completed and Total count grid cells; Completed includes this one.
+	Completed int
+	Total     int
+	// Elapsed is this cell's own simulation time.
+	Elapsed time.Duration
+	// Remaining is the ETA for the unfinished cells, extrapolated from the
+	// grid's wall-clock throughput so far.
+	Remaining time.Duration
+	// Err is non-nil when the cell failed (the grid is being cancelled).
+	Err error
+}
+
+// runCell is the engine's cell executor; tests swap it out to inject
+// failures into the middle of a grid.
+var runCell = RunOne
+
+// validateInputs rejects unknown schemes and benchmarks before any
+// simulation starts, so a typo fails in microseconds instead of minutes
+// into the grid.
+func validateInputs(schemes, benches []string) error {
+	for _, s := range schemes {
+		if s == BaseScheme || s == UBScheme || steer.Known(s) {
+			continue
+		}
+		return fmt.Errorf("experiments: unknown scheme %q (known: %s; plus the pseudo-schemes %q and %q)",
+			s, strings.Join(steer.Names(), ", "), BaseScheme, UBScheme)
+	}
+	for _, b := range benches {
+		if _, err := workload.Get(b); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	return nil
+}
+
+// Cells expands (schemes, benchmarks) into the grid's cell list in
+// deterministic order: BaseScheme first (every figure normalizes to it),
+// then the requested schemes in input order with duplicates dropped, each
+// crossed with the benchmarks in input order.
+func Cells(schemes, benches []string) []Cell {
+	withBase := append([]string{BaseScheme}, schemes...)
+	seen := make(map[string]bool, len(withBase))
+	cells := make([]Cell, 0, len(withBase)*len(benches))
+	for _, scheme := range withBase {
+		if seen[scheme] {
+			continue
+		}
+		seen[scheme] = true
+		for _, bench := range benches {
+			cells = append(cells, Cell{Scheme: scheme, Benchmark: bench})
+		}
+	}
+	return cells
+}
+
+// Workers returns the effective worker-pool size for a grid of n cells:
+// Parallelism, defaulted to runtime.GOMAXPROCS(0) when unset, clamped to
+// the cell count.
+func (o Options) Workers(n int) int {
+	w := o.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// RunContext simulates the grid on a bounded worker pool (see
+// Options.Workers); the first cell error cancels the remaining work and is
+// returned. The assembled Result is identical to a serial run's — cells
+// are independent, and the output map is built from a positionally indexed
+// slice, so worker scheduling cannot leak into the numbers or their
+// grouping.
+func RunContext(ctx context.Context, schemes []string, opts Options) (*Result, error) {
+	if len(opts.Benchmarks) == 0 {
+		opts.Benchmarks = workload.Names()
+	}
+	if err := validateInputs(schemes, opts.Benchmarks); err != nil {
+		return nil, err
+	}
+	cells := Cells(schemes, opts.Benchmarks)
+	workers := opts.Workers(len(cells))
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		runs      = make([]*stats.Run, len(cells))
+		next      = make(chan int)
+		wg        sync.WaitGroup
+		mu        sync.Mutex // guards firstErr, completed, Progress calls
+		firstErr  error
+		completed int
+		started   = time.Now()
+	)
+
+	// Feed cell indices until the grid is exhausted or cancelled.
+	go func() {
+		defer close(next)
+		for i := range cells {
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	report := func(c Cell, elapsed time.Duration, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+		completed++
+		if opts.Progress == nil {
+			return
+		}
+		var remaining time.Duration
+		if left := len(cells) - completed; left > 0 {
+			remaining = time.Duration(int64(time.Since(started)) / int64(completed) * int64(left))
+		}
+		opts.Progress(Progress{
+			Cell:      c,
+			Completed: completed,
+			Total:     len(cells),
+			Elapsed:   elapsed,
+			Remaining: remaining,
+			Err:       err,
+		})
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain: the grid is being cancelled
+				}
+				cellStart := time.Now()
+				r, err := runCell(cells[i].Scheme, cells[i].Benchmark, opts)
+				if err == nil {
+					runs[i] = r
+				}
+				report(cells[i], time.Since(cellStart), err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Assemble the map in cell order — deterministic regardless of which
+	// worker finished when.
+	res := &Result{Runs: make(map[string]map[string]*stats.Run), Opts: opts}
+	for i, c := range cells {
+		m, ok := res.Runs[c.Scheme]
+		if !ok {
+			m = make(map[string]*stats.Run, len(opts.Benchmarks))
+			res.Runs[c.Scheme] = m
+		}
+		m[c.Benchmark] = runs[i]
+	}
+	return res, nil
+}

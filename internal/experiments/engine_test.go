@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// TestSerialParallelDeterminism is the engine's core contract: a parallel
+// grid must produce bit-identical stats.Run numbers to a serial one, since
+// every cell owns its core.Machine.
+func TestSerialParallelDeterminism(t *testing.T) {
+	schemes := []string{"general", "modulo", "random"}
+
+	serialOpts := smallOpts()
+	serialOpts.Parallelism = 1
+	serial, err := Run(schemes, serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parOpts := smallOpts()
+	parOpts.Parallelism = runtime.NumCPU()
+	parallel, err := Run(schemes, parOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serial.Runs, parallel.Runs) {
+		for scheme, m := range serial.Runs {
+			for bench, s := range m {
+				p := parallel.Get(scheme, bench)
+				if !reflect.DeepEqual(s, p) {
+					t.Errorf("%s/%s diverged:\nserial   %+v\nparallel %+v", scheme, bench, s, p)
+				}
+			}
+		}
+		t.Fatal("serial and parallel grids differ")
+	}
+}
+
+// TestRunValidatesSchemesUpFront checks that a typo'd scheme is rejected
+// before any simulation runs, with the known names in the message.
+func TestRunValidatesSchemesUpFront(t *testing.T) {
+	calls := 0
+	defer swapRunCell(func(scheme, bench string, opts Options) (*stats.Run, error) {
+		calls++
+		return RunOne(scheme, bench, opts)
+	})()
+
+	_, err := Run([]string{"general", "no-such-scheme"}, smallOpts())
+	if err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	if !strings.Contains(err.Error(), "no-such-scheme") || !strings.Contains(err.Error(), "general") {
+		t.Errorf("error does not name the offender and the known schemes: %v", err)
+	}
+	if calls != 0 {
+		t.Errorf("%d cells simulated before validation failed", calls)
+	}
+
+	if _, err := Run([]string{"general"}, Options{Benchmarks: []string{"nope"}}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+// swapRunCell installs a test cell executor and returns the restore func.
+func swapRunCell(f func(string, string, Options) (*stats.Run, error)) func() {
+	old := runCell
+	runCell = f
+	return func() { runCell = old }
+}
+
+// TestEarlyCancellationOnError checks that the first failing cell stops the
+// fleet: workers must not start (many) new cells after the failure.
+func TestEarlyCancellationOnError(t *testing.T) {
+	var (
+		mu           sync.Mutex
+		started      int
+		afterFailure int
+		failed       bool
+	)
+	boom := errors.New("boom")
+	defer swapRunCell(func(scheme, bench string, _ Options) (*stats.Run, error) {
+		mu.Lock()
+		started++
+		fail := !failed && started == 3
+		if failed {
+			afterFailure++
+		}
+		if fail {
+			failed = true
+		}
+		mu.Unlock()
+		if fail {
+			return nil, boom
+		}
+		time.Sleep(time.Millisecond)
+		return &stats.Run{Scheme: scheme, Benchmark: bench, Cycles: 1, Instructions: 1}, nil
+	})()
+
+	opts := smallOpts()
+	opts.Parallelism = 2
+	// 3 schemes x 2 benchmarks + base x 2 = 8 cells; the 3rd started cell
+	// fails, so with 2 workers at most one more cell may already have been
+	// handed out before the cancellation lands.
+	_, err := Run([]string{"general", "modulo", "random"}, opts)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if afterFailure > opts.Parallelism {
+		t.Errorf("%d cells started after the failure (parallelism %d) — cancellation is not early",
+			afterFailure, opts.Parallelism)
+	}
+	if started >= 8 {
+		t.Errorf("all %d cells ran despite the failure", started)
+	}
+}
+
+// TestRunContextCancelled checks a cancelled context aborts the grid.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, []string{"general"}, smallOpts()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestProgressCallback checks the per-cell hook: one call per cell,
+// serialized, with sane running totals.
+func TestProgressCallback(t *testing.T) {
+	opts := smallOpts()
+	opts.Parallelism = runtime.NumCPU()
+	var (
+		mu    sync.Mutex
+		calls []Progress
+	)
+	opts.Progress = func(p Progress) {
+		mu.Lock()
+		calls = append(calls, p)
+		mu.Unlock()
+	}
+	res, err := Run([]string{"general"}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCells := 2 * len(opts.Benchmarks) // (base + general) x benchmarks
+	if len(calls) != wantCells {
+		t.Fatalf("progress called %d times, want %d", len(calls), wantCells)
+	}
+	for i, p := range calls {
+		if p.Completed != i+1 {
+			t.Errorf("call %d: Completed = %d, want %d", i, p.Completed, i+1)
+		}
+		if p.Total != wantCells {
+			t.Errorf("call %d: Total = %d, want %d", i, p.Total, wantCells)
+		}
+		if p.Err != nil {
+			t.Errorf("call %d: unexpected error %v", i, p.Err)
+		}
+		if res.Get(p.Cell.Scheme, p.Cell.Benchmark) == nil {
+			t.Errorf("call %d: cell %v not in the result", i, p.Cell)
+		}
+	}
+	if last := calls[len(calls)-1]; last.Remaining != 0 {
+		t.Errorf("final Remaining = %v, want 0", last.Remaining)
+	}
+}
+
+// TestCellsOrder checks the deterministic cell expansion: base first,
+// duplicates dropped, input order preserved.
+func TestCellsOrder(t *testing.T) {
+	cells := Cells([]string{"general", BaseScheme, "general", "modulo"}, []string{"go", "gcc"})
+	want := []Cell{
+		{BaseScheme, "go"}, {BaseScheme, "gcc"},
+		{"general", "go"}, {"general", "gcc"},
+		{"modulo", "go"}, {"modulo", "gcc"},
+	}
+	if !reflect.DeepEqual(cells, want) {
+		t.Errorf("Cells = %v, want %v", cells, want)
+	}
+}
+
+// TestMeansGuardEmptyBenchmarks checks the zero-benchmark guards: a Result
+// whose Options carry no benchmarks must report zero means, not panic or
+// divide by zero.
+func TestMeansGuardEmptyBenchmarks(t *testing.T) {
+	r := &Result{Runs: map[string]map[string]*stats.Run{}}
+	if s := r.MeanSpeedup("general"); s != 0 {
+		t.Errorf("MeanSpeedup on empty options = %f, want 0", s)
+	}
+	total, crit := r.MeanComm("general")
+	if total != 0 || crit != 0 {
+		t.Errorf("MeanComm on empty options = (%f, %f), want (0, 0)", total, crit)
+	}
+}

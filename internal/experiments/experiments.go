@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
@@ -33,6 +34,14 @@ type Options struct {
 	Benchmarks []string
 	// Params are the balance-machinery constants.
 	Params steer.Params
+	// Parallelism bounds the number of grid cells simulated concurrently;
+	// 0 or negative means runtime.GOMAXPROCS(0). Results are identical at
+	// every setting — each cell owns its machine.
+	Parallelism int
+	// Progress, when non-nil, is invoked once per completed cell with
+	// running totals and an ETA. The engine serializes the calls, but they
+	// arrive from worker goroutines — keep the callback fast.
+	Progress func(Progress)
 }
 
 // DefaultOptions returns the standard grid configuration.
@@ -98,27 +107,11 @@ func RunOne(scheme, bench string, opts Options) (*stats.Run, error) {
 }
 
 // Run simulates the grid for the given schemes (BaseScheme is always added
-// — every figure normalizes to it).
+// — every figure normalizes to it). Cells run concurrently on a worker
+// pool; see RunContext for cancellation and Options.Parallelism for the
+// pool size.
 func Run(schemes []string, opts Options) (*Result, error) {
-	if len(opts.Benchmarks) == 0 {
-		opts.Benchmarks = workload.Names()
-	}
-	res := &Result{Runs: make(map[string]map[string]*stats.Run), Opts: opts}
-	withBase := append([]string{BaseScheme}, schemes...)
-	for _, scheme := range withBase {
-		if _, done := res.Runs[scheme]; done {
-			continue
-		}
-		res.Runs[scheme] = make(map[string]*stats.Run, len(opts.Benchmarks))
-		for _, bench := range opts.Benchmarks {
-			r, err := RunOne(scheme, bench, opts)
-			if err != nil {
-				return nil, err
-			}
-			res.Runs[scheme][bench] = r
-		}
-	}
-	return res, nil
+	return RunContext(context.Background(), schemes, opts)
 }
 
 // Get returns the run for (scheme, benchmark), or nil when absent.
@@ -142,6 +135,9 @@ func (r *Result) Speedup(scheme, bench string) float64 {
 // MeanSpeedup returns the geometric-mean speed-up of a scheme across the
 // grid's benchmarks (the figures' "G-mean"/"H-mean" summary bar).
 func (r *Result) MeanSpeedup(scheme string) float64 {
+	if len(r.Opts.Benchmarks) == 0 {
+		return 0
+	}
 	var runs, bases []*stats.Run
 	for _, bench := range r.Opts.Benchmarks {
 		run, base := r.Get(scheme, bench), r.Get(BaseScheme, bench)
@@ -157,6 +153,9 @@ func (r *Result) MeanSpeedup(scheme string) float64 {
 // MeanComm returns the average communications per instruction of a scheme
 // across benchmarks, split into (total, critical).
 func (r *Result) MeanComm(scheme string) (total, critical float64) {
+	if len(r.Opts.Benchmarks) == 0 {
+		return 0, 0
+	}
 	n := 0
 	for _, bench := range r.Opts.Benchmarks {
 		if run := r.Get(scheme, bench); run != nil {

@@ -91,6 +91,12 @@ var factories = map[string]func(p *prog.Program, params Params) (core.Steerer, e
 	},
 }
 
+// Known reports whether name is a registered scheme identifier.
+func Known(name string) bool {
+	_, ok := factories[name]
+	return ok
+}
+
 // New builds the named scheme with the paper's default parameters. Schemes
 // that need the program (the static partitioner's profiling pass) receive
 // p; the rest ignore it.
