@@ -330,26 +330,32 @@ func BenchmarkExtensionSymmetricClusters(b *testing.B) {
 // --- Engine benches ---
 
 // BenchmarkGridParallelism measures how the experiment grid scales with
-// the worker-pool size, from a serial run up to every core. The grid is
-// fig14's (modulo, general, ub + implicit base over all benchmarks) — the
-// paper's headline figure and a representative mix of cheap and expensive
-// cells. Compare ns/op across the j=N sub-benchmarks for the speed-up.
+// the worker-pool size, from a serial run up to every core, and with the
+// cluster count of the simulated machine (bigger machines cost more per
+// cell — the simulation work grows with clusters, not just the fabric).
+// The grid is fig14's (modulo, general, ub + implicit base over all
+// benchmarks) — the paper's headline figure and a representative mix of
+// cheap and expensive cells. Compare ns/op across the sub-benchmarks;
+// BENCH_clusters.json records a reference run.
 func BenchmarkGridParallelism(b *testing.B) {
 	var levels []int
 	for j := 1; j < runtime.NumCPU(); j *= 2 {
 		levels = append(levels, j)
 	}
 	levels = append(levels, runtime.NumCPU())
-	for _, j := range levels {
-		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
-			opts := benchOpts()
-			opts.Parallelism = j
-			for i := 0; i < b.N; i++ {
-				if _, err := experiments.Run([]string{"modulo", "general", experiments.UBScheme}, opts); err != nil {
-					b.Fatal(err)
+	for _, clusters := range []int{2, 4, 8} {
+		for _, j := range levels {
+			b.Run(fmt.Sprintf("clusters=%d/j=%d", clusters, j), func(b *testing.B) {
+				opts := benchOpts()
+				opts.Parallelism = j
+				opts.Clusters = clusters
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.Run([]string{"modulo", "general", experiments.UBScheme}, opts); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -1,0 +1,137 @@
+// Package ci holds the repository's documentation and formatting lints,
+// written as ordinary Go tests so `go test ./...` (and the CI workflow's
+// doc-lint step) enforces them on every package: gofmt-clean sources and a
+// package doc comment on every package, including commands and examples.
+package ci
+
+import (
+	"go/format"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot is the module root relative to this package's directory.
+const repoRoot = ".."
+
+// goFiles returns every tracked .go file under the module root, skipping
+// testdata and hidden directories.
+func goFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(repoRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != repoRoot {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no Go files found — wrong working directory?")
+	}
+	return files
+}
+
+// TestGofmt requires every source file to be gofmt-formatted (the
+// equivalent of an empty `gofmt -l .`).
+func TestGofmt(t *testing.T) {
+	for _, path := range goFiles(t) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if string(src) != string(formatted) {
+			t.Errorf("%s: not gofmt-formatted (run `gofmt -w %s`)", path, path)
+		}
+	}
+}
+
+// TestEveryPackageHasDoc requires a package doc comment in every package
+// directory: at least one file whose package clause carries a doc comment.
+// Package docs are how ARCHITECTURE.md's package map stays discoverable
+// from `go doc`.
+func TestEveryPackageHasDoc(t *testing.T) {
+	type pkgState struct {
+		name   string
+		hasDoc bool
+	}
+	pkgs := map[string]*pkgState{} // directory -> state
+	fset := token.NewFileSet()
+	for _, path := range goFiles(t) {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		dir := filepath.Dir(path)
+		st, ok := pkgs[dir]
+		if !ok {
+			st = &pkgState{name: f.Name.Name}
+			pkgs[dir] = st
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			st.hasDoc = true
+		}
+	}
+	for dir, st := range pkgs {
+		if !st.hasDoc {
+			t.Errorf("package %s (in %s) has no package doc comment", st.name, dir)
+		}
+	}
+	// Test-only packages (like this one) are documented through their
+	// _test.go files; check them separately so the lint applies to itself.
+	testOnly := map[string]bool{}
+	for _, path := range goFiles(t) {
+		if !strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		dir := filepath.Dir(path)
+		if _, ok := pkgs[dir]; ok {
+			continue
+		}
+		if testOnly[dir] {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			testOnly[dir] = true
+		}
+	}
+	for _, path := range goFiles(t) {
+		if !strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		dir := filepath.Dir(path)
+		if _, ok := pkgs[dir]; !ok && !testOnly[dir] {
+			t.Errorf("test-only package in %s has no package doc comment", dir)
+		}
+	}
+}

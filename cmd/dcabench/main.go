@@ -9,6 +9,7 @@
 //	dcabench -measure 1000000     # longer measurement windows
 //	dcabench -benchmarks go,gcc   # restrict the workload set
 //	dcabench -j 4                 # bound the worker pool (default: all cores)
+//	dcabench -clusters 4          # run the grid on a 4-cluster machine
 //	dcabench -progress=false      # silence the per-cell completion log
 package main
 
@@ -31,6 +32,7 @@ func main() {
 		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 		csvPath  = flag.String("csv", "", "also write the raw grid as CSV to this file")
 		jobs     = flag.Int("j", 0, "grid cells to simulate in parallel (0 = all cores)")
+		clusters = flag.Int("clusters", 2, "cluster count of the steered machine (2 = the paper's asymmetric processor, else config.ClusteredN)")
 		progress = flag.Bool("progress", true, "log per-cell completion and ETA to stderr")
 	)
 	flag.Parse()
@@ -38,6 +40,7 @@ func main() {
 	opts := experiments.DefaultOptions()
 	opts.Warmup, opts.Measure = *warmup, *measure
 	opts.Parallelism = *jobs
+	opts.Clusters = *clusters
 	if *progress {
 		opts.Progress = func(p experiments.Progress) {
 			if p.Err != nil {

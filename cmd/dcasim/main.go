@@ -6,6 +6,7 @@
 //	dcasim -bench compress -scheme general
 //	dcasim -bench go -scheme fifo            # FIFO queues implied
 //	dcasim -bench li -machine base           # the conventional baseline
+//	dcasim -bench go -clusters 4             # a 4-cluster symmetric machine
 //	dcasim -program prog.s -scheme general   # assemble and run a file
 package main
 
@@ -26,14 +27,15 @@ import (
 
 func main() {
 	var (
-		bench   = flag.String("bench", "compress", "workload name (see -list)")
-		file    = flag.String("program", "", "assembly file to run instead of a named workload")
-		scheme  = flag.String("scheme", "general", "steering scheme (see -list)")
-		machine = flag.String("machine", "", "machine override: base | clustered | fifo | ub")
-		warmup  = flag.Uint64("warmup", 25_000, "warm-up instructions")
-		measure = flag.Uint64("measure", 250_000, "measured instructions (0 = run to halt)")
-		list    = flag.Bool("list", false, "list workloads and schemes, then exit")
-		traceAt = flag.Uint64("trace", 0, "print a pipeline trace for 30 cycles starting at this cycle")
+		bench    = flag.String("bench", "compress", "workload name (see -list)")
+		file     = flag.String("program", "", "assembly file to run instead of a named workload")
+		scheme   = flag.String("scheme", "general", "steering scheme (see -list)")
+		machine  = flag.String("machine", "", "machine override: base | clustered | fifo | ub")
+		clusters = flag.Int("clusters", 2, "cluster count (2 = the paper's asymmetric machine, else config.ClusteredN)")
+		warmup   = flag.Uint64("warmup", 25_000, "warm-up instructions")
+		measure  = flag.Uint64("measure", 250_000, "measured instructions (0 = run to halt)")
+		list     = flag.Bool("list", false, "list workloads and schemes, then exit")
+		traceAt  = flag.Uint64("trace", 0, "print a pipeline trace for 30 cycles starting at this cycle")
 	)
 	flag.Parse()
 
@@ -58,11 +60,6 @@ func main() {
 		fatal(err)
 	}
 
-	st, err := steer.New(*scheme, p)
-	if err != nil {
-		fatal(err)
-	}
-
 	cfg := config.Clustered()
 	switch *machine {
 	case "":
@@ -78,6 +75,26 @@ func main() {
 		cfg = config.UpperBound()
 	default:
 		fatal(fmt.Errorf("unknown machine %q", *machine))
+	}
+	if *clusters != 2 {
+		if *clusters < 1 || *clusters > config.MaxClusters {
+			fatal(fmt.Errorf("%d clusters unsupported (want 1..%d)", *clusters, config.MaxClusters))
+		}
+		if *machine != "" && *machine != "clustered" && *machine != "fifo" {
+			fatal(fmt.Errorf("-clusters only applies to the clustered machines, not %q", *machine))
+		}
+		if *machine == "fifo" || (*machine == "" && *scheme == "fifo") {
+			cfg = config.ClusteredNFIFO(*clusters)
+		} else {
+			cfg = config.ClusteredN(*clusters)
+		}
+	}
+
+	params := steer.DefaultParams()
+	params.Clusters = cfg.NumClusters()
+	st, err := steer.NewWithParams(*scheme, p, params)
+	if err != nil {
+		fatal(err)
 	}
 
 	m, err := core.New(cfg, p, st)
@@ -99,13 +116,28 @@ func main() {
 	t.AddRow("IPC", fmt.Sprintf("%.3f", r.IPC()))
 	t.AddRow("communications/instr", fmt.Sprintf("%.4f", r.CommPerInstr()))
 	t.AddRow("critical comm/instr", fmt.Sprintf("%.4f", r.CriticalCommPerInstr()))
-	t.AddRow("steered int/fp", fmt.Sprintf("%d / %d", r.Steered[0], r.Steered[1]))
+	if len(r.Steered) > 2 {
+		split := ""
+		for c, n := range r.Steered {
+			if c > 0 {
+				split += " / "
+			}
+			split += fmt.Sprintf("%d", n)
+		}
+		t.AddRow("steered per cluster", split)
+	} else {
+		t.AddRow("steered int/fp", fmt.Sprintf("%d / %d", r.SteeredAt(0), r.SteeredAt(1)))
+	}
 	t.AddRow("replicated regs/cycle", fmt.Sprintf("%.2f", r.ReplicatedRegsAvg))
 	t.AddRow("branch mispredict rate", fmt.Sprintf("%.4f", r.MispredictRate()))
 	t.AddRow("L1D / L1I miss rate", fmt.Sprintf("%.4f / %.4f", r.L1DMissRate, r.L1IMissRate))
 	fmt.Print(t.String())
 
-	fmt.Println("\nworkload balance (readyFP - readyINT, % of cycles):")
+	label := "readyFP - readyINT"
+	if cfg.NumClusters() > 2 {
+		label = "max-min ready spread"
+	}
+	fmt.Printf("\nworkload balance (%s, %% of cycles):\n", label)
 	for d := -stats.BalanceRange; d <= stats.BalanceRange; d++ {
 		bar := ""
 		for i := 0; i < int(r.Balance.Percent(d)); i++ {

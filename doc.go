@@ -1,11 +1,14 @@
 // Package repro reproduces "Dynamic Cluster Assignment Mechanisms" by
 // Ramon Canal, Joan Manuel Parcerisa and Antonio González (HPCA 2000): a
-// cycle-level simulator of a two-cluster dynamically scheduled superscalar
-// processor, the paper's eight dynamic steering schemes plus its static and
-// FIFO-based comparators, SpecInt95 workload analogs, and a benchmark
-// harness regenerating every table and figure of the evaluation.
+// cycle-level simulator of a clustered dynamically scheduled superscalar
+// processor (the paper's two-cluster machine, generalized to N clusters
+// with configurable ring/crossbar fabrics), the paper's eight dynamic
+// steering schemes plus its static and FIFO-based comparators, SpecInt95
+// workload analogs, and a benchmark harness regenerating every table and
+// figure of the evaluation.
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
+// See README.md for a tour, ARCHITECTURE.md for the package map and
+// data-flow diagram, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-versus-measured
 // results. The root package contains only the repository-level benchmark
 // harness (bench_test.go); the implementation lives under internal/ and the

@@ -1,8 +1,10 @@
 // Package config defines the machine parameters of the simulated processor.
 // The defaults reproduce Table 2 of Canal, Parcerisa and González (HPCA
-// 2000); presets build the paper's three machines: the conventional base,
+// 2000); presets build the paper's three machines — the conventional base,
 // the two-cluster machine the steering schemes run on, and the 16-way
-// upper-bound processor of Figure 14.
+// upper-bound processor of Figure 14 — plus generalized N-cluster machines
+// (ClusteredN) with configurable inter-cluster topologies (ring, crossbar)
+// for scaling studies beyond the paper's evaluation.
 package config
 
 import (
@@ -10,6 +12,11 @@ import (
 
 	"repro/internal/mem"
 )
+
+// MaxClusters bounds the cluster count a configuration may declare. The
+// steering structures (map-table entries, per-source location masks) size
+// their fixed arrays with it.
+const MaxClusters = 8
 
 // IQMode selects the issue-queue organization of a cluster.
 type IQMode int
@@ -76,18 +83,27 @@ type Config struct {
 	// sets the refill portion of the misprediction penalty.
 	FrontEndDepth int
 
-	// Clusters holds one entry per cluster; index 0 is the integer
-	// cluster, index 1 (when present) the FP cluster.
+	// Clusters holds one entry per cluster (at most MaxClusters). On the
+	// paper's machines index 0 is the integer cluster and index 1 (when
+	// present) the FP cluster; N-cluster machines use symmetric clusters.
 	Clusters []Cluster
-	// Mode selects the issue-queue organization (both clusters).
+	// Mode selects the issue-queue organization (all clusters).
 	Mode IQMode
 
 	// InterClusterBuses is the number of communications per cycle per
 	// direction (Table 2: 3). Zero disables inter-cluster copies (the
 	// base machine).
 	InterClusterBuses int
-	// CopyLatency is the bus traversal time in cycles (paper: 1).
+	// CopyLatency is the bus traversal time in cycles between any two
+	// clusters (paper: 1). CopyDist, when set, overrides it per pair.
 	CopyLatency int
+	// CopyDist, when non-nil, is the full inter-cluster latency matrix:
+	// CopyDist[from][to] is the copy latency in cycles from cluster
+	// `from` to cluster `to`. It must be NumClusters×NumClusters with a
+	// zero diagonal and positive off-diagonal entries. RingDistances and
+	// CrossbarDistances build the two standard topologies. Nil means the
+	// uniform CopyLatency (the paper's point-to-point 2-cluster fabric).
+	CopyDist [][]int
 	// FPClusterSimpleInt reports whether the FP cluster can execute
 	// simple integer operations (true for the clustered machine, false
 	// for the conventional base).
@@ -112,10 +128,20 @@ type Config struct {
 // NumClusters returns the cluster count.
 func (c *Config) NumClusters() int { return len(c.Clusters) }
 
+// CopyLatencyBetween returns the inter-cluster copy latency from cluster
+// `from` to cluster `to`: the CopyDist matrix entry when a topology is
+// configured, the uniform CopyLatency otherwise.
+func (c *Config) CopyLatencyBetween(from, to int) int {
+	if c.CopyDist != nil {
+		return c.CopyDist[from][to]
+	}
+	return c.CopyLatency
+}
+
 // Validate checks the configuration for consistency.
 func (c *Config) Validate() error {
-	if len(c.Clusters) < 1 || len(c.Clusters) > 2 {
-		return fmt.Errorf("config %s: %d clusters unsupported (want 1 or 2)", c.Name, len(c.Clusters))
+	if len(c.Clusters) < 1 || len(c.Clusters) > MaxClusters {
+		return fmt.Errorf("config %s: %d clusters unsupported (want 1..%d)", c.Name, len(c.Clusters), MaxClusters)
 	}
 	if c.FetchWidth <= 0 || c.DecodeWidth <= 0 || c.RetireWidth <= 0 {
 		return fmt.Errorf("config %s: non-positive pipeline widths", c.Name)
@@ -136,8 +162,27 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("config %s: cluster %d needs at least 65 physical registers", c.Name, i)
 		}
 	}
-	if len(c.Clusters) == 2 && c.InterClusterBuses > 0 && c.CopyLatency <= 0 {
+	if len(c.Clusters) > 1 && c.InterClusterBuses > 0 && c.CopyDist == nil && c.CopyLatency <= 0 {
 		return fmt.Errorf("config %s: CopyLatency must be positive with buses enabled", c.Name)
+	}
+	if c.CopyDist != nil {
+		n := len(c.Clusters)
+		if len(c.CopyDist) != n {
+			return fmt.Errorf("config %s: CopyDist has %d rows, want %d", c.Name, len(c.CopyDist), n)
+		}
+		for i, row := range c.CopyDist {
+			if len(row) != n {
+				return fmt.Errorf("config %s: CopyDist row %d has %d entries, want %d", c.Name, i, len(row), n)
+			}
+			for j, d := range row {
+				if i == j && d != 0 {
+					return fmt.Errorf("config %s: CopyDist[%d][%d] = %d, diagonal must be zero", c.Name, i, j, d)
+				}
+				if i != j && d <= 0 {
+					return fmt.Errorf("config %s: CopyDist[%d][%d] = %d, off-diagonal must be positive", c.Name, i, j, d)
+				}
+			}
+		}
 	}
 	if c.DCachePorts <= 0 {
 		return fmt.Errorf("config %s: DCachePorts must be positive", c.Name)
@@ -255,6 +300,101 @@ func Symmetric() *Config {
 func FIFOClustered() *Config {
 	c := Clustered()
 	c.Name = "clustered-fifo"
+	c.Mode = IQFIFO
+	return c
+}
+
+// CrossbarDistances builds the copy-latency matrix of a full crossbar: every
+// cluster reaches every other in hopLatency cycles. It reproduces the
+// uniform CopyLatency behaviour in matrix form and is the default fabric of
+// ClusteredN.
+func CrossbarDistances(n, hopLatency int) [][]int {
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = hopLatency
+			}
+		}
+	}
+	return m
+}
+
+// RingDistances builds the copy-latency matrix of a bidirectional ring:
+// the latency between two clusters is their minimal hop count around the
+// ring times hopLatency. Rings are the cheapest fabric to lay out and the
+// one whose communication cost grows with cluster count, which is what
+// makes the N-cluster steering trade-off interesting.
+func RingDistances(n, hopLatency int) [][]int {
+	m := make([][]int, n)
+	for i := range m {
+		m[i] = make([]int, n)
+		for j := range m[i] {
+			if i == j {
+				continue
+			}
+			hops := i - j
+			if hops < 0 {
+				hops = -hops
+			}
+			if around := n - hops; around < hops {
+				hops = around
+			}
+			m[i][j] = hops * hopLatency
+		}
+	}
+	return m
+}
+
+// ClusteredN returns an N-cluster machine for the scaling studies the
+// paper's conclusions point at: n identical, fully equipped clusters (each
+// the Symmetric cluster: every instruction class can execute anywhere, so
+// steering is fully unconstrained), connected by a single-hop crossbar with
+// 1-cycle copies. The front-end width and in-flight window scale with the
+// cluster count so added clusters receive added supply (4-wide fetch and a
+// 32-entry window share per cluster, matching the paper's 8/64 at n = 2).
+// Swap CopyDist for RingDistances(n, CopyLatency) to study a ring fabric.
+func ClusteredN(n int) *Config {
+	c := Clustered()
+	c.Name = fmt.Sprintf("clustered-%d", n)
+	c.FetchWidth = 4 * n
+	c.DecodeWidth = 4 * n
+	c.RetireWidth = 4 * n
+	c.MaxInFlight = 32 * n
+	c.Clusters = make([]Cluster, n)
+	for i := range c.Clusters {
+		c.Clusters[i] = Cluster{
+			SimpleIntALUs:   3,
+			ComplexIntUnits: 1,
+			FPALUs:          2,
+			FPMulDivUnits:   1,
+			IssueWidth:      4,
+			IQSize:          64,
+			PhysRegs:        96,
+			FIFOs:           8,
+			FIFODepth:       8,
+		}
+	}
+	c.CopyDist = CrossbarDistances(n, c.CopyLatency)
+	return c
+}
+
+// ClusteredNRing returns ClusteredN on a bidirectional ring instead of the
+// crossbar: copies between opposite clusters pay up to ⌊n/2⌋ hops.
+func ClusteredNRing(n int) *Config {
+	c := ClusteredN(n)
+	c.Name = fmt.Sprintf("clustered-%d-ring", n)
+	c.CopyDist = RingDistances(n, c.CopyLatency)
+	return c
+}
+
+// ClusteredNFIFO returns ClusteredN with the issue queues organized as
+// FIFOs (the N-cluster analog of FIFOClustered), for FIFO-based steering
+// on larger machines.
+func ClusteredNFIFO(n int) *Config {
+	c := ClusteredN(n)
+	c.Name = fmt.Sprintf("clustered-%d-fifo", n)
 	c.Mode = IQFIFO
 	return c
 }

@@ -73,7 +73,17 @@ func TestUpperBoundIsSingleCluster(t *testing.T) {
 func TestValidateCatchesErrors(t *testing.T) {
 	mutations := []func(*Config){
 		func(c *Config) { c.Clusters = nil },
-		func(c *Config) { c.Clusters = append(c.Clusters, c.Clusters[0], c.Clusters[0]) },
+		func(c *Config) {
+			for len(c.Clusters) <= MaxClusters {
+				c.Clusters = append(c.Clusters, c.Clusters[0])
+			}
+		},
+		func(c *Config) { c.CopyDist = [][]int{{0}} },
+		func(c *Config) { c.CopyDist = CrossbarDistances(2, 0) },
+		func(c *Config) {
+			c.CopyDist = CrossbarDistances(2, 1)
+			c.CopyDist[0][0] = 1
+		},
 		func(c *Config) { c.FetchWidth = 0 },
 		func(c *Config) { c.MaxInFlight = 0 },
 		func(c *Config) { c.Clusters[0].IssueWidth = 0 },

@@ -79,6 +79,9 @@ func TestRegisterConservationAcrossConfigs(t *testing.T) {
 		{"ub-naive", config.UpperBound(), func() Steerer { return NaiveSteerer{} }},
 		{"fifo-modulo", config.FIFOClustered(), func() Steerer { return &moduloSteerer{} }},
 		{"symmetric-modulo", config.Symmetric(), func() Steerer { return &moduloSteerer{} }},
+		{"clustered4-modulo", config.ClusteredN(4), func() Steerer { return &moduloSteerer{} }},
+		{"clustered8-modulo", config.ClusteredN(8), func() Steerer { return &moduloSteerer{} }},
+		{"clustered4-ring-modulo", config.ClusteredNRing(4), func() Steerer { return &moduloSteerer{} }},
 	}
 	for name, p := range invariantPrograms() {
 		for _, c := range combos {

@@ -1,7 +1,7 @@
 package core
 
-// lsq is the centralized load/store disambiguation unit of Section 2: both
-// clusters' memory operations are forwarded here after their
+// lsq is the centralized load/store disambiguation unit of Section 2:
+// every cluster's memory operations are forwarded here after their
 // effective-address computation. A load may access the data cache once
 // every earlier store's address is known (Table 2's policy); a store whose
 // address matches forwards its data instead. Stores write to memory at

@@ -59,8 +59,8 @@ type Machine struct {
 	busUsed         []int
 
 	// readySample holds this cycle's per-cluster ready counts for
-	// steering decisions.
-	readySample [2]int
+	// steering decisions (index = cluster).
+	readySample []int
 
 	// Measurement state.
 	measuring      bool
@@ -106,6 +106,7 @@ func New(cfg *config.Config, p *prog.Program, st Steerer) (*Machine, error) {
 		ldst:        newLSQ(cfg.MaxInFlight),
 		completions: make(map[uint64][]*DynInst),
 		busUsed:     make([]int, cfg.NumClusters()),
+		readySample: make([]int, cfg.NumClusters()),
 	}
 	for _, cl := range cfg.Clusters {
 		m.files = append(m.files, newRegFile(cl.PhysRegs))
@@ -117,6 +118,7 @@ func New(cfg *config.Config, p *prog.Program, st Steerer) (*Machine, error) {
 	}
 	m.run.Scheme = st.Name()
 	m.run.Benchmark = p.Name
+	m.run.Steered = make([]uint64, cfg.NumClusters())
 	return m, nil
 }
 
@@ -184,7 +186,9 @@ func (m *Machine) beginMeasurement() {
 	m.run.Copies = 0
 	m.run.CriticalCopies = 0
 	m.run.Balance = stats.BalanceHist{}
-	m.run.Steered = [2]uint64{}
+	for c := range m.run.Steered {
+		m.run.Steered[c] = 0
+	}
 	m.run.Mispredicts = 0
 	m.run.Branches = 0
 	m.replicatedSum = 0
@@ -343,18 +347,22 @@ func (m *Machine) predictBranch(st emu.Step) bool {
 // --- Dispatch ---
 
 // forcedCluster returns the datapath constraint for an instruction,
-// derived from the machine's actual functional-unit placement: on the
+// derived from the machine's actual functional-unit placement: when
+// exactly one cluster can execute the operation's unit class (on the
 // paper's asymmetric machine, complex-integer ops must run in the integer
-// cluster and anything touching an FP register in the FP cluster; on the
-// base machine everything else is also integer-cluster-only; on a
-// symmetric machine (config.Symmetric) nothing is forced. AnyCluster
-// means the steering policy chooses.
+// cluster and anything touching an FP register in the FP cluster), the
+// placement is forced there; on the base machine steerable integer code is
+// also integer-cluster-only; on symmetric machines (config.Symmetric,
+// config.ClusteredN) nothing is forced. AnyCluster means the steering
+// policy chooses.
 func (m *Machine) forcedCluster(in isa.Inst) ClusterID {
 	if m.cfg.NumClusters() == 1 {
 		return IntCluster
 	}
-	if in.Op.Class() == isa.ClassComplexInt && !m.fus[FPCluster].CanEverIssue(in.Op) {
-		return IntCluster
+	if in.Op.Class() == isa.ClassComplexInt {
+		if c := m.capableClusters(in.Op).Single(); c != AnyCluster {
+			return c
+		}
 	}
 	touchesFP := func() bool {
 		if d, ok := in.Dst(); ok && d.IsFP() {
@@ -367,13 +375,51 @@ func (m *Machine) forcedCluster(in isa.Inst) ClusterID {
 		}
 		return false
 	}()
-	if touchesFP && m.cfg.Clusters[IntCluster].FPALUs == 0 {
-		return FPCluster
+	if touchesFP {
+		var fp ClusterSet
+		for c := 0; c < m.cfg.NumClusters(); c++ {
+			if m.cfg.Clusters[c].FPALUs > 0 {
+				fp = fp.Add(ClusterID(c))
+			}
+		}
+		if c := fp.Single(); c != AnyCluster {
+			return c
+		}
 	}
 	if !m.cfg.FPClusterSimpleInt && !touchesFP && in.Op.Class() != isa.ClassComplexInt {
 		return IntCluster
 	}
 	return AnyCluster
+}
+
+// nearestIn returns the cluster in set s closest to `to` by copy latency
+// (ties to the lowest cluster index), excluding `to` itself; AnyCluster
+// when the set holds no other cluster.
+func (m *Machine) nearestIn(s ClusterSet, to ClusterID) ClusterID {
+	best, bestDist := AnyCluster, 0
+	for c := 0; c < m.cfg.NumClusters(); c++ {
+		id := ClusterID(c)
+		if id == to || !s.Has(id) {
+			continue
+		}
+		d := m.cfg.CopyLatencyBetween(c, int(to))
+		if best == AnyCluster || d < bestDist {
+			best, bestDist = id, d
+		}
+	}
+	return best
+}
+
+// capableClusters returns the set of clusters whose functional units can
+// execute op.
+func (m *Machine) capableClusters(op isa.Opcode) ClusterSet {
+	var s ClusterSet
+	for c := 0; c < m.cfg.NumClusters(); c++ {
+		if m.fus[c].CanEverIssue(op) {
+			s = s.Add(ClusterID(c))
+		}
+	}
+	return s
 }
 
 // fifoCluster implements the joint cluster+FIFO half of the
@@ -382,7 +428,7 @@ func (m *Machine) forcedCluster(in isa.Inst) ClusterID {
 // dependence chain continues in order there); otherwise take the allowed
 // cluster with the most empty FIFOs, falling back to the policy's choice.
 func (m *Machine) fifoCluster(fi *fetched, forced, fallback ClusterID) ClusterID {
-	var allowed [2]ClusterID
+	var allowed [config.MaxClusters]ClusterID
 	n := 0
 	if forced != AnyCluster {
 		allowed[0], n = forced, 1
@@ -456,21 +502,23 @@ func (m *Machine) dispatch() error {
 			fi.steered = true
 			fi.target = target
 		}
-		if target != IntCluster && target != FPCluster || int(target) >= m.cfg.NumClusters() {
+		if target < 0 || int(target) >= m.cfg.NumClusters() {
 			target = IntCluster
 		}
 		// Capability safety net: never dispatch to a cluster that lacks
 		// the functional unit the operation needs (a policy on a partially
 		// symmetric machine could otherwise deadlock an FP multiply in a
-		// cluster with only FP adders).
-		if !m.fus[target].CanEverIssue(in.Op) && m.cfg.NumClusters() > 1 &&
-			m.fus[target.Other()].CanEverIssue(in.Op) {
-			target = target.Other()
+		// cluster with only FP adders). The nearest capable cluster (by
+		// copy distance, ties to the lowest index) takes over.
+		if !m.fus[target].CanEverIssue(in.Op) && m.cfg.NumClusters() > 1 {
+			if c := m.nearestIn(m.capableClusters(in.Op), target); c != AnyCluster {
+				target = c
+			}
 		}
 		if m.cfg.Mode == config.IQFIFO {
 			// The FIFO organization chooses cluster and FIFO jointly: the
-			// dependence-chain heuristic looks at both clusters' FIFO
-			// tails (Palacharla/Jouppi/Smith), constrained by the
+			// dependence-chain heuristic looks at every allowed cluster's
+			// FIFO tails (Palacharla/Jouppi/Smith), constrained by the
 			// datapath. The policy's choice is the tie-break.
 			target = m.fifoCluster(fi, forced, target)
 		}
@@ -496,12 +544,19 @@ func (m *Machine) dispatch() error {
 					continue planSrcs
 				}
 			}
-			other := target.Other()
-			p, ok := m.rt.lookup(srcs[i], other)
+			// The value lives in one or more remote clusters; source the
+			// copy from the nearest one (by copy latency, ties to the
+			// lowest index). On the two-cluster machine this is simply the
+			// other cluster.
+			from := m.nearestIn(m.rt.home(srcs[i]), target)
+			if from == AnyCluster {
+				return fmt.Errorf("core: register %v mapped nowhere at PC %d", srcs[i], fi.step.PC)
+			}
+			p, ok := m.rt.lookup(srcs[i], from)
 			if !ok {
 				return fmt.Errorf("core: register %v mapped nowhere at PC %d", srcs[i], fi.step.PC)
 			}
-			plans = append(plans, copyPlan{srcIdx: i, logical: srcs[i], from: other, fromReg: p})
+			plans = append(plans, copyPlan{srcIdx: i, logical: srcs[i], from: from, fromReg: p})
 			needCopy = true
 		}
 		if needCopy && m.cfg.InterClusterBuses == 0 {
@@ -599,7 +654,7 @@ func (m *Machine) newDynInst(fi *fetched) *DynInst {
 		PC:           st.PC,
 		Inst:         in,
 		destPhys:     noPhys,
-		prevMapping:  [2]physReg{noPhys, noPhys},
+		prevMapping:  noPrevMapping(),
 		isLoad:       in.Op.IsLoad(),
 		isStore:      in.Op.IsStore(),
 		memAddr:      st.MemAddr,
@@ -632,7 +687,7 @@ func (m *Machine) insertCopy(consumer *DynInst, cp copyPlan, target ClusterID) (
 		numSrcs:     1,
 		destPhys:    p,
 		destLogical: cp.logical,
-		prevMapping: [2]physReg{noPhys, noPhys},
+		prevMapping: noPrevMapping(),
 		state:       stateWaiting,
 		readyCycle:  m.cycle,
 	}
@@ -657,10 +712,11 @@ func (m *Machine) insertCopy(consumer *DynInst, cp copyPlan, target ClusterID) (
 func (m *Machine) steerInfo(fi *fetched, forced ClusterID) *SteerInfo {
 	in := fi.step.Inst
 	info := &SteerInfo{
-		Cycle:  m.cycle,
-		PC:     fi.step.PC,
-		Inst:   in,
-		Forced: forced,
+		Cycle:       m.cycle,
+		PC:          fi.step.PC,
+		Inst:        in,
+		Forced:      forced,
+		NumClusters: m.cfg.NumClusters(),
 	}
 	for _, r := range in.Srcs(nil) {
 		if info.NumSrcs >= 2 {
@@ -668,16 +724,13 @@ func (m *Machine) steerInfo(fi *fetched, forced ClusterID) *SteerInfo {
 		}
 		i := info.NumSrcs
 		info.SrcReg[i] = r
-		info.SrcInInt[i], info.SrcInFP[i] = m.rt.home(r)
+		info.SrcIn[i] = m.rt.home(r)
 		info.NumSrcs++
 	}
-	info.Ready[0] = m.readySample[0]
-	info.IssueWidth[0] = m.cfg.Clusters[0].IssueWidth
-	info.IQFree[0] = m.iqs[0].Free()
-	if m.cfg.NumClusters() > 1 {
-		info.Ready[1] = m.readySample[1]
-		info.IssueWidth[1] = m.cfg.Clusters[1].IssueWidth
-		info.IQFree[1] = m.iqs[1].Free()
+	for c := 0; c < m.cfg.NumClusters(); c++ {
+		info.Ready[c] = m.readySample[c]
+		info.IssueWidth[c] = m.cfg.Clusters[c].IssueWidth
+		info.IQFree[c] = m.iqs[c].Free()
 	}
 	return info
 }
@@ -704,7 +757,7 @@ func (m *Machine) issue() {
 				m.iqs[c].Remove(d)
 				d.state = stateIssued
 				d.issuedAt = m.cycle
-				d.completeAt = m.cycle + uint64(m.cfg.CopyLatency)
+				d.completeAt = m.cycle + uint64(m.cfg.CopyLatencyBetween(int(d.SrcCluster), int(d.Cluster)))
 				m.schedule(d)
 				m.trace(EvIssue, d)
 				continue
@@ -898,15 +951,37 @@ func (m *Machine) commit() {
 // --- Sampling ---
 
 func (m *Machine) sample() {
-	readyInt := m.iqs[0].ReadyCount()
-	readyFP := 0
-	if m.cfg.NumClusters() > 1 {
-		readyFP = m.iqs[1].ReadyCount()
+	for c := range m.readySample {
+		m.readySample[c] = m.iqs[c].ReadyCount()
 	}
-	m.readySample[0], m.readySample[1] = readyInt, readyFP
-	m.steerer.OnCycle(m.cycle, readyInt, readyFP)
+	m.steerer.OnCycle(m.cycle, m.readySample)
 	if m.measuring {
-		m.run.Balance.Record(readyFP - readyInt)
+		m.run.Balance.Record(balanceDiff(m.readySample))
 		m.replicatedSum += uint64(m.rt.replicatedCount())
+	}
+}
+
+// balanceDiff reduces the per-cluster ready counts to the histogram's
+// scalar: on one and two clusters the paper's signed difference
+// (ready[1] − ready[0], with ready[1] = 0 on a single cluster); on more
+// clusters the max−min spread, the natural unsigned generalization of
+// "how far apart are the clusters this cycle".
+func balanceDiff(ready []int) int {
+	switch len(ready) {
+	case 1:
+		return -ready[0]
+	case 2:
+		return ready[1] - ready[0]
+	default:
+		lo, hi := ready[0], ready[0]
+		for _, r := range ready[1:] {
+			if r < lo {
+				lo = r
+			}
+			if r > hi {
+				hi = r
+			}
+		}
+		return hi - lo
 	}
 }

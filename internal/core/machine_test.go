@@ -25,7 +25,7 @@ func (s *moduloSteerer) Steer(info *SteerInfo) ClusterID {
 		return info.Forced
 	}
 	c := s.next
-	s.next = s.next.Other()
+	s.next = (s.next + 1) % ClusterID(info.Clusters())
 	return c
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/config"
 	"repro/internal/isa"
 )
 
@@ -65,16 +66,16 @@ func (rf *regFile) Ready(p physReg) bool {
 }
 
 // mapEntry is one logical register's rename state: a physical register per
-// cluster plus validity. An integer value may be mapped in both clusters at
-// once (the paper's register replication); FP registers are only ever
-// mapped in the FP cluster.
+// cluster plus validity. A value may be mapped in several clusters at once
+// (the paper's register replication, created by inter-cluster copies); only
+// the first `clusters` entries are meaningful.
 type mapEntry struct {
-	phys  [2]physReg
-	valid [2]bool
+	phys  [config.MaxClusters]physReg
+	valid [config.MaxClusters]bool
 }
 
 // renameTable is the single centralized register map table of Section 2,
-// with two mapping fields per integer logical register.
+// with one mapping field per cluster per logical register.
 type renameTable struct {
 	entries  [isa.NumRegs]mapEntry
 	clusters int
@@ -83,7 +84,7 @@ type renameTable struct {
 func newRenameTable(clusters int) *renameTable {
 	rt := &renameTable{clusters: clusters}
 	for i := range rt.entries {
-		rt.entries[i] = mapEntry{phys: [2]physReg{noPhys, noPhys}}
+		rt.entries[i] = mapEntry{phys: noPrevMapping()}
 	}
 	return rt
 }
@@ -123,10 +124,16 @@ func (rt *renameTable) lookup(r isa.Reg, c ClusterID) (physReg, bool) {
 	return e.phys[c], true
 }
 
-// home returns which clusters currently hold a valid mapping of r.
-func (rt *renameTable) home(r isa.Reg) (inInt, inFP bool) {
+// home returns the set of clusters currently holding a valid mapping of r.
+func (rt *renameTable) home(r isa.Reg) ClusterSet {
 	e := &rt.entries[r]
-	return e.valid[0], rt.clusters > 1 && e.valid[1]
+	var s ClusterSet
+	for c := 0; c < rt.clusters; c++ {
+		if e.valid[c] {
+			s = s.Add(ClusterID(c))
+		}
+	}
+	return s
 }
 
 // setMapping records that r's current value lives in physical register p of
@@ -138,11 +145,11 @@ func (rt *renameTable) setMapping(r isa.Reg, c ClusterID, p physReg) {
 }
 
 // redefine makes cluster c's physical register p the sole mapping of r,
-// invalidating any mapping in the other cluster. It returns the previous
+// invalidating any mapping in every other cluster. It returns the previous
 // physical registers per cluster (noPhys where none), which the writer
 // frees at commit.
-func (rt *renameTable) redefine(r isa.Reg, c ClusterID, p physReg) (prev [2]physReg) {
-	prev = [2]physReg{noPhys, noPhys}
+func (rt *renameTable) redefine(r isa.Reg, c ClusterID, p physReg) (prev [config.MaxClusters]physReg) {
+	prev = noPrevMapping()
 	e := &rt.entries[r]
 	for cl := 0; cl < rt.clusters; cl++ {
 		if e.valid[cl] {
@@ -157,7 +164,8 @@ func (rt *renameTable) redefine(r isa.Reg, c ClusterID, p physReg) (prev [2]phys
 }
 
 // replicatedCount returns how many integer logical registers are currently
-// mapped in both clusters (Figure 15's metric).
+// mapped in more than one cluster (Figure 15's metric; on the two-cluster
+// machine this is exactly "mapped in both").
 func (rt *renameTable) replicatedCount() int {
 	if rt.clusters < 2 {
 		return 0
@@ -165,7 +173,13 @@ func (rt *renameTable) replicatedCount() int {
 	n := 0
 	for r := 0; r < isa.NumIntRegs; r++ {
 		e := &rt.entries[r]
-		if e.valid[0] && e.valid[1] {
+		mapped := 0
+		for c := 0; c < rt.clusters; c++ {
+			if e.valid[c] {
+				mapped++
+			}
+		}
+		if mapped > 1 {
 			n++
 		}
 	}

@@ -124,8 +124,7 @@ func TestRenameRedefineInvalidatesOtherCluster(t *testing.T) {
 	if rt.replicatedCount() != 1 {
 		t.Fatalf("replicated = %d, want 1", rt.replicatedCount())
 	}
-	inInt, inFP := rt.home(r)
-	if !inInt || !inFP {
+	if home := rt.home(r); !home.Has(IntCluster) || !home.Has(FPCluster) {
 		t.Fatal("home should report both clusters")
 	}
 

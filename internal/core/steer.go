@@ -1,11 +1,16 @@
 package core
 
-import "repro/internal/isa"
+import (
+	"repro/internal/config"
+	"repro/internal/isa"
+)
 
 // SteerInfo is the decode-time information the steering logic sees for one
 // instruction, mirroring the hardware of Section 3: the instruction, its
-// operands' current cluster locations (from the dual map table), and the
-// per-cluster workload measures used by the balance heuristics.
+// operands' current cluster locations (from the replicated map table), and
+// the per-cluster workload measures used by the balance heuristics. The
+// per-cluster arrays are sized for config.MaxClusters; only the first
+// NumClusters entries are meaningful.
 type SteerInfo struct {
 	// Cycle is the current cycle.
 	Cycle uint64
@@ -13,38 +18,50 @@ type SteerInfo struct {
 	PC int
 	// Inst is the decoded instruction.
 	Inst isa.Inst
-	// Forced is the placement constraint from the datapath (complex
-	// integer ops must run in the int cluster, FP ops in the FP cluster);
-	// AnyCluster when the policy is free to choose.
+	// Forced is the placement constraint from the datapath (on the paper's
+	// asymmetric machine: complex integer ops must run in the int cluster,
+	// FP ops in the FP cluster); AnyCluster when the policy is free to
+	// choose.
 	Forced ClusterID
+	// NumClusters is the machine's cluster count.
+	NumClusters int
 
 	// NumSrcs and SrcReg list the architectural register sources.
 	NumSrcs int
 	SrcReg  [2]isa.Reg
-	// SrcInInt/SrcInFP report where each source's current mapping lives
-	// (both true = replicated value).
-	SrcInInt [2]bool
-	SrcInFP  [2]bool
+	// SrcIn reports, per source, the set of clusters currently holding a
+	// valid mapping of the operand (more than one bit set = replicated
+	// value).
+	SrcIn [2]ClusterSet
 
 	// Ready is the per-cluster count of ready waiting instructions this
 	// cycle (metric I2's raw input).
-	Ready [2]int
+	Ready [config.MaxClusters]int
 	// IssueWidth is each cluster's issue bandwidth.
-	IssueWidth [2]int
+	IssueWidth [config.MaxClusters]int
 	// IQFree is each cluster's remaining queue capacity.
-	IQFree [2]int
+	IQFree [config.MaxClusters]int
 }
 
 // OperandsIn counts how many sources currently reside in cluster c
-// (replicated operands count for both clusters).
+// (replicated operands count for every cluster holding them).
 func (si *SteerInfo) OperandsIn(c ClusterID) int {
 	n := 0
 	for i := 0; i < si.NumSrcs; i++ {
-		if (c == IntCluster && si.SrcInInt[i]) || (c == FPCluster && si.SrcInFP[i]) {
+		if si.SrcIn[i].Has(c) {
 			n++
 		}
 	}
 	return n
+}
+
+// Clusters returns the machine's cluster count, defaulting to the paper's
+// two when the field was left unset (hand-built SteerInfos in tests).
+func (si *SteerInfo) Clusters() int {
+	if si.NumClusters < 1 {
+		return 2
+	}
+	return si.NumClusters
 }
 
 // Steerer is a dynamic cluster-assignment policy. The core calls Steer for
@@ -57,9 +74,10 @@ type Steerer interface {
 	// Steer chooses a cluster for the instruction described by info.
 	Steer(info *SteerInfo) ClusterID
 	// OnCycle is called once per simulated cycle with the per-cluster
-	// ready counts, before any Steer call of that cycle (input to the
-	// balance metrics).
-	OnCycle(cycle uint64, readyInt, readyFP int)
+	// ready counts (index = cluster), before any Steer call of that cycle
+	// (input to the balance metrics). The slice is reused across cycles;
+	// implementations must not retain it.
+	OnCycle(cycle uint64, ready []int)
 	// OnBranchResolved reports a resolved control transfer and whether it
 	// mispredicted (input to the priority scheme's criticality counters).
 	OnBranchResolved(pc int, mispredicted bool)
@@ -72,7 +90,7 @@ type Steerer interface {
 type NopSteerer struct{}
 
 // OnCycle implements Steerer.
-func (NopSteerer) OnCycle(uint64, int, int) {}
+func (NopSteerer) OnCycle(uint64, []int) {}
 
 // OnBranchResolved implements Steerer.
 func (NopSteerer) OnBranchResolved(int, bool) {}

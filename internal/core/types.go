@@ -1,14 +1,17 @@
 // Package core implements the cycle-level timing simulator of the clustered
 // dynamically-scheduled processor studied in "Dynamic Cluster Assignment
-// Mechanisms" (Canal, Parcerisa, González — HPCA 2000).
+// Mechanisms" (Canal, Parcerisa, González — HPCA 2000), generalized from
+// the paper's two clusters to an arbitrary cluster count (see
+// ARCHITECTURE.md).
 //
 // The microarchitecture follows Section 2 of the paper: centralized fetch,
 // decode and rename; a steering stage that assigns each instruction to one
-// of two clusters; per-cluster issue queues, issue logic, physical register
+// of N clusters; per-cluster issue queues, issue logic, physical register
 // files and functional units; inter-cluster communication through explicit
 // copy instructions that compete for issue slots and traverse a limited
-// number of 1-cycle buses; a centralized load/store disambiguation unit;
-// and in-order commit from a shared reorder buffer.
+// number of buses along a configurable topology (config.CopyDist); a
+// centralized load/store disambiguation unit; and in-order commit from a
+// shared reorder buffer.
 //
 // Execution is oracle-driven: the functional emulator (package emu)
 // produces the committed-path instruction stream; the timing model imposes
@@ -18,12 +21,16 @@
 package core
 
 import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/config"
 	"repro/internal/isa"
 )
 
-// ClusterID names a cluster. On the two-cluster machine, cluster 0 is the
-// integer cluster (C1 in the paper's Figure 1) and cluster 1 is the FP
-// cluster (C2).
+// ClusterID names a cluster. On the paper's two-cluster machine, cluster 0
+// is the integer cluster (C1 in the paper's Figure 1) and cluster 1 is the
+// FP cluster (C2); N-cluster machines number their clusters 0..N−1.
 type ClusterID int8
 
 // Cluster identifiers and the sentinel for "no preference".
@@ -35,20 +42,49 @@ const (
 	AnyCluster ClusterID = -1
 )
 
-// String returns "int"/"fp" for the two paper clusters.
+// String returns "int"/"fp" for the two paper clusters (their roles on the
+// asymmetric machine), "cN" for higher-numbered clusters of an N-cluster
+// machine, and "any" for the sentinel.
 func (c ClusterID) String() string {
-	switch c {
-	case IntCluster:
+	switch {
+	case c == IntCluster:
 		return "int"
-	case FPCluster:
+	case c == FPCluster:
 		return "fp"
+	case c > FPCluster:
+		return fmt.Sprintf("c%d", int8(c))
 	default:
 		return "any"
 	}
 }
 
-// Other returns the opposite cluster on a two-cluster machine.
+// Other returns the opposite cluster on a two-cluster machine. It is only
+// meaningful there; N-cluster code paths select clusters by scanning or by
+// the steering policy instead.
 func (c ClusterID) Other() ClusterID { return 1 - c }
+
+// ClusterSet is a bitmask of clusters (bit c = cluster c); it reports where
+// a logical register currently has valid mappings. config.MaxClusters ≤ 8
+// keeps it in one byte.
+type ClusterSet uint8
+
+// Has reports whether cluster c is in the set.
+func (s ClusterSet) Has(c ClusterID) bool { return c >= 0 && s&(1<<uint(c)) != 0 }
+
+// Add returns the set with cluster c included.
+func (s ClusterSet) Add(c ClusterID) ClusterSet { return s | 1<<uint(c) }
+
+// Count returns the number of clusters in the set.
+func (s ClusterSet) Count() int { return bits.OnesCount8(uint8(s)) }
+
+// Single returns the only cluster in the set, or AnyCluster when the set
+// does not contain exactly one cluster.
+func (s ClusterSet) Single() ClusterID {
+	if s.Count() != 1 {
+		return AnyCluster
+	}
+	return ClusterID(bits.TrailingZeros8(uint8(s)))
+}
 
 // instState tracks a dynamic instruction through the pipeline.
 type instState uint8
@@ -67,6 +103,15 @@ type physReg int16
 // noPhys marks an absent physical register operand (zero register,
 // immediate, or no destination).
 const noPhys physReg = -1
+
+// noPrevMapping returns a per-cluster mapping record with every entry
+// absent; newly created dynamic instructions start from it.
+func noPrevMapping() (p [config.MaxClusters]physReg) {
+	for i := range p {
+		p[i] = noPhys
+	}
+	return p
+}
 
 // DynInst is one in-flight dynamic instruction (or inserted copy).
 type DynInst struct {
@@ -96,8 +141,9 @@ type DynInst struct {
 	// destLogical is the architectural destination (NoReg if none).
 	destLogical isa.Reg
 	// prevMapping records the per-cluster physical registers that held
-	// destLogical before this instruction, freed at commit.
-	prevMapping [2]physReg
+	// destLogical before this instruction, freed at commit. Only the first
+	// NumClusters entries are meaningful.
+	prevMapping [config.MaxClusters]physReg
 
 	// State machine.
 	state      instState

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/stats"
 	"repro/internal/steer"
 	"repro/internal/workload"
@@ -42,10 +43,14 @@ type Progress struct {
 // failures into the middle of a grid.
 var runCell = RunOne
 
-// validateInputs rejects unknown schemes and benchmarks before any
-// simulation starts, so a typo fails in microseconds instead of minutes
-// into the grid.
-func validateInputs(schemes, benches []string) error {
+// validateInputs rejects unknown schemes, benchmarks and cluster counts
+// before any simulation starts, so a typo fails in microseconds instead of
+// minutes into the grid.
+func validateInputs(schemes, benches []string, clusters int) error {
+	if clusters < 0 || clusters > config.MaxClusters {
+		return fmt.Errorf("experiments: %d clusters unsupported (want 0 for the paper's machine, or 1..%d)",
+			clusters, config.MaxClusters)
+	}
 	for _, s := range schemes {
 		if s == BaseScheme || s == UBScheme || steer.Known(s) {
 			continue
@@ -105,7 +110,7 @@ func RunContext(ctx context.Context, schemes []string, opts Options) (*Result, e
 	if len(opts.Benchmarks) == 0 {
 		opts.Benchmarks = workload.Names()
 	}
-	if err := validateInputs(schemes, opts.Benchmarks); err != nil {
+	if err := validateInputs(schemes, opts.Benchmarks, opts.Clusters); err != nil {
 		return nil, err
 	}
 	cells := Cells(schemes, opts.Benchmarks)

@@ -32,7 +32,14 @@ type Options struct {
 	Measure uint64
 	// Benchmarks selects the workloads (default: all eight).
 	Benchmarks []string
-	// Params are the balance-machinery constants.
+	// Clusters is the cluster count of the steered machine: 0 or 2 run
+	// the paper's asymmetric two-cluster processor; any other value runs
+	// config.ClusteredN (symmetric clusters, crossbar fabric). The base
+	// and upper-bound pseudo-schemes always use their dedicated machines
+	// so speed-ups stay normalized to the paper's baseline.
+	Clusters int
+	// Params are the balance-machinery constants; Params.Clusters is
+	// overridden per cell to match the machine actually simulated.
 	Params steer.Params
 	// Parallelism bounds the number of grid cells simulated concurrently;
 	// 0 or negative means runtime.GOMAXPROCS(0). Results are identical at
@@ -64,19 +71,26 @@ type Result struct {
 
 // configFor maps scheme names to machine configurations: the base and
 // upper-bound pseudo-schemes use their dedicated machines, the FIFO scheme
-// uses the FIFO-queue machine, and everything else runs on the paper's
-// two-cluster processor.
-func configFor(scheme string) *config.Config {
+// uses the FIFO-queue organization, and everything else runs on the
+// steered machine — the paper's asymmetric two-cluster processor when
+// clusters is 0 or 2, config.ClusteredN otherwise.
+func configFor(scheme string, clusters int) *config.Config {
 	switch scheme {
 	case BaseScheme:
 		return config.Base()
 	case UBScheme:
 		return config.UpperBound()
-	case "fifo":
-		return config.FIFOClustered()
-	default:
+	}
+	if clusters == 0 || clusters == 2 {
+		if scheme == "fifo" {
+			return config.FIFOClustered()
+		}
 		return config.Clustered()
 	}
+	if scheme == "fifo" {
+		return config.ClusteredNFIFO(clusters)
+	}
+	return config.ClusteredN(clusters)
 }
 
 // RunOne simulates a single (scheme, benchmark) cell.
@@ -85,16 +99,19 @@ func RunOne(scheme, bench string, opts Options) (*stats.Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg := configFor(scheme, opts.Clusters)
 	var st core.Steerer
 	if scheme == BaseScheme || scheme == UBScheme {
 		st = core.NaiveSteerer{}
 	} else {
-		st, err = steer.NewWithParams(scheme, p, opts.Params)
+		params := opts.Params
+		params.Clusters = cfg.NumClusters()
+		st, err = steer.NewWithParams(scheme, p, params)
 		if err != nil {
 			return nil, err
 		}
 	}
-	m, err := core.New(configFor(scheme), p, st)
+	m, err := core.New(cfg, p, st)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/steer"
+)
+
+// goldenLine formats one cell's full measurement record in the fixed
+// format of testdata/golden_n2.txt (captured from the pre-generalization
+// two-cluster simulator).
+func goldenLine(scheme, bench string, opts Options, t *testing.T) string {
+	t.Helper()
+	r, err := RunOne(scheme, bench, opts)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", scheme, bench, err)
+	}
+	return fmt.Sprintf("%s/%s cycles=%d instrs=%d copies=%d critcopies=%d steered=%d,%d repl=%.6f mispred=%d branches=%d l1d=%.6f l1i=%.6f balsamples=%d balbuckets=%v",
+		scheme, bench, r.Cycles, r.Instructions, r.Copies, r.CriticalCopies,
+		r.SteeredAt(0), r.SteeredAt(1), r.ReplicatedRegsAvg, r.Mispredicts, r.Branches,
+		r.L1DMissRate, r.L1IMissRate, r.Balance.Samples, r.Balance.Buckets)
+}
+
+// TestGoldenTwoClusterBitIdentity replays a representative scheme ×
+// benchmark grid on the paper's two-cluster machines and requires every
+// statistic — cycle counts, copies, per-cluster steering splits, the full
+// balance histogram — to be bit-identical to the golden record captured
+// before the N-cluster generalization. Any behavioural drift of the N = 2
+// path, however small, fails this test.
+func TestGoldenTwoClusterBitIdentity(t *testing.T) {
+	f, err := os.Open("testdata/golden_n2.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	opts := Options{Warmup: 5_000, Measure: 25_000,
+		Benchmarks: []string{"go", "compress"}, Params: steer.DefaultParams()}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		want := strings.TrimSpace(sc.Text())
+		if want == "" {
+			continue
+		}
+		cell := strings.SplitN(strings.Fields(want)[0], "/", 2)
+		if len(cell) != 2 {
+			t.Fatalf("malformed golden line: %q", want)
+		}
+		scheme, bench := cell[0], cell[1]
+		t.Run(scheme+"/"+bench, func(t *testing.T) {
+			if got := goldenLine(scheme, bench, opts, t); got != want {
+				t.Errorf("stats diverged from pre-refactor golden\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

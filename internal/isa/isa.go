@@ -163,7 +163,7 @@ type Class uint8
 
 const (
 	// ClassSimpleInt operations execute on the simple integer ALUs present
-	// in both clusters.
+	// in every cluster.
 	ClassSimpleInt Class = iota
 	// ClassComplexInt operations (MUL/DIV/REM) execute only on the integer
 	// cluster's multiplier/divider.

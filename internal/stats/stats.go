@@ -12,9 +12,11 @@ import (
 	"strings"
 )
 
-// BalanceHist is the distribution of (#ready FP cluster − #ready INT
-// cluster) sampled once per cycle, clipped to ±Range as in the paper's
-// figures.
+// BalanceHist is the distribution of the per-cycle workload-balance
+// scalar, clipped to ±Range as in the paper's figures. On the two-cluster
+// machine the scalar is the paper's signed difference (#ready FP cluster −
+// #ready INT cluster); on N > 2 clusters it is the max−min ready-count
+// spread across clusters (always ≥ 0).
 type BalanceHist struct {
 	// Buckets[i] counts cycles with difference i−Range; index 2*Range is
 	// +Range. Differences beyond ±Range clip into the end buckets.
@@ -90,11 +92,13 @@ type Run struct {
 	Balance BalanceHist
 
 	// ReplicatedRegsAvg is the average number of logical registers mapped
-	// in both clusters per cycle (Figure 15).
+	// in more than one cluster per cycle (Figure 15; on the two-cluster
+	// machine: mapped in both).
 	ReplicatedRegsAvg float64
 
-	// Steered counts instructions sent to each cluster.
-	Steered [2]uint64
+	// Steered counts instructions sent to each cluster (index = cluster;
+	// one entry per cluster of the simulated machine).
+	Steered []uint64
 
 	// Mispredicts counts resolved conditional-branch and indirect-target
 	// mispredictions; Branches the executed control transfers.
@@ -104,6 +108,16 @@ type Run struct {
 	// L1DMissRate and L1IMissRate snapshot cache behaviour.
 	L1DMissRate float64
 	L1IMissRate float64
+}
+
+// SteeredAt returns the number of instructions steered to cluster c, zero
+// when the machine had fewer clusters (reports index the largest machine
+// in a grid).
+func (r *Run) SteeredAt(c int) uint64 {
+	if c < 0 || c >= len(r.Steered) {
+		return 0
+	}
+	return r.Steered[c]
 }
 
 // IPC returns committed instructions per cycle.

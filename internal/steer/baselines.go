@@ -3,10 +3,11 @@ package steer
 import "repro/internal/core"
 
 // Operand is a decomposition baseline, not a paper scheme: pure
-// operand-following with no balance machinery — an instruction goes where
-// most of its operands live, ties to the integer cluster. Comparing it
-// with General isolates how much of the general-balance gain comes from
-// communication avoidance alone versus the imbalance counter.
+// operand-following with no balance machinery. Steering rule: an
+// instruction goes to the cluster where most of its operands live, ties to
+// the lowest-numbered cluster. Comparing it with General (§3.8) isolates
+// how much of the general-balance gain comes from communication avoidance
+// alone versus the imbalance counters.
 type Operand struct {
 	core.NopSteerer
 }
@@ -22,18 +23,21 @@ func (*Operand) Steer(info *core.SteerInfo) core.ClusterID {
 	if info.Forced != core.AnyCluster {
 		return info.Forced
 	}
-	inInt := info.OperandsIn(core.IntCluster)
-	inFP := info.OperandsIn(core.FPCluster)
-	if inFP > inInt {
-		return core.FPCluster
+	best, bestCount := core.IntCluster, info.OperandsIn(core.IntCluster)
+	for c := 1; c < info.Clusters(); c++ {
+		id := core.ClusterID(c)
+		if n := info.OperandsIn(id); n > bestCount {
+			best, bestCount = id, n
+		}
 	}
-	return core.IntCluster
+	return best
 }
 
-// Random steers uniformly at random (deterministic xorshift), the second
-// decomposition baseline: like modulo it ignores dependences, but without
-// modulo's perfect short-term balance. It bounds how much of modulo's
-// behaviour is the alternation itself.
+// Random is the second decomposition baseline, not a paper scheme.
+// Steering rule: steerable instructions pick a cluster uniformly at random
+// (deterministic xorshift): like modulo (§3.6) it ignores dependences, but
+// without modulo's perfect short-term balance. It bounds how much of
+// modulo's behaviour is the alternation itself.
 type Random struct {
 	core.NopSteerer
 	state uint64
@@ -53,8 +57,5 @@ func (s *Random) Steer(info *core.SteerInfo) core.ClusterID {
 	s.state ^= s.state << 13
 	s.state ^= s.state >> 7
 	s.state ^= s.state << 17
-	if s.state&1 == 0 {
-		return core.IntCluster
-	}
-	return core.FPCluster
+	return core.ClusterID(s.state % uint64(info.Clusters()))
 }

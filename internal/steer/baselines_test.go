@@ -9,12 +9,12 @@ import (
 func TestOperandBaseline(t *testing.T) {
 	s := NewOperand()
 	fpInfo := &core.SteerInfo{Forced: core.AnyCluster, NumSrcs: 2}
-	fpInfo.SrcInFP = [2]bool{true, true}
+	fpInfo.SrcIn = [2]core.ClusterSet{inFP, inFP}
 	if s.Steer(fpInfo) != core.FPCluster {
 		t.Error("operands in FP, steered elsewhere")
 	}
 	intInfo := &core.SteerInfo{Forced: core.AnyCluster, NumSrcs: 1}
-	intInfo.SrcInInt[0] = true
+	intInfo.SrcIn[0] = inInt
 	if s.Steer(intInfo) != core.IntCluster {
 		t.Error("operand in int, steered elsewhere")
 	}

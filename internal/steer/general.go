@@ -5,10 +5,12 @@ import "repro/internal/core"
 // General implements Section 3.8's general balance steering — the paper's
 // best scheme (+36% average on SpecInt95). It is the limiting case of the
 // priority scheme with the criticality threshold at infinity: no slices are
-// tracked at all. Every steerable instruction goes to the least loaded
-// cluster when there is a strong imbalance or its operands are tied
-// between the clusters, and to the cluster holding most of its operands
-// otherwise. No slice/parent/cluster tables are needed.
+// tracked at all. Steering rule: every steerable instruction goes to the
+// least loaded cluster when there is a strong imbalance or its operands are
+// tied between clusters, and to the cluster holding most of its operands
+// otherwise. No slice/parent/cluster tables are needed. On N > 2 clusters
+// (Params.Clusters) "least loaded" is the argmin over the per-cluster
+// workload counters.
 type General struct {
 	core.NopSteerer
 	im *imbalance
@@ -23,8 +25,8 @@ func NewGeneral(p Params) *General {
 func (s *General) Name() string { return "general" }
 
 // OnCycle implements core.Steerer.
-func (s *General) OnCycle(cycle uint64, readyInt, readyFP int) {
-	s.im.onCycle(readyInt, readyFP)
+func (s *General) OnCycle(cycle uint64, ready []int) {
+	s.im.onCycle(ready)
 }
 
 // Steer implements core.Steerer.
@@ -39,16 +41,17 @@ func (s *General) Steer(info *core.SteerInfo) core.ClusterID {
 	return c
 }
 
-// Modulo implements the control scheme of Section 3.6/Figure 12: steerable
-// instructions alternate clusters. It achieves near-perfect balance and
-// pathological communication volume, bounding the balance axis of the
-// trade-off.
+// Modulo implements the control scheme of Section 3.6/Figure 12. Steering
+// rule: steerable instructions visit the clusters round-robin, ignoring
+// dependences entirely. It achieves near-perfect balance and pathological
+// communication volume, bounding the balance axis of the trade-off.
 type Modulo struct {
 	core.NopSteerer
 	next core.ClusterID
 }
 
-// NewModulo returns modulo steering.
+// NewModulo returns modulo steering; the cluster count is read from each
+// SteerInfo, so one instance works on any machine.
 func NewModulo() *Modulo { return &Modulo{} }
 
 // Name implements core.Steerer.
@@ -60,23 +63,23 @@ func (s *Modulo) Steer(info *core.SteerInfo) core.ClusterID {
 		return info.Forced
 	}
 	c := s.next
-	s.next = s.next.Other()
+	s.next = (s.next + 1) % core.ClusterID(info.Clusters())
 	return c
 }
 
 // FIFOBased is the cluster-choice half of the Palacharla/Jouppi/Smith
 // steering of Section 3.9; the FIFO placement within the chosen cluster is
-// performed by the core's FIFO-mode issue queues (config.IQFIFO). An
-// instruction follows its not-yet-ready source operand so the dependence
-// chain stays in one FIFO; with no pending operand to chase it takes the
-// emptier cluster.
+// performed by the core's FIFO-mode issue queues (config.IQFIFO). Steering
+// rule: an instruction follows its source operand that lives in exactly
+// one cluster so the dependence chain stays in one FIFO; with no pending
+// operand to chase it takes the clusters round-robin.
 type FIFOBased struct {
 	core.NopSteerer
 	next core.ClusterID
 }
 
 // NewFIFOBased returns the FIFO-based steering scheme. Use it with
-// config.FIFOClustered.
+// config.FIFOClustered (or an N-cluster config in IQFIFO mode).
 func NewFIFOBased() *FIFOBased { return &FIFOBased{} }
 
 // Name implements core.Steerer.
@@ -89,17 +92,13 @@ func (s *FIFOBased) Steer(info *core.SteerInfo) core.ClusterID {
 	}
 	// Chase the first operand that lives in exactly one cluster.
 	for i := 0; i < info.NumSrcs; i++ {
-		inInt, inFP := info.SrcInInt[i], info.SrcInFP[i]
-		if inInt && !inFP {
-			return core.IntCluster
-		}
-		if inFP && !inInt {
-			return core.FPCluster
+		if c := info.SrcIn[i].Single(); c != core.AnyCluster {
+			return c
 		}
 	}
-	// No chain to follow: alternate to spread load (the original proposal
+	// No chain to follow: rotate to spread load (the original proposal
 	// fills FIFOs round-robin).
 	c := s.next
-	s.next = s.next.Other()
+	s.next = (s.next + 1) % core.ClusterID(info.Clusters())
 	return c
 }

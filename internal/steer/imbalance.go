@@ -8,6 +8,12 @@
 // Policies implement the core.Steerer interface: the pipeline calls Steer
 // for every program instruction in decode order, plus per-cycle and
 // resolution hooks that feed the balance and criticality machinery.
+//
+// The balance machinery is generalized from the paper's two clusters to N
+// (Params.Clusters): each cluster keeps its own workload counter, and the
+// paper's signed imbalance counter is recovered as the pairwise difference
+// of counters — on a two-cluster machine every decision is bit-identical
+// to the original signed-delta formulation.
 package steer
 
 import "repro/internal/core"
@@ -30,47 +36,71 @@ type Params struct {
 	// IssueWidth is the per-cluster issue width the I2 metric compares
 	// ready counts against (Table 2: 4).
 	IssueWidth int
+	// Clusters is the cluster count of the machine the policy will steer
+	// for; 0 means the paper's two. It must match the config.Config the
+	// core.Machine runs (experiments.RunOne and the CLIs keep them in
+	// sync).
+	Clusters int
 	// UseI1 and UseI2 optionally disable one component of the combined
 	// imbalance metric for the ablation study (nil or true = enabled).
 	UseI1 *bool
 	UseI2 *bool
 }
 
-// DefaultParams returns the paper's constants.
+// DefaultParams returns the paper's constants (on the paper's two-cluster
+// machine).
 func DefaultParams() Params {
-	return Params{Threshold: 8, Window: 16, Epoch: 8192, CriticalFraction: 0.5, IssueWidth: 4}
+	return Params{Threshold: 8, Window: 16, Epoch: 8192, CriticalFraction: 0.5, IssueWidth: 4, Clusters: 2}
 }
 
-// imbalance implements Section 3.5's workload-imbalance estimation. It
-// combines two metrics:
+// clusterCount normalizes Params.Clusters (0 → the paper's 2).
+func (p Params) clusterCount() int {
+	if p.Clusters < 1 {
+		return 2
+	}
+	return p.Clusters
+}
+
+// imbalance implements Section 3.5's workload-imbalance estimation,
+// generalized to N clusters. Each cluster c carries two counters:
 //
-//   - I2: the instantaneous difference in ready instructions between the
-//     clusters, counted only when one cluster has more ready instructions
-//     than its issue width while the other has fewer (otherwise both issue
-//     at full rate and the workload is considered balanced). I2 is
-//     averaged over the last Window cycles.
-//   - I1: the running difference in the number of instructions steered to
-//     each cluster, incremented or decremented as each instruction is
-//     steered — so every instruction decoded in the same cycle sees a
-//     different balance value and massed same-cluster steerings are
-//     avoided (Section 3.5's wording). Because it is cumulative, policies
-//     that react to it alternate clusters in hysteresis-band-sized chunks.
+//   - I2: its ready-instruction count, recorded only on cycles when some
+//     cluster has more ready instructions than its issue width while
+//     another has fewer (otherwise every cluster issues at full rate and
+//     the workload is considered balanced), averaged over the last Window
+//     cycles;
+//   - I1: the number of instructions steered to the cluster, incremented
+//     as each instruction is steered — so every instruction decoded in the
+//     same cycle sees a different balance value and massed same-cluster
+//     steerings are avoided (Section 3.5's wording). Because it is
+//     cumulative, policies that react to it alternate clusters in
+//     hysteresis-band-sized chunks.
 //
-// The combined counter is avg(I2) + I1. Positive values mean the FP
-// cluster is the more loaded one.
+// Decisions read the counters only through pairwise differences
+// (delta(c, o) = avg(I2[c]) − avg(I2[o]) + I1[c] − I1[o], with the window
+// average taken over the difference so integer truncation matches the
+// original), which on a two-cluster machine reduces exactly to the
+// paper's single signed counter: delta(FP, Int) is the combined counter,
+// positive when the FP cluster is the more loaded one.
 type imbalance struct {
 	p      Params
-	window []int
+	n      int
+	window [][]int // per cluster: Window gated ready-count samples
+	sum    []int   // per cluster: running window sum
 	idx    int
-	sum    int
 	filled int
-	i1     int
+	i1     []int
 	useI1  bool
 	useI2  bool
 }
 
 func newImbalance(p Params) *imbalance {
-	im := &imbalance{p: p, window: make([]int, p.Window), useI1: true, useI2: true}
+	n := p.clusterCount()
+	im := &imbalance{p: p, n: n, sum: make([]int, n), i1: make([]int, n), useI1: true, useI2: true}
+	im.window = make([][]int, n)
+	for c := range im.window {
+		im.window[c] = make([]int, p.Window)
+	}
 	if p.UseI1 != nil {
 		im.useI1 = *p.UseI1
 	}
@@ -80,83 +110,167 @@ func newImbalance(p Params) *imbalance {
 	return im
 }
 
-// onCycle records the cycle's instantaneous I2 and restarts the
-// per-instruction adjustment.
-func (im *imbalance) onCycle(readyInt, readyFP int) {
-	widthInt, widthFP := im.p.IssueWidth, im.p.IssueWidth
-	i2 := 0
+// onCycle records the cycle's instantaneous I2 samples. Ready counts are
+// recorded only when at least one cluster is above its issue width and at
+// least one below (the paper's gate: otherwise all clusters issue at full
+// rate); ungated cycles record zeros, decaying the window average.
+func (im *imbalance) onCycle(ready []int) {
+	width := im.p.IssueWidth
+	gated := false
 	if im.useI2 {
-		switch {
-		case readyFP > widthFP && readyInt < widthInt:
-			i2 = readyFP - readyInt
-		case readyInt > widthInt && readyFP < widthFP:
-			i2 = readyFP - readyInt // negative
+		over, under := false, false
+		for c := 0; c < im.n; c++ {
+			r := 0
+			if c < len(ready) {
+				r = ready[c]
+			}
+			if r > width {
+				over = true
+			}
+			if r < width {
+				under = true
+			}
 		}
+		gated = over && under
 	}
-	im.sum -= im.window[im.idx]
-	im.window[im.idx] = i2
-	im.sum += i2
-	im.idx = (im.idx + 1) % len(im.window)
-	if im.filled < len(im.window) {
+	for c := 0; c < im.n; c++ {
+		sample := 0
+		if gated && c < len(ready) {
+			sample = ready[c]
+		}
+		im.sum[c] -= im.window[c][im.idx]
+		im.window[c][im.idx] = sample
+		im.sum[c] += sample
+	}
+	im.idx = (im.idx + 1) % im.p.Window
+	if im.filled < im.p.Window {
 		im.filled++
 	}
 }
 
-// onSteer adjusts the counter for one steered instruction. The counter is
-// a saturating hardware counter: it clamps at ±4×threshold so a long
+// onSteer adjusts the steered-count counter for one steered instruction.
+// The counters are saturating hardware counters: a cluster's count may
+// exceed the least-loaded cluster's by at most 4×threshold, so a long
 // one-sided phase (e.g. a large slice pinned to one cluster) cannot wind
-// it up beyond what a few balancing cycles can work off.
+// the difference up beyond what a few balancing cycles can work off. The
+// counters are renormalized so their minimum stays at zero (differences,
+// the only thing decisions read, are unaffected).
 func (im *imbalance) onSteer(c core.ClusterID) {
-	if !im.useI1 {
+	if !im.useI1 || c < 0 || int(c) >= im.n {
 		return
 	}
 	limit := 4 * im.p.Threshold
-	if c == core.FPCluster {
-		if im.i1 < limit {
-			im.i1++
+	min := im.i1[0]
+	for _, v := range im.i1[1:] {
+		if v < min {
+			min = v
 		}
-	} else if im.i1 > -limit {
-		im.i1--
+	}
+	if im.i1[c]-min < limit {
+		im.i1[c]++
+	}
+	// Renormalize so the minimum counter sits at zero; differences — the
+	// only thing decisions read — are unaffected, and the counters stay
+	// bounded by the clamp.
+	min = im.i1[0]
+	for _, v := range im.i1[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	if min != 0 {
+		for i := range im.i1 {
+			im.i1[i] -= min
+		}
 	}
 }
 
-// value returns the combined imbalance counter.
-func (im *imbalance) value() int {
+// delta returns the combined imbalance counter read pairwise: positive
+// when cluster c is more loaded than cluster o. The window average is
+// computed on the difference of sums, reproducing the truncated integer
+// division of the paper's single-counter hardware.
+func (im *imbalance) delta(c, o core.ClusterID) int {
 	avg := 0
 	if im.filled > 0 {
-		avg = im.sum / im.filled
+		avg = (im.sum[c] - im.sum[o]) / im.filled
 	}
-	return avg + im.i1
+	return avg + im.i1[c] - im.i1[o]
 }
 
-// strong reports whether the imbalance exceeds the threshold.
+// value returns the two-cluster reading of the counter — delta(FP, Int),
+// the paper's combined imbalance counter (positive = FP cluster more
+// loaded). It is only meaningful on two clusters; N-cluster decisions use
+// delta/leastLoaded directly.
+func (im *imbalance) value() int {
+	return im.delta(core.FPCluster, core.IntCluster)
+}
+
+// strong reports whether any pair of clusters differs by at least the
+// threshold (on two clusters: |combined counter| ≥ threshold).
 func (im *imbalance) strong() bool {
-	v := im.value()
-	if v < 0 {
-		v = -v
+	for c := 0; c < im.n; c++ {
+		for o := c + 1; o < im.n; o++ {
+			v := im.delta(core.ClusterID(c), core.ClusterID(o))
+			if v < 0 {
+				v = -v
+			}
+			if v >= im.p.Threshold {
+				return true
+			}
+		}
 	}
-	return v >= im.p.Threshold
+	return false
 }
 
 // overloaded reports whether cluster c is currently on the loaded side of
-// the counter.
+// the counters: strictly more loaded than the least-loaded cluster.
 func (im *imbalance) overloaded(c core.ClusterID) bool {
-	v := im.value()
-	return (c == core.FPCluster && v > 0) || (c == core.IntCluster && v < 0)
+	if c < 0 || int(c) >= im.n {
+		return false
+	}
+	return im.delta(c, im.leastLoadedBy(nil, nil)) > 0
 }
 
-// leastLoaded returns the cluster the counter says has spare capacity,
-// falling back to the raw ready counts on a tie.
-func (im *imbalance) leastLoaded(readyInt, readyFP int) core.ClusterID {
-	switch v := im.value(); {
-	case v > 0:
-		return core.IntCluster
-	case v < 0:
-		return core.FPCluster
-	default:
-		if readyInt <= readyFP {
-			return core.IntCluster
+// leastLoaded returns the cluster the counters say has the most spare
+// capacity, falling back to the raw ready counts on ties (and to the
+// lowest cluster index after that).
+func (im *imbalance) leastLoaded(ready []int) core.ClusterID {
+	return im.leastLoadedBy(nil, ready)
+}
+
+// leastLoadedOf restricts leastLoaded to the candidate set.
+func (im *imbalance) leastLoadedOf(cands core.ClusterSet, ready []int) core.ClusterID {
+	in := func(c core.ClusterID) bool { return cands.Has(c) }
+	return im.leastLoadedBy(in, ready)
+}
+
+// leastLoadedBy scans the clusters accepted by `in` (nil = all) and keeps
+// the least loaded: a candidate replaces the incumbent when its pairwise
+// counter says it is strictly less loaded, or on a counter tie when it has
+// strictly fewer raw ready instructions.
+func (im *imbalance) leastLoadedBy(in func(core.ClusterID) bool, ready []int) core.ClusterID {
+	readyAt := func(c core.ClusterID) int {
+		if ready != nil && int(c) < len(ready) {
+			return ready[c]
 		}
-		return core.FPCluster
+		return 0
 	}
+	best := core.AnyCluster
+	for i := 0; i < im.n; i++ {
+		c := core.ClusterID(i)
+		if in != nil && !in(c) {
+			continue
+		}
+		if best == core.AnyCluster {
+			best = c
+			continue
+		}
+		switch d := im.delta(c, best); {
+		case d < 0:
+			best = c
+		case d == 0 && readyAt(c) < readyAt(best):
+			best = c
+		}
+	}
+	return best
 }

@@ -6,11 +6,13 @@ import (
 	"repro/internal/core"
 )
 
-// NonSliceBalance implements Section 3.5: slice instructions steer to the
-// integer cluster as in the plain slice schemes, while non-slice
-// instructions are used to repair workload balance — they go to the least
-// loaded cluster when the imbalance counter signals a strong imbalance,
-// and to the cluster holding their operands otherwise.
+// NonSliceBalance implements Section 3.5's non-slice balance steering:
+// slice instructions steer to the integer cluster as in the plain slice
+// schemes, while non-slice instructions are used to repair workload
+// balance — they go to the least loaded cluster when the imbalance
+// counters signal a strong imbalance, and to the cluster holding their
+// operands otherwise. On N > 2 clusters (Params.Clusters) "least loaded"
+// is the argmin over the per-cluster workload counters.
 type NonSliceBalance struct {
 	core.NopSteerer
 	slice *Slice
@@ -29,8 +31,8 @@ func (s *NonSliceBalance) Name() string {
 }
 
 // OnCycle implements core.Steerer.
-func (s *NonSliceBalance) OnCycle(cycle uint64, readyInt, readyFP int) {
-	s.im.onCycle(readyInt, readyFP)
+func (s *NonSliceBalance) OnCycle(cycle uint64, ready []int) {
+	s.im.onCycle(ready)
 }
 
 // Steer implements core.Steerer.
@@ -53,19 +55,28 @@ func (s *NonSliceBalance) choose(info *core.SteerInfo, inSlice bool) core.Cluste
 
 // steerByOperandsAndBalance is the shared non-slice placement rule: under
 // strong imbalance go to the least loaded cluster; otherwise follow the
-// operands (majority cluster), breaking ties toward the least loaded side.
+// operands (the cluster holding most of them), breaking ties among the
+// operand-richest clusters toward the least loaded one.
 func steerByOperandsAndBalance(info *core.SteerInfo, im *imbalance) core.ClusterID {
+	ready := info.Ready[:min(im.n, len(info.Ready))]
 	if im.strong() {
-		return im.leastLoaded(info.Ready[0], info.Ready[1])
+		return im.leastLoaded(ready)
 	}
-	inInt := info.OperandsIn(core.IntCluster)
-	inFP := info.OperandsIn(core.FPCluster)
-	switch {
-	case inInt > inFP:
-		return core.IntCluster
-	case inFP > inInt:
-		return core.FPCluster
-	default:
-		return im.leastLoaded(info.Ready[0], info.Ready[1])
+	// Clusters holding the operand majority; with no operands (or a full
+	// tie) every cluster is a candidate and load decides, as in the
+	// paper's two-cluster rule.
+	best, cands := 0, core.ClusterSet(0)
+	for c := 0; c < im.n; c++ {
+		id := core.ClusterID(c)
+		switch n := info.OperandsIn(id); {
+		case n > best:
+			best, cands = n, core.ClusterSet(0).Add(id)
+		case n == best:
+			cands = cands.Add(id)
+		}
 	}
+	if c := cands.Single(); c != core.AnyCluster {
+		return c
+	}
+	return im.leastLoadedOf(cands, ready)
 }

@@ -28,6 +28,12 @@ import (
 //	static-ldst-cons  compile-time (flow-insensitive) static partitioning
 //	operand         decomposition baseline: operand-following only, no balance
 //	random          decomposition baseline: uniform random placement
+//
+// The balance-based schemes (modulo, nonslice, slicebal, priority, general,
+// fifo, operand, random) generalize to N-cluster machines via
+// Params.Clusters; the slice and static schemes are inherently two-way
+// partitioners (slice ↔ integer cluster, rest ↔ cluster 1) and keep that
+// behaviour on larger machines.
 func Names() []string {
 	names := make([]string, 0, len(factories))
 	for n := range factories {

@@ -7,11 +7,12 @@ import (
 	"repro/internal/isa"
 )
 
-// Slice implements the plain slice-steering schemes of Sections 3.3–3.4:
-// every instruction in the tracked slice (LdSt or Br) is dispatched to the
-// integer cluster and everything else to the FP cluster (complex integer
-// instructions excepted — the datapath forces those to the integer
-// cluster).
+// Slice implements the plain slice-steering schemes of Sections 3.3–3.4.
+// Steering rule: every instruction in the tracked slice (LdSt or Br) is
+// dispatched to the integer cluster and everything else to the FP cluster
+// (complex integer instructions excepted — the datapath forces those to
+// the integer cluster). The scheme is an inherently two-way partitioner;
+// on an N-cluster machine it still uses only clusters 0 and 1.
 //
 // Slice membership is learned at run time: memory instructions (resp.
 // branches) set their own slice bit; an instruction whose bit is set marks

@@ -18,11 +18,13 @@ type sliceState struct {
 	missCount uint64
 }
 
-// SliceBalance implements Section 3.6: instructions are classified into
-// individual backward slices at run time (slice table + parent table), each
-// slice is mapped to a cluster (cluster table), and a whole slice re-maps
-// to the other cluster when its current cluster is strongly overloaded.
-// Non-slice instructions follow the non-slice balance rule.
+// SliceBalance implements Section 3.6's slice balance steering:
+// instructions are classified into individual backward slices at run time
+// (slice table + parent table), each slice is mapped to a cluster (cluster
+// table), and a whole slice re-maps to the least loaded cluster when its
+// current cluster is strongly overloaded (on two clusters: to the other
+// cluster, as in the paper). Non-slice instructions follow the non-slice
+// balance rule.
 type SliceBalance struct {
 	core.NopSteerer
 	kind    SliceKind
@@ -50,8 +52,8 @@ func NewSliceBalance(kind SliceKind, p Params) *SliceBalance {
 func (s *SliceBalance) Name() string { return fmt.Sprintf("%s-slicebal", s.kind) }
 
 // OnCycle implements core.Steerer.
-func (s *SliceBalance) OnCycle(cycle uint64, readyInt, readyFP int) {
-	s.im.onCycle(readyInt, readyFP)
+func (s *SliceBalance) OnCycle(cycle uint64, ready []int) {
+	s.im.onCycle(ready)
 }
 
 // observe updates slice membership for the decoded instruction and returns
@@ -91,15 +93,17 @@ func (s *SliceBalance) state(sid int) *sliceState {
 }
 
 // steerSlice places an instruction that belongs to slice sid: to the
-// slice's cluster, re-mapping the whole slice first when that cluster is
-// strongly overloaded.
+// slice's cluster, re-mapping the whole slice to the least loaded cluster
+// first when its current cluster is strongly overloaded (on two clusters
+// that is exactly the paper's "the other cluster").
 func (s *SliceBalance) steerSlice(sid int, info *core.SteerInfo) core.ClusterID {
+	ready := info.Ready[:min(s.im.n, len(info.Ready))]
 	st := s.state(sid)
 	if !st.assigned {
-		st.cluster = s.im.leastLoaded(info.Ready[0], info.Ready[1])
+		st.cluster = s.im.leastLoaded(ready)
 		st.assigned = true
 	} else if s.im.strong() && s.im.overloaded(st.cluster) {
-		st.cluster = st.cluster.Other()
+		st.cluster = s.im.leastLoaded(ready)
 		s.Remaps++
 	}
 	return st.cluster
@@ -146,8 +150,8 @@ func (s *Priority) Name() string { return fmt.Sprintf("%s-priority", s.kind) }
 
 // OnCycle implements core.Steerer: besides the balance update, it runs the
 // 8192-cycle threshold adaptation loop of Section 3.7.
-func (s *Priority) OnCycle(cycle uint64, readyInt, readyFP int) {
-	s.SliceBalance.OnCycle(cycle, readyInt, readyFP)
+func (s *Priority) OnCycle(cycle uint64, ready []int) {
+	s.SliceBalance.OnCycle(cycle, ready)
 	if cycle-s.epochStart < s.im.p.Epoch {
 		return
 	}

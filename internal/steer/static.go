@@ -10,9 +10,11 @@ import (
 )
 
 // Static reproduces the compile-time partitioning of Sastry, Palacharla
-// and Smith that Figure 3 compares against: each static instruction is
-// assigned a fixed cluster — the integer cluster for the LdSt slice, the FP
-// cluster for the rest — and every dynamic instance obeys that assignment.
+// and Smith that Figure 3 (§3.3) compares against. Steering rule: each
+// static instruction is assigned a fixed cluster — the integer cluster for
+// the LdSt slice, the FP cluster for the rest — and every dynamic instance
+// obeys that assignment. Like the plain slice schemes it is an inherently
+// two-way partitioner and uses only clusters 0 and 1 on larger machines.
 //
 // The original derives the slice from compiler analysis; lacking the Alpha
 // compiler, we derive it from a profiling pre-pass: the program runs

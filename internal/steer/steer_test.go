@@ -20,7 +20,7 @@ func feed(t *testing.T, p *prog.Program, s core.Steerer, max uint64) map[int]cor
 	decisions := make(map[int]core.ClusterID)
 	for i := uint64(0); i < max && !m.Halted; i++ {
 		if i%8 == 0 {
-			s.OnCycle(i/8, 3, 3)
+			s.OnCycle(i/8, []int{3, 3})
 		}
 		st, err := m.Step()
 		if err != nil {
@@ -37,7 +37,7 @@ func feed(t *testing.T, p *prog.Program, s core.Steerer, max uint64) map[int]cor
 				break
 			}
 			info.SrcReg[info.NumSrcs] = r
-			info.SrcInInt[info.NumSrcs] = true
+			info.SrcIn[info.NumSrcs] = core.ClusterSet(0).Add(core.IntCluster)
 			info.NumSrcs++
 		}
 		c := s.Steer(info)
@@ -168,16 +168,22 @@ func TestSliceSteeringDecisions(t *testing.T) {
 	}
 }
 
+// inInt and inFP are ClusterSet shorthands for the two-cluster tests.
+var (
+	inInt = core.ClusterSet(0).Add(core.IntCluster)
+	inFP  = core.ClusterSet(0).Add(core.FPCluster)
+)
+
 func TestImbalanceCounter(t *testing.T) {
 	im := newImbalance(DefaultParams())
 	// Strong FP overload: readyFP > width, readyInt < width.
 	for i := 0; i < 20; i++ {
-		im.onCycle(0, 12)
+		im.onCycle([]int{0, 12})
 	}
 	if !im.strong() {
 		t.Fatalf("counter %d not strong under sustained overload", im.value())
 	}
-	if im.leastLoaded(0, 12) != core.IntCluster {
+	if im.leastLoaded([]int{0, 12}) != core.IntCluster {
 		t.Fatal("least loaded should be the integer cluster")
 	}
 	if !im.overloaded(core.FPCluster) || im.overloaded(core.IntCluster) {
@@ -185,7 +191,7 @@ func TestImbalanceCounter(t *testing.T) {
 	}
 	// Balanced epochs decay the window average.
 	for i := 0; i < 20; i++ {
-		im.onCycle(3, 3)
+		im.onCycle([]int{3, 3})
 	}
 	if im.strong() {
 		t.Fatalf("counter %d still strong after balanced cycles", im.value())
@@ -196,7 +202,7 @@ func TestImbalanceIgnoresBalancedOverload(t *testing.T) {
 	im := newImbalance(DefaultParams())
 	// Both clusters above issue width: both issue at full rate, I2 = 0.
 	for i := 0; i < 20; i++ {
-		im.onCycle(10, 20)
+		im.onCycle([]int{10, 20})
 	}
 	if im.value() != 0 {
 		t.Fatalf("I2 counted while both clusters saturated: %d", im.value())
@@ -205,7 +211,7 @@ func TestImbalanceIgnoresBalancedOverload(t *testing.T) {
 
 func TestImbalanceI1Cumulative(t *testing.T) {
 	im := newImbalance(DefaultParams())
-	im.onCycle(0, 0)
+	im.onCycle([]int{0, 0})
 	for i := 0; i < 8; i++ {
 		im.onSteer(core.FPCluster)
 	}
@@ -217,7 +223,7 @@ func TestImbalanceI1Cumulative(t *testing.T) {
 	}
 	// I1 is the cumulative steered-count difference: it persists across
 	// cycles and is worked off by steering the other way.
-	im.onCycle(0, 0)
+	im.onCycle([]int{0, 0})
 	if im.value() != 8 {
 		t.Fatalf("I1 did not persist: %d", im.value())
 	}
@@ -229,15 +235,111 @@ func TestImbalanceI1Cumulative(t *testing.T) {
 	}
 }
 
+func TestImbalanceNWayArgmin(t *testing.T) {
+	p := DefaultParams()
+	p.Clusters = 4
+	im := newImbalance(p)
+	// Cluster 2 far above width, clusters 0/3 far below, cluster 1 busy:
+	// the gate opens and the per-cluster counters separate.
+	for i := 0; i < 20; i++ {
+		im.onCycle([]int{0, 6, 12, 1})
+	}
+	if !im.strong() {
+		t.Fatal("4-way overload not detected as strong")
+	}
+	if !im.overloaded(core.ClusterID(2)) {
+		t.Error("cluster 2 should be overloaded")
+	}
+	if im.overloaded(core.ClusterID(0)) {
+		t.Error("cluster 0 should not be overloaded")
+	}
+	if got := im.leastLoaded([]int{0, 6, 12, 1}); got != core.ClusterID(0) {
+		t.Errorf("least loaded = %v, want cluster 0", got)
+	}
+	// Restricting the candidates must respect the restriction.
+	cands := core.ClusterSet(0).Add(core.ClusterID(1)).Add(core.ClusterID(2))
+	if got := im.leastLoadedOf(cands, []int{0, 6, 12, 1}); got != core.ClusterID(1) {
+		t.Errorf("least loaded of {1,2} = %v, want cluster 1", got)
+	}
+}
+
+func TestImbalanceTwoClusterDeltaMatchesSignedCounter(t *testing.T) {
+	// The N-way counters must reproduce the paper's single signed counter
+	// exactly on two clusters: replay a mixed history on the generalized
+	// machinery and on a hand-coded signed reference.
+	im := newImbalance(DefaultParams())
+	signed := struct {
+		window []int
+		idx    int
+		sum    int
+		filled int
+		i1     int
+	}{window: make([]int, DefaultParams().Window)}
+	width := DefaultParams().IssueWidth
+	limit := 4 * DefaultParams().Threshold
+
+	step := func(readyInt, readyFP int, steers []core.ClusterID) {
+		im.onCycle([]int{readyInt, readyFP})
+		i2 := 0
+		switch {
+		case readyFP > width && readyInt < width:
+			i2 = readyFP - readyInt
+		case readyInt > width && readyFP < width:
+			i2 = readyFP - readyInt
+		}
+		signed.sum -= signed.window[signed.idx]
+		signed.window[signed.idx] = i2
+		signed.sum += i2
+		signed.idx = (signed.idx + 1) % len(signed.window)
+		if signed.filled < len(signed.window) {
+			signed.filled++
+		}
+		for _, c := range steers {
+			im.onSteer(c)
+			if c == core.FPCluster {
+				if signed.i1 < limit {
+					signed.i1++
+				}
+			} else if signed.i1 > -limit {
+				signed.i1--
+			}
+		}
+		want := signed.i1
+		if signed.filled > 0 {
+			want = signed.sum/signed.filled + signed.i1
+		}
+		if got := im.value(); got != want {
+			t.Fatalf("generalized counter %d != signed reference %d", got, want)
+		}
+	}
+
+	histories := [][3]int{ // readyInt, readyFP, net FP steers (neg = int)
+		{0, 12, 3}, {12, 0, -2}, {3, 3, 1}, {9, 1, -4}, {1, 9, 6},
+		{5, 5, -1}, {0, 0, 40}, {2, 11, -40}, {6, 2, 2}, {4, 4, 0},
+	}
+	for _, h := range histories {
+		var steers []core.ClusterID
+		n := h[2]
+		c := core.FPCluster
+		if n < 0 {
+			n, c = -n, core.IntCluster
+		}
+		for i := 0; i < n; i++ {
+			steers = append(steers, c)
+		}
+		step(h[0], h[1], steers)
+	}
+}
+
 func TestGeneralFollowsOperands(t *testing.T) {
 	s := NewGeneral(DefaultParams())
 	info := &core.SteerInfo{Forced: core.AnyCluster, NumSrcs: 2}
-	info.SrcInFP = [2]bool{true, true}
+	info.SrcIn = [2]core.ClusterSet{inFP, inFP}
 	if c := s.Steer(info); c != core.FPCluster {
 		t.Errorf("both operands FP, steered to %v", c)
 	}
 	info2 := &core.SteerInfo{Forced: core.AnyCluster, NumSrcs: 2}
-	info2.SrcInInt = [2]bool{true, true}
+	info2.SrcIn = [2]core.ClusterSet{inInt, inInt}
 	if c := s.Steer(info2); c != core.IntCluster {
 		t.Errorf("both operands int, steered to %v", c)
 	}
@@ -246,9 +348,8 @@ func TestGeneralFollowsOperands(t *testing.T) {
 func TestGeneralBreaksTieTowardLeastLoaded(t *testing.T) {
 	s := NewGeneral(DefaultParams())
 	info := &core.SteerInfo{Forced: core.AnyCluster, NumSrcs: 2}
-	info.SrcInInt = [2]bool{true, false}
-	info.SrcInFP = [2]bool{false, true}
-	info.Ready = [2]int{9, 0}
+	info.SrcIn = [2]core.ClusterSet{inInt, inFP}
+	info.Ready[0] = 9
 	if c := s.Steer(info); c != core.FPCluster {
 		t.Errorf("tie with loaded int cluster steered to %v", c)
 	}
@@ -257,10 +358,10 @@ func TestGeneralBreaksTieTowardLeastLoaded(t *testing.T) {
 func TestGeneralRespectsStrongImbalance(t *testing.T) {
 	s := NewGeneral(DefaultParams())
 	for i := 0; i < 20; i++ {
-		s.OnCycle(uint64(i), 12, 0) // int cluster overloaded
+		s.OnCycle(uint64(i), []int{12, 0}) // int cluster overloaded
 	}
 	info := &core.SteerInfo{Forced: core.AnyCluster, NumSrcs: 1}
-	info.SrcInInt[0] = true // operand home says int...
+	info.SrcIn[0] = inInt // operand home says int...
 	if c := s.Steer(info); c != core.FPCluster {
 		t.Errorf("strong imbalance ignored: steered to %v", c)
 	}
@@ -301,12 +402,14 @@ func TestSliceBalanceAssignsAndRemaps(t *testing.T) {
 	if sid < 0 {
 		t.Fatal("no assigned slices after feeding figure 2")
 	}
-	s.im.i1 = 0 // neutralize the steering history accumulated by feed
+	for i := range s.im.i1 { // neutralize the steering history from feed
+		s.im.i1[i] = 0
+	}
 	for i := 0; i < 20; i++ {
 		if home == core.IntCluster {
-			s.OnCycle(uint64(1000+i), 12, 0)
+			s.OnCycle(uint64(1000+i), []int{12, 0})
 		} else {
-			s.OnCycle(uint64(1000+i), 0, 12)
+			s.OnCycle(uint64(1000+i), []int{0, 12})
 		}
 	}
 	before := s.Remaps
@@ -332,7 +435,7 @@ func TestPriorityThresholdAdapts(t *testing.T) {
 	info := &core.SteerInfo{Forced: core.AnyCluster, PC: 7, Inst: isa.Inst{Op: isa.BNE}}
 	start := s.Threshold()
 	for cyc := uint64(0); cyc < 100; cyc++ {
-		s.OnCycle(cyc, 2, 2)
+		s.OnCycle(cyc, []int{2, 2})
 		for k := 0; k < 4; k++ {
 			s.Steer(info)
 		}
@@ -368,7 +471,7 @@ func TestPriorityCountsOnlyMatchingKind(t *testing.T) {
 func TestFIFOBasedChasesOperands(t *testing.T) {
 	s := NewFIFOBased()
 	info := &core.SteerInfo{Forced: core.AnyCluster, NumSrcs: 1}
-	info.SrcInFP[0] = true
+	info.SrcIn[0] = inFP
 	if c := s.Steer(info); c != core.FPCluster {
 		t.Errorf("operand in FP, steered %v", c)
 	}
