@@ -1,0 +1,45 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# steps; `make ci` reproduces them locally.
+
+GO ?= go
+
+.PHONY: all build test race cover fuzz bench ci fmt vet
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Coverage gate: the hot-loop packages must keep internal/core at or above
+# its recorded line coverage (see ci.yml for the canonical threshold).
+# Runs without -race (coverage under the race detector is ~10x slower);
+# `make race` provides the race pass.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out -coverpkg=./internal/core ./internal/core ./internal/experiments
+	@pct=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/core line coverage: $$pct%"; \
+	awk -v p="$$pct" 'BEGIN { if (p + 0 < 92.0) { print "coverage gate: " p "% < 92.0%"; exit 1 } }'
+
+# Fixed-budget coverage-guided smoke of the co-simulation property.
+fuzz:
+	$(GO) test ./internal/core -run xxx -fuzz FuzzCoSimulate -fuzztime 20s
+
+# Regenerate the reference benchmark records (BENCH_core.json,
+# BENCH_clusters.json) with current environment metadata so the checked-in
+# numbers cannot drift silently from the code.
+bench:
+	$(GO) run ./cmd/dcabenchref
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build race cover fuzz

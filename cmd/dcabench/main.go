@@ -27,8 +27,8 @@ import (
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "comma-separated exhibit ids (table1,table2,fig3..fig16) or 'all'")
-		warmup   = flag.Uint64("warmup", 25_000, "warm-up instructions per run (not measured)")
-		measure  = flag.Uint64("measure", 250_000, "measured instructions per run")
+		warmup   = flag.Uint64("warmup", 100_000, "warm-up instructions per run (not measured)")
+		measure  = flag.Uint64("measure", 1_000_000, "measured instructions per run")
 		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 		csvPath  = flag.String("csv", "", "also write the raw grid as CSV to this file")
 		jobs     = flag.Int("j", 0, "grid cells to simulate in parallel (0 = all cores)")

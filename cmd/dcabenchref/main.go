@@ -1,0 +1,136 @@
+// Command dcabenchref regenerates the repository's reference benchmark
+// records (BENCH_core.json, BENCH_clusters.json) by running the relevant
+// `go test -bench` targets and rewriting each file's environment, date and
+// results — so the checked-in numbers can never silently drift from the
+// code. Curated fields (description, reading, baseline) are preserved.
+//
+// Usage:
+//
+//	dcabenchref            # regenerate both files (run from the repo root)
+//	dcabenchref -core      # only BENCH_core.json
+//	dcabenchref -clusters  # only BENCH_clusters.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"b_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// benchLine matches `BenchmarkX/sub-8   300000   645.6 ns/op   0 B/op   0 allocs/op`
+// (the -8 GOMAXPROCS suffix and the B/op / allocs/op columns are optional).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// runBench executes one go test bench invocation and parses its output.
+func runBench(pkg, bench, benchtime string) (env map[string]any, results []result, err error) {
+	cmd := exec.Command("go", "test", pkg, "-run", "xxx", "-bench", bench,
+		"-benchtime", benchtime, "-count", "1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go test -bench %s: %v\n%s", bench, err, out)
+	}
+	env = map[string]any{
+		"goos":    runtime.GOOS,
+		"goarch":  runtime.GOARCH,
+		"cpu":     "unknown",
+		"num_cpu": runtime.NumCPU(),
+	}
+	prefix := bench + "/"
+	for _, line := range strings.Split(string(out), "\n") {
+		line = strings.TrimSpace(line)
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			env["cpu"] = cpu
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := result{Name: strings.TrimPrefix(m[1], prefix), Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			v, _ := strconv.ParseInt(m[4], 10, 64)
+			r.BytesPerOp = &v
+		}
+		if m[5] != "" {
+			v, _ := strconv.ParseInt(m[5], 10, 64)
+			r.AllocsPerOp = &v
+		}
+		results = append(results, r)
+	}
+	if len(results) == 0 {
+		return nil, nil, fmt.Errorf("no %s results parsed from go test output:\n%s", bench, out)
+	}
+	return env, results, nil
+}
+
+// rewrite updates path in place: environment/date/results are replaced,
+// every other field (description, reading, baseline, …) is preserved.
+func rewrite(path, pkg, bench, benchtime string) error {
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	env, results, err := runBench(pkg, bench, benchtime)
+	if err != nil {
+		return err
+	}
+	if note, ok := doc["environment"].(map[string]any); ok {
+		if n, ok := note["note"]; ok {
+			env["note"] = n
+		}
+	}
+	doc["benchmark"] = bench
+	doc["environment"] = env
+	doc["date"] = time.Now().Format("2006-01-02")
+	doc["results"] = results
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d results)\n", path, len(results))
+	return nil
+}
+
+func main() {
+	var (
+		coreOnly     = flag.Bool("core", false, "only regenerate BENCH_core.json")
+		clustersOnly = flag.Bool("clusters", false, "only regenerate BENCH_clusters.json")
+	)
+	flag.Parse()
+	both := !*coreOnly && !*clustersOnly
+	if *coreOnly || both {
+		if err := rewrite("BENCH_core.json", "./internal/core", "BenchmarkMachineCycle", "300000x"); err != nil {
+			fmt.Fprintln(os.Stderr, "dcabenchref:", err)
+			os.Exit(1)
+		}
+	}
+	if *clustersOnly || both {
+		if err := rewrite("BENCH_clusters.json", ".", "BenchmarkGridParallelism", "1x"); err != nil {
+			fmt.Fprintln(os.Stderr, "dcabenchref:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -32,8 +32,8 @@ func main() {
 		scheme   = flag.String("scheme", "general", "steering scheme (see -list)")
 		machine  = flag.String("machine", "", "machine override: base | clustered | fifo | ub")
 		clusters = flag.Int("clusters", 2, "cluster count (2 = the paper's asymmetric machine, else config.ClusteredN)")
-		warmup   = flag.Uint64("warmup", 25_000, "warm-up instructions")
-		measure  = flag.Uint64("measure", 250_000, "measured instructions (0 = run to halt)")
+		warmup   = flag.Uint64("warmup", 100_000, "warm-up instructions")
+		measure  = flag.Uint64("measure", 1_000_000, "measured instructions (0 = run to halt)")
 		list     = flag.Bool("list", false, "list workloads and schemes, then exit")
 		traceAt  = flag.Uint64("trace", 0, "print a pipeline trace for 30 cycles starting at this cycle")
 	)

@@ -3,15 +3,39 @@ package core
 import (
 	"fmt"
 	"testing"
+
+	"repro/internal/isa"
 )
+
+// StepOneCycle advances the machine a single cycle. It exists for the
+// per-cycle benchmark suite and the differential harness (package
+// core_test), which need cycle-grained control that the public Run API
+// deliberately does not expose.
+func (m *Machine) StepOneCycle() error { return m.step() }
+
+// OracleRegisters returns a copy of the embedded oracle's architectural
+// register file; the differential harness compares it against an
+// independently stepped reference emulator.
+func (m *Machine) OracleRegisters() [isa.NumRegs]int64 { return m.oracle.Reg }
+
+// HaltCommitted reports whether the machine has committed its HALT.
+func (m *Machine) HaltCommitted() bool { return m.haltCommitted }
+
+// BeginMeasurement turns on statistics collection, as a mid-run
+// RunWithWarmup transition would; the benchmark suite uses it so measured
+// cycles include the full stat-recording cost of a production run.
+func (m *Machine) BeginMeasurement() {
+	m.measuring = true
+	m.beginMeasurement()
+}
 
 // checkRegisterConservation verifies that after a program has fully
 // drained, every physical register is either free or holds a committed
 // architectural mapping — i.e. the rename/commit protocol leaks nothing.
 func checkRegisterConservation(t *testing.T, m *Machine) {
 	t.Helper()
-	if len(m.rob) != 0 {
-		t.Fatalf("ROB not drained: %d entries", len(m.rob))
+	if m.robLen != 0 {
+		t.Fatalf("ROB not drained: %d entries", m.robLen)
 	}
 	for c := 0; c < m.cfg.NumClusters(); c++ {
 		mapped := 0
@@ -33,12 +57,12 @@ func checkRegisterConservation(t *testing.T, m *Machine) {
 }
 
 // inFlight exposes the window occupancy for tests.
-func (m *Machine) inFlight() int { return len(m.rob) }
+func (m *Machine) inFlight() int { return m.robLen }
 
 // dumpState prints a diagnostic snapshot (used when debugging failed
 // invariant tests).
 func (m *Machine) dumpState() string {
-	s := fmt.Sprintf("cycle %d rob %d decodeQ %d", m.cycle, len(m.rob), len(m.decodeQ))
+	s := fmt.Sprintf("cycle %d rob %d decodeQ %d", m.cycle, m.robLen, m.dqLen)
 	for c := range m.iqs {
 		s += fmt.Sprintf(" iq%d %d free-regs%d %d", c, m.iqs[c].Len(), c, m.files[c].FreeCount())
 	}

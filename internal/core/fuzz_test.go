@@ -1,86 +1,14 @@
 package core
 
 import (
-	"fmt"
 	"math/rand"
 	"testing"
 
 	"repro/internal/config"
 	"repro/internal/emu"
 	"repro/internal/isa"
-	"repro/internal/prog"
+	"repro/internal/rdg"
 )
-
-// genProgram builds a random but structurally valid, halting program:
-// straight-line blocks of random ALU/memory operations threaded through
-// bounded counted loops. It exercises the renamer, LSQ, branch machinery
-// and copy insertion with operand patterns no hand-written test covers.
-func genProgram(r *rand.Rand) *prog.Program {
-	b := prog.NewBuilder("fuzz")
-	b.Space("mem", 4096)
-
-	// r20 = memory base; r21..r23 loop counters; r1..r12 data registers.
-	b.La(isa.R(20), "mem")
-	for i := 1; i <= 12; i++ {
-		b.Li(isa.R(i), int32(r.Intn(1000)-500))
-	}
-	dataReg := func() isa.Reg { return isa.R(1 + r.Intn(12)) }
-
-	nBlocks := 2 + r.Intn(3)
-	skipN := 0
-	for blk := 0; blk < nBlocks; blk++ {
-		loop := r.Intn(2) == 0
-		label := ""
-		if loop {
-			label = "loop" + string(rune('a'+blk))
-			b.Li(isa.R(21+blk%3), int32(2+r.Intn(20)))
-			b.Label(label)
-		}
-		nInsts := 3 + r.Intn(15)
-		for i := 0; i < nInsts; i++ {
-			switch r.Intn(10) {
-			case 0, 1, 2:
-				ops := []isa.Opcode{isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SLT}
-				b.Op3(ops[r.Intn(len(ops))], dataReg(), dataReg(), dataReg())
-			case 3:
-				b.OpI(isa.ADDI, dataReg(), dataReg(), int32(r.Intn(64)-32))
-			case 4:
-				// Shift by a bounded immediate.
-				b.OpI(isa.SRAI, dataReg(), dataReg(), int32(r.Intn(8)))
-			case 5:
-				if r.Intn(2) == 0 {
-					b.Mul(dataReg(), dataReg(), dataReg())
-				} else {
-					b.Div(dataReg(), dataReg(), dataReg())
-				}
-			case 6, 7:
-				// Bounded memory access within the scratch buffer.
-				off := int32(r.Intn(500) * 8)
-				if r.Intn(2) == 0 {
-					b.Ld(dataReg(), isa.R(20), off)
-				} else {
-					b.St(dataReg(), isa.R(20), off)
-				}
-			case 8:
-				// Forward skip over one instruction.
-				skip := fmt.Sprintf("skip%d", skipN)
-				skipN++
-				b.Beq(dataReg(), dataReg(), skip) // may or may not be taken
-				b.OpI(isa.ADDI, dataReg(), dataReg(), 1)
-				b.Label(skip)
-			case 9:
-				b.Xor(dataReg(), dataReg(), dataReg())
-			}
-		}
-		if loop {
-			ctr := isa.R(21 + blk%3)
-			b.Addi(ctr, ctr, -1)
-			b.Bne(ctr, isa.R(0), label)
-		}
-	}
-	b.Halt()
-	return b.MustBuild()
-}
 
 // fuzzSteerer makes adversarial steering decisions (random cluster per
 // instruction) to stress copy insertion harder than any real policy.
@@ -95,80 +23,114 @@ func (s *fuzzSteerer) Steer(info *SteerInfo) ClusterID {
 	if info.Forced != AnyCluster {
 		return info.Forced
 	}
-	return ClusterID(s.r.Intn(2))
+	return ClusterID(s.r.Intn(info.Clusters()))
 }
 
-// TestFuzzRandomProgramsCoSimulate generates random programs and checks,
-// for every machine configuration, that (a) the timing simulator commits
-// exactly the instructions the functional emulator executes, (b) no
-// resources leak, and (c) nothing deadlocks.
+// fuzzConfigs is the machine matrix the co-simulation checks sweep: the
+// paper's four two-cluster machines, the symmetric control, and N-cluster
+// crossbar/ring fabrics whose non-uniform copy latencies exercise the
+// nearest-cluster sourcing paths.
+func fuzzConfigs() []*config.Config {
+	return []*config.Config{
+		config.Clustered(),
+		config.Base(),
+		config.UpperBound(),
+		config.FIFOClustered(),
+		config.Symmetric(),
+		config.ClusteredN(4),
+		config.ClusteredNRing(4),
+		config.ClusteredN(8),
+	}
+}
+
+// steererFor picks the co-simulation steering policy: the machines without
+// steering freedom get the conventional split, everything else the
+// adversarial random steerer.
+func steererFor(cfg *config.Config, seed int64) Steerer {
+	if cfg.Name == "base" || cfg.Name == "upper-bound" {
+		return NaiveSteerer{}
+	}
+	return &fuzzSteerer{r: rand.New(rand.NewSource(seed))}
+}
+
+// coSimulate runs the program on the machine and cross-checks it against
+// the functional reference: same committed instruction count, same final
+// architectural state, no resource leaks, no deadlock.
+func coSimulate(t *testing.T, cfg *config.Config, seed int64) {
+	t.Helper()
+	p := rdg.RandomProgram(seed)
+
+	ref := emu.New(p)
+	wantInsts, err := ref.Run(5_000_000)
+	if err != nil {
+		t.Fatalf("seed %d: emulator: %v", seed, err)
+	}
+	if !ref.Halted {
+		t.Fatalf("seed %d: generated program did not halt", seed)
+	}
+
+	m, err := New(cfg, p, steererFor(cfg, seed))
+	if err != nil {
+		t.Fatalf("seed %d/%s: %v", seed, cfg.Name, err)
+	}
+	run, err := m.Run(0)
+	if err != nil {
+		t.Fatalf("seed %d/%s: %v (%s)", seed, cfg.Name, err, m.dumpState())
+	}
+	if run.Instructions != wantInsts {
+		t.Fatalf("seed %d/%s: committed %d, emulator executed %d",
+			seed, cfg.Name, run.Instructions, wantInsts)
+	}
+	for i := 0; i < isa.NumRegs; i++ {
+		if m.oracle.Reg[i] != ref.Reg[i] {
+			t.Fatalf("seed %d/%s: r%d differs: oracle %d, reference %d",
+				seed, cfg.Name, i, m.oracle.Reg[i], ref.Reg[i])
+		}
+	}
+	checkRegisterConservation(t, m)
+	if run.IPC() <= 0 || run.IPC() > 16 {
+		t.Errorf("seed %d/%s: IPC %.2f out of range", seed, cfg.Name, run.IPC())
+	}
+}
+
+// TestFuzzRandomProgramsCoSimulate sweeps rdg random programs over every
+// machine configuration, checking that the timing simulator commits
+// exactly the instructions the functional emulator executes, leaks no
+// resources, and never deadlocks.
 func TestFuzzRandomProgramsCoSimulate(t *testing.T) {
 	const seeds = 30
 	for seed := int64(0); seed < seeds; seed++ {
-		r := rand.New(rand.NewSource(seed))
-		p := genProgram(r)
-
-		ref := emu.New(p)
-		wantInsts, err := ref.Run(5_000_000)
-		if err != nil {
-			t.Fatalf("seed %d: emulator: %v", seed, err)
-		}
-		if !ref.Halted {
-			t.Fatalf("seed %d: generated program did not halt", seed)
-		}
-
-		configs := []*config.Config{config.Clustered(), config.Base(), config.UpperBound(), config.FIFOClustered(), config.Symmetric()}
-		for _, cfg := range configs {
-			var st Steerer = &fuzzSteerer{r: rand.New(rand.NewSource(seed))}
-			if cfg.Name == "base" || cfg.Name == "upper-bound" {
-				st = NaiveSteerer{}
-			}
-			m, err := New(cfg, p, st)
-			if err != nil {
-				t.Fatalf("seed %d/%s: %v", seed, cfg.Name, err)
-			}
-			run, err := m.Run(0)
-			if err != nil {
-				t.Fatalf("seed %d/%s: %v (%s)", seed, cfg.Name, err, m.dumpState())
-			}
-			if run.Instructions != wantInsts {
-				t.Fatalf("seed %d/%s: committed %d, emulator executed %d",
-					seed, cfg.Name, run.Instructions, wantInsts)
-			}
-			checkRegisterConservation(t, m)
-			if run.IPC() <= 0 || run.IPC() > 16 {
-				t.Errorf("seed %d/%s: IPC %.2f out of range", seed, cfg.Name, run.IPC())
-			}
+		for _, cfg := range fuzzConfigs() {
+			coSimulate(t, cfg, seed)
 		}
 	}
 }
 
-// TestFuzzArchitecturalResults cross-checks final architectural register
-// values: the emulator run standalone and the emulator embedded as the
-// core's oracle must agree (guards against the timing model stepping its
-// oracle incorrectly, e.g. double-stepping on I-cache misses).
-func TestFuzzArchitecturalResults(t *testing.T) {
-	for seed := int64(100); seed < 110; seed++ {
-		r := rand.New(rand.NewSource(seed))
-		p := genProgram(r)
-
-		ref := emu.New(p)
-		if _, err := ref.Run(5_000_000); err != nil {
-			t.Fatal(err)
-		}
-
-		m, err := New(config.Clustered(), p, &fuzzSteerer{r: rand.New(rand.NewSource(seed))})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := m.Run(0); err != nil {
-			t.Fatal(err)
-		}
-		for i := 0; i < isa.NumIntRegs; i++ {
-			if m.oracle.Reg[i] != ref.Reg[i] {
-				t.Fatalf("seed %d: r%d differs: oracle %d, reference %d",
-					seed, i, m.oracle.Reg[i], ref.Reg[i])
-			}
-		}
+// FuzzCoSimulate is the native fuzz target over the same property: the
+// input selects an rdg program seed and a machine configuration. The
+// checked-in corpus (testdata/fuzz/FuzzCoSimulate) pins seeds whose
+// programs previously exercised the LSQ edge cases (store-to-load
+// forwarding, partial overlap, address-unknown blocking) and the
+// copy-latency paths (FP/int cross-cluster chains, ring fabrics with
+// non-uniform hop counts); CI runs a fixed-budget smoke
+// (`go test -fuzz FuzzCoSimulate -fuzztime 20s`).
+func FuzzCoSimulate(f *testing.F) {
+	// Seeds chosen by inspecting generated programs: 7 and 9 have dense
+	// store/load aliasing over the hot offsets, 19 and 23 mix FP chains
+	// with integer consumers (maximum copy pressure under adversarial
+	// steering), 31 exercises call/return. Each is paired with both a
+	// two-cluster and a ring configuration.
+	for _, c := range []struct {
+		seed   int64
+		cfgIdx uint8
+	}{
+		{7, 0}, {7, 6}, {9, 3}, {9, 7}, {19, 0}, {19, 6}, {23, 5}, {31, 4}, {1, 1}, {13, 2},
+	} {
+		f.Add(c.seed, c.cfgIdx)
 	}
+	configs := fuzzConfigs()
+	f.Fuzz(func(t *testing.T, seed int64, cfgIdx uint8) {
+		cfg := configs[int(cfgIdx)%len(configs)]
+		coSimulate(t, cfg, seed)
+	})
 }

@@ -112,8 +112,8 @@ func TestInFlightNeverExceedsWindow(t *testing.T) {
 		// Copies ride in the ROB beyond MaxInFlight; program instructions
 		// alone must respect the window.
 		prog := 0
-		for _, d := range m.rob {
-			if !d.IsCopy {
+		for i := 0; i < m.robLen; i++ {
+			if !m.robAt(i).IsCopy {
 				prog++
 			}
 		}

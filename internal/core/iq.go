@@ -18,6 +18,24 @@ type issueQueue struct {
 	// for occupancy accounting and ready counting.
 	fifos     [][]*DynInst
 	fifoDepth int
+
+	// readyCount caches the number of waiting entries whose sources are
+	// all available (the paper's per-cluster workload measure, read every
+	// cycle by sample). It is maintained incrementally at the only three
+	// points readiness can change — Add, Remove and wakeReg — so ReadyCount
+	// is O(1) instead of a queue scan.
+	readyCount int
+
+	// waiters holds, per physical register of this cluster's file, the
+	// intrusive list (DynInst.nextWaiter) of waiting entries with that
+	// register as a pending source. wakeReg walks exactly the consumers of
+	// the completing register instead of re-scanning the queue.
+	waiters []*DynInst
+
+	// copies lists the in-queue copy instructions (FIFO mode keeps them in
+	// the bus-interface buffer outside the FIFOs; this avoids scanning
+	// every entry for them during issue selection).
+	copies []*DynInst
 }
 
 func newIssueQueue(cl config.Cluster, mode config.IQMode) *issueQueue {
@@ -26,7 +44,17 @@ func newIssueQueue(cl config.Cluster, mode config.IQMode) *issueQueue {
 		q.fifos = make([][]*DynInst, cl.FIFOs)
 		q.fifoDepth = cl.FIFODepth
 		q.capacity = cl.FIFOs * cl.FIFODepth
+		// One backing array per FIFO, sized to its depth: Add never grows
+		// a FIFO past its preallocated capacity.
+		for f := range q.fifos {
+			q.fifos[f] = make([]*DynInst, 0, cl.FIFODepth)
+		}
 	}
+	// The dispatch-stage Free() check bounds occupancy by capacity, so the
+	// entries slice never reallocates after construction.
+	q.entries = make([]*DynInst, 0, q.capacity)
+	q.copies = make([]*DynInst, 0, q.capacity)
+	q.waiters = make([]*DynInst, cl.PhysRegs)
 	return q
 }
 
@@ -42,6 +70,28 @@ func (q *issueQueue) Free() int { return q.capacity - len(q.entries) }
 // cluster's bus interface).
 func (q *issueQueue) Add(d *DynInst) {
 	q.entries = append(q.entries, d)
+	if d.state == stateWaiting && d.IssueReady() {
+		q.readyCount++
+	}
+	// Chain the entry under each distinct pending source register so the
+	// completion of that register wakes it without a queue scan.
+	w := 0
+	for i := 0; i < d.numSrcs; i++ {
+		p := d.srcPhys[i]
+		if p == noPhys || d.srcReady[i] {
+			continue
+		}
+		if w == 1 && d.waiterReg[0] == p {
+			continue // same register read twice: one chain suffices
+		}
+		d.waiterReg[w] = p
+		d.nextWaiter[w] = q.waiters[p]
+		q.waiters[p] = d
+		w++
+	}
+	if d.IsCopy {
+		q.copies = append(q.copies, d)
+	}
 	if q.mode == config.IQFIFO && !d.IsCopy {
 		q.fifos[d.fifo] = append(q.fifos[d.fifo], d)
 	}
@@ -88,15 +138,7 @@ func (q *issueQueue) HasFIFOSlot(d *DynInst) bool {
 
 // ReadyCount returns the number of waiting instructions whose sources are
 // all available — the paper's per-cluster workload measure.
-func (q *issueQueue) ReadyCount() int {
-	n := 0
-	for _, d := range q.entries {
-		if d.state == stateWaiting && d.IssueReady() {
-			n++
-		}
-	}
-	return n
-}
+func (q *issueQueue) ReadyCount() int { return q.readyCount }
 
 // Issuable appends to buf the instructions eligible for issue selection
 // this cycle, oldest first: ready waiting instructions, restricted to FIFO
@@ -113,8 +155,8 @@ func (q *issueQueue) Issuable(buf []*DynInst) []*DynInst {
 			}
 		}
 		// Copies sit in the bus-interface buffer, not the FIFOs.
-		for _, d := range q.entries {
-			if d.IsCopy && d.state == stateWaiting && d.IssueReady() {
+		for _, d := range q.copies {
+			if d.state == stateWaiting && d.IssueReady() {
 				buf = append(buf, d)
 			}
 		}
@@ -135,7 +177,18 @@ func (q *issueQueue) Remove(d *DynInst) {
 	for i, e := range q.entries {
 		if e == d {
 			q.entries = append(q.entries[:i], q.entries[i+1:]...)
+			if d.state == stateWaiting && d.IssueReady() {
+				q.readyCount--
+			}
 			break
+		}
+	}
+	if d.IsCopy {
+		for i, e := range q.copies {
+			if e == d {
+				q.copies = append(q.copies[:i], q.copies[i+1:]...)
+				break
+			}
 		}
 	}
 	if q.mode == config.IQFIFO && !d.IsCopy {
@@ -149,18 +202,40 @@ func (q *issueQueue) Remove(d *DynInst) {
 	}
 }
 
-// WakeUp re-evaluates source readiness against the register file; called
-// after completions mark registers ready.
-func (q *issueQueue) WakeUp(rf *regFile) {
-	for _, d := range q.entries {
-		if d.state != stateWaiting {
-			continue
+// wakeReg marks the completing register ready in every waiting consumer,
+// by walking its waiter list; called after a completion sets the register
+// ready in the file. Entries that left the queue before their pending
+// source completed (stores issue on the address operand alone) are still
+// chained; the stateWaiting guard skips them — matching the old full-scan
+// wakeup, which only updated in-queue entries — and commit cannot recycle
+// such an instruction before this walk runs, because a store's commit
+// waits for the same register readiness that triggers the walk.
+func (q *issueQueue) wakeReg(p physReg) {
+	d := q.waiters[p]
+	q.waiters[p] = nil
+	for d != nil {
+		var next *DynInst
+		if d.waiterReg[0] == p {
+			next = d.nextWaiter[0]
+			d.nextWaiter[0] = nil
+			d.waiterReg[0] = noPhys
+		} else {
+			next = d.nextWaiter[1]
+			d.nextWaiter[1] = nil
+			d.waiterReg[1] = noPhys
 		}
-		for i := 0; i < d.numSrcs; i++ {
-			if !d.srcReady[i] && rf.Ready(d.srcPhys[i]) {
-				d.srcReady[i] = true
+		if d.state == stateWaiting {
+			wasReady := d.IssueReady()
+			for i := 0; i < d.numSrcs; i++ {
+				if d.srcPhys[i] == p {
+					d.srcReady[i] = true
+				}
+			}
+			if !wasReady && d.IssueReady() {
+				q.readyCount++
 			}
 		}
+		d = next
 	}
 }
 

@@ -66,10 +66,59 @@ func TestIQWakeUp(t *testing.T) {
 	if d.IssueReady() {
 		t.Fatal("instruction ready before producer")
 	}
+	if q.ReadyCount() != 0 {
+		t.Fatalf("ReadyCount = %d before wake", q.ReadyCount())
+	}
 	rf.SetReady(p)
-	q.WakeUp(rf)
+	q.wakeReg(p)
 	if !d.IssueReady() {
-		t.Fatal("WakeUp did not mark source ready")
+		t.Fatal("wakeReg did not mark source ready")
+	}
+	if q.ReadyCount() != 1 {
+		t.Fatalf("ReadyCount = %d after wake", q.ReadyCount())
+	}
+}
+
+// TestIQWakeRegTwoPendingSources chains one consumer under two producer
+// registers and wakes them in both orders; the entry must become ready
+// exactly when the second register arrives, counted once.
+func TestIQWakeRegTwoPendingSources(t *testing.T) {
+	for _, order := range [][2]int{{0, 1}, {1, 0}} {
+		rf := newRegFile(8)
+		p0, _ := rf.Alloc()
+		p1, _ := rf.Alloc()
+		ps := [2]physReg{p0, p1}
+		q := ooQueue()
+		d := mkInst(1, noPhys, p0, p1)
+		q.Add(d)
+		rf.SetReady(ps[order[0]])
+		q.wakeReg(ps[order[0]])
+		if d.IssueReady() || q.ReadyCount() != 0 {
+			t.Fatalf("order %v: ready after one of two sources", order)
+		}
+		rf.SetReady(ps[order[1]])
+		q.wakeReg(ps[order[1]])
+		if !d.IssueReady() || q.ReadyCount() != 1 {
+			t.Fatalf("order %v: not ready after both sources", order)
+		}
+	}
+}
+
+// TestIQWakeRegSameSourceTwice reads one register through both operands
+// (e.g. ADD r1, r5, r5): a single wake must set both flags.
+func TestIQWakeRegSameSourceTwice(t *testing.T) {
+	rf := newRegFile(8)
+	p, _ := rf.Alloc()
+	q := ooQueue()
+	d := mkInst(1, noPhys, p, p)
+	q.Add(d)
+	rf.SetReady(p)
+	q.wakeReg(p)
+	if !d.srcReady[0] || !d.srcReady[1] || !d.IssueReady() {
+		t.Fatal("wakeReg did not mark a twice-read source in both operand slots")
+	}
+	if q.ReadyCount() != 1 {
+		t.Fatalf("ReadyCount = %d", q.ReadyCount())
 	}
 }
 

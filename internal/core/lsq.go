@@ -6,41 +6,41 @@ package core
 // every earlier store's address is known (Table 2's policy); a store whose
 // address matches forwards its data instead. Stores write to memory at
 // commit.
+//
+// The queue is a fixed-capacity ring of in-flight memory instructions in
+// program order; per-entry state (address known, access done) lives inline
+// in the DynInst, so the steady-state cycle loop performs no allocation
+// here (see ARCHITECTURE.md, "allocation-free hot loop").
 type lsq struct {
-	entries []*lsqEntry
-	cap     int
-}
-
-type lsqEntry struct {
-	d *DynInst
-	// addrKnown is set when the EA computation completes.
-	addrKnown bool
-	// accessed is set once a load has been sent to the cache (or had data
-	// forwarded) so it is not issued twice.
-	accessed bool
+	ring []*DynInst // power-of-two length so indexing is a mask
+	cap  int
+	head int
+	n    int
 }
 
 func newLSQ(capacity int) *lsq {
-	return &lsq{cap: capacity}
+	return &lsq{ring: make([]*DynInst, nextPow2(capacity)), cap: capacity}
+}
+
+// at returns the i-th oldest entry (0 = oldest).
+func (q *lsq) at(i int) *DynInst {
+	return q.ring[(q.head+i)&(len(q.ring)-1)]
 }
 
 // Free returns remaining capacity.
-func (q *lsq) Free() int { return q.cap - len(q.entries) }
+func (q *lsq) Free() int { return q.cap - q.n }
 
 // Add appends a dispatched memory instruction in program order.
 func (q *lsq) Add(d *DynInst) {
-	d.lsqIdx = len(q.entries)
-	q.entries = append(q.entries, &lsqEntry{d: d})
+	d.lsqAddrKnown = false
+	d.lsqAccessed = false
+	q.ring[(q.head+q.n)&(len(q.ring)-1)] = d
+	q.n++
 }
 
 // MarkAddrKnown records that d's effective address is computed.
 func (q *lsq) MarkAddrKnown(d *DynInst) {
-	for _, e := range q.entries {
-		if e.d == d {
-			e.addrKnown = true
-			return
-		}
-	}
+	d.lsqAddrKnown = true
 }
 
 // overlap reports whether two accesses touch a common byte.
@@ -60,19 +60,19 @@ const (
 // classify determines whether the load l can proceed: every earlier store
 // must have a known address; if the youngest earlier overlapping store has
 // its data ready it forwards, if the data is pending the load blocks.
-func (q *lsq) classify(l *lsqEntry, rf []*regFile) loadDisposition {
-	for i := len(q.entries) - 1; i >= 0; i-- {
-		e := q.entries[i]
-		if e.d.Seq >= l.d.Seq || !e.d.isStore {
+func (q *lsq) classify(l *DynInst, rf []regFile) loadDisposition {
+	for i := q.n - 1; i >= 0; i-- {
+		e := q.at(i)
+		if e.Seq >= l.Seq || !e.isStore {
 			continue
 		}
-		if !e.addrKnown {
+		if !e.lsqAddrKnown {
 			return loadBlocked
 		}
-		if overlap(e.d.memAddr, e.d.memWidth, l.d.memAddr, l.d.memWidth) {
+		if overlap(e.memAddr, e.memWidth, l.memAddr, l.memWidth) {
 			// Youngest earlier matching store (we scan youngest-first).
-			dataPhys := e.d.srcPhys[1]
-			if e.d.numSrcs > 1 && !rf[e.d.Cluster].Ready(dataPhys) {
+			dataPhys := e.srcPhys[1]
+			if e.numSrcs > 1 && !rf[e.Cluster].Ready(dataPhys) {
 				return loadBlocked
 			}
 			return loadForward
@@ -83,24 +83,43 @@ func (q *lsq) classify(l *lsqEntry, rf []*regFile) loadDisposition {
 
 // ReadyLoads appends loads eligible to attempt a cache access or forward
 // this cycle, oldest first: EA computed, not yet accessed.
-func (q *lsq) ReadyLoads(buf []*lsqEntry) []*lsqEntry {
-	for _, e := range q.entries {
-		if e.d.isLoad && e.addrKnown && !e.accessed && e.d.state == stateMemWait {
-			buf = append(buf, e)
+func (q *lsq) ReadyLoads(buf []*DynInst) []*DynInst {
+	for i := 0; i < q.n; i++ {
+		d := q.at(i)
+		if d.isLoad && d.lsqAddrKnown && !d.lsqAccessed && d.state == stateMemWait {
+			buf = append(buf, d)
 		}
 	}
 	return buf
 }
 
-// Remove deletes a committed memory instruction.
+// Remove deletes a committed memory instruction. Commit is in order, so
+// in production the removed instruction is always the oldest entry (the
+// O(1) head path); the general shift path keeps the structure correct for
+// any caller and is unit-tested directly (TestLSQRemoveMidQueue).
 func (q *lsq) Remove(d *DynInst) {
-	for i, e := range q.entries {
-		if e.d == d {
-			q.entries = append(q.entries[:i], q.entries[i+1:]...)
-			return
+	if q.n == 0 {
+		return
+	}
+	if q.ring[q.head] == d {
+		q.ring[q.head] = nil
+		q.head = (q.head + 1) & (len(q.ring) - 1)
+		q.n--
+		return
+	}
+	mask := len(q.ring) - 1
+	for i := 1; i < q.n; i++ {
+		if q.at(i) != d {
+			continue
 		}
+		for j := i; j < q.n-1; j++ {
+			q.ring[(q.head+j)&mask] = q.ring[(q.head+j+1)&mask]
+		}
+		q.ring[(q.head+q.n-1)&mask] = nil
+		q.n--
+		return
 	}
 }
 
 // Len returns the occupancy.
-func (q *lsq) Len() int { return len(q.entries) }
+func (q *lsq) Len() int { return q.n }

@@ -23,12 +23,14 @@ func mkMem(seq uint64, store bool, addr uint64, width int) *DynInst {
 
 // storeFiles returns register files where the store-data register (phys 1)
 // has the given readiness.
-func storeFiles(dataReady bool) []*regFile {
+func storeFiles(dataReady bool) []regFile {
 	rf := newRegFile(4)
 	a, _ := rf.Alloc() // phys 3 (stack order) — irrelevant
 	_ = a
-	rf.ready[1] = dataReady
-	return []*regFile{rf, newRegFile(4)}
+	if dataReady {
+		rf.SetReady(physReg(1))
+	}
+	return []regFile{*rf, *newRegFile(4)}
 }
 
 func TestOverlap(t *testing.T) {
@@ -61,12 +63,11 @@ func TestLoadBlockedByUnknownStoreAddress(t *testing.T) {
 	q.Add(ld)
 	q.MarkAddrKnown(ld)
 	files := storeFiles(true)
-	e := findEntry(q, ld)
-	if got := q.classify(e, files); got != loadBlocked {
+	if got := q.classify(ld, files); got != loadBlocked {
 		t.Fatalf("load with unknown earlier store address classified %v, want blocked", got)
 	}
 	q.MarkAddrKnown(st)
-	if got := q.classify(e, files); got != loadAccess {
+	if got := q.classify(ld, files); got != loadAccess {
 		t.Fatalf("disjoint load classified %v, want access", got)
 	}
 }
@@ -79,11 +80,10 @@ func TestStoreToLoadForwarding(t *testing.T) {
 	q.Add(ld)
 	q.MarkAddrKnown(st)
 	q.MarkAddrKnown(ld)
-	e := findEntry(q, ld)
-	if got := q.classify(e, storeFiles(true)); got != loadForward {
+	if got := q.classify(ld, storeFiles(true)); got != loadForward {
 		t.Fatalf("matching store with ready data classified %v, want forward", got)
 	}
-	if got := q.classify(e, storeFiles(false)); got != loadBlocked {
+	if got := q.classify(ld, storeFiles(false)); got != loadBlocked {
 		t.Fatalf("matching store with pending data classified %v, want blocked", got)
 	}
 }
@@ -102,8 +102,7 @@ func TestYoungestMatchingStoreWins(t *testing.T) {
 	// st2 (youngest earlier) has pending data: the load must block even
 	// though st1's data is ready.
 	files := storeFiles(false)
-	e := findEntry(q, ld)
-	if got := q.classify(e, files); got != loadBlocked {
+	if got := q.classify(ld, files); got != loadBlocked {
 		t.Fatalf("classified %v, want blocked on youngest store", got)
 	}
 }
@@ -115,8 +114,7 @@ func TestLaterStoresDoNotAffectLoad(t *testing.T) {
 	q.Add(ld)
 	q.Add(st)
 	q.MarkAddrKnown(ld)
-	e := findEntry(q, ld)
-	if got := q.classify(e, storeFiles(false)); got != loadAccess {
+	if got := q.classify(ld, storeFiles(false)); got != loadAccess {
 		t.Fatalf("younger store blocked an older load: %v", got)
 	}
 }
@@ -129,8 +127,7 @@ func TestPartialOverlapForwards(t *testing.T) {
 	q.Add(ld)
 	q.MarkAddrKnown(st)
 	q.MarkAddrKnown(ld)
-	e := findEntry(q, ld)
-	if got := q.classify(e, storeFiles(true)); got != loadForward {
+	if got := q.classify(ld, storeFiles(true)); got != loadForward {
 		t.Fatalf("byte-store overlap classified %v, want forward", got)
 	}
 }
@@ -146,11 +143,11 @@ func TestReadyLoadsOrderAndFiltering(t *testing.T) {
 	q.MarkAddrKnown(ld1)
 	q.MarkAddrKnown(ld3)
 	ready := q.ReadyLoads(nil)
-	if len(ready) != 2 || ready[0].d != ld1 || ready[1].d != ld3 {
+	if len(ready) != 2 || ready[0] != ld1 || ready[1] != ld3 {
 		t.Fatalf("ReadyLoads returned %d entries in wrong order", len(ready))
 	}
-	ready[0].accessed = true
-	if got := q.ReadyLoads(nil); len(got) != 1 || got[0].d != ld3 {
+	ready[0].lsqAccessed = true
+	if got := q.ReadyLoads(nil); len(got) != 1 || got[0] != ld3 {
 		t.Fatal("accessed load not filtered out")
 	}
 }
@@ -174,11 +171,39 @@ func TestLSQRemoveAndCapacity(t *testing.T) {
 	}
 }
 
-func findEntry(q *lsq, d *DynInst) *lsqEntry {
-	for _, e := range q.entries {
-		if e.d == d {
-			return e
+// TestLSQRemoveMidQueue exercises the general shift path: removing a
+// non-head entry must preserve the program order of the survivors, across
+// a wrapped ring.
+func TestLSQRemoveMidQueue(t *testing.T) {
+	q := newLSQ(4)
+	// Wrap the ring: fill, drain two from the head, refill.
+	pre1, pre2 := mkMem(1, false, 0, 8), mkMem(2, false, 8, 8)
+	q.Add(pre1)
+	q.Add(pre2)
+	q.Remove(pre1)
+	q.Remove(pre2)
+	a := mkMem(3, false, 0x10, 8)
+	b := mkMem(4, true, 0x20, 8)
+	c := mkMem(5, false, 0x30, 8)
+	d := mkMem(6, true, 0x40, 8)
+	for _, e := range []*DynInst{a, b, c, d} {
+		q.Add(e)
+	}
+	q.Remove(c) // mid-queue, past the wrap point
+	if q.Len() != 3 || q.Free() != 1 {
+		t.Fatalf("Len=%d Free=%d after mid-queue remove", q.Len(), q.Free())
+	}
+	for i, want := range []*DynInst{a, b, d} {
+		if q.at(i) != want {
+			t.Fatalf("entry %d is Seq %d, want Seq %d", i, q.at(i).Seq, want.Seq)
 		}
 	}
-	return nil
+	q.Remove(d) // tail entry via the shift path
+	if q.Len() != 2 || q.at(0) != a || q.at(1) != b {
+		t.Fatal("tail remove corrupted order")
+	}
+	q.Remove(mkMem(99, false, 0x99, 8)) // absent entry is a no-op
+	if q.Len() != 2 {
+		t.Fatal("absent remove changed the queue")
+	}
 }

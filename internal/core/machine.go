@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bpred"
 	"repro/internal/config"
@@ -21,7 +22,19 @@ const textBase uint64 = 0x4000_0000
 // simulator reports a deadlock instead of spinning forever.
 const watchdogCycles = 100_000
 
+// initialWheelSize is the starting span of the completion timing wheel in
+// cycles. It comfortably exceeds the worst event horizon of the default
+// memory hierarchy (an L1+L2 miss to DRAM is ~30 cycles); schedule grows
+// the wheel if a configuration ever schedules further ahead.
+const initialWheelSize = 128
+
 // Machine is the cycle-level timing simulator.
+//
+// The steady-state cycle loop is allocation-free: all per-cycle and
+// per-instruction bookkeeping lives in preallocated, pooled or intrusive
+// structures (the DynInst pool, the decode and reorder rings, the
+// completion timing wheel, the reused SteerInfo). TestSteadyStateCycleAllocs
+// enforces the invariant; ARCHITECTURE.md documents it.
 type Machine struct {
 	cfg     *config.Config
 	prog    *prog.Program
@@ -36,14 +49,27 @@ type Machine struct {
 	cycle uint64
 	seq   uint64
 
-	files []*regFile
+	// Per-cluster state is flattened into value slices: one contiguous
+	// block per kind instead of a pointer chase per cluster per access.
+	files []regFile
+	iqs   []issueQueue
+	fus   []fuPool
 	rt    *renameTable
-	iqs   []*issueQueue
-	fus   []*fuPool
 	ldst  *lsq
-	rob   []*DynInst
 
-	decodeQ []*fetched
+	// rob is the reorder buffer as a ring: robHead indexes the oldest
+	// in-flight instruction, robLen counts occupancy. The backing array is
+	// a power of two and grows only if a configuration exceeds it.
+	rob     []*DynInst
+	robHead int
+	robLen  int
+
+	// decodeQ is the fetched-instruction ring (values, not pointers: a
+	// fetch never allocates). dqHead indexes the oldest undispatched entry.
+	decodeQ []fetched
+	dqHead  int
+	dqLen   int
+
 	// fetchStallUntil delays fetch (I-cache misses, post-redirect).
 	fetchStallUntil uint64
 	// waitBranchSeq is the ProgSeq of an unresolved mispredicted branch
@@ -52,7 +78,26 @@ type Machine struct {
 	waitingBranch bool
 	fetchDone     bool
 
-	completions map[uint64][]*DynInst
+	// evtHead/evtTail form the completion timing wheel: slot c&mask holds
+	// the intrusive list (DynInst.nextEvt) of instructions completing at
+	// cycle c, in schedule order. len(evtHead) is a power of two strictly
+	// greater than the furthest-ahead completion ever scheduled.
+	evtHead []*DynInst
+	evtTail []*DynInst
+
+	// dynPool recycles DynInsts at commit; dispatch draws from it before
+	// touching the heap.
+	dynPool []*DynInst
+
+	// steerBuf is the SteerInfo handed to the policy, reused across calls
+	// (policies must not retain it; see Steerer).
+	steerBuf SteerInfo
+
+	// wakeBuf collects the registers made ready by this cycle's
+	// completions; the waiter-list walks run after the whole completion
+	// batch (matching the old end-of-batch queue scan, which the
+	// criticality test in noteCopyArrival depends on).
+	wakeBuf []wakePair
 
 	// Per-cycle resource counters.
 	dcachePortsUsed int
@@ -61,6 +106,11 @@ type Machine struct {
 	// readySample holds this cycle's per-cluster ready counts for
 	// steering decisions (index = cluster).
 	readySample []int
+
+	// forcedByPC caches forcedCluster per static instruction: the datapath
+	// constraint is a pure function of the instruction and the machine
+	// configuration, so dispatch reads a table instead of re-deriving it.
+	forcedByPC []ClusterID
 
 	// Measurement state.
 	measuring      bool
@@ -74,7 +124,16 @@ type Machine struct {
 	progInFlight  int
 	tracer        Tracer
 	issueBuf      []*DynInst
-	loadBuf       []*lsqEntry
+	loadBuf       []*DynInst
+}
+
+// nextPow2 returns the smallest power of two >= n (and >= 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // New builds a machine running p under cfg with the given steering policy.
@@ -104,17 +163,32 @@ func New(cfg *config.Config, p *prog.Program, st Steerer) (*Machine, error) {
 		ras:         bpred.NewRAS(cfg.RASEntries),
 		rt:          newRenameTable(cfg.NumClusters()),
 		ldst:        newLSQ(cfg.MaxInFlight),
-		completions: make(map[uint64][]*DynInst),
+		rob:         make([]*DynInst, nextPow2(4*cfg.MaxInFlight)),
+		decodeQ:     make([]fetched, nextPow2(4*cfg.FetchWidth)),
+		evtHead:     make([]*DynInst, initialWheelSize),
+		evtTail:     make([]*DynInst, initialWheelSize),
 		busUsed:     make([]int, cfg.NumClusters()),
 		readySample: make([]int, cfg.NumClusters()),
 	}
+	m.files = make([]regFile, 0, cfg.NumClusters())
+	m.iqs = make([]issueQueue, 0, cfg.NumClusters())
+	m.fus = make([]fuPool, 0, cfg.NumClusters())
 	for _, cl := range cfg.Clusters {
-		m.files = append(m.files, newRegFile(cl.PhysRegs))
-		m.iqs = append(m.iqs, newIssueQueue(cl, cfg.Mode))
-		m.fus = append(m.fus, newFUPool(cl, cfg.Lat))
+		m.files = append(m.files, *newRegFile(cl.PhysRegs))
+		m.iqs = append(m.iqs, *newIssueQueue(cl, cfg.Mode))
+		m.fus = append(m.fus, *newFUPool(cl, cfg.Lat))
 	}
 	if err := m.rt.initArchState(m.files); err != nil {
 		return nil, err
+	}
+	// IssueWidth is per-cluster configuration, constant for the machine's
+	// lifetime: fill the reused SteerInfo once instead of per instruction.
+	for c := 0; c < cfg.NumClusters(); c++ {
+		m.steerBuf.IssueWidth[c] = cfg.Clusters[c].IssueWidth
+	}
+	m.forcedByPC = make([]ClusterID, len(p.Text))
+	for pc, in := range p.Text {
+		m.forcedByPC[pc] = m.forcedCluster(in)
 	}
 	m.run.Scheme = st.Name()
 	m.run.Benchmark = p.Name
@@ -140,6 +214,119 @@ func (m *Machine) Cycle() uint64 { return m.cycle }
 // CommittedInstructions returns committed program instructions (copies
 // excluded).
 func (m *Machine) CommittedInstructions() uint64 { return m.committedProg }
+
+// --- Allocation-free plumbing: pools, rings, and the timing wheel ---
+
+// allocDyn takes a DynInst from the recycle pool, or the heap when the
+// pool is dry (only before the in-flight population reaches steady state).
+func (m *Machine) allocDyn() *DynInst {
+	if n := len(m.dynPool); n > 0 {
+		d := m.dynPool[n-1]
+		m.dynPool = m.dynPool[:n-1]
+		return d
+	}
+	return new(DynInst)
+}
+
+// freeDyn recycles a committed DynInst. The pointer must not be used after
+// this call (tracers are invoked before commit recycles; see Tracer).
+func (m *Machine) freeDyn(d *DynInst) {
+	m.dynPool = append(m.dynPool, d)
+}
+
+// robPush appends to the reorder buffer ring.
+func (m *Machine) robPush(d *DynInst) {
+	if m.robLen == len(m.rob) {
+		m.robGrow()
+	}
+	m.rob[(m.robHead+m.robLen)&(len(m.rob)-1)] = d
+	m.robLen++
+}
+
+// robFront returns the oldest in-flight instruction.
+func (m *Machine) robFront() *DynInst { return m.rob[m.robHead] }
+
+// robPop removes the oldest in-flight instruction.
+func (m *Machine) robPop() {
+	m.rob[m.robHead] = nil
+	m.robHead = (m.robHead + 1) & (len(m.rob) - 1)
+	m.robLen--
+}
+
+// robAt returns the i-th oldest in-flight instruction (0 = oldest).
+func (m *Machine) robAt(i int) *DynInst {
+	return m.rob[(m.robHead+i)&(len(m.rob)-1)]
+}
+
+func (m *Machine) robGrow() {
+	grown := make([]*DynInst, len(m.rob)*2)
+	for i := 0; i < m.robLen; i++ {
+		grown[i] = m.robAt(i)
+	}
+	m.rob = grown
+	m.robHead = 0
+}
+
+// dqPush returns the slot for a newly fetched instruction.
+func (m *Machine) dqPush() *fetched {
+	if m.dqLen == len(m.decodeQ) {
+		grown := make([]fetched, len(m.decodeQ)*2)
+		for i := 0; i < m.dqLen; i++ {
+			grown[i] = m.decodeQ[(m.dqHead+i)&(len(m.decodeQ)-1)]
+		}
+		m.decodeQ = grown
+		m.dqHead = 0
+	}
+	fi := &m.decodeQ[(m.dqHead+m.dqLen)&(len(m.decodeQ)-1)]
+	m.dqLen++
+	return fi
+}
+
+// dqFront returns the oldest undispatched fetched instruction.
+func (m *Machine) dqFront() *fetched { return &m.decodeQ[m.dqHead] }
+
+// dqPop consumes the front of the decode queue.
+func (m *Machine) dqPop() {
+	m.dqHead = (m.dqHead + 1) & (len(m.decodeQ) - 1)
+	m.dqLen--
+}
+
+// schedule inserts d into the completion wheel at d.completeAt. Events are
+// always strictly in the future, and the wheel is kept wider than the
+// furthest horizon, so slot collisions between different cycles cannot
+// occur; within a cycle, insertion order is preserved (tail append).
+func (m *Machine) schedule(d *DynInst) {
+	for d.completeAt-m.cycle >= uint64(len(m.evtHead)) {
+		m.growWheel()
+	}
+	slot := d.completeAt & uint64(len(m.evtHead)-1)
+	d.nextEvt = nil
+	if tail := m.evtTail[slot]; tail != nil {
+		tail.nextEvt = d
+	} else {
+		m.evtHead[slot] = d
+	}
+	m.evtTail[slot] = d
+}
+
+// growWheel doubles the timing wheel. Pending events occupy one distinct
+// completion cycle per slot (the wheel invariant), so re-slotting each
+// old chain wholesale preserves per-cycle insertion order.
+func (m *Machine) growWheel() {
+	oldHead := m.evtHead
+	m.evtHead = make([]*DynInst, len(oldHead)*2)
+	m.evtTail = make([]*DynInst, len(oldHead)*2)
+	for _, d := range oldHead {
+		if d == nil {
+			continue
+		}
+		slot := d.completeAt & uint64(len(m.evtHead)-1)
+		m.evtHead[slot] = d
+		for ; d != nil; d = d.nextEvt {
+			m.evtTail[slot] = d
+		}
+	}
+}
 
 // Run simulates until max committed program instructions (0 = until HALT)
 // and returns the measurement record.
@@ -213,8 +400,8 @@ func (m *Machine) step() error {
 	for i := range m.busUsed {
 		m.busUsed[i] = 0
 	}
-	for _, fu := range m.fus {
-		fu.newCycle()
+	for c := range m.fus {
+		m.fus[c].newCycle()
 	}
 
 	// 2. Commit (uses D-cache ports for stores).
@@ -284,7 +471,8 @@ func (m *Machine) fetch() {
 			m.fetchDone = true
 			return
 		}
-		fi := &fetched{step: st, availableAt: m.cycle + uint64(m.cfg.FrontEndDepth)}
+		fi := m.dqPush()
+		*fi = fetched{step: st, availableAt: m.cycle + uint64(m.cfg.FrontEndDepth)}
 		op := st.Inst.Op
 		if op == isa.HALT {
 			m.fetchDone = true
@@ -298,7 +486,6 @@ func (m *Machine) fetch() {
 				}
 			}
 		}
-		m.decodeQ = append(m.decodeQ, fi)
 		if fi.mispredict {
 			// Fetch stalls until the branch resolves; wrong-path
 			// instructions are not simulated (see package comment).
@@ -364,17 +551,18 @@ func (m *Machine) forcedCluster(in isa.Inst) ClusterID {
 			return c
 		}
 	}
-	touchesFP := func() bool {
-		if d, ok := in.Dst(); ok && d.IsFP() {
-			return true
-		}
-		for _, r := range in.Srcs(nil) {
+	touchesFP := false
+	if d, ok := in.Dst(); ok && d.IsFP() {
+		touchesFP = true
+	} else {
+		var srcsBuf [2]isa.Reg
+		for _, r := range in.Srcs(srcsBuf[:0]) {
 			if r.IsFP() {
-				return true
+				touchesFP = true
+				break
 			}
 		}
-		return false
-	}()
+	}
 	if touchesFP {
 		var fp ClusterSet
 		for c := 0; c < m.cfg.NumClusters(); c++ {
@@ -438,10 +626,11 @@ func (m *Machine) fifoCluster(fi *fetched, forced, fallback ClusterID) ClusterID
 			n++
 		}
 	}
-	srcs := fi.step.Inst.Srcs(nil)
+	var srcsBuf [2]isa.Reg
+	srcs := fi.step.Inst.Srcs(srcsBuf[:0])
 	for i := 0; i < n; i++ {
 		c := allowed[i]
-		q := m.iqs[c]
+		q := &m.iqs[c]
 		for f := range q.fifos {
 			tail := q.FIFOTail(f)
 			if tail == nil || tail.destPhys == noPhys || len(q.fifos[f]) >= q.fifoDepth {
@@ -480,13 +669,13 @@ type copyPlan struct {
 
 func (m *Machine) dispatch() error {
 	width := m.cfg.DecodeWidth
-	for width > 0 && len(m.decodeQ) > 0 {
-		fi := m.decodeQ[0]
+	for width > 0 && m.dqLen > 0 {
+		fi := m.dqFront()
 		if fi.availableAt > m.cycle {
 			return nil
 		}
 		in := fi.step.Inst
-		forced := m.forcedCluster(in)
+		forced := m.forcedByPC[fi.step.PC]
 
 		// Build the steering view and consult the policy for every
 		// program instruction (it maintains its tables in decode order).
@@ -525,13 +714,9 @@ func (m *Machine) dispatch() error {
 
 		// Plan the copies this placement requires.
 		var srcs [2]isa.Reg
-		nsrc := 0
-		for _, r := range in.Srcs(nil) {
-			srcs[nsrc] = r
-			nsrc++
-		}
-		var plans []copyPlan
-		needCopy := false
+		nsrc := len(in.Srcs(srcs[:0]))
+		var plans [2]copyPlan
+		nPlans := 0
 	planSrcs:
 		for i := 0; i < nsrc; i++ {
 			if _, ok := m.rt.lookup(srcs[i], target); ok {
@@ -539,8 +724,8 @@ func (m *Machine) dispatch() error {
 			}
 			// An instruction reading the same remote register twice needs
 			// only one copy.
-			for _, cp := range plans {
-				if cp.logical == srcs[i] {
+			for j := 0; j < nPlans; j++ {
+				if plans[j].logical == srcs[i] {
 					continue planSrcs
 				}
 			}
@@ -556,10 +741,10 @@ func (m *Machine) dispatch() error {
 			if !ok {
 				return fmt.Errorf("core: register %v mapped nowhere at PC %d", srcs[i], fi.step.PC)
 			}
-			plans = append(plans, copyPlan{srcIdx: i, logical: srcs[i], from: from, fromReg: p})
-			needCopy = true
+			plans[nPlans] = copyPlan{srcIdx: i, logical: srcs[i], from: from, fromReg: p}
+			nPlans++
 		}
-		if needCopy && m.cfg.InterClusterBuses == 0 {
+		if nPlans > 0 && m.cfg.InterClusterBuses == 0 {
 			return fmt.Errorf("core: copy required but no inter-cluster buses (PC %d, %v)", fi.step.PC, in)
 		}
 
@@ -571,16 +756,16 @@ func (m *Machine) dispatch() error {
 		if m.progInFlight+1 > m.cfg.MaxInFlight {
 			return nil
 		}
-		if m.files[target].FreeCount() < len(plans)+1 { // copies' dests + own dest
+		if m.files[target].FreeCount() < nPlans+1 { // copies' dests + own dest
 			return nil
 		}
-		iqNeed := make([]int, m.cfg.NumClusters())
+		var iqNeed [config.MaxClusters]int
 		iqNeed[target]++
-		for _, cp := range plans {
-			iqNeed[cp.from]++
+		for j := 0; j < nPlans; j++ {
+			iqNeed[plans[j].from]++
 		}
-		for c, need := range iqNeed {
-			if m.iqs[c].Free() < need {
+		for c := 0; c < m.cfg.NumClusters(); c++ {
+			if need := iqNeed[c]; need > 0 && m.iqs[c].Free() < need {
 				return nil
 			}
 		}
@@ -594,9 +779,14 @@ func (m *Machine) dispatch() error {
 		// replicated mappings present and plans no duplicates.
 		d := m.newDynInst(fi)
 		d.Cluster = target
-		for _, cp := range plans {
-			if _, ok := m.insertCopy(d, cp, target); !ok {
-				return nil // FIFO-slot exhaustion: stall this cycle
+		for j := 0; j < nPlans; j++ {
+			if _, ok := m.insertCopy(d, plans[j], target); !ok {
+				// FIFO-slot exhaustion: stall this cycle. The abandoned
+				// skeleton was never enqueued anywhere, so recycle it (its
+				// consumed sequence number stays consumed, as it always
+				// has).
+				m.freeDyn(d)
+				return nil
 			}
 		}
 		// Rename sources in the target cluster.
@@ -614,6 +804,7 @@ func (m *Machine) dispatch() error {
 		if m.cfg.Mode == config.IQFIFO {
 			f, ok := m.iqs[target].ChooseFIFO(d)
 			if !ok {
+				m.freeDyn(d)
 				return nil
 			}
 			d.fifo = f
@@ -626,19 +817,19 @@ func (m *Machine) dispatch() error {
 			}
 			d.destPhys = p
 			d.destLogical = dst
-			d.prevMapping = m.rt.redefine(dst, target, p)
+			d.prevMapping, d.prevMask = m.rt.redefine(dst, target, p)
 		}
 		if in.Op.IsMem() {
 			m.ldst.Add(d)
 		}
-		m.rob = append(m.rob, d)
+		m.robPush(d)
 		m.progInFlight++
 		m.iqs[target].Add(d)
 		m.trace(EvDispatch, d)
 		if m.measuring {
 			m.run.Steered[target]++
 		}
-		m.decodeQ = m.decodeQ[1:]
+		m.dqPop()
 		width--
 	}
 	return nil
@@ -648,7 +839,8 @@ func (m *Machine) dispatch() error {
 func (m *Machine) newDynInst(fi *fetched) *DynInst {
 	st := fi.step
 	in := st.Inst
-	d := &DynInst{
+	d := m.allocDyn()
+	*d = DynInst{
 		Seq:          m.seq,
 		ProgSeq:      st.Seq,
 		PC:           st.PC,
@@ -677,7 +869,8 @@ func (m *Machine) insertCopy(consumer *DynInst, cp copyPlan, target ClusterID) (
 	if !ok {
 		return nil, false
 	}
-	cpy := &DynInst{
+	cpy := m.allocDyn()
+	*cpy = DynInst{
 		Seq:         m.seq,
 		ProgSeq:     consumer.ProgSeq,
 		PC:          consumer.PC,
@@ -699,7 +892,7 @@ func (m *Machine) insertCopy(consumer *DynInst, cp copyPlan, target ClusterID) (
 	// The copied value now also lives in the target cluster: record the
 	// replicated mapping so later consumers there reuse it.
 	m.rt.setMapping(cp.logical, target, p)
-	m.rob = append(m.rob, cpy)
+	m.robPush(cpy)
 	m.iqs[cp.from].Add(cpy)
 	m.trace(EvCopyInserted, cpy)
 	if m.measuring {
@@ -708,17 +901,22 @@ func (m *Machine) insertCopy(consumer *DynInst, cp copyPlan, target ClusterID) (
 	return cpy, true
 }
 
-// steerInfo assembles the policy's decode-time view.
+// steerInfo assembles the policy's decode-time view in the machine's
+// reused buffer (policies must not retain it across calls).
 func (m *Machine) steerInfo(fi *fetched, forced ClusterID) *SteerInfo {
 	in := fi.step.Inst
-	info := &SteerInfo{
-		Cycle:       m.cycle,
-		PC:          fi.step.PC,
-		Inst:        in,
-		Forced:      forced,
-		NumClusters: m.cfg.NumClusters(),
-	}
-	for _, r := range in.Srcs(nil) {
+	info := &m.steerBuf
+	// Field-wise reset, not a struct literal: zeroing the full per-cluster
+	// arrays every instruction is measurable, and only the first
+	// NumClusters (resp. NumSrcs) entries are meaningful by contract.
+	info.Cycle = m.cycle
+	info.PC = fi.step.PC
+	info.Inst = in
+	info.Forced = forced
+	info.NumClusters = m.cfg.NumClusters()
+	info.NumSrcs = 0
+	var srcsBuf [2]isa.Reg
+	for _, r := range in.Srcs(srcsBuf[:0]) {
 		if info.NumSrcs >= 2 {
 			break
 		}
@@ -729,7 +927,6 @@ func (m *Machine) steerInfo(fi *fetched, forced ClusterID) *SteerInfo {
 	}
 	for c := 0; c < m.cfg.NumClusters(); c++ {
 		info.Ready[c] = m.readySample[c]
-		info.IssueWidth[c] = m.cfg.Clusters[c].IssueWidth
 		info.IQFree[c] = m.iqs[c].Free()
 	}
 	return info
@@ -783,25 +980,23 @@ func (m *Machine) issue() {
 	}
 }
 
-func (m *Machine) schedule(d *DynInst) {
-	m.completions[d.completeAt] = append(m.completions[d.completeAt], d)
-}
-
 // --- Completion ---
 
 func (m *Machine) complete() {
-	ds := m.completions[m.cycle]
-	if len(ds) == 0 {
+	slot := m.cycle & uint64(len(m.evtHead)-1)
+	d := m.evtHead[slot]
+	if d == nil {
 		return
 	}
-	delete(m.completions, m.cycle)
-	wake := make([]bool, m.cfg.NumClusters())
-	for _, d := range ds {
+	m.evtHead[slot], m.evtTail[slot] = nil, nil
+	m.wakeBuf = m.wakeBuf[:0]
+	for next := d; d != nil; d = next {
+		next = d.nextEvt
+		d.nextEvt = nil
 		m.trace(EvComplete, d)
 		switch {
 		case d.IsCopy:
-			m.files[d.Cluster].SetReady(d.destPhys)
-			wake[d.Cluster] = true
+			m.noteReady(d.Cluster, d.destPhys)
 			d.state = stateDone
 			m.noteCopyArrival(d)
 		case d.isLoad && !d.eaDone:
@@ -809,29 +1004,43 @@ func (m *Machine) complete() {
 			d.state = stateMemWait
 			m.ldst.MarkAddrKnown(d)
 		case d.isLoad: // data returned
-			m.files[d.Cluster].SetReady(d.destPhys)
-			wake[d.Cluster] = true
+			m.noteReady(d.Cluster, d.destPhys)
 			d.state = stateDone
 		case d.isStore:
 			d.eaDone = true
 			m.ldst.MarkAddrKnown(d)
 			d.state = stateDone
 		default:
-			if d.destPhys != noPhys {
-				m.files[d.Cluster].SetReady(d.destPhys)
-				wake[d.Cluster] = true
-			}
+			m.noteReady(d.Cluster, d.destPhys)
 			d.state = stateDone
 			if d.isBranch {
 				m.resolveBranch(d)
 			}
 		}
 	}
-	for c, w := range wake {
-		if w {
-			m.iqs[c].WakeUp(m.files[c])
-		}
+	// Wake the consumers only after the whole batch: srcReady flags must
+	// stay pre-update while noteCopyArrival inspects them (the paper's
+	// criticality test reads the state the waiting instructions were in
+	// when the copy arrived).
+	for _, wp := range m.wakeBuf {
+		m.iqs[wp.c].wakeReg(wp.p)
 	}
+}
+
+// wakePair records one register made ready by a completion, pending its
+// waiter-list walk at the end of the batch.
+type wakePair struct {
+	c ClusterID
+	p physReg
+}
+
+// noteReady marks the register ready in its file and queues the wakeup.
+func (m *Machine) noteReady(c ClusterID, p physReg) {
+	if p == noPhys {
+		return
+	}
+	m.files[c].SetReady(p)
+	m.wakeBuf = append(m.wakeBuf, wakePair{c: c, p: p})
 }
 
 // noteCopyArrival implements the paper's criticality test: a communication
@@ -879,25 +1088,25 @@ func (m *Machine) memStep() {
 	m.loadBuf = m.loadBuf[:0]
 	m.loadBuf = m.ldst.ReadyLoads(m.loadBuf)
 	hit := m.cfg.Mem.L1D.HitLatency
-	for _, e := range m.loadBuf {
-		switch m.ldst.classify(e, m.files) {
+	for _, d := range m.loadBuf {
+		switch m.ldst.classify(d, m.files) {
 		case loadBlocked:
 			continue
 		case loadForward:
-			e.accessed = true
-			e.d.completeAt = m.cycle + uint64(hit)
-			m.schedule(e.d)
-			m.steerer.OnLoadResolved(e.d.PC, false)
+			d.lsqAccessed = true
+			d.completeAt = m.cycle + uint64(hit)
+			m.schedule(d)
+			m.steerer.OnLoadResolved(d.PC, false)
 		case loadAccess:
 			if m.dcachePortsUsed >= m.cfg.DCachePorts {
 				return // ports exhausted this cycle; retry next cycle
 			}
 			m.dcachePortsUsed++
-			lat := m.hier.L1D.Access(e.d.memAddr, false)
-			e.accessed = true
-			e.d.completeAt = m.cycle + uint64(lat)
-			m.schedule(e.d)
-			m.steerer.OnLoadResolved(e.d.PC, lat > hit)
+			lat := m.hier.L1D.Access(d.memAddr, false)
+			d.lsqAccessed = true
+			d.completeAt = m.cycle + uint64(lat)
+			m.schedule(d)
+			m.steerer.OnLoadResolved(d.PC, lat > hit)
 		}
 	}
 }
@@ -906,8 +1115,8 @@ func (m *Machine) memStep() {
 
 func (m *Machine) commit() {
 	retired := 0
-	for retired < m.cfg.RetireWidth && len(m.rob) > 0 {
-		d := m.rob[0]
+	for retired < m.cfg.RetireWidth && m.robLen > 0 {
+		d := m.robFront()
 		if d.state != stateDone {
 			return
 		}
@@ -926,11 +1135,12 @@ func (m *Machine) commit() {
 		if d.isLoad {
 			m.ldst.Remove(d)
 		}
-		for c := 0; c < m.cfg.NumClusters(); c++ {
+		for mask := d.prevMask; mask != 0; mask &= mask - 1 {
+			c := bits.TrailingZeros8(mask)
 			m.files[c].Release(d.prevMapping[c])
 		}
 		d.state = stateRetired
-		m.rob = m.rob[1:]
+		m.robPop()
 		m.lastCommitAt = m.cycle
 		retired++
 		m.trace(EvCommit, d)
@@ -945,6 +1155,7 @@ func (m *Machine) commit() {
 				return
 			}
 		}
+		m.freeDyn(d)
 	}
 }
 

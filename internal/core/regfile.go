@@ -7,17 +7,19 @@ import (
 	"repro/internal/isa"
 )
 
-// regFile is one cluster's physical register file: a ready bit per register
-// and a free list. Values are not stored — the functional emulator is the
-// value oracle — only availability timing.
+// regFile is one cluster's physical register file: a ready bitset (one bit
+// per register, packed 64 to a word so availability tests in the wakeup
+// and select loops are single bit operations) and a free list. Values are
+// not stored — the functional emulator is the value oracle — only
+// availability timing.
 type regFile struct {
-	ready []bool
+	ready []uint64
 	free  []physReg
 	inUse int
 }
 
 func newRegFile(n int) *regFile {
-	rf := &regFile{ready: make([]bool, n), free: make([]physReg, 0, n)}
+	rf := &regFile{ready: make([]uint64, (n+63)/64), free: make([]physReg, 0, n)}
 	// Stack the free list so low registers allocate first (deterministic).
 	for i := n - 1; i >= 0; i-- {
 		rf.free = append(rf.free, physReg(i))
@@ -36,7 +38,7 @@ func (rf *regFile) Alloc() (physReg, bool) {
 	}
 	p := rf.free[len(rf.free)-1]
 	rf.free = rf.free[:len(rf.free)-1]
-	rf.ready[p] = false
+	rf.ready[p>>6] &^= 1 << (uint(p) & 63)
 	rf.inUse++
 	return p, true
 }
@@ -53,7 +55,7 @@ func (rf *regFile) Release(p physReg) {
 // SetReady marks a register's value as produced.
 func (rf *regFile) SetReady(p physReg) {
 	if p != noPhys {
-		rf.ready[p] = true
+		rf.ready[p>>6] |= 1 << (uint(p) & 63)
 	}
 }
 
@@ -62,23 +64,30 @@ func (rf *regFile) Ready(p physReg) bool {
 	if p == noPhys {
 		return true
 	}
-	return rf.ready[p]
+	return rf.ready[p>>6]&(1<<(uint(p)&63)) != 0
 }
 
 // mapEntry is one logical register's rename state: a physical register per
 // cluster plus validity. A value may be mapped in several clusters at once
 // (the paper's register replication, created by inter-cluster copies); only
-// the first `clusters` entries are meaningful.
+// the first `clusters` entries are meaningful. nmapped caches the number
+// of valid mappings so replication accounting needs no scan.
 type mapEntry struct {
-	phys  [config.MaxClusters]physReg
-	valid [config.MaxClusters]bool
+	phys    [config.MaxClusters]physReg
+	valid   [config.MaxClusters]bool
+	nmapped uint8
 }
 
 // renameTable is the single centralized register map table of Section 2,
-// with one mapping field per cluster per logical register.
+// with one mapping field per cluster per logical register. replicated
+// caches Figure 15's metric — how many integer logical registers are
+// currently mapped in more than one cluster — maintained incrementally at
+// the only two mutation points (setMapping, redefine) so the per-cycle
+// sample is O(1) instead of a table scan.
 type renameTable struct {
-	entries  [isa.NumRegs]mapEntry
-	clusters int
+	entries    [isa.NumRegs]mapEntry
+	clusters   int
+	replicated int
 }
 
 func newRenameTable(clusters int) *renameTable {
@@ -94,7 +103,7 @@ func newRenameTable(clusters int) *renameTable {
 // pointer) have producers: integer registers in the int cluster, FP
 // registers in the FP cluster (or everything in cluster 0 on a
 // single-cluster machine). The allocated registers are marked ready.
-func (rt *renameTable) initArchState(files []*regFile) error {
+func (rt *renameTable) initArchState(files []regFile) error {
 	for r := 0; r < isa.NumRegs; r++ {
 		reg := isa.Reg(r)
 		if reg.IsZero() {
@@ -111,6 +120,7 @@ func (rt *renameTable) initArchState(files []*regFile) error {
 		files[home].SetReady(p)
 		rt.entries[r].phys[home] = p
 		rt.entries[r].valid[home] = true
+		rt.entries[r].nmapped = 1
 	}
 	return nil
 }
@@ -140,27 +150,39 @@ func (rt *renameTable) home(r isa.Reg) ClusterSet {
 // cluster c, in addition to any existing mapping (replication path used by
 // copies).
 func (rt *renameTable) setMapping(r isa.Reg, c ClusterID, p physReg) {
-	rt.entries[r].phys[c] = p
-	rt.entries[r].valid[c] = true
+	e := &rt.entries[r]
+	if !e.valid[c] {
+		e.valid[c] = true
+		e.nmapped++
+		if e.nmapped == 2 && int(r) < isa.NumIntRegs {
+			rt.replicated++
+		}
+	}
+	e.phys[c] = p
 }
 
 // redefine makes cluster c's physical register p the sole mapping of r,
 // invalidating any mapping in every other cluster. It returns the previous
-// physical registers per cluster (noPhys where none), which the writer
-// frees at commit.
-func (rt *renameTable) redefine(r isa.Reg, c ClusterID, p physReg) (prev [config.MaxClusters]physReg) {
+// physical registers per cluster (noPhys where none) together with a
+// bitmask of the clusters that held one, which the writer frees at commit.
+func (rt *renameTable) redefine(r isa.Reg, c ClusterID, p physReg) (prev [config.MaxClusters]physReg, mask uint8) {
 	prev = noPrevMapping()
 	e := &rt.entries[r]
 	for cl := 0; cl < rt.clusters; cl++ {
 		if e.valid[cl] {
 			prev[cl] = e.phys[cl]
+			mask |= 1 << uint(cl)
 		}
 		e.valid[cl] = false
 		e.phys[cl] = noPhys
 	}
+	if e.nmapped >= 2 && int(r) < isa.NumIntRegs {
+		rt.replicated--
+	}
+	e.nmapped = 1
 	e.phys[c] = p
 	e.valid[c] = true
-	return prev
+	return prev, mask
 }
 
 // replicatedCount returns how many integer logical registers are currently
@@ -170,18 +192,5 @@ func (rt *renameTable) replicatedCount() int {
 	if rt.clusters < 2 {
 		return 0
 	}
-	n := 0
-	for r := 0; r < isa.NumIntRegs; r++ {
-		e := &rt.entries[r]
-		mapped := 0
-		for c := 0; c < rt.clusters; c++ {
-			if e.valid[c] {
-				mapped++
-			}
-		}
-		if mapped > 1 {
-			n++
-		}
-	}
-	return n
+	return rt.replicated
 }

@@ -76,7 +76,7 @@ func TestRegFileConservation(t *testing.T) {
 
 func TestRenameTableInitArchState(t *testing.T) {
 	rt := newRenameTable(2)
-	files := []*regFile{newRegFile(96), newRegFile(96)}
+	files := []regFile{*newRegFile(96), *newRegFile(96)}
 	if err := rt.initArchState(files); err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestRenameTableInitArchState(t *testing.T) {
 
 func TestRenameRedefineInvalidatesOtherCluster(t *testing.T) {
 	rt := newRenameTable(2)
-	files := []*regFile{newRegFile(96), newRegFile(96)}
+	files := []regFile{*newRegFile(96), *newRegFile(96)}
 	if err := rt.initArchState(files); err != nil {
 		t.Fatal(err)
 	}
@@ -130,9 +130,12 @@ func TestRenameRedefineInvalidatesOtherCluster(t *testing.T) {
 
 	// A new writer in the int cluster invalidates both old mappings.
 	p3, _ := files[0].Alloc()
-	prev := rt.redefine(r, IntCluster, p3)
+	prev, mask := rt.redefine(r, IntCluster, p3)
 	if prev[0] != orig || prev[1] != p2 {
 		t.Fatalf("redefine prev = %v, want [%v %v]", prev, orig, p2)
+	}
+	if mask != 0b11 {
+		t.Fatalf("redefine mask = %#b, want 0b11", mask)
 	}
 	if got, ok := rt.lookup(r, IntCluster); !ok || got != p3 {
 		t.Fatalf("lookup after redefine = %v,%v", got, ok)
@@ -147,7 +150,7 @@ func TestRenameRedefineInvalidatesOtherCluster(t *testing.T) {
 
 func TestRenameSingleClusterNeverReplicates(t *testing.T) {
 	rt := newRenameTable(1)
-	files := []*regFile{newRegFile(192)}
+	files := []regFile{*newRegFile(192)}
 	if err := rt.initArchState(files); err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +164,7 @@ func TestRenameSingleClusterNeverReplicates(t *testing.T) {
 
 func TestInitArchStateFailsOnTinyFile(t *testing.T) {
 	rt := newRenameTable(2)
-	files := []*regFile{newRegFile(8), newRegFile(96)}
+	files := []regFile{*newRegFile(8), *newRegFile(96)}
 	if err := rt.initArchState(files); err == nil {
 		t.Fatal("expected failure with 8-register file")
 	}

@@ -71,7 +71,9 @@ func (si *SteerInfo) Clusters() int {
 type Steerer interface {
 	// Name identifies the policy in reports.
 	Name() string
-	// Steer chooses a cluster for the instruction described by info.
+	// Steer chooses a cluster for the instruction described by info. The
+	// SteerInfo is reused across calls (the hot loop allocates nothing
+	// per instruction); implementations must not retain it.
 	Steer(info *SteerInfo) ClusterID
 	// OnCycle is called once per simulated cycle with the per-cluster
 	// ready counts (index = cluster), before any Steer call of that cycle

@@ -142,24 +142,44 @@ type DynInst struct {
 	destLogical isa.Reg
 	// prevMapping records the per-cluster physical registers that held
 	// destLogical before this instruction, freed at commit. Only the first
-	// NumClusters entries are meaningful.
+	// NumClusters entries are meaningful; prevMask has a bit set for each
+	// cluster holding one, so commit releases without scanning.
 	prevMapping [config.MaxClusters]physReg
+	prevMask    uint8
 
 	// State machine.
 	state      instState
 	readyCycle uint64 // earliest cycle the instruction may issue
 	completeAt uint64 // cycle the result becomes available
 	issuedAt   uint64
+	// nextEvt links instructions completing on the same cycle into the
+	// machine's timing wheel (intrusive list: scheduling an event never
+	// allocates).
+	nextEvt *DynInst
+
+	// nextWaiter and waiterReg link the instruction into its issue queue's
+	// per-physical-register waiter lists (one slot per distinct pending
+	// source register): when the register becomes ready, the queue walks
+	// the list instead of scanning every entry. waiterReg names the
+	// register each slot is chained under, disambiguating which link to
+	// follow during a walk.
+	nextWaiter [2]*DynInst
+	waiterReg  [2]physReg
 
 	// Memory operation fields (from the oracle).
 	isLoad, isStore bool
 	memAddr         uint64
 	memWidth        int
-	lsqIdx          int
 	// eaDone distinguishes the two completion events of a memory
 	// instruction: effective-address computation, then (for loads) the
 	// cache access.
 	eaDone bool
+	// lsqAddrKnown and lsqAccessed are the instruction's load/store queue
+	// state (kept inline so the LSQ needs no per-entry allocation):
+	// effective address computed, and — for loads — already sent to the
+	// cache or forwarded, so it is not issued twice.
+	lsqAddrKnown bool
+	lsqAccessed  bool
 
 	// Branch fields.
 	isBranch     bool

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/prog"
+)
+
+func wheelMachine(t *testing.T) *Machine {
+	t.Helper()
+	b := prog.NewBuilder("wheel")
+	b.Halt()
+	m, err := New(config.Clustered(), b.MustBuild(), NaiveSteerer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// completionOrder drains the wheel cycle by cycle and records the Seq of
+// every EvComplete event in delivery order.
+func completionOrder(m *Machine, through uint64) []uint64 {
+	var got []uint64
+	m.SetTracer(tracerFunc(func(cycle uint64, ev Event, d *DynInst) {
+		if ev == EvComplete {
+			got = append(got, d.Seq)
+		}
+	}))
+	for m.cycle <= through {
+		m.complete()
+		m.cycle++
+	}
+	m.SetTracer(nil)
+	return got
+}
+
+// TestTimingWheelGrowth schedules completions far past the initial wheel
+// span, forcing growWheel, and checks that no event is lost, every event
+// fires exactly at its completeAt, and same-cycle events keep schedule
+// order across the re-slotting.
+func TestTimingWheelGrowth(t *testing.T) {
+	m := wheelMachine(t)
+	if len(m.evtHead) != initialWheelSize {
+		t.Fatalf("fresh wheel size %d, want %d", len(m.evtHead), initialWheelSize)
+	}
+	// Two events per target cycle so re-slotting must preserve intra-cycle
+	// order; targets straddle the initial span and force two doublings.
+	targets := []uint64{3, initialWheelSize - 1, initialWheelSize + 5, 2*initialWheelSize + 7, 3 * initialWheelSize}
+	var want []uint64
+	seq := uint64(0)
+	for _, at := range targets {
+		for k := 0; k < 2; k++ {
+			d := &DynInst{Seq: seq, destPhys: noPhys, state: stateIssued, completeAt: at}
+			m.schedule(d)
+			seq++
+		}
+	}
+	if len(m.evtHead) <= initialWheelSize {
+		t.Fatalf("wheel did not grow: size %d", len(m.evtHead))
+	}
+	for i := uint64(0); i < seq; i++ {
+		want = append(want, i)
+	}
+	got := completionOrder(m, 3*initialWheelSize+1)
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d events, scheduled %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("completion order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTimingWheelGrowthMidFlight grows the wheel while events are already
+// pending at nonzero cycles (head offsets), the re-slotting case growWheel
+// actually faces in production.
+func TestTimingWheelGrowthMidFlight(t *testing.T) {
+	m := wheelMachine(t)
+	m.cycle = 1000 // wheel indexing is absolute; start away from zero
+	early := &DynInst{Seq: 1, destPhys: noPhys, state: stateIssued, completeAt: 1003}
+	m.schedule(early)
+	late := &DynInst{Seq: 2, destPhys: noPhys, state: stateIssued, completeAt: 1000 + 4*initialWheelSize}
+	m.schedule(late)
+	got := completionOrder(m, 1000+4*initialWheelSize)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("completion order %v, want [1 2]", got)
+	}
+	if early.state != stateDone || late.state != stateDone {
+		t.Fatal("events not completed after drain")
+	}
+}
+
+// TestROBRingGrowth pushes past the preallocated ROB capacity and checks
+// robGrow preserves age order through the head reset.
+func TestROBRingGrowth(t *testing.T) {
+	m := wheelMachine(t)
+	capBefore := len(m.rob)
+	// Stagger the head so growth must unwrap a wrapped ring.
+	for i := 0; i < 10; i++ {
+		m.robPush(&DynInst{Seq: uint64(1000 + i)})
+	}
+	for i := 0; i < 5; i++ {
+		m.robPop()
+	}
+	n := capBefore + 20
+	for i := 0; i < n; i++ {
+		m.robPush(&DynInst{Seq: uint64(i)})
+	}
+	if len(m.rob) <= capBefore {
+		t.Fatalf("ROB ring did not grow: cap %d", len(m.rob))
+	}
+	if m.robLen != 5+n {
+		t.Fatalf("robLen %d, want %d", m.robLen, 5+n)
+	}
+	for i := 0; i < 5; i++ {
+		if m.robAt(i).Seq != uint64(1005+i) {
+			t.Fatalf("pre-growth survivor %d has Seq %d", i, m.robAt(i).Seq)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if m.robAt(5+i).Seq != uint64(i) {
+			t.Fatalf("entry %d has Seq %d, want %d", 5+i, m.robAt(5+i).Seq, i)
+		}
+	}
+}
+
+// TestDecodeRingGrowth exercises dqPush's doubling path the same way.
+func TestDecodeRingGrowth(t *testing.T) {
+	m := wheelMachine(t)
+	capBefore := len(m.decodeQ)
+	for i := 0; i < 3; i++ {
+		fi := m.dqPush()
+		fi.step.Seq = uint64(100 + i)
+	}
+	m.dqPop() // offset the head
+	n := capBefore + 10
+	for i := 0; i < n; i++ {
+		fi := m.dqPush()
+		fi.step.Seq = uint64(i)
+	}
+	if len(m.decodeQ) <= capBefore {
+		t.Fatalf("decode ring did not grow: cap %d", len(m.decodeQ))
+	}
+	if m.dqLen != 2+n {
+		t.Fatalf("dqLen %d, want %d", m.dqLen, 2+n)
+	}
+	if m.dqFront().step.Seq != 101 {
+		t.Fatalf("front Seq %d, want 101", m.dqFront().step.Seq)
+	}
+	m.dqPop()
+	m.dqPop()
+	for i := 0; i < n; i++ {
+		if m.dqFront().step.Seq != uint64(i) {
+			t.Fatalf("entry %d has Seq %d", i, m.dqFront().step.Seq)
+		}
+		m.dqPop()
+	}
+}

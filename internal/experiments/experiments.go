@@ -51,11 +51,15 @@ type Options struct {
 	Progress func(Progress)
 }
 
-// DefaultOptions returns the standard grid configuration.
+// DefaultOptions returns the standard grid configuration. The default
+// window is 100k warm-up + 1M measured instructions per cell — raised 4x
+// after the allocation-free hot-loop rewrite made cycles cheap (see
+// BENCH_core.json and the window-length sensitivity section of
+// EXPERIMENTS.md).
 func DefaultOptions() Options {
 	return Options{
-		Warmup:     25_000,
-		Measure:    250_000,
+		Warmup:     100_000,
+		Measure:    1_000_000,
 		Benchmarks: workload.Names(),
 		Params:     steer.DefaultParams(),
 	}

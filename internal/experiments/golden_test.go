@@ -2,17 +2,38 @@ package experiments
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"testing"
 
 	"repro/internal/steer"
 )
 
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files from the current simulator")
+
+// goldenOpts is the fixed grid the golden file pins: every registered
+// scheme plus the base and upper-bound machines, on the paper's two
+// benchmarks with known-interesting behaviour, at a short window.
+func goldenOpts() Options {
+	return Options{Warmup: 5_000, Measure: 25_000,
+		Benchmarks: []string{"go", "compress"}, Params: steer.DefaultParams()}
+}
+
+// goldenSchemes returns the full scheme set the golden grid must cover, in
+// the file's deterministic order.
+func goldenSchemes() []string {
+	names := steer.Names()
+	sort.Strings(names)
+	return append([]string{BaseScheme, UBScheme}, names...)
+}
+
 // goldenLine formats one cell's full measurement record in the fixed
 // format of testdata/golden_n2.txt (captured from the pre-generalization
-// two-cluster simulator).
+// two-cluster simulator and re-pinned across the allocation-free hot-loop
+// rewrite).
 func goldenLine(scheme, bench string, opts Options, t *testing.T) string {
 	t.Helper()
 	r, err := RunOne(scheme, bench, opts)
@@ -25,21 +46,40 @@ func goldenLine(scheme, bench string, opts Options, t *testing.T) string {
 		r.L1DMissRate, r.L1IMissRate, r.Balance.Samples, r.Balance.Buckets)
 }
 
-// TestGoldenTwoClusterBitIdentity replays a representative scheme ×
-// benchmark grid on the paper's two-cluster machines and requires every
-// statistic — cycle counts, copies, per-cluster steering splits, the full
-// balance histogram — to be bit-identical to the golden record captured
-// before the N-cluster generalization. Any behavioural drift of the N = 2
-// path, however small, fails this test.
+// TestGoldenTwoClusterBitIdentity replays the full scheme × benchmark grid
+// on the paper's two-cluster machines and requires every statistic — cycle
+// counts, copies, per-cluster steering splits, the full balance histogram —
+// to be bit-identical to the golden record. The file was captured before
+// the N-cluster generalization and re-checked, unchanged, after the
+// allocation-free hot-loop rewrite: any behavioural drift of the N = 2
+// path, however small, fails this test. Regenerate deliberately with
+// `go test ./internal/experiments -run TestGolden -update`.
 func TestGoldenTwoClusterBitIdentity(t *testing.T) {
+	opts := goldenOpts()
+
+	if *updateGolden {
+		f, err := os.Create("testdata/golden_n2.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, scheme := range goldenSchemes() {
+			for _, bench := range opts.Benchmarks {
+				fmt.Fprintln(f, goldenLine(scheme, bench, opts, t))
+			}
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+
 	f, err := os.Open("testdata/golden_n2.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer f.Close()
 
-	opts := Options{Warmup: 5_000, Measure: 25_000,
-		Benchmarks: []string{"go", "compress"}, Params: steer.DefaultParams()}
+	covered := map[string]bool{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -52,6 +92,7 @@ func TestGoldenTwoClusterBitIdentity(t *testing.T) {
 			t.Fatalf("malformed golden line: %q", want)
 		}
 		scheme, bench := cell[0], cell[1]
+		covered[scheme] = true
 		t.Run(scheme+"/"+bench, func(t *testing.T) {
 			if got := goldenLine(scheme, bench, opts, t); got != want {
 				t.Errorf("stats diverged from pre-refactor golden\n got: %s\nwant: %s", got, want)
@@ -60,5 +101,13 @@ func TestGoldenTwoClusterBitIdentity(t *testing.T) {
 	}
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
+	}
+
+	// Completeness gate: a steering scheme registered without golden
+	// coverage would silently escape the bit-identity lock.
+	for _, scheme := range goldenSchemes() {
+		if !covered[scheme] {
+			t.Errorf("scheme %q has no golden coverage (rerun with -update)", scheme)
+		}
 	}
 }

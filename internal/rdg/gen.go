@@ -1,0 +1,173 @@
+package rdg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// RandomProgram returns a deterministic pseudo-random, structurally valid,
+// halting program for the given seed. The generator targets the dependence
+// shapes this package formalizes: straight-line blocks of mixed simple and
+// complex integer arithmetic, FP chains that force placement on an
+// asymmetric machine, counted loops, call/return pairs (exercising the
+// RAS), forward skips, and memory bursts over a small set of hot offsets in
+// three access widths — so store-to-load forwarding, partial overlap and
+// address-unknown blocking all occur in the LSQ, and the register
+// dependence graph spans both the LdSt and Br slices.
+//
+// The same seed always yields the same program; the differential harness
+// and the fuzz corpus in internal/core key their cases on it.
+func RandomProgram(seed int64) *prog.Program {
+	r := rand.New(rand.NewSource(seed))
+	b := prog.NewBuilder(fmt.Sprintf("rdg-%d", seed))
+	b.Space("mem", 4096)
+
+	// Register conventions: r20 = memory base, r21..r23 loop counters,
+	// r1..r12 integer data, f0..f7 FP data, r31 link register.
+	b.La(isa.R(20), "mem")
+	for i := 1; i <= 12; i++ {
+		b.Li(isa.R(i), int32(r.Intn(2000)-1000))
+	}
+	for i := 0; i < 8; i++ {
+		b.Fcvtif(isa.F(i), isa.R(1+r.Intn(12)))
+	}
+	intReg := func() isa.Reg { return isa.R(1 + r.Intn(12)) }
+	fpReg := func() isa.Reg { return isa.F(r.Intn(8)) }
+	// hotOffs is a small palette of 8-byte-aligned offsets reused by most
+	// accesses, so loads and stores frequently alias.
+	var hotOffs [8]int32
+	for i := range hotOffs {
+		hotOffs[i] = int32(r.Intn(500)) * 8
+	}
+	off := func() int32 { return hotOffs[r.Intn(len(hotOffs))] }
+
+	nFuncs := r.Intn(3)
+	funcLabel := func(i int) string { return fmt.Sprintf("fn%d", i) }
+
+	skipN := 0
+	emitOne := func(blk int) {
+		switch r.Intn(16) {
+		case 0, 1, 2:
+			ops := []isa.Opcode{isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SLT}
+			b.Op3(ops[r.Intn(len(ops))], intReg(), intReg(), intReg())
+		case 3:
+			b.OpI(isa.ADDI, intReg(), intReg(), int32(r.Intn(64)-32))
+		case 4:
+			b.OpI(isa.SRAI, intReg(), intReg(), int32(r.Intn(8)))
+		case 5:
+			switch r.Intn(3) {
+			case 0:
+				b.Mul(intReg(), intReg(), intReg())
+			case 1:
+				b.Div(intReg(), intReg(), intReg())
+			default:
+				b.Rem(intReg(), intReg(), intReg())
+			}
+		case 6, 7, 8:
+			// Memory burst over the hot offsets: widths 8/4/1 so accesses
+			// partially overlap, and a store is often shortly followed by a
+			// load of the same or an overlapping address.
+			o := off()
+			switch r.Intn(6) {
+			case 0:
+				b.Ld(intReg(), isa.R(20), o)
+			case 1:
+				b.St(intReg(), isa.R(20), o)
+			case 2:
+				b.Lw(intReg(), isa.R(20), o+int32(r.Intn(2))*4)
+			case 3:
+				b.Sw(intReg(), isa.R(20), o+int32(r.Intn(2))*4)
+			case 4:
+				b.Lb(intReg(), isa.R(20), o+int32(r.Intn(8)))
+			default:
+				b.Sb(intReg(), isa.R(20), o+int32(r.Intn(8)))
+			}
+		case 9:
+			// Store-to-load forwarding pair at one address, with the load's
+			// value immediately consumed so the forwarded result is on the
+			// critical path.
+			o := off()
+			d := intReg()
+			b.St(intReg(), isa.R(20), o)
+			b.Ld(d, isa.R(20), o)
+			b.Add(intReg(), d, intReg())
+		case 10, 11:
+			// FP chain: forces the FP cluster on asymmetric machines and
+			// creates inter-cluster traffic when its integer inputs live in
+			// the other cluster.
+			switch r.Intn(4) {
+			case 0:
+				b.Fadd(fpReg(), fpReg(), fpReg())
+			case 1:
+				b.Fmul(fpReg(), fpReg(), fpReg())
+			case 2:
+				b.Fsub(fpReg(), fpReg(), fpReg())
+			default:
+				b.Fdiv(fpReg(), fpReg(), fpReg())
+			}
+		case 12:
+			b.Fcvtfi(intReg(), fpReg())
+		case 13:
+			// Forward skip over one instruction (a conditional the predictor
+			// sees both ways).
+			skip := fmt.Sprintf("skip%d", skipN)
+			skipN++
+			b.Beq(intReg(), intReg(), skip)
+			b.OpI(isa.ADDI, intReg(), intReg(), 1)
+			b.Label(skip)
+		case 14:
+			if nFuncs > 0 {
+				b.Jal(isa.R(31), funcLabel(r.Intn(nFuncs)))
+			} else {
+				b.Xor(intReg(), intReg(), intReg())
+			}
+		default:
+			b.Xor(intReg(), intReg(), intReg())
+		}
+	}
+
+	nBlocks := 2 + r.Intn(4)
+	for blk := 0; blk < nBlocks; blk++ {
+		loop := r.Intn(2) == 0
+		label := ""
+		if loop {
+			label = fmt.Sprintf("loop%d", blk)
+			b.Li(isa.R(21+blk%3), int32(2+r.Intn(20)))
+			b.Label(label)
+		}
+		nInsts := 3 + r.Intn(15)
+		for i := 0; i < nInsts; i++ {
+			emitOne(blk)
+		}
+		if loop {
+			ctr := isa.R(21 + blk%3)
+			b.Addi(ctr, ctr, -1)
+			b.Bne(ctr, isa.R(0), label)
+		}
+	}
+	b.Halt()
+
+	// Leaf helpers called via JAL/JR r31: straight-line bodies placed after
+	// the HALT so fall-through never reaches them.
+	for f := 0; f < nFuncs; f++ {
+		b.Label(funcLabel(f))
+		n := 2 + r.Intn(5)
+		for i := 0; i < n; i++ {
+			switch r.Intn(4) {
+			case 0:
+				b.Add(intReg(), intReg(), intReg())
+			case 1:
+				b.Ld(intReg(), isa.R(20), off())
+			case 2:
+				b.St(intReg(), isa.R(20), off())
+			default:
+				b.OpI(isa.ADDI, intReg(), intReg(), int32(r.Intn(16)))
+			}
+		}
+		b.Jr(isa.R(31))
+	}
+	return b.MustBuild()
+}

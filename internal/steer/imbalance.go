@@ -197,6 +197,37 @@ func (im *imbalance) delta(c, o core.ClusterID) int {
 	return avg + im.i1[c] - im.i1[o]
 }
 
+// deltaGE reports delta(c, o) >= a without the integer division (the
+// division dominated the steering cost on wide machines: the hot
+// comparisons run once per cluster pair per steered instruction). It
+// reproduces delta's truncated-toward-zero semantics exactly:
+// with q = trunc(ds/f), q >= b reduces to ds >= b*f when ds >= 0 (floor)
+// and to ds > (b-1)*f when ds < 0 (ceiling). TestDeltaComparisons pins the
+// equivalence against the division form.
+func (im *imbalance) deltaGE(c, o core.ClusterID, a int) bool {
+	di := im.i1[c] - im.i1[o]
+	if im.filled == 0 {
+		return di >= a
+	}
+	ds := im.sum[c] - im.sum[o]
+	b := a - di
+	if ds >= 0 {
+		return ds >= b*im.filled
+	}
+	return ds > (b-1)*im.filled
+}
+
+// deltaSign returns the sign of delta(c, o) using only deltaGE.
+func (im *imbalance) deltaSign(c, o core.ClusterID) int {
+	if im.deltaGE(c, o, 1) {
+		return 1
+	}
+	if !im.deltaGE(c, o, 0) {
+		return -1
+	}
+	return 0
+}
+
 // value returns the two-cluster reading of the counter — delta(FP, Int),
 // the paper's combined imbalance counter (positive = FP cluster more
 // loaded). It is only meaningful on two clusters; N-cluster decisions use
@@ -210,11 +241,9 @@ func (im *imbalance) value() int {
 func (im *imbalance) strong() bool {
 	for c := 0; c < im.n; c++ {
 		for o := c + 1; o < im.n; o++ {
-			v := im.delta(core.ClusterID(c), core.ClusterID(o))
-			if v < 0 {
-				v = -v
-			}
-			if v >= im.p.Threshold {
+			cc, oo := core.ClusterID(c), core.ClusterID(o)
+			// |delta| >= T, checked both ways (delta is antisymmetric).
+			if im.deltaGE(cc, oo, im.p.Threshold) || im.deltaGE(oo, cc, im.p.Threshold) {
 				return true
 			}
 		}
@@ -228,7 +257,7 @@ func (im *imbalance) overloaded(c core.ClusterID) bool {
 	if c < 0 || int(c) >= im.n {
 		return false
 	}
-	return im.delta(c, im.leastLoadedBy(nil, nil)) > 0
+	return im.deltaGE(c, im.leastLoadedBy(nil, nil), 1)
 }
 
 // leastLoaded returns the cluster the counters say has the most spare
@@ -265,11 +294,13 @@ func (im *imbalance) leastLoadedBy(in func(core.ClusterID) bool, ready []int) co
 			best = c
 			continue
 		}
-		switch d := im.delta(c, best); {
-		case d < 0:
+		switch im.deltaSign(c, best) {
+		case -1:
 			best = c
-		case d == 0 && readyAt(c) < readyAt(best):
-			best = c
+		case 0:
+			if readyAt(c) < readyAt(best) {
+				best = c
+			}
 		}
 	}
 	return best

@@ -1,0 +1,48 @@
+package steer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDeltaComparisons pins the division-free comparison helpers to the
+// reference formulation: for every (sum, i1, filled) state, deltaGE and
+// deltaSign must agree exactly with the truncated-division delta they
+// replace, including negative differences (where Go's division truncates
+// toward zero, i.e. takes the ceiling).
+func TestDeltaComparisons(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	im := &imbalance{n: 2, sum: make([]int, 2), i1: make([]int, 2)}
+	for iter := 0; iter < 200_000; iter++ {
+		im.sum[0] = r.Intn(400) - 200
+		im.sum[1] = r.Intn(400) - 200
+		im.i1[0] = r.Intn(80)
+		im.i1[1] = r.Intn(80)
+		im.filled = r.Intn(17) // 0 = window not yet filled
+		a := r.Intn(41) - 20
+		c, o := core.ClusterID(0), core.ClusterID(1)
+		if r.Intn(2) == 0 {
+			c, o = o, c
+		}
+
+		want := im.delta(c, o) >= a
+		if got := im.deltaGE(c, o, a); got != want {
+			t.Fatalf("deltaGE(%v,%v,%d) = %v, want %v (sum=%v i1=%v filled=%d delta=%d)",
+				c, o, a, got, want, im.sum, im.i1, im.filled, im.delta(c, o))
+		}
+
+		wantSign := 0
+		switch d := im.delta(c, o); {
+		case d > 0:
+			wantSign = 1
+		case d < 0:
+			wantSign = -1
+		}
+		if got := im.deltaSign(c, o); got != wantSign {
+			t.Fatalf("deltaSign(%v,%v) = %d, want %d (sum=%v i1=%v filled=%d)",
+				c, o, got, wantSign, im.sum, im.i1, im.filled)
+		}
+	}
+}
