@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover fuzz bench ci fmt vet
+.PHONY: all build test race cover fuzz bench serve-smoke ci fmt vet
 
 all: build
 
@@ -30,9 +30,15 @@ cover:
 fuzz:
 	$(GO) test ./internal/core -run xxx -fuzz FuzzCoSimulate -fuzztime 20s
 
+# End-to-end smoke of the simulation service: build cmd/dcaserve, start
+# it, POST a tiny job, assert a 200 with a well-formed content-addressed
+# result (the same check CI runs).
+serve-smoke:
+	./ci/serve_smoke.sh
+
 # Regenerate the reference benchmark records (BENCH_core.json,
-# BENCH_clusters.json) with current environment metadata so the checked-in
-# numbers cannot drift silently from the code.
+# BENCH_clusters.json, BENCH_serve.json) with current environment metadata
+# so the checked-in numbers cannot drift silently from the code.
 bench:
 	$(GO) run ./cmd/dcabenchref
 
@@ -42,4 +48,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race cover fuzz
+ci: fmt vet build race cover fuzz serve-smoke

@@ -1,0 +1,48 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke of cmd/dcaserve: build the server,
+# start it, POST one tiny job (1k-instruction window), and assert a 200
+# with a well-formed content-addressed result that is then retrievable by
+# its key. Run from the repo root (`make serve-smoke` or the CI step).
+set -eu
+
+ADDR=127.0.0.1:8097
+BIN="${TMPDIR:-/tmp}/dcaserve-smoke"
+OUT="${TMPDIR:-/tmp}/dcaserve-smoke.json"
+
+go build -o "$BIN" ./cmd/dcaserve
+
+"$BIN" -addr "$ADDR" &
+PID=$!
+trap 'kill $PID 2>/dev/null || true' EXIT
+
+# Wait for the listener (up to ~5s).
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "dcaserve did not come up on $ADDR" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# One tiny job: -f fails the script on any non-200.
+curl -fsS -X POST "http://$ADDR/v1/jobs" \
+  -d '{"scheme":"general","benchmark":"go","warmup":100,"measure":1000}' >"$OUT"
+
+# Well-formed: a 64-hex job key, a result digest, and real measurements.
+grep -Eq '"key": "[0-9a-f]{64}"' "$OUT"
+grep -Eq '"result_digest": "[0-9a-f]{64}"' "$OUT"
+grep -q '"Cycles"' "$OUT"
+grep -q '"Instructions"' "$OUT"
+
+# The result must be retrievable by its content address.
+KEY=$(sed -n 's/.*"key": "\([0-9a-f]\{64\}\)".*/\1/p' "$OUT" | head -1)
+curl -fsS "http://$ADDR/v1/results/$KEY" | grep -q '"Cycles"'
+
+# A resubmission must be served from the store.
+curl -fsS -X POST "http://$ADDR/v1/jobs" \
+  -d '{"scheme":"general","benchmark":"go","warmup":100,"measure":1000}' |
+  grep -q '"cached": true'
+
+echo "dcaserve smoke OK (job $KEY)"

@@ -11,9 +11,12 @@
 //	dcabench -j 4                 # bound the worker pool (default: all cores)
 //	dcabench -clusters 4          # run the grid on a 4-cluster machine
 //	dcabench -progress=false      # silence the per-cell completion log
+//	dcabench -json grid.json      # archive the grid (jobs + digests + stats)
+//	dcabench -store ./results     # reuse cells across invocations by digest
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +24,8 @@ import (
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/workload"
+	"repro/internal/job"
+	"repro/internal/job/store"
 )
 
 func main() {
@@ -31,6 +35,8 @@ func main() {
 		measure  = flag.Uint64("measure", 1_000_000, "measured instructions per run")
 		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all eight)")
 		csvPath  = flag.String("csv", "", "also write the raw grid as CSV to this file")
+		jsonPath = flag.String("json", "", "also write the full grid — jobs, digests, per-cell stats — as JSON to this file ('-' for stdout)")
+		storeDir = flag.String("store", "", "cache results as JSON under this directory; cells already present are not re-simulated")
 		jobs     = flag.Int("j", 0, "grid cells to simulate in parallel (0 = all cores)")
 		clusters = flag.Int("clusters", 2, "cluster count of the steered machine (2 = the paper's asymmetric processor, else config.ClusteredN)")
 		progress = flag.Bool("progress", true, "log per-cell completion and ETA to stderr")
@@ -48,18 +54,39 @@ func main() {
 					p.Completed, p.Total, p.Cell.Scheme, p.Cell.Benchmark, p.Err)
 				return
 			}
-			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-16s %-8s %8v  ETA %v\n",
+			eta := "--"
+			if p.Remaining > 0 {
+				eta = p.Remaining.Round(time.Second).String()
+			}
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-16s %-8s %8v  ETA %s\n",
 				p.Completed, p.Total, p.Cell.Scheme, p.Cell.Benchmark,
-				p.Elapsed.Round(time.Millisecond), p.Remaining.Round(time.Second))
+				p.Elapsed.Round(time.Millisecond), eta)
 		}
 	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 		for _, b := range opts.Benchmarks {
-			if _, err := workload.Get(b); err != nil {
+			if err := job.ValidateBenchmark(b); err != nil {
 				fatal(err)
 			}
 		}
+	}
+
+	var cached *store.Cached
+	if *storeDir != "" {
+		disk, err := store.NewDisk(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		cached = store.NewCached(store.Tiered{Fast: store.NewMemory(1024), Slow: disk}, nil)
+		opts.Runner = cached
+	}
+
+	// With -json - the machine-readable export owns stdout; the banner,
+	// tables and timings move to stderr so the output stays parseable.
+	human := os.Stdout
+	if *jsonPath == "-" {
+		human = os.Stderr
 	}
 
 	var wanted []experiments.Exhibit
@@ -87,17 +114,18 @@ func main() {
 			}
 		}
 	}
-	workers := opts.Workers(len(experiments.Cells(schemes, opts.Benchmarks)))
+	effBenches := job.GridSpec{Benchmarks: opts.Benchmarks}.EffectiveBenchmarks()
+	workers := opts.Workers(len(experiments.Cells(schemes, effBenches)))
 	start := time.Now()
-	fmt.Printf("running %d scheme(s) x %d benchmark(s), %d+%d instructions each, %d worker(s)...\n\n",
-		len(schemes)+1, len(opts.Benchmarks), opts.Warmup, opts.Measure, workers)
+	fmt.Fprintf(human, "running %d scheme(s) x %d benchmark(s), %d+%d instructions each, %d worker(s)...\n\n",
+		len(schemes)+1, len(effBenches), opts.Warmup, opts.Measure, workers)
 	res, err := experiments.Run(schemes, opts)
 	if err != nil {
 		fatal(err)
 	}
 	for _, e := range wanted {
-		fmt.Println("==", e.Title)
-		fmt.Println(e.Render(res))
+		fmt.Fprintln(human, "==", e.Title)
+		fmt.Fprintln(human, e.Render(res))
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
@@ -110,9 +138,31 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("raw grid written to %s\n", *csvPath)
+		fmt.Fprintf(human, "raw grid written to %s\n", *csvPath)
 	}
-	fmt.Printf("total simulation time: %v\n", time.Since(start).Round(time.Millisecond))
+	if *jsonPath != "" {
+		export, err := res.Export()
+		if err != nil {
+			fatal(err)
+		}
+		raw, err := json.MarshalIndent(export, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		raw = append(raw, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(raw)
+		} else if err := os.WriteFile(*jsonPath, raw, 0o644); err != nil {
+			fatal(err)
+		} else {
+			fmt.Fprintf(human, "grid export (%d cells) written to %s\n", len(export.Cells), *jsonPath)
+		}
+	}
+	if cached != nil {
+		m := cached.Metrics()
+		fmt.Fprintf(human, "result store: %d hits, %d simulated, %d coalesced\n", m.Hits, m.Misses, m.Coalesced)
+	}
+	fmt.Fprintf(human, "total simulation time: %v\n", time.Since(start).Round(time.Millisecond))
 }
 
 func fatal(err error) {

@@ -1,14 +1,16 @@
 // Command dcabenchref regenerates the repository's reference benchmark
-// records (BENCH_core.json, BENCH_clusters.json) by running the relevant
-// `go test -bench` targets and rewriting each file's environment, date and
-// results — so the checked-in numbers can never silently drift from the
-// code. Curated fields (description, reading, baseline) are preserved.
+// records (BENCH_core.json, BENCH_clusters.json, BENCH_serve.json) by
+// running the relevant `go test -bench` targets and rewriting each file's
+// environment, date and results — so the checked-in numbers can never
+// silently drift from the code. Curated fields (description, reading,
+// baseline) are preserved.
 //
 // Usage:
 //
-//	dcabenchref            # regenerate both files (run from the repo root)
+//	dcabenchref            # regenerate every file (run from the repo root)
 //	dcabenchref -core      # only BENCH_core.json
 //	dcabenchref -clusters  # only BENCH_clusters.json
+//	dcabenchref -serve     # only BENCH_serve.json (dcaserve jobs/sec)
 package main
 
 import (
@@ -118,17 +120,24 @@ func main() {
 	var (
 		coreOnly     = flag.Bool("core", false, "only regenerate BENCH_core.json")
 		clustersOnly = flag.Bool("clusters", false, "only regenerate BENCH_clusters.json")
+		serveOnly    = flag.Bool("serve", false, "only regenerate BENCH_serve.json")
 	)
 	flag.Parse()
-	both := !*coreOnly && !*clustersOnly
-	if *coreOnly || both {
+	all := !*coreOnly && !*clustersOnly && !*serveOnly
+	if *coreOnly || all {
 		if err := rewrite("BENCH_core.json", "./internal/core", "BenchmarkMachineCycle", "300000x"); err != nil {
 			fmt.Fprintln(os.Stderr, "dcabenchref:", err)
 			os.Exit(1)
 		}
 	}
-	if *clustersOnly || both {
+	if *clustersOnly || all {
 		if err := rewrite("BENCH_clusters.json", ".", "BenchmarkGridParallelism", "1x"); err != nil {
+			fmt.Fprintln(os.Stderr, "dcabenchref:", err)
+			os.Exit(1)
+		}
+	}
+	if *serveOnly || all {
+		if err := rewrite("BENCH_serve.json", "./cmd/dcaserve", "BenchmarkServeThroughput", "300x"); err != nil {
 			fmt.Fprintln(os.Stderr, "dcabenchref:", err)
 			os.Exit(1)
 		}

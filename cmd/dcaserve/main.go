@@ -1,0 +1,68 @@
+// Command dcaserve is the simulation service: a long-running HTTP server
+// that plans submitted cells into canonical jobs (internal/job), simulates
+// them on a bounded worker pool, and caches every result by content digest
+// (internal/job/store) — so identical cells, across requests and clients,
+// are simulated exactly once. Concurrent identical submissions coalesce
+// onto one in-flight simulation.
+//
+// API (see ARCHITECTURE.md's "Run layer" section):
+//
+//	POST /v1/jobs          one cell  {scheme, benchmark, clusters?, warmup, measure, params?}
+//	POST /v1/grids         a batch   {schemes, benchmarks?, clusters?, warmup, measure, params?}
+//	                       → NDJSON: per-cell progress events, then the full grid export
+//	GET  /v1/results/{key} a cached result by job digest
+//	GET  /healthz          liveness + cache counters
+//
+// Usage:
+//
+//	dcaserve                          # in-memory LRU cache only, port 8080
+//	dcaserve -addr :9000 -store ./res # persist results under ./res
+//	dcaserve -cache 4096 -j 8         # bigger LRU, 8 grid workers
+//
+//	curl -s localhost:8080/v1/jobs -d '{"scheme":"general","benchmark":"go","warmup":1000,"measure":10000}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"repro/internal/job/store"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		diskDir = flag.String("store", "", "persist results as JSON under this directory (empty = memory only)")
+		cache   = flag.Int("cache", 1024, "in-memory LRU capacity in results (0 = unbounded)")
+		jobs    = flag.Int("j", 0, "cells simulated in parallel per grid (0 = all cores)")
+	)
+	flag.Parse()
+
+	var st store.Store = store.NewMemory(*cache)
+	if *diskDir != "" {
+		disk, err := store.NewDisk(*diskDir)
+		if err != nil {
+			fatal(err)
+		}
+		st = store.Tiered{Fast: st, Slow: disk}
+		fmt.Printf("dcaserve: %d results on disk under %s\n", disk.Len(), *diskDir)
+	}
+	srv := newServer(st, nil, *jobs)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dcaserve: listening on http://%s\n", ln.Addr())
+	if err := http.Serve(ln, srv.handler()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dcaserve:", err)
+	os.Exit(1)
+}

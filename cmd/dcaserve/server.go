@@ -1,0 +1,286 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/job"
+	"repro/internal/job/store"
+	"repro/internal/stats"
+	"repro/internal/steer"
+)
+
+// server is the simulation service: it plans submitted cells into
+// canonical jobs and dispatches them through one shared coalescing,
+// store-backed runner — so identical cells, whether submitted alone,
+// inside a grid, or by N clients at once, are simulated exactly once.
+type server struct {
+	st          store.Store
+	runner      *store.Cached
+	parallelism int
+	// sem bounds concurrent single-job simulations across all /v1/jobs
+	// requests (grids bound their own worker pools): N clients posting N
+	// distinct expensive cells queue here instead of pinning N cores.
+	sem chan struct{}
+}
+
+// newServer builds a server over st; next is the underlying executor (nil
+// means job.Direct{} — tests inject counting or failing runners).
+// parallelism bounds each grid's worker pool and the total concurrent
+// single-job simulations (0 = all cores).
+func newServer(st store.Store, next job.Runner, parallelism int) *server {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	return &server{
+		st:          st,
+		runner:      store.NewCached(st, next),
+		parallelism: parallelism,
+		sem:         make(chan struct{}, parallelism),
+	}
+}
+
+// handler routes the v1 API.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	mux.HandleFunc("POST /v1/grids", s.handleGrid)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	return mux
+}
+
+// jobResponse is the reply to POST /v1/jobs and GET /v1/results/{key}.
+type jobResponse struct {
+	// Key is the job's content digest — the handle GET /v1/results serves
+	// the result under.
+	Key string `json:"key"`
+	// Cached reports whether the result was served straight from the
+	// store (false on submissions that simulated or coalesced onto an
+	// in-flight simulation; always true from /v1/results).
+	Cached bool `json:"cached"`
+	// ElapsedMS is the server-side handling time of this request.
+	ElapsedMS    float64    `json:"elapsed_ms"`
+	Result       *stats.Run `json:"result"`
+	ResultDigest string     `json:"result_digest"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	m := s.runner.Metrics()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"results":   s.st.Len(),
+		"hits":      m.Hits,
+		"misses":    m.Misses,
+		"coalesced": m.Coalesced,
+	})
+}
+
+// handleJob runs one cell: plan the spec, consult the store, simulate on
+// a miss (coalescing with any identical in-flight submission).
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	var spec job.Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed job spec: %w", err))
+		return
+	}
+	if spec.Measure == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("measure must be positive"))
+		return
+	}
+	j, err := spec.Plan()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Acquire a simulation slot (callers can give up while queued; store
+	// hits inside the runner still pay the queue, which is what keeps a
+	// thundering herd of distinct expensive jobs bounded).
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, r.Context().Err())
+		return
+	}
+	run, outcome, err := s.runner.RunWithOutcome(r.Context(), j)
+	<-s.sem
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobResponse{
+		Key:          j.Key(),
+		Cached:       outcome == store.OutcomeHit,
+		ElapsedMS:    float64(time.Since(started).Microseconds()) / 1e3,
+		Result:       run,
+		ResultDigest: job.ResultDigest(run),
+	})
+}
+
+// gridEvent is one NDJSON line of a /v1/grids response: progress events
+// while the grid runs, then a final result (or error) event.
+type gridEvent struct {
+	Type string `json:"type"` // "progress" | "result" | "error"
+	// Progress fields.
+	Scheme      string  `json:"scheme,omitempty"`
+	Benchmark   string  `json:"benchmark,omitempty"`
+	Completed   int     `json:"completed,omitempty"`
+	Total       int     `json:"total,omitempty"`
+	ElapsedMS   float64 `json:"elapsed_ms,omitempty"`
+	RemainingMS float64 `json:"remaining_ms,omitempty"`
+	// Result payload.
+	Grid *experiments.Export `json:"grid,omitempty"`
+	// Error payload.
+	Error string `json:"error,omitempty"`
+}
+
+// handleGrid runs a whole scheme × benchmark batch and streams progress:
+// the response is NDJSON — one "progress" event per completed cell as it
+// lands, then one "result" event carrying the full grid export (jobs,
+// digests, per-cell stats). The base pseudo-scheme is always included,
+// mirroring the experiments engine.
+func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	var spec job.GridSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed grid spec: %w", err))
+		return
+	}
+	if spec.Measure == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("measure must be positive"))
+		return
+	}
+	// Validate up front, while the status code is still writable — once
+	// the stream starts, failures degrade to in-stream error events.
+	if err := job.ValidateInputs(spec.Schemes, spec.EffectiveBenchmarks(), spec.Clusters); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	params := steer.DefaultParams()
+	if spec.Params != nil {
+		params = *spec.Params
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev gridEvent) {
+		enc.Encode(ev)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	opts := experiments.Options{
+		Warmup:      spec.Warmup,
+		Measure:     spec.Measure,
+		Benchmarks:  spec.Benchmarks,
+		Clusters:    spec.Clusters,
+		Params:      params,
+		Parallelism: s.parallelism,
+		// Grid workers share the server-wide simulation semaphore, so K
+		// concurrent grid requests still run at most `parallelism` cells
+		// in total instead of K pools of that size each.
+		Runner: semRunner{sem: s.sem, next: s.runner},
+		Progress: func(p experiments.Progress) {
+			emit(gridEvent{
+				Type:        "progress",
+				Scheme:      p.Cell.Scheme,
+				Benchmark:   p.Cell.Benchmark,
+				Completed:   p.Completed,
+				Total:       p.Total,
+				ElapsedMS:   float64(p.Elapsed.Microseconds()) / 1e3,
+				RemainingMS: float64(p.Remaining.Microseconds()) / 1e3,
+			})
+		},
+	}
+	res, err := experiments.RunContext(r.Context(), spec.Schemes, opts)
+	if err != nil {
+		emit(gridEvent{Type: "error", Error: err.Error()})
+		return
+	}
+	export, err := res.Export()
+	if err != nil {
+		emit(gridEvent{Type: "error", Error: err.Error()})
+		return
+	}
+	emit(gridEvent{Type: "result", Grid: export})
+}
+
+// semRunner gates a runner behind the server's simulation semaphore.
+type semRunner struct {
+	sem  chan struct{}
+	next job.Runner
+}
+
+// Run implements job.Runner.
+func (s semRunner) Run(ctx context.Context, j job.Job) (*stats.Run, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-s.sem }()
+	return s.next.Run(ctx, j)
+}
+
+// validKey matches job content digests (hex SHA-256). Anything else is an
+// unknown result by definition — mapped to 404 up front so a malformed
+// key never reaches a backend that might report it as a store failure.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handleResult serves a stored result by content digest.
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no result for key %s (keys are hex sha-256 digests)", key))
+		return
+	}
+	run, ok, err := s.st.Get(key)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no result for key %s", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobResponse{
+		Key:          key,
+		Cached:       true,
+		Result:       run,
+		ResultDigest: job.ResultDigest(run),
+	})
+}

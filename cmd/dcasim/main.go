@@ -1,6 +1,12 @@
 // Command dcasim runs one benchmark under one steering scheme on the
 // clustered timing simulator and prints the full measurement record.
 //
+// Named-benchmark runs go through the job layer (internal/job): the cell
+// is planned into a canonical job whose content digest is printed with the
+// results — the same key cmd/dcaserve would cache and serve it under.
+// Assembly-file runs, pipeline traces, and machine overrides drive the
+// core directly.
+//
 // Usage:
 //
 //	dcasim -bench compress -scheme general
@@ -11,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +26,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/job"
 	"repro/internal/prog"
 	"repro/internal/stats"
 	"repro/internal/steer"
@@ -44,73 +52,48 @@ func main() {
 		fmt.Println("schemes:  ", steer.Names())
 		return
 	}
+	if err := job.ValidateClusters(*clusters); err != nil {
+		fatal(err)
+	}
+	if err := job.ValidateScheme(*scheme); err != nil {
+		fatal(err)
+	}
 
-	var p *prog.Program
-	var err error
-	if *file != "" {
-		src, rerr := os.ReadFile(*file)
-		if rerr != nil {
-			fatal(rerr)
+	var (
+		r   *stats.Run
+		cfg *config.Config
+		key string
+		err error
+	)
+	if *file == "" && *machine == "" && *traceAt == 0 {
+		// The standard case is one cell of the evaluation grid: plan it as
+		// a canonical job and execute through the run layer.
+		var j job.Job
+		j, err = job.Spec{
+			Scheme:    *scheme,
+			Benchmark: *bench,
+			Clusters:  *clusters,
+			Warmup:    *warmup,
+			Measure:   *measure,
+		}.Plan()
+		if err != nil {
+			fatal(err)
 		}
-		p, err = asm.Assemble(filepath.Base(*file), string(src))
+		cfg, key = j.Config, j.Key()
+		r, err = job.Direct{}.Run(context.Background(), j)
 	} else {
-		p, err = workload.Load(*bench)
+		r, cfg, err = runDirect(*file, *bench, *scheme, *machine, *clusters, *warmup, *measure, *traceAt)
 	}
 	if err != nil {
 		fatal(err)
 	}
 
-	cfg := config.Clustered()
-	switch *machine {
-	case "":
-		if *scheme == "fifo" {
-			cfg = config.FIFOClustered()
-		}
-	case "base":
-		cfg = config.Base()
-	case "clustered":
-	case "fifo":
-		cfg = config.FIFOClustered()
-	case "ub":
-		cfg = config.UpperBound()
-	default:
-		fatal(fmt.Errorf("unknown machine %q", *machine))
-	}
-	if *clusters != 2 {
-		if *clusters < 1 || *clusters > config.MaxClusters {
-			fatal(fmt.Errorf("%d clusters unsupported (want 1..%d)", *clusters, config.MaxClusters))
-		}
-		if *machine != "" && *machine != "clustered" && *machine != "fifo" {
-			fatal(fmt.Errorf("-clusters only applies to the clustered machines, not %q", *machine))
-		}
-		if *machine == "fifo" || (*machine == "" && *scheme == "fifo") {
-			cfg = config.ClusteredNFIFO(*clusters)
-		} else {
-			cfg = config.ClusteredN(*clusters)
-		}
-	}
-
-	params := steer.DefaultParams()
-	params.Clusters = cfg.NumClusters()
-	st, err := steer.NewWithParams(*scheme, p, params)
-	if err != nil {
-		fatal(err)
-	}
-
-	m, err := core.New(cfg, p, st)
-	if err != nil {
-		fatal(err)
-	}
-	if *traceAt > 0 {
-		m.SetTracer(&core.TextTracer{W: os.Stdout, From: *traceAt, To: *traceAt + 30})
-	}
-	r, err := m.RunWithWarmup(*warmup, *measure)
-	if err != nil {
-		fatal(err)
-	}
-
-	t := stats.NewTable(fmt.Sprintf("%s on %s (%s machine)", *scheme, p.Name, cfg.Name),
+	name := r.Benchmark
+	t := stats.NewTable(fmt.Sprintf("%s on %s (%s machine)", *scheme, name, cfg.Name),
 		"metric", "value")
+	if key != "" {
+		t.AddRow("job key", key[:16]+"…")
+	}
 	t.AddRow("cycles", fmt.Sprintf("%d", r.Cycles))
 	t.AddRow("instructions", fmt.Sprintf("%d", r.Instructions))
 	t.AddRow("IPC", fmt.Sprintf("%.3f", r.IPC()))
@@ -145,6 +128,77 @@ func main() {
 		}
 		fmt.Printf("%+4d %5.1f%% %s\n", d, r.Balance.Percent(d), bar)
 	}
+}
+
+// runDirect is the power-user path — assembly files, pipeline traces,
+// machine overrides — driving the core directly instead of the job layer.
+func runDirect(file, bench, scheme, machine string, clusters int, warmup, measure, traceAt uint64) (*stats.Run, *config.Config, error) {
+	var p *prog.Program
+	var err error
+	if file != "" {
+		src, rerr := os.ReadFile(file)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		p, err = asm.Assemble(filepath.Base(file), string(src))
+	} else {
+		p, err = workload.Load(bench)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var cfg *config.Config
+	switch machine {
+	case "":
+		cfg = job.ConfigFor(scheme, clusters)
+	case "base":
+		cfg = config.Base()
+	case "clustered":
+		cfg = config.Clustered()
+	case "fifo":
+		cfg = config.FIFOClustered()
+	case "ub":
+		cfg = config.UpperBound()
+	default:
+		return nil, nil, fmt.Errorf("unknown machine %q", machine)
+	}
+	if clusters != 2 && machine != "" {
+		if machine != "clustered" && machine != "fifo" {
+			return nil, nil, fmt.Errorf("-clusters only applies to the clustered machines, not %q", machine)
+		}
+		if machine == "fifo" {
+			cfg = config.ClusteredNFIFO(clusters)
+		} else {
+			cfg = config.ClusteredN(clusters)
+		}
+	}
+
+	// Pseudo-schemes run the machine's naive rule, mirroring job.Direct.
+	var st core.Steerer
+	if scheme == job.BaseScheme || scheme == job.UBScheme {
+		st = core.NaiveSteerer{}
+	} else {
+		params := steer.DefaultParams()
+		params.Clusters = cfg.NumClusters()
+		st, err = steer.NewWithParams(scheme, p, params)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	m, err := core.New(cfg, p, st)
+	if err != nil {
+		return nil, nil, err
+	}
+	if traceAt > 0 {
+		m.SetTracer(&core.TextTracer{W: os.Stdout, From: traceAt, To: traceAt + 30})
+	}
+	r, err := m.RunWithWarmup(warmup, measure)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.Scheme = scheme
+	return r, cfg, nil
 }
 
 func fatal(err error) {

@@ -1,21 +1,29 @@
 // Steering comparison: run every cluster-assignment scheme of the paper on
 // one SpecInt95 analog and print the resulting ranking — a one-benchmark
-// version of the paper's Figures 3–16 story.
+// version of the paper's Figures 3–16 story, built directly on the run
+// layer (internal/job + internal/job/store).
 //
-// The schemes run concurrently on the experiments package's worker pool
-// (one grid cell per scheme), so the ranking arrives in roughly the time
-// of the slowest single simulation.
+// The grid is planned as canonical jobs and dispatched through a
+// content-addressed result store on the job layer's worker pool, so the
+// ranking arrives in roughly the time of the slowest single simulation —
+// and with a cache directory, a re-run is served entirely from disk:
 //
-// Usage: go run ./examples/steering_comparison [benchmark]
+//	go run ./examples/steering_comparison go /tmp/dcacache   # simulates
+//	go run ./examples/steering_comparison go /tmp/dcacache   # pure cache hits
+//
+// Usage: go run ./examples/steering_comparison [benchmark [cachedir]]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"sort"
 
-	"repro/internal/experiments"
+	"repro/internal/job"
+	"repro/internal/job/store"
+	"repro/internal/stats"
 	"repro/internal/steer"
 )
 
@@ -26,20 +34,47 @@ func main() {
 	}
 
 	// Every registered scheme except naive (that is the base machine's own
-	// rule); the engine adds the base run implicitly.
-	var schemes []string
+	// rule), with the base pseudo-scheme first as the speed-up denominator.
+	schemes := []string{job.BaseScheme}
 	for _, scheme := range steer.Names() {
 		if scheme != "naive" {
 			schemes = append(schemes, scheme)
 		}
 	}
 
-	opts := experiments.DefaultOptions()
-	opts.Warmup, opts.Measure = 20_000, 150_000
-	opts.Benchmarks = []string{bench}
-	res, err := experiments.Run(schemes, opts)
+	jobs, err := job.GridSpec{
+		Schemes:    schemes,
+		Benchmarks: []string{bench},
+		Warmup:     20_000,
+		Measure:    150_000,
+	}.Plan()
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// The result store: an in-memory LRU, optionally tiered over a disk
+	// directory so identical cells are never simulated twice — not within
+	// this run, and not across invocations.
+	var st store.Store = store.NewMemory(0)
+	if len(os.Args) > 2 {
+		disk, err := store.NewDisk(os.Args[2])
+		if err != nil {
+			log.Fatal(err)
+		}
+		st = store.Tiered{Fast: st, Slow: disk}
+	}
+	cached := store.NewCached(st, nil)
+
+	runs, err := job.RunAll(context.Background(), jobs, job.PoolOptions{Runner: cached})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var base *stats.Run
+	for i, j := range jobs {
+		if j.Scheme == job.BaseScheme {
+			base = runs[i]
+		}
 	}
 
 	type row struct {
@@ -48,16 +83,21 @@ func main() {
 		comm    float64
 	}
 	var rows []row
-	for _, scheme := range schemes {
-		r := res.Get(scheme, bench)
-		rows = append(rows, row{scheme, res.Speedup(scheme, bench), r.CommPerInstr()})
+	for i, j := range jobs {
+		if j.Scheme == job.BaseScheme {
+			continue
+		}
+		rows = append(rows, row{j.Scheme, stats.Speedup(runs[i], base), runs[i].CommPerInstr()})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].speedup > rows[j].speedup })
 
 	fmt.Printf("steering schemes on %q (speed-up over the conventional base, IPC %.2f)\n\n",
-		bench, res.Get(experiments.BaseScheme, bench).IPC())
+		bench, base.IPC())
 	fmt.Printf("%-18s %9s %12s\n", "scheme", "speedup", "comm/instr")
 	for _, r := range rows {
 		fmt.Printf("%-18s %+8.1f%% %12.3f\n", r.scheme, r.speedup, r.comm)
 	}
+	m := cached.Metrics()
+	fmt.Printf("\n%d cells: %d simulated, %d from the store (job digests, see internal/job)\n",
+		len(jobs), m.Misses, m.Hits+m.Coalesced)
 }

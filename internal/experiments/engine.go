@@ -2,15 +2,10 @@ package experiments
 
 import (
 	"context"
-	"fmt"
-	"runtime"
-	"strings"
-	"sync"
 	"time"
 
-	"repro/internal/config"
+	"repro/internal/job"
 	"repro/internal/stats"
-	"repro/internal/steer"
 	"repro/internal/workload"
 )
 
@@ -24,7 +19,8 @@ type Cell struct {
 
 // Progress reports one completed cell to Options.Progress. Completed counts
 // finished cells (including the reporting one); Remaining estimates the
-// wall-clock time left for the rest of the grid from the throughput so far.
+// wall-clock time left for the rest of the grid from the throughput so far
+// (zero until a second cell lands — see job.Progress).
 type Progress struct {
 	Cell Cell
 	// Completed and Total count grid cells; Completed includes this one.
@@ -32,38 +28,10 @@ type Progress struct {
 	Total     int
 	// Elapsed is this cell's own simulation time.
 	Elapsed time.Duration
-	// Remaining is the ETA for the unfinished cells, extrapolated from the
-	// grid's wall-clock throughput so far.
+	// Remaining is the ETA for the unfinished cells.
 	Remaining time.Duration
 	// Err is non-nil when the cell failed (the grid is being cancelled).
 	Err error
-}
-
-// runCell is the engine's cell executor; tests swap it out to inject
-// failures into the middle of a grid.
-var runCell = RunOne
-
-// validateInputs rejects unknown schemes, benchmarks and cluster counts
-// before any simulation starts, so a typo fails in microseconds instead of
-// minutes into the grid.
-func validateInputs(schemes, benches []string, clusters int) error {
-	if clusters < 0 || clusters > config.MaxClusters {
-		return fmt.Errorf("experiments: %d clusters unsupported (want 0 for the paper's machine, or 1..%d)",
-			clusters, config.MaxClusters)
-	}
-	for _, s := range schemes {
-		if s == BaseScheme || s == UBScheme || steer.Known(s) {
-			continue
-		}
-		return fmt.Errorf("experiments: unknown scheme %q (known: %s; plus the pseudo-schemes %q and %q)",
-			s, strings.Join(steer.Names(), ", "), BaseScheme, UBScheme)
-	}
-	for _, b := range benches {
-		if _, err := workload.Get(b); err != nil {
-			return fmt.Errorf("experiments: %w", err)
-		}
-	}
-	return nil
 }
 
 // Cells expands (schemes, benchmarks) into the grid's cell list in
@@ -90,121 +58,76 @@ func Cells(schemes, benches []string) []Cell {
 // Parallelism, defaulted to runtime.GOMAXPROCS(0) when unset, clamped to
 // the cell count.
 func (o Options) Workers(n int) int {
-	w := o.Parallelism
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if w > n {
-		w = n
-	}
-	return w
+	return job.Workers(o.Parallelism, n)
 }
 
-// RunContext simulates the grid on a bounded worker pool (see
+// gridSpec translates the grid request into the job layer's serializable
+// form, with BaseScheme prepended (every figure normalizes to it).
+func gridSpec(schemes []string, opts Options) job.GridSpec {
+	params := opts.Params
+	return job.GridSpec{
+		Schemes:    append([]string{BaseScheme}, schemes...),
+		Benchmarks: opts.Benchmarks,
+		Clusters:   opts.Clusters,
+		Warmup:     opts.Warmup,
+		Measure:    opts.Measure,
+		Params:     &params,
+	}
+}
+
+// RunContext plans the grid as canonical jobs (see internal/job) and
+// simulates them on the job layer's bounded worker pool (see
 // Options.Workers); the first cell error cancels the remaining work and is
 // returned. The assembled Result is identical to a serial run's — cells
 // are independent, and the output map is built from a positionally indexed
 // slice, so worker scheduling cannot leak into the numbers or their
-// grouping.
+// grouping. Injecting Options.Runner (e.g. a store.Cached) reuses results
+// across grids without touching the numbers: cache hits are bit-identical
+// to fresh simulations.
 func RunContext(ctx context.Context, schemes []string, opts Options) (*Result, error) {
+	spec := gridSpec(schemes, opts)
+	jobs, err := spec.Plan()
+	if err != nil {
+		return nil, err
+	}
+	// Echo the lazily-planned benchmark set into the result's options so
+	// reports iterate the benchmarks that actually ran.
 	if len(opts.Benchmarks) == 0 {
 		opts.Benchmarks = workload.Names()
 	}
-	if err := validateInputs(schemes, opts.Benchmarks, opts.Clusters); err != nil {
-		return nil, err
-	}
-	cells := Cells(schemes, opts.Benchmarks)
-	workers := opts.Workers(len(cells))
 
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	var (
-		runs      = make([]*stats.Run, len(cells))
-		next      = make(chan int)
-		wg        sync.WaitGroup
-		mu        sync.Mutex // guards firstErr, completed, Progress calls
-		firstErr  error
-		completed int
-		started   = time.Now()
-	)
-
-	// Feed cell indices until the grid is exhausted or cancelled.
-	go func() {
-		defer close(next)
-		for i := range cells {
-			if ctx.Err() != nil {
-				return
-			}
-			select {
-			case next <- i:
-			case <-ctx.Done():
-				return
-			}
+	var progress func(job.Progress)
+	if opts.Progress != nil {
+		progress = func(p job.Progress) {
+			opts.Progress(Progress{
+				Cell:      Cell{Scheme: p.Job.Scheme, Benchmark: p.Job.Benchmark},
+				Completed: p.Completed,
+				Total:     p.Total,
+				Elapsed:   p.Elapsed,
+				Remaining: p.Remaining,
+				Err:       p.Err,
+			})
 		}
-	}()
-
-	report := func(c Cell, elapsed time.Duration, err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if err != nil && firstErr == nil {
-			firstErr = err
-			cancel()
-		}
-		completed++
-		if opts.Progress == nil {
-			return
-		}
-		var remaining time.Duration
-		if left := len(cells) - completed; left > 0 {
-			remaining = time.Duration(int64(time.Since(started)) / int64(completed) * int64(left))
-		}
-		opts.Progress(Progress{
-			Cell:      c,
-			Completed: completed,
-			Total:     len(cells),
-			Elapsed:   elapsed,
-			Remaining: remaining,
-			Err:       err,
-		})
 	}
-
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if ctx.Err() != nil {
-					continue // drain: the grid is being cancelled
-				}
-				cellStart := time.Now()
-				r, err := runCell(cells[i].Scheme, cells[i].Benchmark, opts)
-				if err == nil {
-					runs[i] = r
-				}
-				report(cells[i], time.Since(cellStart), err)
-			}
-		}()
-	}
-	wg.Wait()
-
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
+	runs, err := job.RunAll(ctx, jobs, job.PoolOptions{
+		Parallelism: opts.Parallelism,
+		Runner:      opts.Runner,
+		Progress:    progress,
+	})
+	if err != nil {
 		return nil, err
 	}
 
-	// Assemble the map in cell order — deterministic regardless of which
+	// Assemble the map in job order — deterministic regardless of which
 	// worker finished when.
 	res := &Result{Runs: make(map[string]map[string]*stats.Run), Opts: opts}
-	for i, c := range cells {
-		m, ok := res.Runs[c.Scheme]
+	for i, j := range jobs {
+		m, ok := res.Runs[j.Scheme]
 		if !ok {
 			m = make(map[string]*stats.Run, len(opts.Benchmarks))
-			res.Runs[c.Scheme] = m
+			res.Runs[j.Scheme] = m
 		}
-		m[c.Benchmark] = runs[i]
+		m[j.Benchmark] = runs[i]
 	}
 	return res, nil
 }

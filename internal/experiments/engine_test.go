@@ -10,8 +10,15 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/job"
 	"repro/internal/stats"
 )
+
+// runnerFunc adapts a function to job.Runner — the engine's injection seam
+// for failure and counting tests.
+type runnerFunc func(ctx context.Context, j job.Job) (*stats.Run, error)
+
+func (f runnerFunc) Run(ctx context.Context, j job.Job) (*stats.Run, error) { return f(ctx, j) }
 
 // TestSerialParallelDeterminism is the engine's core contract: a parallel
 // grid must produce bit-identical stats.Run numbers to a serial one, since
@@ -50,12 +57,13 @@ func TestSerialParallelDeterminism(t *testing.T) {
 // before any simulation runs, with the known names in the message.
 func TestRunValidatesSchemesUpFront(t *testing.T) {
 	calls := 0
-	defer swapRunCell(func(scheme, bench string, opts Options) (*stats.Run, error) {
+	opts := smallOpts()
+	opts.Runner = runnerFunc(func(ctx context.Context, j job.Job) (*stats.Run, error) {
 		calls++
-		return RunOne(scheme, bench, opts)
-	})()
+		return job.Direct{}.Run(ctx, j)
+	})
 
-	_, err := Run([]string{"general", "no-such-scheme"}, smallOpts())
+	_, err := Run([]string{"general", "no-such-scheme"}, opts)
 	if err == nil {
 		t.Fatal("unknown scheme accepted")
 	}
@@ -71,11 +79,23 @@ func TestRunValidatesSchemesUpFront(t *testing.T) {
 	}
 }
 
-// swapRunCell installs a test cell executor and returns the restore func.
-func swapRunCell(f func(string, string, Options) (*stats.Run, error)) func() {
-	old := runCell
-	runCell = f
-	return func() { runCell = old }
+// TestSameValidationErrorAsJobLayer pins the dedup: the engine rejects bad
+// inputs with exactly the job layer's error text, so dcasim, dcabench and
+// library callers all see one message per mistake.
+func TestSameValidationErrorAsJobLayer(t *testing.T) {
+	_, gridErr := Run([]string{"no-such-scheme"}, smallOpts())
+	jobErr := job.ValidateScheme("no-such-scheme")
+	if gridErr == nil || jobErr == nil || gridErr.Error() != jobErr.Error() {
+		t.Errorf("grid error %q != job-layer error %q", gridErr, jobErr)
+	}
+
+	opts := smallOpts()
+	opts.Clusters = 99
+	_, gridErr = Run([]string{"general"}, opts)
+	jobErr = job.ValidateClusters(99)
+	if gridErr == nil || jobErr == nil || gridErr.Error() != jobErr.Error() {
+		t.Errorf("grid error %q != job-layer error %q", gridErr, jobErr)
+	}
 }
 
 // TestEarlyCancellationOnError checks that the first failing cell stops the
@@ -88,7 +108,9 @@ func TestEarlyCancellationOnError(t *testing.T) {
 		failed       bool
 	)
 	boom := errors.New("boom")
-	defer swapRunCell(func(scheme, bench string, _ Options) (*stats.Run, error) {
+	opts := smallOpts()
+	opts.Parallelism = 2
+	opts.Runner = runnerFunc(func(_ context.Context, j job.Job) (*stats.Run, error) {
 		mu.Lock()
 		started++
 		fail := !failed && started == 3
@@ -103,11 +125,9 @@ func TestEarlyCancellationOnError(t *testing.T) {
 			return nil, boom
 		}
 		time.Sleep(time.Millisecond)
-		return &stats.Run{Scheme: scheme, Benchmark: bench, Cycles: 1, Instructions: 1}, nil
-	})()
+		return &stats.Run{Scheme: j.Scheme, Benchmark: j.Benchmark, Cycles: 1, Instructions: 1}, nil
+	})
 
-	opts := smallOpts()
-	opts.Parallelism = 2
 	// 3 schemes x 2 benchmarks + base x 2 = 8 cells; the 3rd started cell
 	// fails, so with 2 workers at most one more cell may already have been
 	// handed out before the cancellation lands.
@@ -136,7 +156,8 @@ func TestRunContextCancelled(t *testing.T) {
 }
 
 // TestProgressCallback checks the per-cell hook: one call per cell,
-// serialized, with sane running totals.
+// serialized, with sane running totals and no ETA before a second timing
+// sample exists.
 func TestProgressCallback(t *testing.T) {
 	opts := smallOpts()
 	opts.Parallelism = runtime.NumCPU()
@@ -171,6 +192,11 @@ func TestProgressCallback(t *testing.T) {
 			t.Errorf("call %d: cell %v not in the result", i, p.Cell)
 		}
 	}
+	// ETA guard: one completed cell is a sample taken while the pool was
+	// still filling — no ETA may be extrapolated from it.
+	if first := calls[0]; first.Remaining != 0 {
+		t.Errorf("first Remaining = %v, want 0 (no timing data yet)", first.Remaining)
+	}
 	if last := calls[len(calls)-1]; last.Remaining != 0 {
 		t.Errorf("final Remaining = %v, want 0", last.Remaining)
 	}
@@ -187,6 +213,29 @@ func TestCellsOrder(t *testing.T) {
 	}
 	if !reflect.DeepEqual(cells, want) {
 		t.Errorf("Cells = %v, want %v", cells, want)
+	}
+}
+
+// TestLazyDefaultBenchmarks checks the lazy default: DefaultOptions leaves
+// Benchmarks nil, and the grid plans the full workload set at run time
+// (the Result echoes what actually ran).
+func TestLazyDefaultBenchmarks(t *testing.T) {
+	if b := DefaultOptions().Benchmarks; b != nil {
+		t.Errorf("DefaultOptions().Benchmarks = %v, want nil (planned lazily)", b)
+	}
+	opts := DefaultOptions()
+	opts.Warmup, opts.Measure = 500, 2_000
+	res, err := Run(nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Opts.Benchmarks) != 8 {
+		t.Errorf("lazily planned %d benchmarks, want 8", len(res.Opts.Benchmarks))
+	}
+	for _, bench := range res.Opts.Benchmarks {
+		if res.Get(BaseScheme, bench) == nil {
+			t.Errorf("missing base run for lazily planned benchmark %s", bench)
+		}
 	}
 }
 

@@ -6,21 +6,19 @@ package experiments
 
 import (
 	"context"
-	"fmt"
 
-	"repro/internal/config"
-	"repro/internal/core"
+	"repro/internal/job"
 	"repro/internal/stats"
 	"repro/internal/steer"
-	"repro/internal/workload"
 )
 
 // BaseScheme and UBScheme are the pseudo-scheme names for the two
 // reference machines: the conventional base (speed-up denominator) and the
-// 16-way upper bound of Figure 14.
+// 16-way upper bound of Figure 14. They are re-exported from the job
+// layer, which owns scheme resolution.
 const (
-	BaseScheme = "base"
-	UBScheme   = "ub"
+	BaseScheme = job.BaseScheme
+	UBScheme   = job.UBScheme
 )
 
 // Options controls a grid run.
@@ -30,7 +28,9 @@ type Options struct {
 	// laptop time (shape, not absolute numbers, is the target).
 	Warmup  uint64
 	Measure uint64
-	// Benchmarks selects the workloads (default: all eight).
+	// Benchmarks selects the workloads. Nil or empty means all eight,
+	// planned lazily by the job layer (workload.Names() is consulted when
+	// the grid is planned, not when Options is built).
 	Benchmarks []string
 	// Clusters is the cluster count of the steered machine: 0 or 2 run
 	// the paper's asymmetric two-cluster processor; any other value runs
@@ -49,19 +49,24 @@ type Options struct {
 	// running totals and an ETA. The engine serializes the calls, but they
 	// arrive from worker goroutines — keep the callback fast.
 	Progress func(Progress)
+	// Runner executes each cell; nil means job.Direct{} (simulate
+	// in-process). Inject a store.Cached to reuse results across grids —
+	// cache hits are bit-identical to fresh simulations (golden-locked).
+	Runner job.Runner
 }
 
 // DefaultOptions returns the standard grid configuration. The default
 // window is 100k warm-up + 1M measured instructions per cell — raised 4x
 // after the allocation-free hot-loop rewrite made cycles cheap (see
 // BENCH_core.json and the window-length sensitivity section of
-// EXPERIMENTS.md).
+// EXPERIMENTS.md). Benchmarks is left nil — the full set is planned
+// lazily by the job layer — so building Options allocates nothing per
+// call.
 func DefaultOptions() Options {
 	return Options{
-		Warmup:     100_000,
-		Measure:    1_000_000,
-		Benchmarks: workload.Names(),
-		Params:     steer.DefaultParams(),
+		Warmup:  100_000,
+		Measure: 1_000_000,
+		Params:  steer.DefaultParams(),
 	}
 }
 
@@ -73,58 +78,27 @@ type Result struct {
 	Opts Options
 }
 
-// configFor maps scheme names to machine configurations: the base and
-// upper-bound pseudo-schemes use their dedicated machines, the FIFO scheme
-// uses the FIFO-queue organization, and everything else runs on the
-// steered machine — the paper's asymmetric two-cluster processor when
-// clusters is 0 or 2, config.ClusteredN otherwise.
-func configFor(scheme string, clusters int) *config.Config {
-	switch scheme {
-	case BaseScheme:
-		return config.Base()
-	case UBScheme:
-		return config.UpperBound()
-	}
-	if clusters == 0 || clusters == 2 {
-		if scheme == "fifo" {
-			return config.FIFOClustered()
-		}
-		return config.Clustered()
-	}
-	if scheme == "fifo" {
-		return config.ClusteredNFIFO(clusters)
-	}
-	return config.ClusteredN(clusters)
-}
-
-// RunOne simulates a single (scheme, benchmark) cell.
+// RunOne simulates a single (scheme, benchmark) cell: it plans the cell's
+// canonical job and executes it through Options.Runner (job.Direct when
+// unset).
 func RunOne(scheme, bench string, opts Options) (*stats.Run, error) {
-	p, err := workload.Load(bench)
+	params := opts.Params
+	j, err := job.Spec{
+		Scheme:    scheme,
+		Benchmark: bench,
+		Clusters:  opts.Clusters,
+		Warmup:    opts.Warmup,
+		Measure:   opts.Measure,
+		Params:    &params,
+	}.Plan()
 	if err != nil {
 		return nil, err
 	}
-	cfg := configFor(scheme, opts.Clusters)
-	var st core.Steerer
-	if scheme == BaseScheme || scheme == UBScheme {
-		st = core.NaiveSteerer{}
-	} else {
-		params := opts.Params
-		params.Clusters = cfg.NumClusters()
-		st, err = steer.NewWithParams(scheme, p, params)
-		if err != nil {
-			return nil, err
-		}
+	runner := opts.Runner
+	if runner == nil {
+		runner = job.Direct{}
 	}
-	m, err := core.New(cfg, p, st)
-	if err != nil {
-		return nil, err
-	}
-	r, err := m.RunWithWarmup(opts.Warmup, opts.Measure)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s/%s: %w", scheme, bench, err)
-	}
-	r.Scheme = scheme
-	return r, nil
+	return runner.Run(context.Background(), j)
 }
 
 // Run simulates the grid for the given schemes (BaseScheme is always added

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"repro/internal/job"
+	"repro/internal/stats"
+)
+
+// Export is the serializable form of a Result: every cell's canonical job,
+// its content digest, and its measurements, in deterministic order
+// (BaseScheme first, remaining schemes sorted, benchmarks in grid order).
+// cmd/dcabench -json emits it so grids can be diffed and archived, and
+// cmd/dcaserve's grid endpoint streams it back to callers.
+type Export struct {
+	Clusters   int          `json:"clusters"`
+	Warmup     uint64       `json:"warmup"`
+	Measure    uint64       `json:"measure"`
+	Benchmarks []string     `json:"benchmarks"`
+	Cells      []ExportCell `json:"cells"`
+}
+
+// ExportCell is one grid cell: the job, its digest, and its result.
+type ExportCell struct {
+	Job job.Job `json:"job"`
+	// Key is the job's content digest (job.Job.Key) — the handle
+	// cmd/dcaserve serves the result under.
+	Key    string     `json:"key"`
+	Result *stats.Run `json:"result"`
+	// ResultDigest is the SHA-256 of the result's JSON encoding; equal
+	// digests mean bit-identical measurements.
+	ResultDigest string `json:"result_digest"`
+}
+
+// Export re-plans the grid's jobs from the result's options (planning is
+// deterministic, so the digests match the jobs that actually ran) and
+// pairs them with the measurements.
+func (r *Result) Export() (*Export, error) {
+	schemes := make([]string, 0, len(r.Runs))
+	for _, s := range stats.SortedKeys(r.Runs) {
+		if s != BaseScheme {
+			schemes = append(schemes, s)
+		}
+	}
+	if _, ok := r.Runs[BaseScheme]; ok {
+		schemes = append([]string{BaseScheme}, schemes...)
+	}
+	out := &Export{
+		Clusters:   r.Opts.Clusters,
+		Warmup:     r.Opts.Warmup,
+		Measure:    r.Opts.Measure,
+		Benchmarks: r.Opts.Benchmarks,
+	}
+	params := r.Opts.Params
+	for _, scheme := range schemes {
+		for _, bench := range r.Opts.Benchmarks {
+			run := r.Get(scheme, bench)
+			if run == nil {
+				continue
+			}
+			j, err := job.Spec{
+				Scheme:    scheme,
+				Benchmark: bench,
+				Clusters:  r.Opts.Clusters,
+				Warmup:    r.Opts.Warmup,
+				Measure:   r.Opts.Measure,
+				Params:    &params,
+			}.Plan()
+			if err != nil {
+				return nil, err
+			}
+			out.Cells = append(out.Cells, ExportCell{
+				Job:          j,
+				Key:          j.Key(),
+				Result:       run,
+				ResultDigest: job.ResultDigest(run),
+			})
+		}
+	}
+	return out, nil
+}

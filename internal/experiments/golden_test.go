@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/stats"
 	"repro/internal/steer"
 )
 
@@ -30,20 +31,25 @@ func goldenSchemes() []string {
 	return append([]string{BaseScheme, UBScheme}, names...)
 }
 
-// goldenLine formats one cell's full measurement record in the fixed
-// format of testdata/golden_n2.txt (captured from the pre-generalization
-// two-cluster simulator and re-pinned across the allocation-free hot-loop
-// rewrite).
+// formatGoldenRun renders one measurement record in the fixed format of
+// testdata/golden_n2.txt (captured from the pre-generalization two-cluster
+// simulator and re-pinned across the allocation-free hot-loop rewrite and
+// the job-layer refactor).
+func formatGoldenRun(scheme, bench string, r *stats.Run) string {
+	return fmt.Sprintf("%s/%s cycles=%d instrs=%d copies=%d critcopies=%d steered=%d,%d repl=%.6f mispred=%d branches=%d l1d=%.6f l1i=%.6f balsamples=%d balbuckets=%v",
+		scheme, bench, r.Cycles, r.Instructions, r.Copies, r.CriticalCopies,
+		r.SteeredAt(0), r.SteeredAt(1), r.ReplicatedRegsAvg, r.Mispredicts, r.Branches,
+		r.L1DMissRate, r.L1IMissRate, r.Balance.Samples, r.Balance.Buckets)
+}
+
+// goldenLine simulates one cell and renders its golden record.
 func goldenLine(scheme, bench string, opts Options, t *testing.T) string {
 	t.Helper()
 	r, err := RunOne(scheme, bench, opts)
 	if err != nil {
 		t.Fatalf("%s/%s: %v", scheme, bench, err)
 	}
-	return fmt.Sprintf("%s/%s cycles=%d instrs=%d copies=%d critcopies=%d steered=%d,%d repl=%.6f mispred=%d branches=%d l1d=%.6f l1i=%.6f balsamples=%d balbuckets=%v",
-		scheme, bench, r.Cycles, r.Instructions, r.Copies, r.CriticalCopies,
-		r.SteeredAt(0), r.SteeredAt(1), r.ReplicatedRegsAvg, r.Mispredicts, r.Branches,
-		r.L1DMissRate, r.L1IMissRate, r.Balance.Samples, r.Balance.Buckets)
+	return formatGoldenRun(scheme, bench, r)
 }
 
 // TestGoldenTwoClusterBitIdentity replays the full scheme × benchmark grid

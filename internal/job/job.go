@@ -1,0 +1,87 @@
+// Package job is the run layer of the simulator: a Job is a canonical,
+// serializable description of one simulation cell — machine configuration,
+// steering scheme, balance parameters, workload and measurement window —
+// with a stable content digest (Job.Key). Everything above the cycle-level
+// core (the experiments grid, the CLIs, cmd/dcaserve) plans work as []Job
+// and dispatches it through a Runner, so results can be cached, batched
+// and served by content address (see internal/job/store).
+//
+// Digest canonicalization: a Job's digest is the SHA-256 of its JSON
+// encoding. Jobs built through Spec.Plan/GridSpec.Plan are canonical by
+// construction — the machine configuration comes from the config presets,
+// Params.Clusters is synchronized to the machine, and the pseudo-schemes
+// (base, ub) carry zeroed Params since steering parameters cannot affect
+// them. Hand-built Jobs with equivalent but differently-spelled configs
+// hash differently; plan through a Spec when cache sharing matters.
+// DESIGN.md's "Digest canonicalization" section records the full rules.
+package job
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/steer"
+)
+
+// BaseScheme and UBScheme are the pseudo-scheme names for the two
+// reference machines: the conventional base (speed-up denominator) and the
+// 16-way upper bound of the paper's Figure 14. They are valid Job schemes
+// but not steer registry entries — the executor runs them with the
+// machine's naive steering rule.
+const (
+	BaseScheme = "base"
+	UBScheme   = "ub"
+)
+
+// Job is the canonical description of one simulation cell. It is plain
+// data: JSON round-trips reproduce it exactly (decode(encode(j)) == j),
+// and its digest is stable across round-trips.
+type Job struct {
+	// Config is the full machine description.
+	Config *config.Config `json:"config"`
+	// Scheme is the steering scheme name (steer registry) or a
+	// pseudo-scheme (BaseScheme, UBScheme).
+	Scheme string `json:"scheme"`
+	// Params are the balance-machinery constants; Params.Clusters matches
+	// Config on planned jobs (zeroed for the pseudo-schemes, which ignore
+	// them).
+	Params steer.Params `json:"params"`
+	// Benchmark is the workload name (workload registry).
+	Benchmark string `json:"benchmark"`
+	// Warmup and Measure are the committed-instruction budgets: Warmup
+	// instructions are simulated unmeasured, then Measure are measured.
+	Warmup  uint64 `json:"warmup"`
+	Measure uint64 `json:"measure"`
+}
+
+// Key returns the job's content digest: the hex SHA-256 of its canonical
+// JSON encoding. Identical jobs — same machine, scheme, parameters,
+// workload and window — have identical keys everywhere (across processes,
+// on disk, over the wire), which is what makes results content-addressable.
+func (j Job) Key() string {
+	raw, err := json.Marshal(j)
+	if err != nil {
+		// A Job is plain data (no channels, funcs or cycles); Marshal
+		// cannot fail on one.
+		panic(fmt.Sprintf("job: marshal: %v", err))
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// ResultDigest returns the hex SHA-256 of a result's JSON encoding — the
+// value cache-hit bit-identity is checked against. encoding/json renders
+// float64 with the shortest representation that round-trips exactly, so
+// equal digests mean equal measurements bit for bit.
+func ResultDigest(r *stats.Run) string {
+	raw, err := json.Marshal(r)
+	if err != nil {
+		panic(fmt.Sprintf("job: marshal result: %v", err))
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}

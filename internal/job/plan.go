@@ -1,0 +1,142 @@
+package job
+
+import (
+	"repro/internal/config"
+	"repro/internal/steer"
+	"repro/internal/workload"
+)
+
+// ConfigFor maps a scheme name and cluster count to the machine it runs
+// on: the base and upper-bound pseudo-schemes use their dedicated
+// machines, the FIFO scheme uses the FIFO-queue organization, and
+// everything else runs on the steered machine — the paper's asymmetric
+// two-cluster processor when clusters is 0 or 2, config.ClusteredN
+// otherwise.
+func ConfigFor(scheme string, clusters int) *config.Config {
+	switch scheme {
+	case BaseScheme:
+		return config.Base()
+	case UBScheme:
+		return config.UpperBound()
+	}
+	if clusters == 0 || clusters == 2 {
+		if scheme == "fifo" {
+			return config.FIFOClustered()
+		}
+		return config.Clustered()
+	}
+	if scheme == "fifo" {
+		return config.ClusteredNFIFO(clusters)
+	}
+	return config.ClusteredN(clusters)
+}
+
+// Spec describes one cell in user terms — the flags a CLI or an HTTP
+// request carries. Plan expands it into the canonical Job: the machine
+// preset is resolved from (scheme, clusters), Params.Clusters is
+// synchronized to the machine, and pseudo-scheme jobs get zeroed Params
+// (steering parameters cannot affect the base or upper-bound machines, so
+// canonicalizing them away keeps their digests stable across callers).
+type Spec struct {
+	Scheme    string `json:"scheme"`
+	Benchmark string `json:"benchmark"`
+	// Clusters selects the steered machine: 0 or 2 is the paper's
+	// asymmetric two-cluster processor, anything else config.ClusteredN.
+	Clusters int `json:"clusters,omitempty"`
+	// Warmup and Measure are the committed-instruction budgets.
+	Warmup  uint64 `json:"warmup"`
+	Measure uint64 `json:"measure"`
+	// Params are the balance-machinery constants; nil means
+	// steer.DefaultParams().
+	Params *steer.Params `json:"params,omitempty"`
+}
+
+// Plan validates the spec and builds its canonical Job.
+func (s Spec) Plan() (Job, error) {
+	if err := ValidateClusters(s.Clusters); err != nil {
+		return Job{}, err
+	}
+	if err := ValidateScheme(s.Scheme); err != nil {
+		return Job{}, err
+	}
+	if err := ValidateBenchmark(s.Benchmark); err != nil {
+		return Job{}, err
+	}
+	cfg := ConfigFor(s.Scheme, s.Clusters)
+	var params steer.Params
+	if s.Scheme != BaseScheme && s.Scheme != UBScheme {
+		if s.Params != nil {
+			params = *s.Params
+		} else {
+			params = steer.DefaultParams()
+		}
+		params.Clusters = cfg.NumClusters()
+	}
+	return Job{
+		Config:    cfg,
+		Scheme:    s.Scheme,
+		Params:    params,
+		Benchmark: s.Benchmark,
+		Warmup:    s.Warmup,
+		Measure:   s.Measure,
+	}, nil
+}
+
+// GridSpec describes a whole evaluation grid: schemes × benchmarks at one
+// machine size and window. It is the serializable form of what
+// experiments.Options and dcaserve's /v1/grids accept.
+type GridSpec struct {
+	// Schemes lists the steering schemes (plus pseudo-schemes) to run, in
+	// the order the grid should iterate them; duplicates are dropped.
+	Schemes []string `json:"schemes"`
+	// Benchmarks selects the workloads. Nil or empty plans the full
+	// SpecInt95 analog set lazily — workload.Names() is consulted at plan
+	// time, not stored.
+	Benchmarks []string      `json:"benchmarks,omitempty"`
+	Clusters   int           `json:"clusters,omitempty"`
+	Warmup     uint64        `json:"warmup"`
+	Measure    uint64        `json:"measure"`
+	Params     *steer.Params `json:"params,omitempty"`
+}
+
+// EffectiveBenchmarks returns the benchmark list the grid will run: the
+// explicit selection, or the full default set when none was given.
+func (g GridSpec) EffectiveBenchmarks() []string {
+	if len(g.Benchmarks) == 0 {
+		return workload.Names()
+	}
+	return g.Benchmarks
+}
+
+// Plan validates the grid and expands it into the canonical job list in
+// deterministic order: schemes in input order with duplicates dropped,
+// each crossed with the benchmarks in input order.
+func (g GridSpec) Plan() ([]Job, error) {
+	benches := g.EffectiveBenchmarks()
+	if err := ValidateInputs(g.Schemes, benches, g.Clusters); err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(g.Schemes))
+	jobs := make([]Job, 0, len(g.Schemes)*len(benches))
+	for _, scheme := range g.Schemes {
+		if seen[scheme] {
+			continue
+		}
+		seen[scheme] = true
+		for _, bench := range benches {
+			j, err := Spec{
+				Scheme:    scheme,
+				Benchmark: bench,
+				Clusters:  g.Clusters,
+				Warmup:    g.Warmup,
+				Measure:   g.Measure,
+				Params:    g.Params,
+			}.Plan()
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs, nil
+}

@@ -1,0 +1,300 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/stats"
+)
+
+func tinyJob(t *testing.T, scheme, bench string) job.Job {
+	t.Helper()
+	j, err := job.Spec{Scheme: scheme, Benchmark: bench, Warmup: 100, Measure: 1_000}.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func encodeT(t *testing.T, r *stats.Run) string {
+	t.Helper()
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// backends returns every Store implementation under test.
+func backends(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := NewDisk(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := NewDisk(filepath.Join(t.TempDir(), "slow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{
+		"memory": NewMemory(64),
+		"disk":   disk,
+		"tiered": Tiered{Fast: NewMemory(64), Slow: slow},
+	}
+}
+
+// TestStoreHitIsByteIdentical is the cache contract on every backend: a
+// cold simulation stored and re-read must decode to a run whose JSON
+// encoding — and therefore result digest — is byte-identical to the cold
+// run's.
+func TestStoreHitIsByteIdentical(t *testing.T) {
+	j := tinyJob(t, "general", "compress")
+	cold, err := job.Direct{}.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, ok, err := s.Get(j.Key()); ok || err != nil {
+				t.Fatalf("empty store Get = (%v, %v)", ok, err)
+			}
+			if err := s.Put(j.Key(), cold); err != nil {
+				t.Fatal(err)
+			}
+			hit, ok, err := s.Get(j.Key())
+			if err != nil || !ok {
+				t.Fatalf("Get after Put = (%v, %v)", ok, err)
+			}
+			if hit == cold {
+				t.Fatal("store returned the cached pointer itself, not a fresh copy")
+			}
+			if !reflect.DeepEqual(hit, cold) {
+				t.Errorf("cache hit differs from cold run:\n hit  %+v\n cold %+v", hit, cold)
+			}
+			if encodeT(t, hit) != encodeT(t, cold) {
+				t.Error("cache hit encoding is not byte-identical to the cold run")
+			}
+			if job.ResultDigest(hit) != job.ResultDigest(cold) {
+				t.Error("cache hit result digest differs from the cold run")
+			}
+			if s.Len() != 1 {
+				t.Errorf("Len = %d, want 1", s.Len())
+			}
+		})
+	}
+}
+
+// TestMemoryLRUEviction checks the bound: the least recently used entry
+// leaves first.
+func TestMemoryLRUEviction(t *testing.T) {
+	m := NewMemory(2)
+	r := &stats.Run{Cycles: 1}
+	for _, k := range []string{"aa", "bb", "cc"} {
+		if err := m.Put(k, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, _ := m.Get("aa"); ok {
+		t.Error("oldest entry survived past the bound")
+	}
+	if _, ok, _ := m.Get("cc"); !ok {
+		t.Error("newest entry evicted")
+	}
+	// Touch bb, insert dd: cc is now the LRU victim.
+	if _, ok, _ := m.Get("bb"); !ok {
+		t.Fatal("bb missing")
+	}
+	if err := m.Put("dd", r); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := m.Get("bb"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok, _ := m.Get("cc"); ok {
+		t.Error("LRU entry survived")
+	}
+}
+
+// TestDiskRejectsHostileKeys checks a key cannot escape the directory.
+func TestDiskRejectsHostileKeys(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"", "../escape", "a/b", `a\b`, "x.json"} {
+		if err := d.Put(k, &stats.Run{}); err == nil {
+			t.Errorf("hostile key %q accepted", k)
+		}
+	}
+}
+
+// TestTieredPromotion checks a slow-tier hit is promoted into the fast
+// tier.
+func TestTieredPromotion(t *testing.T) {
+	slow, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := NewMemory(4)
+	tiered := Tiered{Fast: fast, Slow: slow}
+	key := "deadbeef"
+	if err := slow.Put(key, &stats.Run{Cycles: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := tiered.Get(key); !ok || err != nil {
+		t.Fatalf("tiered Get = (%v, %v)", ok, err)
+	}
+	if _, ok, _ := fast.Get(key); !ok {
+		t.Error("slow-tier hit was not promoted")
+	}
+}
+
+// TestCachedRunner checks hit/miss accounting and that a warm run never
+// re-simulates.
+func TestCachedRunner(t *testing.T) {
+	var calls int
+	counting := runnerFunc(func(ctx context.Context, j job.Job) (*stats.Run, error) {
+		calls++
+		return job.Direct{}.Run(ctx, j)
+	})
+	c := NewCached(NewMemory(0), counting)
+	j := tinyJob(t, "modulo", "go")
+
+	cold, err := c.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := c.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("%d simulations for two identical runs, want 1", calls)
+	}
+	if encodeT(t, warm) != encodeT(t, cold) {
+		t.Error("warm run is not byte-identical to the cold run")
+	}
+	if m := c.Metrics(); m.Hits != 1 || m.Misses != 1 || m.Coalesced != 0 {
+		t.Errorf("metrics = %+v, want 1 hit / 1 miss", m)
+	}
+}
+
+// runnerFunc adapts a function to job.Runner.
+type runnerFunc func(ctx context.Context, j job.Job) (*stats.Run, error)
+
+func (f runnerFunc) Run(ctx context.Context, j job.Job) (*stats.Run, error) { return f(ctx, j) }
+
+// TestCachedCoalescing fires many concurrent submissions of the same job
+// and requires exactly one simulation: the rest either coalesce onto the
+// in-flight leader or hit the store.
+func TestCachedCoalescing(t *testing.T) {
+	const parallel = 16
+	var mu sync.Mutex
+	sims := 0
+	slow := runnerFunc(func(ctx context.Context, j job.Job) (*stats.Run, error) {
+		mu.Lock()
+		sims++
+		mu.Unlock()
+		return job.Direct{}.Run(ctx, j)
+	})
+	c := NewCached(NewMemory(0), slow)
+	j := tinyJob(t, "general", "go")
+
+	results := make([]*stats.Run, parallel)
+	errs := make([]error, parallel)
+	var wg sync.WaitGroup
+	wg.Add(parallel)
+	for i := 0; i < parallel; i++ {
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.Run(context.Background(), j)
+		}(i)
+	}
+	wg.Wait()
+
+	if sims != 1 {
+		t.Errorf("%d simulations for %d concurrent identical submissions, want 1", sims, parallel)
+	}
+	want := encodeT(t, results[0])
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if encodeT(t, results[i]) != want {
+			t.Errorf("caller %d got a different result", i)
+		}
+	}
+	m := c.Metrics()
+	if m.Misses != 1 {
+		t.Errorf("misses = %d, want 1", m.Misses)
+	}
+	if m.Hits+m.Coalesced != parallel-1 {
+		t.Errorf("hits+coalesced = %d, want %d", m.Hits+m.Coalesced, parallel-1)
+	}
+}
+
+// TestCachedSelfHealsCorruptEntry checks a damaged store entry degrades
+// to a miss: the cell re-simulates and the rewrite repairs the cache
+// instead of failing that key forever.
+func TestCachedSelfHealsCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCached(disk, nil)
+	j := tinyJob(t, "modulo", "go")
+	cold, err := c.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, j.Key()+".json"), []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := c.Run(context.Background(), j)
+	if err != nil {
+		t.Fatalf("corrupt entry poisoned the key: %v", err)
+	}
+	if encodeT(t, healed) != encodeT(t, cold) {
+		t.Error("healed result differs from the original")
+	}
+	if m := c.Metrics(); m.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (corrupt entry must re-simulate)", m.Misses)
+	}
+	// The rewrite repaired the entry: the next run is a clean hit.
+	if _, outcome, err := c.RunWithOutcome(context.Background(), j); err != nil || outcome != OutcomeHit {
+		t.Errorf("after healing: outcome = %v, err = %v, want a hit", outcome, err)
+	}
+}
+
+// TestCachedErrorNotCached checks failures are not stored: the next
+// submission retries.
+func TestCachedErrorNotCached(t *testing.T) {
+	boom := errors.New("boom")
+	fails := 1
+	flaky := runnerFunc(func(ctx context.Context, j job.Job) (*stats.Run, error) {
+		if fails > 0 {
+			fails--
+			return nil, boom
+		}
+		return job.Direct{}.Run(ctx, j)
+	})
+	c := NewCached(NewMemory(0), flaky)
+	j := tinyJob(t, "modulo", "compress")
+	if _, err := c.Run(context.Background(), j); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := c.Run(context.Background(), j); err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	if m := c.Metrics(); m.Misses != 2 {
+		t.Errorf("misses = %d, want 2 (failure must not be cached)", m.Misses)
+	}
+}

@@ -1,0 +1,64 @@
+package job
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/steer"
+	"repro/internal/workload"
+)
+
+// This file is the single home of run-layer input validation. cmd/dcasim,
+// cmd/dcabench and internal/experiments all reject unknown schemes,
+// benchmarks and cluster counts through these functions, so a typo fails
+// in microseconds — before any simulation starts — with the same error
+// text everywhere.
+
+// ValidateClusters rejects cluster counts no machine preset supports: 0
+// (the paper's asymmetric two-cluster processor) and 1..config.MaxClusters
+// (config.ClusteredN) are valid.
+func ValidateClusters(clusters int) error {
+	if clusters < 0 || clusters > config.MaxClusters {
+		return fmt.Errorf("job: %d clusters unsupported (want 0 for the paper's machine, or 1..%d)",
+			clusters, config.MaxClusters)
+	}
+	return nil
+}
+
+// ValidateScheme rejects scheme names that are neither registered steering
+// schemes nor the base/ub pseudo-schemes.
+func ValidateScheme(scheme string) error {
+	if scheme == BaseScheme || scheme == UBScheme || steer.Known(scheme) {
+		return nil
+	}
+	return fmt.Errorf("job: unknown scheme %q (known: %s; plus the pseudo-schemes %q and %q)",
+		scheme, strings.Join(steer.Names(), ", "), BaseScheme, UBScheme)
+}
+
+// ValidateBenchmark rejects workload names the registry does not know.
+func ValidateBenchmark(bench string) error {
+	if _, err := workload.Get(bench); err != nil {
+		return fmt.Errorf("job: %w", err)
+	}
+	return nil
+}
+
+// ValidateInputs checks a full grid request: every scheme, every
+// benchmark, and the cluster count.
+func ValidateInputs(schemes, benches []string, clusters int) error {
+	if err := ValidateClusters(clusters); err != nil {
+		return err
+	}
+	for _, s := range schemes {
+		if err := ValidateScheme(s); err != nil {
+			return err
+		}
+	}
+	for _, b := range benches {
+		if err := ValidateBenchmark(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
