@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover fuzz bench serve-smoke ci fmt vet
+.PHONY: all build test race cover fuzz bench serve-smoke worker-smoke ci fmt vet
 
 all: build
 
@@ -36,6 +36,12 @@ fuzz:
 serve-smoke:
 	./ci/serve_smoke.sh
 
+# End-to-end smoke of the distributed layer: one dcaserve, two dcaworkers,
+# a small enqueued grid — every result must land with a verifying digest,
+# duplicates must dedup, and SIGTERM must drain the workers.
+worker-smoke:
+	./ci/worker_smoke.sh
+
 # Regenerate the reference benchmark records (BENCH_core.json,
 # BENCH_clusters.json, BENCH_serve.json) with current environment metadata
 # so the checked-in numbers cannot drift silently from the code.
@@ -48,4 +54,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race cover fuzz serve-smoke
+ci: fmt vet build race cover fuzz serve-smoke worker-smoke

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/job"
+	"repro/internal/job/queue"
+)
+
+// This file is the distributed half of the v1 API: asynchronous enqueue
+// plus the worker-facing lease protocol. The synchronous endpoints
+// (server.go) simulate in-process; these hand the same canonical jobs to a
+// dcaworker fleet through internal/job/queue, with results landing in the
+// same content-addressed store — so /v1/results serves both worlds and a
+// worker completing key K satisfies every queued and future request for K.
+
+// maxLeaseWait caps a single long-poll so clients behind proxies with
+// short idle timeouts still get a well-formed (empty) response.
+const maxLeaseWait = 30 * time.Second
+
+// queueRequest is the body of POST /v1/queue: exactly one of Spec (one
+// cell) or Grid (a whole batch).
+type queueRequest struct {
+	Spec *job.Spec     `json:"spec,omitempty"`
+	Grid *job.GridSpec `json:"grid,omitempty"`
+}
+
+// queueResponse reports every submitted job's key and disposition, plus
+// roll-up counts so clients need not tally the slice.
+type queueResponse struct {
+	Jobs   []queue.Enqueued `json:"jobs"`
+	Queued int              `json:"queued"`
+	// Duplicate counts jobs already queued or leased; Cached counts jobs
+	// whose results were already stored. Neither kind will simulate again.
+	Duplicate int `json:"duplicate"`
+	Cached    int `json:"cached"`
+}
+
+// handleQueue enqueues a spec or grid and returns the content keys
+// immediately; clients poll GET /v1/results/{key} (or watch
+// /v1/queue/stats) while a dcaworker fleet drains the queue.
+//
+// Unlike the synchronous /v1/grids — which mirrors the experiments
+// engine and always adds the base pseudo-scheme for speed-up
+// normalization — the queue runs EXACTLY the cells submitted: list
+// "base" explicitly when the comparison needs it.
+func (s *server) handleQueue(w http.ResponseWriter, r *http.Request) {
+	var req queueRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed queue request: %w", err))
+		return
+	}
+	var jobs []job.Job
+	switch {
+	case req.Spec != nil && req.Grid != nil:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("queue request carries both spec and grid; send one"))
+		return
+	case req.Spec != nil:
+		j, err := req.Spec.Plan()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		jobs = []job.Job{j}
+	case req.Grid != nil:
+		planned, err := req.Grid.Plan()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		jobs = planned
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("queue request carries neither spec nor grid"))
+		return
+	}
+
+	resp := queueResponse{Jobs: s.queue.Enqueue(jobs)}
+	for _, e := range resp.Jobs {
+		switch e.Status {
+		case queue.StatusQueued:
+			resp.Queued++
+		case queue.StatusDuplicate:
+			resp.Duplicate++
+		case queue.StatusCached:
+			resp.Cached++
+		}
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// handleLease hands a worker up to max_jobs pending jobs. The wire types
+// (queue.LeaseRequest/LeaseResponse/CompleteRequest) live in the queue
+// package, shared with internal/job/worker's client.
+func (s *server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req queue.LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed lease request: %w", err))
+		return
+	}
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > maxLeaseWait {
+		wait = maxLeaseWait
+	}
+	leases, err := s.queue.Lease(r.Context(), req.MaxJobs, wait)
+	if err != nil {
+		// Only the client hanging up ends a poll early; its context error
+		// is unserializable anyway, so just drop the connection.
+		return
+	}
+	if leases == nil {
+		leases = []queue.Lease{}
+	}
+	writeJSON(w, http.StatusOK, queue.LeaseResponse{
+		Leases:     leases,
+		LeaseTTLMS: s.queue.LeaseTTL().Milliseconds(),
+	})
+}
+
+// handleComplete settles one lease.
+func (s *server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req queue.CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed completion: %w", err))
+		return
+	}
+	if req.Error != "" {
+		if err := s.queue.Nack(id, req.Error); err != nil {
+			writeError(w, queueStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "nacked"})
+		return
+	}
+	if req.Result == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("completion carries neither result nor error"))
+		return
+	}
+	if err := s.queue.Complete(id, req.Key, req.Result, req.ResultDigest); err != nil {
+		writeError(w, queueStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "completed", "key": req.Key})
+}
+
+// handleExtend heartbeats one lease, returning the new deadline.
+func (s *server) handleExtend(w http.ResponseWriter, r *http.Request) {
+	deadline, err := s.queue.Extend(r.PathValue("id"))
+	if err != nil {
+		writeError(w, queueStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deadline": deadline})
+}
+
+// handleQueueStats reports the queue's depth/inflight/retry counters.
+func (s *server) handleQueueStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.queue.Stats())
+}
+
+// queueStatus maps queue errors to HTTP statuses: a lost lease is a
+// conflict the worker resolves by abandoning the job, a corrupt upload
+// and an unknown job are the uploader's fault.
+func queueStatus(err error) int {
+	switch {
+	case errors.Is(err, queue.ErrUnknownLease):
+		return http.StatusConflict
+	case errors.Is(err, queue.ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, queue.ErrDigestMismatch):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}

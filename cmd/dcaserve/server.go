@@ -4,15 +4,19 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/job"
+	"repro/internal/job/queue"
 	"repro/internal/job/store"
 	"repro/internal/stats"
 	"repro/internal/steer"
+	"repro/internal/workload"
 )
 
 // server is the simulation service: it plans submitted cells into
@@ -22,6 +26,7 @@ import (
 type server struct {
 	st          store.Store
 	runner      *store.Cached
+	queue       *queue.Queue
 	parallelism int
 	// sem bounds concurrent single-job simulations across all /v1/jobs
 	// requests (grids bound their own worker pools): N clients posting N
@@ -32,14 +37,18 @@ type server struct {
 // newServer builds a server over st; next is the underlying executor (nil
 // means job.Direct{} — tests inject counting or failing runners).
 // parallelism bounds each grid's worker pool and the total concurrent
-// single-job simulations (0 = all cores).
-func newServer(st store.Store, next job.Runner, parallelism int) *server {
+// single-job simulations (0 = all cores). qopts tunes the distributed
+// queue (lease TTL, attempt budget); its Results store is always this
+// server's st, so workers and in-process simulations share one cache.
+func newServer(st store.Store, next job.Runner, parallelism int, qopts queue.Options) *server {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
+	qopts.Results = st
 	return &server{
 		st:          st,
 		runner:      store.NewCached(st, next),
+		queue:       queue.New(qopts),
 		parallelism: parallelism,
 		sem:         make(chan struct{}, parallelism),
 	}
@@ -49,9 +58,15 @@ func newServer(st store.Store, next job.Runner, parallelism int) *server {
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("POST /v1/jobs", s.handleJob)
 	mux.HandleFunc("POST /v1/grids", s.handleGrid)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("POST /v1/queue", s.handleQueue)
+	mux.HandleFunc("GET /v1/queue/stats", s.handleQueueStats)
+	mux.HandleFunc("POST /v1/leases", s.handleLease)
+	mux.HandleFunc("POST /v1/leases/{id}/complete", s.handleComplete)
+	mux.HandleFunc("POST /v1/leases/{id}/extend", s.handleExtend)
 	return mux
 }
 
@@ -75,12 +90,24 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// logf is the server's log sink (a seam so tests can capture it).
+var logf = log.Printf
+
+// writeJSON encodes v onto w. By the time Encode runs the status line is
+// on the wire, so an encode error cannot change the response — but it
+// must not vanish either: it is logged and returned so handlers that care
+// (none need to today) can see the response was truncated. The usual
+// cause is the client hanging up mid-body.
+func writeJSON(w http.ResponseWriter, status int, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		logf("dcaserve: write response (status %d): %v", status, err)
+		return err
+	}
+	return nil
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
@@ -89,12 +116,57 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	m := s.runner.Metrics()
+	qs := s.queue.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"results":   s.st.Len(),
-		"hits":      m.Hits,
-		"misses":    m.Misses,
-		"coalesced": m.Coalesced,
+		"status":         "ok",
+		"results":        s.st.Len(),
+		"hits":           m.Hits,
+		"misses":         m.Misses,
+		"coalesced":      m.Coalesced,
+		"queue_depth":    qs.Depth,
+		"queue_inflight": qs.Inflight,
+	})
+}
+
+// catalogResponse is the reply to GET /v1/catalog: everything a worker or
+// client needs to build valid submissions without hard-coding names. The
+// lists come from the same registries and validators the planners use, so
+// the catalog cannot drift from what the server accepts.
+type catalogResponse struct {
+	// Schemes are the registered steering schemes; PseudoSchemes are the
+	// reference machines (base, ub) that are valid in specs but are not
+	// steering rules.
+	Schemes       []string `json:"schemes"`
+	PseudoSchemes []string `json:"pseudo_schemes"`
+	Benchmarks    []string `json:"benchmarks"`
+	// Clusters lists every cluster count job.ValidateClusters accepts (0
+	// selects the paper's asymmetric two-cluster machine).
+	Clusters []int `json:"clusters"`
+	// DefaultParams are the balance constants used when a spec omits
+	// params.
+	DefaultParams steer.Params `json:"default_params"`
+	// LeaseTTLMS and MaxLeaseWaitMS describe the queue's lease protocol
+	// for workers.
+	LeaseTTLMS     int64 `json:"lease_ttl_ms"`
+	MaxLeaseWaitMS int64 `json:"max_lease_wait_ms"`
+}
+
+// handleCatalog reports the server's capabilities.
+func (s *server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	clusters := make([]int, 0, config.MaxClusters+1)
+	for n := 0; n <= config.MaxClusters; n++ {
+		if job.ValidateClusters(n) == nil {
+			clusters = append(clusters, n)
+		}
+	}
+	writeJSON(w, http.StatusOK, catalogResponse{
+		Schemes:        steer.Names(),
+		PseudoSchemes:  []string{job.BaseScheme, job.UBScheme},
+		Benchmarks:     workload.Names(),
+		Clusters:       clusters,
+		DefaultParams:  steer.DefaultParams(),
+		LeaseTTLMS:     s.queue.LeaseTTL().Milliseconds(),
+		MaxLeaseWaitMS: maxLeaseWait.Milliseconds(),
 	})
 }
 
@@ -105,10 +177,6 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	var spec job.Spec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed job spec: %w", err))
-		return
-	}
-	if spec.Measure == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("measure must be positive"))
 		return
 	}
 	j, err := spec.Plan()

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/job"
+	"repro/internal/job/queue"
 	"repro/internal/job/store"
 	"repro/internal/stats"
 )
@@ -41,7 +42,7 @@ func (c *countingRunner) count() int {
 func newTestServer(t *testing.T) (*httptest.Server, *countingRunner) {
 	t.Helper()
 	counting := &countingRunner{}
-	ts := httptest.NewServer(newServer(store.NewMemory(0), counting, 2).handler())
+	ts := httptest.NewServer(newServer(store.NewMemory(0), counting, 2, queue.Options{}).handler())
 	t.Cleanup(ts.Close)
 	return ts, counting
 }
@@ -325,7 +326,7 @@ func TestHealthz(t *testing.T) {
 //	       pure cache hit (store decode + HTTP).
 func BenchmarkServeThroughput(b *testing.B) {
 	bench := func(b *testing.B, body func(i int64) string) {
-		ts := httptest.NewServer(newServer(store.NewMemory(0), nil, 0).handler())
+		ts := httptest.NewServer(newServer(store.NewMemory(0), nil, 0, queue.Options{}).handler())
 		defer ts.Close()
 		var ctr atomic.Int64
 		b.ResetTimer()

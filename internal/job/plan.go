@@ -53,6 +53,9 @@ type Spec struct {
 
 // Plan validates the spec and builds its canonical Job.
 func (s Spec) Plan() (Job, error) {
+	if err := ValidateMeasure(s.Measure); err != nil {
+		return Job{}, err
+	}
 	if err := ValidateClusters(s.Clusters); err != nil {
 		return Job{}, err
 	}
@@ -112,6 +115,9 @@ func (g GridSpec) EffectiveBenchmarks() []string {
 // deterministic order: schemes in input order with duplicates dropped,
 // each crossed with the benchmarks in input order.
 func (g GridSpec) Plan() ([]Job, error) {
+	if err := ValidateMeasure(g.Measure); err != nil {
+		return nil, err
+	}
 	benches := g.EffectiveBenchmarks()
 	if err := ValidateInputs(g.Schemes, benches, g.Clusters); err != nil {
 		return nil, err

@@ -1,0 +1,565 @@
+// Package queue is the distributed half of the run layer: a durable-enough
+// in-memory queue of planned jobs with lease/ack/nack semantics. Producers
+// enqueue canonical jobs (deduplicated by content digest against both the
+// queue and the result store), workers lease batches under a deadline,
+// simulate them anywhere, and upload results that are verified and written
+// into the shared store — so a worker completing key K satisfies every
+// queued and future request for K, exactly like an in-process simulation
+// would. Expired leases requeue with a bounded retry budget; completions
+// that arrive after their lease expired are still accepted (results are
+// deterministic, so late work is never wasted) but never double-counted.
+//
+// The queue is "durable enough" in the sense the service needs: it
+// survives every client, worker and lease failure, but not a server
+// restart — results, the expensive part, live in the content-addressed
+// store, so a restarted server re-enqueues cheaply and re-simulates only
+// what never completed.
+package queue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/job"
+	"repro/internal/job/store"
+	"repro/internal/stats"
+)
+
+// Default tuning: leases are short enough that a crashed worker's jobs
+// come back quickly, and three attempts distinguish a flaky worker from a
+// job that genuinely cannot run.
+const (
+	DefaultLeaseTTL    = 30 * time.Second
+	DefaultMaxAttempts = 3
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrUnknownLease reports a lease ID the queue is not holding: never
+	// issued, already completed, or expired and the job completed by
+	// another worker since.
+	ErrUnknownLease = errors.New("queue: unknown lease")
+	// ErrDigestMismatch reports an upload whose recomputed result digest
+	// does not match the digest the worker claimed — a corrupt or
+	// mis-encoded result that must not enter the store.
+	ErrDigestMismatch = errors.New("queue: result digest mismatch")
+	// ErrUnknownJob reports a completion for a key the queue has never
+	// seen and the store does not hold — there is no evidence anyone asked
+	// for this result, so it is refused rather than cached.
+	ErrUnknownJob = errors.New("queue: unknown job")
+)
+
+// Options configures a Queue.
+type Options struct {
+	// LeaseTTL is how long a worker holds a leased job before the queue
+	// reclaims it; Extend resets the clock. 0 means DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds how many times a job is handed out (initial lease
+	// included) before it is marked failed instead of requeued. 0 means
+	// DefaultMaxAttempts.
+	MaxAttempts int
+	// Results is the shared result store: Enqueue deduplicates against it
+	// and Complete writes verified uploads into it. Required.
+	Results store.Store
+	// now is the clock seam for expiry tests; nil means time.Now.
+	now func() time.Time
+}
+
+// EnqueueStatus reports how Enqueue disposed of a job.
+type EnqueueStatus string
+
+const (
+	// StatusQueued means the job entered the queue and will be leased.
+	StatusQueued EnqueueStatus = "queued"
+	// StatusDuplicate means an identical job is already queued or leased;
+	// the in-flight copy will satisfy this submission too.
+	StatusDuplicate EnqueueStatus = "duplicate"
+	// StatusCached means the result store already holds this key; nothing
+	// was enqueued.
+	StatusCached EnqueueStatus = "cached"
+)
+
+// Enqueued is one job's enqueue outcome: the content digest clients poll
+// GET /v1/results/{key} with, and how the queue disposed of it.
+type Enqueued struct {
+	Key    string        `json:"key"`
+	Status EnqueueStatus `json:"status"`
+}
+
+// Lease is one leased job: the worker simulates Job and must Complete (or
+// Nack, or let the deadline lapse) under ID before Deadline.
+type Lease struct {
+	ID       string    `json:"id"`
+	Key      string    `json:"key"`
+	Job      job.Job   `json:"job"`
+	Deadline time.Time `json:"deadline"`
+	// Attempt counts hand-outs of this job including this one (1 = first
+	// try); workers can log it to distinguish fresh work from retries.
+	Attempt int `json:"attempt"`
+}
+
+// The lease protocol's wire types live here, shared by cmd/dcaserve's
+// handlers and internal/job/worker's client, so the two sides cannot
+// drift: a field added for one is compiled into the other.
+
+// LeaseRequest is the body of POST /v1/leases.
+type LeaseRequest struct {
+	// MaxJobs bounds the batch; 0 means 1.
+	MaxJobs int `json:"max_jobs"`
+	// WaitMS long-polls an empty queue up to this long (the server caps
+	// it); 0 returns immediately.
+	WaitMS int64 `json:"wait_ms"`
+}
+
+// LeaseResponse carries the leased batch; empty means the poll timed out
+// with no work (not an error — back off and poll again).
+type LeaseResponse struct {
+	Leases []Lease `json:"leases"`
+	// LeaseTTLMS is the server's lease duration. Workers derive their
+	// heartbeat interval from it rather than from Deadline, whose
+	// absolute time is only meaningful on a clock synced to the server's.
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+}
+
+// CompleteRequest is the body of POST /v1/leases/{id}/complete: a result
+// upload (Result + ResultDigest), or a failure report (Error set) that
+// nacks the lease so the job requeues promptly.
+type CompleteRequest struct {
+	Key          string     `json:"key"`
+	Result       *stats.Run `json:"result,omitempty"`
+	ResultDigest string     `json:"result_digest,omitempty"`
+	Error        string     `json:"error,omitempty"`
+}
+
+// Stats is a point-in-time snapshot of the queue.
+type Stats struct {
+	// Depth and Inflight are the current pending and leased job counts;
+	// Failed counts jobs that exhausted their attempts and are parked
+	// until re-enqueued.
+	Depth    int `json:"depth"`
+	Inflight int `json:"inflight"`
+	Failed   int `json:"failed"`
+	// Enqueued counts jobs accepted into the queue; DedupedQueue and
+	// DedupedStore count submissions satisfied without enqueueing (an
+	// identical queued/leased job, or a stored result).
+	Enqueued     uint64 `json:"enqueued"`
+	DedupedQueue uint64 `json:"deduped_queue"`
+	DedupedStore uint64 `json:"deduped_store"`
+	// Leased counts hand-outs (retries included). Completed counts jobs
+	// finished by a live lease; LateCompleted counts uploads accepted
+	// after their lease expired (the job is done either way — the split
+	// exists so completions are never double-counted).
+	Leased        uint64 `json:"leased"`
+	Completed     uint64 `json:"completed"`
+	LateCompleted uint64 `json:"late_completed"`
+	// Expired counts lease deadlines that lapsed; Nacked counts explicit
+	// failure reports; Retried counts requeues from either cause;
+	// Exhausted counts jobs that hit MaxAttempts and parked as failed.
+	Expired   uint64 `json:"expired"`
+	Nacked    uint64 `json:"nacked"`
+	Retried   uint64 `json:"retried"`
+	Exhausted uint64 `json:"exhausted"`
+}
+
+// entryState is a queued job's lifecycle position.
+type entryState int
+
+const (
+	statePending entryState = iota
+	stateLeased
+	stateFailed
+)
+
+// entry is one job's queue record.
+type entry struct {
+	job      job.Job
+	key      string
+	state    entryState
+	attempts int
+	leaseID  string
+	deadline time.Time
+	lastErr  string
+}
+
+// Queue is the lease-based job queue. All methods are safe for concurrent
+// use; Lease long-polls without holding the lock.
+type Queue struct {
+	opts Options
+
+	mu      sync.Mutex
+	byKey   map[string]*entry // every live entry (pending, leased, failed)
+	byLease map[string]*entry // leased entries by lease ID
+	// pending is the hand-out order: fresh enqueues and requeues append,
+	// leaseLocked pops from the front — O(batch) per lease instead of a
+	// full-map scan under the lock. Entries that left the pending state
+	// by another door (settled by a stale upload, resurrected) are
+	// skipped lazily at pop time.
+	pending []*entry
+	wake    chan struct{} // closed+replaced when work becomes leasable
+	closed  bool          // Close called: Lease stops long-polling
+	seq     uint64        // lease ID counter
+	stats   Stats
+}
+
+// New returns a queue over opts.Results.
+func New(opts Options) *Queue {
+	if opts.Results == nil {
+		panic("queue: Options.Results is required")
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = DefaultLeaseTTL
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = DefaultMaxAttempts
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	return &Queue{
+		opts:    opts,
+		byKey:   make(map[string]*entry),
+		byLease: make(map[string]*entry),
+		wake:    make(chan struct{}),
+	}
+}
+
+// LeaseTTL returns the queue's effective lease duration (workers size
+// their heartbeat interval from it).
+func (q *Queue) LeaseTTL() time.Duration { return q.opts.LeaseTTL }
+
+// Close puts the queue in draining mode: every blocked Lease wakes and
+// returns immediately (with whatever is leasable, usually nothing), and
+// future Lease calls stop long-polling. A shutting-down server calls this
+// before http.Server.Shutdown so idle workers' long-polls cannot hold the
+// drain open for their full wait. Enqueue/Complete/Extend still work —
+// close only affects waiting.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.wakeLocked()
+	q.mu.Unlock()
+}
+
+// wakeLocked signals every long-polling Lease that leasable work may
+// exist. Callers hold q.mu.
+func (q *Queue) wakeLocked() {
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+// Enqueue submits planned jobs, deduplicating each by content digest:
+// against the store first (the result may already exist), then against the
+// queue (an identical job may be pending or leased). Failed jobs re-enter
+// the queue with a fresh attempt budget — re-enqueueing is the retry
+// escape hatch. The outcome slice is positional: out[i] is jobs[i]'s.
+func (q *Queue) Enqueue(jobs []job.Job) []Enqueued {
+	out := make([]Enqueued, len(jobs))
+	for i, j := range jobs {
+		key := j.Key()
+		out[i] = Enqueued{Key: key, Status: q.enqueueOne(j, key)}
+	}
+	return out
+}
+
+func (q *Queue) enqueueOne(j job.Job, key string) EnqueueStatus {
+	// Cheap store probe outside the lock first (disk-backed stores do
+	// I/O here); the miss path re-checks under the lock below.
+	if _, ok, err := q.opts.Results.Get(key); err == nil && ok {
+		q.mu.Lock()
+		q.stats.DedupedStore++
+		q.mu.Unlock()
+		return StatusCached
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.byKey[key]; !ok {
+		// Double-check the store under the lock: Complete writes the
+		// result before it removes the queue entry, so a key absent from
+		// both here is genuinely unsimulated — without this re-check, an
+		// enqueue racing a completion could slip between the Put and the
+		// outside probe and simulate the job a second time.
+		if _, ok, err := q.opts.Results.Get(key); err == nil && ok {
+			q.stats.DedupedStore++
+			return StatusCached
+		}
+	}
+	if e, ok := q.byKey[key]; ok {
+		if e.state != stateFailed {
+			q.stats.DedupedQueue++
+			return StatusDuplicate
+		}
+		// A parked failure gets a fresh budget.
+		e.state = statePending
+		e.attempts = 0
+		e.lastErr = ""
+		q.pending = append(q.pending, e)
+		q.stats.Enqueued++
+		q.wakeLocked()
+		return StatusQueued
+	}
+	e := &entry{job: j, key: key, state: statePending}
+	q.byKey[key] = e
+	q.pending = append(q.pending, e)
+	q.stats.Enqueued++
+	q.wakeLocked()
+	return StatusQueued
+}
+
+// expireLocked reclaims every lease whose deadline passed: the job
+// requeues (retry) or parks as failed (attempt budget exhausted). Callers
+// hold q.mu. Returns true if any job became leasable.
+func (q *Queue) expireLocked(now time.Time) bool {
+	woke := false
+	for id, e := range q.byLease {
+		if now.Before(e.deadline) {
+			continue
+		}
+		delete(q.byLease, id)
+		e.leaseID = ""
+		q.stats.Expired++
+		if e.attempts >= q.opts.MaxAttempts {
+			e.state = stateFailed
+			e.lastErr = fmt.Sprintf("lease expired after %d attempts", e.attempts)
+			q.stats.Exhausted++
+			continue
+		}
+		// Requeue at the back: a job that already burned a lease should
+		// not head-of-line-block the fresh work in front of it.
+		e.state = statePending
+		q.pending = append(q.pending, e)
+		q.stats.Retried++
+		woke = true
+	}
+	return woke
+}
+
+// nextDeadlineLocked returns the earliest live lease deadline and whether
+// one exists. Callers hold q.mu.
+func (q *Queue) nextDeadlineLocked() (time.Time, bool) {
+	var min time.Time
+	for _, e := range q.byLease {
+		if min.IsZero() || e.deadline.Before(min) {
+			min = e.deadline
+		}
+	}
+	return min, !min.IsZero()
+}
+
+// leaseLocked hands out up to max pending jobs in FIFO order (requeues
+// ride at the back). Callers hold q.mu.
+func (q *Queue) leaseLocked(max int, now time.Time) []Lease {
+	var leases []Lease
+	for len(q.pending) > 0 && len(leases) < max {
+		e := q.pending[0]
+		q.pending[0] = nil // let the popped entry go
+		q.pending = q.pending[1:]
+		// Skip entries that left the pending state by another door while
+		// queued: settled by a stale upload (gone from byKey) or
+		// resurrected from failure into a fresh pending slot (this slice
+		// position is the stale one if states disagree).
+		if q.byKey[e.key] != e || e.state != statePending {
+			continue
+		}
+		q.seq++
+		e.state = stateLeased
+		e.attempts++
+		e.leaseID = fmt.Sprintf("lease-%d", q.seq)
+		e.deadline = now.Add(q.opts.LeaseTTL)
+		q.byLease[e.leaseID] = e
+		q.stats.Leased++
+		leases = append(leases, Lease{
+			ID:       e.leaseID,
+			Key:      e.key,
+			Job:      e.job,
+			Deadline: e.deadline,
+			Attempt:  e.attempts,
+		})
+	}
+	return leases
+}
+
+// Lease hands out up to max pending jobs, long-polling up to wait for work
+// when the queue is empty: the call returns as soon as at least one job is
+// leasable, when wait lapses (empty result, nil error), or when ctx is
+// done (its error). Expired leases are reclaimed on every pass, so a
+// blocked Lease also plays the reaper.
+func (q *Queue) Lease(ctx context.Context, max int, wait time.Duration) ([]Lease, error) {
+	if max <= 0 {
+		max = 1
+	}
+	pollDeadline := q.opts.now().Add(wait)
+	for {
+		now := q.opts.now()
+		q.mu.Lock()
+		q.expireLocked(now)
+		leases := q.leaseLocked(max, now)
+		wake := q.wake
+		closed := q.closed
+		nextExpiry, hasLeases := q.nextDeadlineLocked()
+		q.mu.Unlock()
+		if len(leases) > 0 {
+			return leases, nil
+		}
+		if closed {
+			return nil, nil
+		}
+		sleep := pollDeadline.Sub(now)
+		if sleep <= 0 {
+			return nil, nil
+		}
+		// Wake early if a lease will expire (its job requeues) before the
+		// poll deadline.
+		if hasLeases {
+			if until := nextExpiry.Sub(now); until < sleep {
+				sleep = until
+			}
+		}
+		if sleep < time.Millisecond {
+			sleep = time.Millisecond
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-wake:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// Complete uploads a finished job's result. The digest the worker claims
+// is verified against a recomputation over the uploaded run — a mismatch
+// is rejected before the store sees it. A live lease completes normally; a
+// stale one (expired, or superseded after requeue) is still accepted when
+// the job is live — simulation is deterministic, so late work is as good
+// as fresh — but recorded as LateCompleted, never double-counted. Uploads
+// for keys the queue has never seen are refused unless the store already
+// holds the key (an idempotent replay).
+func (q *Queue) Complete(leaseID, key string, r *stats.Run, claimedDigest string) error {
+	if got := job.ResultDigest(r); got != claimedDigest {
+		return fmt.Errorf("%w: recomputed %s, claimed %s", ErrDigestMismatch, got, claimedDigest)
+	}
+
+	q.mu.Lock()
+	if q.expireLocked(q.opts.now()) {
+		q.wakeLocked()
+	}
+	e, live := q.byLease[leaseID]
+	if live && e.key != key {
+		q.mu.Unlock()
+		return fmt.Errorf("%w: lease %s holds key %s, not %s", ErrUnknownLease, leaseID, e.key, key)
+	}
+	if !live {
+		// Stale lease: accept iff the key is still live in the queue (a
+		// requeued copy another worker may also be running) or already
+		// stored (idempotent replay of identical bytes).
+		if _, ok := q.byKey[key]; !ok {
+			q.mu.Unlock()
+			if _, stored, err := q.opts.Results.Get(key); err == nil && stored {
+				return nil
+			}
+			return fmt.Errorf("%w: key %s (lease %s)", ErrUnknownJob, key, leaseID)
+		}
+	}
+	q.mu.Unlock()
+
+	// Store before settling: enqueue dedup consults the store, then the
+	// queue — publishing the result first means no enqueue can observe
+	// "in neither" mid-completion and simulate the job a second time. The
+	// write is best-effort like Cached's (a full disk only costs reuse).
+	_ = q.opts.Results.Put(key, r)
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.byKey[key]
+	if !ok {
+		// A racing completion settled the entry while we wrote: identical
+		// bytes, already counted once — an idempotent replay.
+		return nil
+	}
+	if e.leaseID != "" {
+		delete(q.byLease, e.leaseID)
+	}
+	delete(q.byKey, key)
+	if live && e.leaseID == leaseID {
+		q.stats.Completed++
+	} else {
+		q.stats.LateCompleted++
+	}
+	return nil
+}
+
+// Nack reports a failed attempt: the job requeues for another worker, or
+// parks as failed once its attempt budget is exhausted. Unknown leases
+// (expired and reclaimed, or completed elsewhere) are reported as such —
+// by then the queue has already made its own decision about the job.
+func (q *Queue) Nack(leaseID, reason string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.expireLocked(q.opts.now()) {
+		q.wakeLocked()
+	}
+	e, ok := q.byLease[leaseID]
+	if !ok {
+		return fmt.Errorf("%w: lease %s", ErrUnknownLease, leaseID)
+	}
+	delete(q.byLease, leaseID)
+	e.leaseID = ""
+	e.lastErr = reason
+	q.stats.Nacked++
+	if e.attempts >= q.opts.MaxAttempts {
+		e.state = stateFailed
+		q.stats.Exhausted++
+		return nil
+	}
+	e.state = statePending
+	q.pending = append(q.pending, e)
+	q.stats.Retried++
+	q.wakeLocked()
+	return nil
+}
+
+// Extend heartbeats a lease, resetting its deadline to a full TTL from
+// now. Workers holding jobs longer than the TTL call this periodically;
+// an unknown lease means the queue reclaimed the job (the worker should
+// abandon it — a requeued copy is someone else's now).
+func (q *Queue) Extend(leaseID string) (time.Time, error) {
+	now := q.opts.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked(now)
+	e, ok := q.byLease[leaseID]
+	if !ok {
+		return time.Time{}, fmt.Errorf("%w: lease %s", ErrUnknownLease, leaseID)
+	}
+	e.deadline = now.Add(q.opts.LeaseTTL)
+	return e.deadline, nil
+}
+
+// Stats returns a snapshot of the queue's counters, reclaiming expired
+// leases first so Depth/Inflight reflect reality rather than dead leases.
+func (q *Queue) Stats() Stats {
+	now := q.opts.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.expireLocked(now) {
+		q.wakeLocked()
+	}
+	s := q.stats
+	for _, e := range q.byKey {
+		switch e.state {
+		case statePending:
+			s.Depth++
+		case stateLeased:
+			s.Inflight++
+		case stateFailed:
+			s.Failed++
+		}
+	}
+	return s
+}

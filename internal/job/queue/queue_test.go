@@ -1,0 +1,484 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/job"
+	"repro/internal/job/store"
+	"repro/internal/stats"
+)
+
+// fakeClock is the expiry test seam: a manually advanced clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func planJob(t *testing.T, scheme, bench string) job.Job {
+	t.Helper()
+	j, err := job.Spec{Scheme: scheme, Benchmark: bench, Warmup: 10, Measure: 100}.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func newTestQueue(t *testing.T, clock *fakeClock) (*Queue, store.Store) {
+	t.Helper()
+	st := store.NewMemory(0)
+	opts := Options{LeaseTTL: time.Minute, MaxAttempts: 3, Results: st}
+	if clock != nil {
+		opts.now = clock.Now
+	}
+	return New(opts), st
+}
+
+// mustLease leases up to max jobs without waiting and fails the test on
+// error.
+func mustLease(t *testing.T, q *Queue, max int) []Lease {
+	t.Helper()
+	ls, err := q.Lease(context.Background(), max, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ls
+}
+
+// completeLease simulates a leased job for real and uploads it.
+func completeLease(t *testing.T, q *Queue, l Lease) *stats.Run {
+	t.Helper()
+	r, err := job.Direct{}.Run(context.Background(), l.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Complete(l.ID, l.Key, r, job.ResultDigest(r)); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestEnqueueDedup is the dedup contract: identical jobs collapse onto
+// one queue entry, and jobs whose results are already stored never enter
+// the queue at all.
+func TestEnqueueDedup(t *testing.T) {
+	q, st := newTestQueue(t, nil)
+	j := planJob(t, "modulo", "go")
+	other := planJob(t, "modulo", "compress")
+
+	out := q.Enqueue([]job.Job{j, j, other})
+	if out[0].Status != StatusQueued || out[1].Status != StatusDuplicate || out[2].Status != StatusQueued {
+		t.Fatalf("statuses = %v %v %v, want queued duplicate queued", out[0].Status, out[1].Status, out[2].Status)
+	}
+	if out[0].Key != out[1].Key || out[0].Key == out[2].Key {
+		t.Fatalf("keys: %s %s %s", out[0].Key, out[1].Key, out[2].Key)
+	}
+
+	// Leased (not just pending) entries still dedup.
+	ls := mustLease(t, q, 1)
+	if len(ls) != 1 {
+		t.Fatalf("leased %d jobs, want 1", len(ls))
+	}
+	if got := q.Enqueue([]job.Job{ls[0].Job}); got[0].Status != StatusDuplicate {
+		t.Errorf("re-enqueue of a leased job = %s, want duplicate", got[0].Status)
+	}
+
+	// A stored result short-circuits enqueue entirely.
+	stored := planJob(t, "random", "go")
+	r, err := job.Direct{}.Run(context.Background(), stored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(stored.Key(), r); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Enqueue([]job.Job{stored}); got[0].Status != StatusCached {
+		t.Errorf("enqueue of a stored job = %s, want cached", got[0].Status)
+	}
+
+	s := q.Stats()
+	if s.Enqueued != 2 || s.DedupedQueue != 2 || s.DedupedStore != 1 {
+		t.Errorf("stats = %+v, want 2 enqueued / 2 queue-dedups / 1 store-dedup", s)
+	}
+}
+
+// TestLeaseFIFOAndComplete checks hand-out order, the happy completion
+// path, and that completing writes the verified result into the store.
+func TestLeaseFIFOAndComplete(t *testing.T) {
+	q, st := newTestQueue(t, nil)
+	first := planJob(t, "modulo", "go")
+	second := planJob(t, "modulo", "compress")
+	q.Enqueue([]job.Job{first, second})
+
+	ls := mustLease(t, q, 10)
+	if len(ls) != 2 {
+		t.Fatalf("leased %d jobs, want 2", len(ls))
+	}
+	if ls[0].Key != first.Key() || ls[1].Key != second.Key() {
+		t.Errorf("lease order is not FIFO: got %s then %s", ls[0].Key, ls[1].Key)
+	}
+	if ls[0].Attempt != 1 {
+		t.Errorf("first lease Attempt = %d, want 1", ls[0].Attempt)
+	}
+
+	r := completeLease(t, q, ls[0])
+	got, ok, err := st.Get(ls[0].Key)
+	if err != nil || !ok {
+		t.Fatalf("store.Get after complete = (%v, %v)", ok, err)
+	}
+	if job.ResultDigest(got) != job.ResultDigest(r) {
+		t.Error("stored result digest differs from the uploaded one")
+	}
+
+	s := q.Stats()
+	if s.Completed != 1 || s.Inflight != 1 || s.Depth != 0 {
+		t.Errorf("stats = %+v, want 1 completed / 1 inflight", s)
+	}
+}
+
+// TestCompleteVerifiesDigest checks corrupt uploads are refused before
+// they can reach the store.
+func TestCompleteVerifiesDigest(t *testing.T) {
+	q, st := newTestQueue(t, nil)
+	q.Enqueue([]job.Job{planJob(t, "modulo", "go")})
+	l := mustLease(t, q, 1)[0]
+
+	r, err := job.Direct{}.Run(context.Background(), l.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Complete(l.ID, l.Key, r, "0000"); !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("bad digest: err = %v, want ErrDigestMismatch", err)
+	}
+	if st.Len() != 0 {
+		t.Error("rejected upload reached the store")
+	}
+	// The lease is still live: a correct retry succeeds.
+	if err := q.Complete(l.ID, l.Key, r, job.ResultDigest(r)); err != nil {
+		t.Fatalf("correct retry after mismatch: %v", err)
+	}
+}
+
+// TestLongPollWakesOnEnqueue checks a blocked Lease returns as soon as
+// work arrives instead of sleeping out its budget.
+func TestLongPollWakesOnEnqueue(t *testing.T) {
+	q, _ := newTestQueue(t, nil)
+	type leased struct {
+		ls  []Lease
+		err error
+	}
+	done := make(chan leased, 1)
+	go func() {
+		ls, err := q.Lease(context.Background(), 1, 30*time.Second)
+		done <- leased{ls, err}
+	}()
+	// Give the poller a moment to block, then feed it.
+	time.Sleep(20 * time.Millisecond)
+	q.Enqueue([]job.Job{planJob(t, "modulo", "go")})
+	select {
+	case got := <-done:
+		if got.err != nil || len(got.ls) != 1 {
+			t.Fatalf("Lease = (%d leases, %v), want 1 lease", len(got.ls), got.err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll did not wake on enqueue")
+	}
+}
+
+// TestLeaseRespectsContext checks a cancelled context unblocks the poll
+// with its error.
+func TestLeaseRespectsContext(t *testing.T) {
+	q, _ := newTestQueue(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Lease(ctx, 1, 30*time.Second)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Lease did not honor cancellation")
+	}
+}
+
+// TestCloseUnblocksLease checks draining mode: Close wakes a blocked
+// long-poll immediately (empty, no error) and later polls return without
+// waiting, while enqueue and completion keep working.
+func TestCloseUnblocksLease(t *testing.T) {
+	q, _ := newTestQueue(t, nil)
+	done := make(chan error, 1)
+	go func() {
+		ls, err := q.Lease(context.Background(), 1, 30*time.Second)
+		if len(ls) != 0 {
+			t.Errorf("leased %d jobs from an empty closed queue", len(ls))
+		}
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	q.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Lease after Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake the long-poll")
+	}
+
+	// Closed ≠ dead: work still flows, polls just don't block.
+	q.Enqueue([]job.Job{planJob(t, "modulo", "go")})
+	start := time.Now()
+	ls, err := q.Lease(context.Background(), 1, 30*time.Second)
+	if err != nil || len(ls) != 1 {
+		t.Fatalf("Lease on closed queue = (%d, %v), want the enqueued job", len(ls), err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("Lease blocked on a closed queue")
+	}
+	completeLease(t, q, ls[0])
+}
+
+// TestExpiryRequeuesAndBoundsRetries is the lease lifecycle under a
+// crashing worker: an expired lease requeues the job with its attempt
+// counted, and MaxAttempts expirations park it as failed.
+func TestExpiryRequeuesAndBoundsRetries(t *testing.T) {
+	clock := newFakeClock()
+	q, _ := newTestQueue(t, clock)
+	q.Enqueue([]job.Job{planJob(t, "modulo", "go")})
+
+	for attempt := 1; attempt <= 3; attempt++ {
+		ls := mustLease(t, q, 1)
+		if len(ls) != 1 {
+			t.Fatalf("attempt %d: leased %d jobs, want 1", attempt, len(ls))
+		}
+		if ls[0].Attempt != attempt {
+			t.Errorf("lease Attempt = %d, want %d", ls[0].Attempt, attempt)
+		}
+		clock.Advance(2 * time.Minute) // past the 1-minute TTL
+	}
+	// Third expiry exhausted the budget: nothing leasable, one failure.
+	if ls := mustLease(t, q, 1); len(ls) != 0 {
+		t.Fatalf("leased %d jobs after exhaustion, want 0", len(ls))
+	}
+	s := q.Stats()
+	if s.Failed != 1 || s.Expired != 3 || s.Retried != 2 || s.Exhausted != 1 {
+		t.Errorf("stats = %+v, want 1 failed / 3 expired / 2 retried / 1 exhausted", s)
+	}
+
+	// Re-enqueueing a failed job grants a fresh budget.
+	if got := q.Enqueue([]job.Job{planJob(t, "modulo", "go")}); got[0].Status != StatusQueued {
+		t.Fatalf("re-enqueue of failed job = %s, want queued", got[0].Status)
+	}
+	if ls := mustLease(t, q, 1); len(ls) != 1 || ls[0].Attempt != 1 {
+		t.Fatalf("resurrected job lease = %+v, want attempt 1", ls)
+	}
+}
+
+// TestExtendKeepsLeaseAlive checks heartbeats push the deadline out.
+func TestExtendKeepsLeaseAlive(t *testing.T) {
+	clock := newFakeClock()
+	q, _ := newTestQueue(t, clock)
+	q.Enqueue([]job.Job{planJob(t, "modulo", "go")})
+	l := mustLease(t, q, 1)[0]
+
+	// Heartbeat every 40s against a 60s TTL: without Extend the second
+	// advance would expire the lease.
+	for i := 0; i < 3; i++ {
+		clock.Advance(40 * time.Second)
+		if _, err := q.Extend(l.ID); err != nil {
+			t.Fatalf("extend %d: %v", i, err)
+		}
+	}
+	if s := q.Stats(); s.Expired != 0 || s.Inflight != 1 {
+		t.Errorf("stats = %+v, want 0 expired / 1 inflight", s)
+	}
+	// Stop heartbeating: the lease lapses and Extend starts failing.
+	clock.Advance(2 * time.Minute)
+	if _, err := q.Extend(l.ID); !errors.Is(err, ErrUnknownLease) {
+		t.Errorf("extend after expiry: err = %v, want ErrUnknownLease", err)
+	}
+}
+
+// TestLateCompletionNotDoubleCounted is the expired-worker upload path: a
+// worker whose lease lapsed uploads anyway; the result is accepted (it is
+// deterministic) but counted as late, and the requeued copy disappears so
+// no one simulates it again.
+func TestLateCompletionNotDoubleCounted(t *testing.T) {
+	clock := newFakeClock()
+	q, st := newTestQueue(t, clock)
+	q.Enqueue([]job.Job{planJob(t, "modulo", "go")})
+	l := mustLease(t, q, 1)[0]
+
+	r, err := job.Direct{}.Run(context.Background(), l.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Minute) // the lease expires; the job requeues
+	if err := q.Complete(l.ID, l.Key, r, job.ResultDigest(r)); err != nil {
+		t.Fatalf("late completion refused: %v", err)
+	}
+	if _, ok, _ := st.Get(l.Key); !ok {
+		t.Fatal("late result not stored")
+	}
+	if ls := mustLease(t, q, 1); len(ls) != 0 {
+		t.Fatal("job still leasable after a late completion")
+	}
+	s := q.Stats()
+	if s.Completed != 0 || s.LateCompleted != 1 {
+		t.Errorf("stats = %+v, want 0 completed / 1 late", s)
+	}
+
+	// A second replay of the same upload (the other common race) is a
+	// stored-key no-op, not an error and not another count.
+	if err := q.Complete(l.ID, l.Key, r, job.ResultDigest(r)); err != nil {
+		t.Fatalf("idempotent replay: %v", err)
+	}
+	if s := q.Stats(); s.LateCompleted != 1 {
+		t.Errorf("replay double-counted: %+v", s)
+	}
+}
+
+// TestCompleteUnknownJobRefused checks an upload for a key nobody asked
+// for (and the store does not hold) is refused.
+func TestCompleteUnknownJobRefused(t *testing.T) {
+	q, st := newTestQueue(t, nil)
+	j := planJob(t, "modulo", "go")
+	r, err := job.Direct{}.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = q.Complete("lease-999", j.Key(), r, job.ResultDigest(r))
+	if !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("err = %v, want ErrUnknownJob", err)
+	}
+	if st.Len() != 0 {
+		t.Error("refused upload reached the store")
+	}
+}
+
+// TestNackRequeues checks explicit failure reports requeue promptly and
+// still respect the attempt budget.
+func TestNackRequeues(t *testing.T) {
+	q, _ := newTestQueue(t, nil)
+	q.Enqueue([]job.Job{planJob(t, "modulo", "go")})
+
+	for attempt := 1; attempt <= 3; attempt++ {
+		ls := mustLease(t, q, 1)
+		if len(ls) != 1 || ls[0].Attempt != attempt {
+			t.Fatalf("attempt %d: leases = %+v", attempt, ls)
+		}
+		if err := q.Nack(ls[0].ID, "injected"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ls := mustLease(t, q, 1); len(ls) != 0 {
+		t.Fatal("job leasable after exhausting its budget via nacks")
+	}
+	s := q.Stats()
+	if s.Nacked != 3 || s.Retried != 2 || s.Exhausted != 1 || s.Failed != 1 {
+		t.Errorf("stats = %+v, want 3 nacked / 2 retried / 1 exhausted / 1 failed", s)
+	}
+	if err := q.Nack("lease-999", "x"); !errors.Is(err, ErrUnknownLease) {
+		t.Errorf("nack of unknown lease: err = %v, want ErrUnknownLease", err)
+	}
+}
+
+// TestConcurrentEnqueueLease hammers the queue from both sides and checks
+// conservation: every enqueued job is completed exactly once.
+func TestConcurrentEnqueueLease(t *testing.T) {
+	q, _ := newTestQueue(t, nil)
+	benches := []string{"go", "compress", "gcc", "li"}
+	schemes := []string{"modulo", "random", "general"}
+	var jobs []job.Job
+	for _, s := range schemes {
+		for _, b := range benches {
+			jobs = append(jobs, planJob(t, s, b))
+		}
+	}
+
+	// Producers: every job enqueued from 4 goroutines at once — dedup
+	// must collapse them to one entry each.
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q.Enqueue(jobs)
+		}()
+	}
+
+	// Consumers: drain without simulating (a canned run per key keeps the
+	// test fast); stop once every job completed.
+	var mu sync.Mutex
+	completions := map[string]int{}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				done := len(completions) == len(jobs)
+				mu.Unlock()
+				if done || ctx.Err() != nil {
+					return
+				}
+				ls, err := q.Lease(ctx, 2, 50*time.Millisecond)
+				if err != nil {
+					return
+				}
+				for _, l := range ls {
+					r := &stats.Run{Scheme: l.Job.Scheme, Instructions: 1}
+					if err := q.Complete(l.ID, l.Key, r, job.ResultDigest(r)); err != nil {
+						t.Errorf("complete %s: %v", l.Key, err)
+					}
+					mu.Lock()
+					completions[l.Key]++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(completions) != len(jobs) {
+		t.Fatalf("completed %d distinct jobs, want %d", len(completions), len(jobs))
+	}
+	for key, n := range completions {
+		if n != 1 {
+			t.Errorf("key %s completed %d times", key, n)
+		}
+	}
+	s := q.Stats()
+	if s.Completed != uint64(len(jobs)) || s.Enqueued != uint64(len(jobs)) {
+		t.Errorf("stats = %+v, want %d completed and enqueued", s, len(jobs))
+	}
+	if s.DedupedQueue+s.DedupedStore != uint64(3*len(jobs)) {
+		t.Errorf("dedups = %d queue + %d store, want %d total",
+			s.DedupedQueue, s.DedupedStore, 3*len(jobs))
+	}
+}

@@ -148,11 +148,109 @@ func TestTieredPromotion(t *testing.T) {
 	if err := slow.Put(key, &stats.Run{Cycles: 7}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := tiered.Get(key); !ok || err != nil {
-		t.Fatalf("tiered Get = (%v, %v)", ok, err)
+	if r, ok, err := tiered.Get(key); !ok || err != nil || r.Cycles != 7 {
+		t.Fatalf("tiered Get = (%+v, %v, %v), want the slow-tier entry", r, ok, err)
 	}
-	if _, ok, _ := fast.Get(key); !ok {
-		t.Error("slow-tier hit was not promoted")
+	if r, ok, _ := fast.Get(key); !ok || r.Cycles != 7 {
+		t.Error("slow-tier hit was not promoted intact into the fast tier")
+	}
+
+	// The promotion must actually serve future reads: with the slow tier
+	// wiped, the tiered Get still hits (straight from the fast tier).
+	if err := os.Remove(filepath.Join(slow.dir, key+".json")); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok, err := tiered.Get(key); !ok || err != nil || r.Cycles != 7 {
+		t.Errorf("promoted entry not served from the fast tier: (%+v, %v, %v)", r, ok, err)
+	}
+}
+
+// TestTieredFastMissDecodesFresh checks a Fast-miss/Slow-hit Get returns
+// a decoded copy the caller owns: mutating it must not poison either
+// tier's stored bytes.
+func TestTieredFastMissDecodesFresh(t *testing.T) {
+	slow, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := Tiered{Fast: NewMemory(4), Slow: slow}
+	key := "cafe01"
+	if err := slow.Put(key, &stats.Run{Cycles: 7, Instructions: 3}); err != nil {
+		t.Fatal(err)
+	}
+	first, ok, err := tiered.Get(key) // fast miss, slow hit, promote
+	if !ok || err != nil {
+		t.Fatalf("Get = (%v, %v)", ok, err)
+	}
+	first.Cycles = 999 // a rude caller scribbles on its copy
+	second, ok, err := tiered.Get(key)
+	if !ok || err != nil {
+		t.Fatalf("second Get = (%v, %v)", ok, err)
+	}
+	if second.Cycles != 7 {
+		t.Errorf("promoted entry was aliased: second read sees Cycles=%d, want 7", second.Cycles)
+	}
+}
+
+// TestDiskConcurrentSameKeyWriters is the atomic-write race: N goroutines
+// Put the same key at once (exactly what racing dcaserve processes
+// sharing a -store directory, or a worker's late upload racing a fresh
+// completion, do). Every write must land whole — the final file decodes
+// to one of the written values, never a torn or truncated entry — and no
+// temp files may leak.
+func TestDiskConcurrentSameKeyWriters(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 8
+		rounds  = 25
+	)
+	key := "abc123"
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// In production racing writers carry identical bytes
+				// (content-addressed keys, deterministic results); the
+				// test writes distinct values to make tearing visible.
+				r := &stats.Run{Cycles: uint64(w*rounds + i + 1), Instructions: 1}
+				if err := d.Put(key, r); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+				// Interleave reads: a Get concurrent with the renames
+				// must always see a whole entry.
+				if got, ok, err := d.Get(key); err != nil || (ok && got.Instructions != 1) {
+					t.Errorf("read during race: (%+v, %v, %v)", got, ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	got, ok, err := d.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("final Get = (%v, %v)", ok, err)
+	}
+	if got.Cycles == 0 || got.Cycles > writers*rounds || got.Instructions != 1 {
+		t.Errorf("final entry is not one of the written values: %+v", got)
+	}
+	if n := d.Len(); n != 1 {
+		t.Errorf("store holds %d entries, want 1", n)
+	}
+	// Atomic writes clean up after themselves: no put-* temp files left.
+	leftovers, err := filepath.Glob(filepath.Join(dir, "put-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Errorf("temp files leaked: %v", leftovers)
 	}
 }
 

@@ -26,6 +26,16 @@ func ValidateClusters(clusters int) error {
 	return nil
 }
 
+// ValidateMeasure rejects empty measurement windows: a zero-measure job
+// would still plan, digest and cache, poisoning the store with a record
+// of nothing.
+func ValidateMeasure(measure uint64) error {
+	if measure == 0 {
+		return fmt.Errorf("job: measure must be positive")
+	}
+	return nil
+}
+
 // ValidateScheme rejects scheme names that are neither registered steering
 // schemes nor the base/ub pseudo-schemes.
 func ValidateScheme(scheme string) error {
