@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover fuzz bench serve-smoke worker-smoke ci fmt vet
+.PHONY: all build test race cover fuzz bench serve-smoke worker-smoke ci fmt vet lint
 
 all: build
 
@@ -54,4 +54,11 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race cover fuzz serve-smoke worker-smoke
+# Repository-specific static analysis (internal/lint via cmd/dcalint):
+# determinism of digest-affecting packages, allocation-free //dca:hotpath
+# functions, non-blocking queue critical sections, explicit json tags on
+# the wire/digest structs. ci/ci_test.go runs the same suite in-process.
+lint:
+	$(GO) run ./cmd/dcalint ./...
+
+ci: fmt vet lint build race cover fuzz serve-smoke worker-smoke

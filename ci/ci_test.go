@@ -1,7 +1,10 @@
-// Package ci holds the repository's documentation and formatting lints,
-// written as ordinary Go tests so `go test ./...` (and the CI workflow's
-// doc-lint step) enforces them on every package: gofmt-clean sources and a
-// package doc comment on every package, including commands and examples.
+// Package ci holds the repository's documentation, formatting and
+// static-analysis lints, written as ordinary Go tests so `go test ./...`
+// (and the CI workflow's doc-lint step) enforces them on every package:
+// gofmt-clean sources, a package doc comment on every package (including
+// commands and examples), and a clean dcalint run — the internal/lint
+// analyzer suite that proves the determinism, hot-path-allocation,
+// lock-discipline and wire-contract invariants at the source level.
 package ci
 
 import (
@@ -13,6 +16,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/lint"
 )
 
 // repoRoot is the module root relative to this package's directory.
@@ -64,6 +69,28 @@ func TestGofmt(t *testing.T) {
 		if string(src) != string(formatted) {
 			t.Errorf("%s: not gofmt-formatted (run `gofmt -w %s`)", path, path)
 		}
+	}
+}
+
+// TestDCALint runs the repository's static-analysis suite (the same
+// checks as `go run ./cmd/dcalint ./...`) in-process, so plain
+// `go test ./...` is the enforcement point: digest-affecting packages
+// stay free of nondeterminism sources, //dca:hotpath functions stay free
+// of allocating constructs, the queue's critical sections stay
+// non-blocking, and the wire/digest structs keep explicit json tags.
+// DESIGN.md's "Enforced invariants" section maps each analyzer to the
+// invariant it proves.
+func TestDCALint(t *testing.T) {
+	pkgs, err := lint.Load(repoRoot, nil)
+	if err != nil {
+		t.Fatalf("loading module for lint: %v", err)
+	}
+	diags := lint.Lint(pkgs, lint.DefaultAnalyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("%d finding(s); fix the code or justify with //dca:allow(<analyzer>: <why>)", len(diags))
 	}
 }
 

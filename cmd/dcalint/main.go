@@ -1,0 +1,50 @@
+// Command dcalint runs the repository's static-analysis pass (see
+// internal/lint): stdlib-only analyzers that prove the determinism,
+// hot-path-allocation, lock-discipline and wire-contract invariants at the
+// source level. It prints one file:line:col diagnostic per finding and
+// exits non-zero when any survive the //dca:allow filter, so it can gate
+// CI.
+//
+// Usage:
+//
+//	dcalint [-root dir] [packages]
+//
+// With no package arguments it lints the whole module (./...). Patterns
+// are import-path suffixes or "/..." prefixes ("internal/core",
+// "repro/internal/job/...").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root (directory containing go.mod)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dcalint [-root dir] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, a := range lint.DefaultAnalyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-16s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	pkgs, err := lint.Load(*root, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcalint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Lint(pkgs, lint.DefaultAnalyzers())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dcalint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -33,32 +33,32 @@ const (
 // Cluster describes one cluster's datapath.
 type Cluster struct {
 	// SimpleIntALUs count the single-cycle integer/logic units.
-	SimpleIntALUs int
+	SimpleIntALUs int `json:"SimpleIntALUs"`
 	// ComplexIntUnits count integer multiply/divide units.
-	ComplexIntUnits int
+	ComplexIntUnits int `json:"ComplexIntUnits"`
 	// FPALUs count pipelined FP add/compare units.
-	FPALUs int
+	FPALUs int `json:"FPALUs"`
 	// FPMulDivUnits count FP multiply/divide units.
-	FPMulDivUnits int
+	FPMulDivUnits int `json:"FPMulDivUnits"`
 	// IssueWidth is the per-cluster issue bandwidth (copies included).
-	IssueWidth int
+	IssueWidth int `json:"IssueWidth"`
 	// IQSize is the instruction queue capacity.
-	IQSize int
+	IQSize int `json:"IQSize"`
 	// PhysRegs is the physical register file size.
-	PhysRegs int
+	PhysRegs int `json:"PhysRegs"`
 	// FIFOs and FIFODepth configure the queue when Mode is IQFIFO.
-	FIFOs     int
-	FIFODepth int
+	FIFOs     int `json:"FIFOs"`
+	FIFODepth int `json:"FIFODepth"`
 }
 
 // Latencies gives execution latencies in cycles per operation group.
 type Latencies struct {
-	SimpleInt int // add/logic/shift/compare, EA computation
-	IntMul    int
-	IntDiv    int // unpipelined
-	FPALU     int // add/sub/compare/convert/move
-	FPMul     int
-	FPDiv     int // unpipelined
+	SimpleInt int `json:"SimpleInt"` // add/logic/shift/compare, EA computation
+	IntMul    int `json:"IntMul"`
+	IntDiv    int `json:"IntDiv"` // unpipelined
+	FPALU     int `json:"FPALU"`  // add/sub/compare/convert/move
+	FPMul     int `json:"FPMul"`
+	FPDiv     int `json:"FPDiv"` // unpipelined
 }
 
 // DefaultLatencies returns SimpleScalar's default functional-unit timings,
@@ -70,59 +70,59 @@ func DefaultLatencies() Latencies {
 // Config is the full machine description.
 type Config struct {
 	// Name labels the configuration in reports.
-	Name string
+	Name string `json:"Name"`
 
 	// FetchWidth, DecodeWidth and RetireWidth are the front/back-end
 	// bandwidths (Table 2: 8 each).
-	FetchWidth  int
-	DecodeWidth int
-	RetireWidth int
+	FetchWidth  int `json:"FetchWidth"`
+	DecodeWidth int `json:"DecodeWidth"`
+	RetireWidth int `json:"RetireWidth"`
 	// MaxInFlight bounds simultaneously in-flight instructions (ROB size).
-	MaxInFlight int
+	MaxInFlight int `json:"MaxInFlight"`
 	// FrontEndDepth is the fetch-to-dispatch pipeline depth in cycles; it
 	// sets the refill portion of the misprediction penalty.
-	FrontEndDepth int
+	FrontEndDepth int `json:"FrontEndDepth"`
 
 	// Clusters holds one entry per cluster (at most MaxClusters). On the
 	// paper's machines index 0 is the integer cluster and index 1 (when
 	// present) the FP cluster; N-cluster machines use symmetric clusters.
-	Clusters []Cluster
+	Clusters []Cluster `json:"Clusters"`
 	// Mode selects the issue-queue organization (all clusters).
-	Mode IQMode
+	Mode IQMode `json:"Mode"`
 
 	// InterClusterBuses is the number of communications per cycle per
 	// direction (Table 2: 3). Zero disables inter-cluster copies (the
 	// base machine).
-	InterClusterBuses int
+	InterClusterBuses int `json:"InterClusterBuses"`
 	// CopyLatency is the bus traversal time in cycles between any two
 	// clusters (paper: 1). CopyDist, when set, overrides it per pair.
-	CopyLatency int
+	CopyLatency int `json:"CopyLatency"`
 	// CopyDist, when non-nil, is the full inter-cluster latency matrix:
 	// CopyDist[from][to] is the copy latency in cycles from cluster
 	// `from` to cluster `to`. It must be NumClusters×NumClusters with a
 	// zero diagonal and positive off-diagonal entries. RingDistances and
 	// CrossbarDistances build the two standard topologies. Nil means the
 	// uniform CopyLatency (the paper's point-to-point 2-cluster fabric).
-	CopyDist [][]int
+	CopyDist [][]int `json:"CopyDist"`
 	// FPClusterSimpleInt reports whether the FP cluster can execute
 	// simple integer operations (true for the clustered machine, false
 	// for the conventional base).
-	FPClusterSimpleInt bool
+	FPClusterSimpleInt bool `json:"FPClusterSimpleInt"`
 
 	// DCachePorts is the number of L1D read/write ports (Table 2: 3).
-	DCachePorts int
+	DCachePorts int `json:"DCachePorts"`
 
 	// Lat holds the functional-unit latencies.
-	Lat Latencies
+	Lat Latencies `json:"Lat"`
 
 	// Mem configures the cache hierarchy.
-	Mem mem.HierarchyConfig
+	Mem mem.HierarchyConfig `json:"Mem"`
 
 	// BTBSets, BTBAssoc and RASEntries configure indirect-target
 	// prediction.
-	BTBSets    int
-	BTBAssoc   int
-	RASEntries int
+	BTBSets    int `json:"BTBSets"`
+	BTBAssoc   int `json:"BTBAssoc"`
+	RASEntries int `json:"RASEntries"`
 }
 
 // NumClusters returns the cluster count.

@@ -43,6 +43,8 @@ func newFUPool(cl config.Cluster, lat config.Latencies) *fuPool {
 }
 
 // newCycle resets the per-cycle issue counters.
+//
+//dca:hotpath
 func (p *fuPool) newCycle() {
 	for k := range p.used {
 		p.used[k] = 0
@@ -52,6 +54,8 @@ func (p *fuPool) newCycle() {
 // kindFor maps an opcode to the unit class it needs. Loads and stores use a
 // simple ALU for their effective-address computation; branches compare on a
 // simple ALU; copies need no unit (they use a bus) and are not routed here.
+//
+//dca:hotpath
 func kindFor(op isa.Opcode) fuKind {
 	switch op.Class() {
 	case isa.ClassComplexInt:
@@ -69,6 +73,8 @@ func kindFor(op isa.Opcode) fuKind {
 }
 
 // latencyFor returns the execution latency of op.
+//
+//dca:hotpath
 func (p *fuPool) latencyFor(op isa.Opcode) int {
 	switch op.Class() {
 	case isa.ClassComplexInt:
@@ -91,6 +97,8 @@ func (p *fuPool) latencyFor(op isa.Opcode) int {
 }
 
 // divOccupies reports whether op monopolizes its unit for the full latency.
+//
+//dca:hotpath
 func divOccupies(op isa.Opcode) bool {
 	switch op {
 	case isa.DIV, isa.REM, isa.FDIV:
@@ -101,6 +109,8 @@ func divOccupies(op isa.Opcode) bool {
 
 // TryIssue reserves a unit for op at cycle now. It returns the operation
 // latency and whether a unit was available.
+//
+//dca:hotpath
 func (p *fuPool) TryIssue(op isa.Opcode, now uint64) (latency int, ok bool) {
 	k := kindFor(op)
 	if p.count[k] == 0 {
@@ -142,6 +152,8 @@ func (p *fuPool) TryIssue(op isa.Opcode, now uint64) (latency int, ok bool) {
 
 // CanEverIssue reports whether the pool has any unit of the kind op needs;
 // dispatch uses it to validate steering decisions.
+//
+//dca:hotpath
 func (p *fuPool) CanEverIssue(op isa.Opcode) bool {
 	return p.count[kindFor(op)] > 0
 }

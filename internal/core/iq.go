@@ -59,15 +59,21 @@ func newIssueQueue(cl config.Cluster, mode config.IQMode) *issueQueue {
 }
 
 // Len returns the current occupancy.
+//
+//dca:hotpath
 func (q *issueQueue) Len() int { return len(q.entries) }
 
 // Free returns the remaining capacity.
+//
+//dca:hotpath
 func (q *issueQueue) Free() int { return q.capacity - len(q.entries) }
 
 // Add inserts a dispatched instruction. In FIFO mode the caller must have
 // chosen d.fifo via ChooseFIFO beforehand; copies bypass the FIFOs (they
 // wait only for their source value and a bus, in the copy buffer at the
 // cluster's bus interface).
+//
+//dca:hotpath
 func (q *issueQueue) Add(d *DynInst) {
 	q.entries = append(q.entries, d)
 	if d.state == stateWaiting && d.IssueReady() {
@@ -98,6 +104,8 @@ func (q *issueQueue) Add(d *DynInst) {
 }
 
 // FIFOTail returns the newest instruction in FIFO f, or nil when empty.
+//
+//dca:hotpath
 func (q *issueQueue) FIFOTail(f int) *DynInst {
 	fifo := q.fifos[f]
 	if len(fifo) == 0 {
@@ -110,6 +118,8 @@ func (q *issueQueue) FIFOTail(f int) *DynInst {
 // tail produced one of d's source operands (so the chain stays in order),
 // otherwise any empty FIFO. ok is false when neither exists (dispatch must
 // stall, as in the original proposal).
+//
+//dca:hotpath
 func (q *issueQueue) ChooseFIFO(d *DynInst) (int, bool) {
 	for f := range q.fifos {
 		tail := q.FIFOTail(f)
@@ -131,6 +141,8 @@ func (q *issueQueue) ChooseFIFO(d *DynInst) (int, bool) {
 }
 
 // HasFIFOSlot reports whether any FIFO can accept an instruction.
+//
+//dca:hotpath
 func (q *issueQueue) HasFIFOSlot(d *DynInst) bool {
 	_, ok := q.ChooseFIFO(d)
 	return ok
@@ -138,11 +150,15 @@ func (q *issueQueue) HasFIFOSlot(d *DynInst) bool {
 
 // ReadyCount returns the number of waiting instructions whose sources are
 // all available — the paper's per-cluster workload measure.
+//
+//dca:hotpath
 func (q *issueQueue) ReadyCount() int { return q.readyCount }
 
 // Issuable appends to buf the instructions eligible for issue selection
 // this cycle, oldest first: ready waiting instructions, restricted to FIFO
 // heads in FIFO mode.
+//
+//dca:hotpath
 func (q *issueQueue) Issuable(buf []*DynInst) []*DynInst {
 	if q.mode == config.IQFIFO {
 		for f := range q.fifos {
@@ -173,6 +189,8 @@ func (q *issueQueue) Issuable(buf []*DynInst) []*DynInst {
 }
 
 // Remove deletes an issued instruction from the queue structures.
+//
+//dca:hotpath
 func (q *issueQueue) Remove(d *DynInst) {
 	for i, e := range q.entries {
 		if e == d {
@@ -210,6 +228,8 @@ func (q *issueQueue) Remove(d *DynInst) {
 // wakeup, which only updated in-queue entries — and commit cannot recycle
 // such an instruction before this walk runs, because a store's commit
 // waits for the same register readiness that triggers the walk.
+//
+//dca:hotpath
 func (q *issueQueue) wakeReg(p physReg) {
 	d := q.waiters[p]
 	q.waiters[p] = nil
@@ -239,6 +259,7 @@ func (q *issueQueue) wakeReg(p physReg) {
 	}
 }
 
+//dca:hotpath
 func sortBySeq(ds []*DynInst) {
 	// Insertion sort: the slice is tiny (≤ FIFO count).
 	for i := 1; i < len(ds); i++ {

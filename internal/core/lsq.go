@@ -23,14 +23,20 @@ func newLSQ(capacity int) *lsq {
 }
 
 // at returns the i-th oldest entry (0 = oldest).
+//
+//dca:hotpath
 func (q *lsq) at(i int) *DynInst {
 	return q.ring[(q.head+i)&(len(q.ring)-1)]
 }
 
 // Free returns remaining capacity.
+//
+//dca:hotpath
 func (q *lsq) Free() int { return q.cap - q.n }
 
 // Add appends a dispatched memory instruction in program order.
+//
+//dca:hotpath
 func (q *lsq) Add(d *DynInst) {
 	d.lsqAddrKnown = false
 	d.lsqAccessed = false
@@ -39,11 +45,15 @@ func (q *lsq) Add(d *DynInst) {
 }
 
 // MarkAddrKnown records that d's effective address is computed.
+//
+//dca:hotpath
 func (q *lsq) MarkAddrKnown(d *DynInst) {
 	d.lsqAddrKnown = true
 }
 
 // overlap reports whether two accesses touch a common byte.
+//
+//dca:hotpath
 func overlap(a1 uint64, w1 int, a2 uint64, w2 int) bool {
 	return a1 < a2+uint64(w2) && a2 < a1+uint64(w1)
 }
@@ -60,6 +70,8 @@ const (
 // classify determines whether the load l can proceed: every earlier store
 // must have a known address; if the youngest earlier overlapping store has
 // its data ready it forwards, if the data is pending the load blocks.
+//
+//dca:hotpath
 func (q *lsq) classify(l *DynInst, rf []regFile) loadDisposition {
 	for i := q.n - 1; i >= 0; i-- {
 		e := q.at(i)
@@ -83,6 +95,8 @@ func (q *lsq) classify(l *DynInst, rf []regFile) loadDisposition {
 
 // ReadyLoads appends loads eligible to attempt a cache access or forward
 // this cycle, oldest first: EA computed, not yet accessed.
+//
+//dca:hotpath
 func (q *lsq) ReadyLoads(buf []*DynInst) []*DynInst {
 	for i := 0; i < q.n; i++ {
 		d := q.at(i)
@@ -97,6 +111,8 @@ func (q *lsq) ReadyLoads(buf []*DynInst) []*DynInst {
 // in production the removed instruction is always the oldest entry (the
 // O(1) head path); the general shift path keeps the structure correct for
 // any caller and is unit-tested directly (TestLSQRemoveMidQueue).
+//
+//dca:hotpath
 func (q *lsq) Remove(d *DynInst) {
 	if q.n == 0 {
 		return
@@ -122,4 +138,6 @@ func (q *lsq) Remove(d *DynInst) {
 }
 
 // Len returns the occupancy.
+//
+//dca:hotpath
 func (q *lsq) Len() int { return q.n }

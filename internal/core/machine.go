@@ -219,22 +219,29 @@ func (m *Machine) CommittedInstructions() uint64 { return m.committedProg }
 
 // allocDyn takes a DynInst from the recycle pool, or the heap when the
 // pool is dry (only before the in-flight population reaches steady state).
+//
+//dca:hotpath
 func (m *Machine) allocDyn() *DynInst {
 	if n := len(m.dynPool); n > 0 {
 		d := m.dynPool[n-1]
 		m.dynPool = m.dynPool[:n-1]
 		return d
 	}
+	//dca:allow(noalloc: pool-dry fallback — runs only while the in-flight population is still growing toward steady state, which TestSteadyStateCycleAllocs pins)
 	return new(DynInst)
 }
 
 // freeDyn recycles a committed DynInst. The pointer must not be used after
 // this call (tracers are invoked before commit recycles; see Tracer).
+//
+//dca:hotpath
 func (m *Machine) freeDyn(d *DynInst) {
 	m.dynPool = append(m.dynPool, d)
 }
 
 // robPush appends to the reorder buffer ring.
+//
+//dca:hotpath
 func (m *Machine) robPush(d *DynInst) {
 	if m.robLen == len(m.rob) {
 		m.robGrow()
@@ -244,9 +251,13 @@ func (m *Machine) robPush(d *DynInst) {
 }
 
 // robFront returns the oldest in-flight instruction.
+//
+//dca:hotpath
 func (m *Machine) robFront() *DynInst { return m.rob[m.robHead] }
 
 // robPop removes the oldest in-flight instruction.
+//
+//dca:hotpath
 func (m *Machine) robPop() {
 	m.rob[m.robHead] = nil
 	m.robHead = (m.robHead + 1) & (len(m.rob) - 1)
@@ -254,6 +265,8 @@ func (m *Machine) robPop() {
 }
 
 // robAt returns the i-th oldest in-flight instruction (0 = oldest).
+//
+//dca:hotpath
 func (m *Machine) robAt(i int) *DynInst {
 	return m.rob[(m.robHead+i)&(len(m.rob)-1)]
 }
@@ -268,24 +281,35 @@ func (m *Machine) robGrow() {
 }
 
 // dqPush returns the slot for a newly fetched instruction.
+//
+//dca:hotpath
 func (m *Machine) dqPush() *fetched {
 	if m.dqLen == len(m.decodeQ) {
-		grown := make([]fetched, len(m.decodeQ)*2)
-		for i := 0; i < m.dqLen; i++ {
-			grown[i] = m.decodeQ[(m.dqHead+i)&(len(m.decodeQ)-1)]
-		}
-		m.decodeQ = grown
-		m.dqHead = 0
+		m.dqGrow()
 	}
 	fi := &m.decodeQ[(m.dqHead+m.dqLen)&(len(m.decodeQ)-1)]
 	m.dqLen++
 	return fi
 }
 
+// dqGrow doubles the decode-queue ring (amortized, cold).
+func (m *Machine) dqGrow() {
+	grown := make([]fetched, len(m.decodeQ)*2)
+	for i := 0; i < m.dqLen; i++ {
+		grown[i] = m.decodeQ[(m.dqHead+i)&(len(m.decodeQ)-1)]
+	}
+	m.decodeQ = grown
+	m.dqHead = 0
+}
+
 // dqFront returns the oldest undispatched fetched instruction.
+//
+//dca:hotpath
 func (m *Machine) dqFront() *fetched { return &m.decodeQ[m.dqHead] }
 
 // dqPop consumes the front of the decode queue.
+//
+//dca:hotpath
 func (m *Machine) dqPop() {
 	m.dqHead = (m.dqHead + 1) & (len(m.decodeQ) - 1)
 	m.dqLen--
@@ -295,6 +319,8 @@ func (m *Machine) dqPop() {
 // always strictly in the future, and the wheel is kept wider than the
 // furthest horizon, so slot collisions between different cycles cannot
 // occur; within a cycle, insertion order is preserved (tail append).
+//
+//dca:hotpath
 func (m *Machine) schedule(d *DynInst) {
 	for d.completeAt-m.cycle >= uint64(len(m.evtHead)) {
 		m.growWheel()
@@ -394,6 +420,8 @@ func (m *Machine) finishMeasurement() {
 }
 
 // step simulates one cycle.
+//
+//dca:hotpath
 func (m *Machine) step() error {
 	// 1. Reset per-cycle resources.
 	m.dcachePortsUsed = 0
@@ -436,10 +464,12 @@ func (m *Machine) step() error {
 
 // --- Fetch ---
 
+//dca:hotpath
 func lineOf(pc int, lineBytes int) uint64 {
 	return (textBase + uint64(pc)*isa.Word) / uint64(lineBytes)
 }
 
+//dca:hotpath
 func (m *Machine) fetch() {
 	if m.fetchDone || m.waitingBranch || m.cycle < m.fetchStallUntil {
 		return
@@ -502,6 +532,8 @@ func (m *Machine) fetch() {
 
 // predictBranch runs the predictors for a fetched control transfer and
 // reports whether it mispredicts.
+//
+//dca:hotpath
 func (m *Machine) predictBranch(st emu.Step) bool {
 	op := st.Inst.Op
 	pc := st.PC
@@ -542,6 +574,8 @@ func (m *Machine) predictBranch(st emu.Step) bool {
 // also integer-cluster-only; on symmetric machines (config.Symmetric,
 // config.ClusteredN) nothing is forced. AnyCluster means the steering
 // policy chooses.
+//
+//dca:hotpath
 func (m *Machine) forcedCluster(in isa.Inst) ClusterID {
 	if m.cfg.NumClusters() == 1 {
 		return IntCluster
@@ -583,6 +617,8 @@ func (m *Machine) forcedCluster(in isa.Inst) ClusterID {
 // nearestIn returns the cluster in set s closest to `to` by copy latency
 // (ties to the lowest cluster index), excluding `to` itself; AnyCluster
 // when the set holds no other cluster.
+//
+//dca:hotpath
 func (m *Machine) nearestIn(s ClusterSet, to ClusterID) ClusterID {
 	best, bestDist := AnyCluster, 0
 	for c := 0; c < m.cfg.NumClusters(); c++ {
@@ -600,6 +636,8 @@ func (m *Machine) nearestIn(s ClusterSet, to ClusterID) ClusterID {
 
 // capableClusters returns the set of clusters whose functional units can
 // execute op.
+//
+//dca:hotpath
 func (m *Machine) capableClusters(op isa.Opcode) ClusterSet {
 	var s ClusterSet
 	for c := 0; c < m.cfg.NumClusters(); c++ {
@@ -615,6 +653,8 @@ func (m *Machine) capableClusters(op isa.Opcode) ClusterSet {
 // tail is the producer of one of the instruction's pending sources (the
 // dependence chain continues in order there); otherwise take the allowed
 // cluster with the most empty FIFOs, falling back to the policy's choice.
+//
+//dca:hotpath
 func (m *Machine) fifoCluster(fi *fetched, forced, fallback ClusterID) ClusterID {
 	var allowed [config.MaxClusters]ClusterID
 	n := 0
@@ -667,6 +707,7 @@ type copyPlan struct {
 	fromReg physReg
 }
 
+//dca:hotpath
 func (m *Machine) dispatch() error {
 	width := m.cfg.DecodeWidth
 	for width > 0 && m.dqLen > 0 {
@@ -836,6 +877,8 @@ func (m *Machine) dispatch() error {
 }
 
 // newDynInst builds the DynInst skeleton for a fetched program instruction.
+//
+//dca:hotpath
 func (m *Machine) newDynInst(fi *fetched) *DynInst {
 	st := fi.step
 	in := st.Inst
@@ -864,6 +907,8 @@ func (m *Machine) newDynInst(fi *fetched) *DynInst {
 
 // insertCopy creates and dispatches the copy instruction moving cp.logical
 // from cp.from into target, updating the map table (replication).
+//
+//dca:hotpath
 func (m *Machine) insertCopy(consumer *DynInst, cp copyPlan, target ClusterID) (*DynInst, bool) {
 	p, ok := m.files[target].Alloc()
 	if !ok {
@@ -903,6 +948,8 @@ func (m *Machine) insertCopy(consumer *DynInst, cp copyPlan, target ClusterID) (
 
 // steerInfo assembles the policy's decode-time view in the machine's
 // reused buffer (policies must not retain it across calls).
+//
+//dca:hotpath
 func (m *Machine) steerInfo(fi *fetched, forced ClusterID) *SteerInfo {
 	in := fi.step.Inst
 	info := &m.steerBuf
@@ -934,6 +981,7 @@ func (m *Machine) steerInfo(fi *fetched, forced ClusterID) *SteerInfo {
 
 // --- Issue ---
 
+//dca:hotpath
 func (m *Machine) issue() {
 	for c := 0; c < m.cfg.NumClusters(); c++ {
 		budget := m.cfg.Clusters[c].IssueWidth
@@ -982,6 +1030,7 @@ func (m *Machine) issue() {
 
 // --- Completion ---
 
+//dca:hotpath
 func (m *Machine) complete() {
 	slot := m.cycle & uint64(len(m.evtHead)-1)
 	d := m.evtHead[slot]
@@ -1035,6 +1084,8 @@ type wakePair struct {
 }
 
 // noteReady marks the register ready in its file and queues the wakeup.
+//
+//dca:hotpath
 func (m *Machine) noteReady(c ClusterID, p physReg) {
 	if p == noPhys {
 		return
@@ -1046,6 +1097,8 @@ func (m *Machine) noteReady(c ClusterID, p physReg) {
 // noteCopyArrival implements the paper's criticality test: a communication
 // is critical when an instruction in the destination cluster was already
 // waiting for the value when it arrived.
+//
+//dca:hotpath
 func (m *Machine) noteCopyArrival(cpy *DynInst) {
 	for _, d := range m.iqs[cpy.Cluster].entries {
 		if d.state != stateWaiting || d.readyCycle >= m.cycle {
@@ -1071,6 +1124,7 @@ func (m *Machine) noteCopyArrival(cpy *DynInst) {
 	}
 }
 
+//dca:hotpath
 func (m *Machine) resolveBranch(d *DynInst) {
 	m.steerer.OnBranchResolved(d.PC, d.mispredicted)
 	if d.mispredicted && m.waitingBranch && d.ProgSeq == m.waitBranchSeq {
@@ -1084,6 +1138,7 @@ func (m *Machine) resolveBranch(d *DynInst) {
 
 // --- Memory step ---
 
+//dca:hotpath
 func (m *Machine) memStep() {
 	m.loadBuf = m.loadBuf[:0]
 	m.loadBuf = m.ldst.ReadyLoads(m.loadBuf)
@@ -1113,6 +1168,7 @@ func (m *Machine) memStep() {
 
 // --- Commit ---
 
+//dca:hotpath
 func (m *Machine) commit() {
 	retired := 0
 	for retired < m.cfg.RetireWidth && m.robLen > 0 {
@@ -1161,6 +1217,7 @@ func (m *Machine) commit() {
 
 // --- Sampling ---
 
+//dca:hotpath
 func (m *Machine) sample() {
 	for c := range m.readySample {
 		m.readySample[c] = m.iqs[c].ReadyCount()
@@ -1177,6 +1234,8 @@ func (m *Machine) sample() {
 // (ready[1] − ready[0], with ready[1] = 0 on a single cluster); on more
 // clusters the max−min spread, the natural unsigned generalization of
 // "how far apart are the clusters this cycle".
+//
+//dca:hotpath
 func balanceDiff(ready []int) int {
 	switch len(ready) {
 	case 1:

@@ -28,10 +28,14 @@ func newRegFile(n int) *regFile {
 }
 
 // FreeCount returns the number of allocatable registers.
+//
+//dca:hotpath
 func (rf *regFile) FreeCount() int { return len(rf.free) }
 
 // Alloc takes a register from the free list, marked not-ready. ok is false
 // when the file is exhausted (dispatch must stall).
+//
+//dca:hotpath
 func (rf *regFile) Alloc() (physReg, bool) {
 	if len(rf.free) == 0 {
 		return noPhys, false
@@ -44,6 +48,8 @@ func (rf *regFile) Alloc() (physReg, bool) {
 }
 
 // Release returns a register to the free list.
+//
+//dca:hotpath
 func (rf *regFile) Release(p physReg) {
 	if p == noPhys {
 		return
@@ -53,6 +59,8 @@ func (rf *regFile) Release(p physReg) {
 }
 
 // SetReady marks a register's value as produced.
+//
+//dca:hotpath
 func (rf *regFile) SetReady(p physReg) {
 	if p != noPhys {
 		rf.ready[p>>6] |= 1 << (uint(p) & 63)
@@ -60,6 +68,8 @@ func (rf *regFile) SetReady(p physReg) {
 }
 
 // Ready reports whether the register's value is available.
+//
+//dca:hotpath
 func (rf *regFile) Ready(p physReg) bool {
 	if p == noPhys {
 		return true
@@ -126,6 +136,8 @@ func (rt *renameTable) initArchState(files []regFile) error {
 }
 
 // lookup returns the mapping of logical register r in cluster c.
+//
+//dca:hotpath
 func (rt *renameTable) lookup(r isa.Reg, c ClusterID) (physReg, bool) {
 	e := &rt.entries[r]
 	if !e.valid[c] {
@@ -135,6 +147,8 @@ func (rt *renameTable) lookup(r isa.Reg, c ClusterID) (physReg, bool) {
 }
 
 // home returns the set of clusters currently holding a valid mapping of r.
+//
+//dca:hotpath
 func (rt *renameTable) home(r isa.Reg) ClusterSet {
 	e := &rt.entries[r]
 	var s ClusterSet
@@ -149,6 +163,8 @@ func (rt *renameTable) home(r isa.Reg) ClusterSet {
 // setMapping records that r's current value lives in physical register p of
 // cluster c, in addition to any existing mapping (replication path used by
 // copies).
+//
+//dca:hotpath
 func (rt *renameTable) setMapping(r isa.Reg, c ClusterID, p physReg) {
 	e := &rt.entries[r]
 	if !e.valid[c] {
@@ -165,6 +181,8 @@ func (rt *renameTable) setMapping(r isa.Reg, c ClusterID, p physReg) {
 // invalidating any mapping in every other cluster. It returns the previous
 // physical registers per cluster (noPhys where none) together with a
 // bitmask of the clusters that held one, which the writer frees at commit.
+//
+//dca:hotpath
 func (rt *renameTable) redefine(r isa.Reg, c ClusterID, p physReg) (prev [config.MaxClusters]physReg, mask uint8) {
 	prev = noPrevMapping()
 	e := &rt.entries[r]
@@ -188,6 +206,8 @@ func (rt *renameTable) redefine(r isa.Reg, c ClusterID, p physReg) (prev [config
 // replicatedCount returns how many integer logical registers are currently
 // mapped in more than one cluster (Figure 15's metric; on the two-cluster
 // machine this is exactly "mapped in both").
+//
+//dca:hotpath
 func (rt *renameTable) replicatedCount() int {
 	if rt.clusters < 2 {
 		return 0

@@ -45,6 +45,8 @@ type SteerInfo struct {
 
 // OperandsIn counts how many sources currently reside in cluster c
 // (replicated operands count for every cluster holding them).
+//
+//dca:hotpath
 func (si *SteerInfo) OperandsIn(c ClusterID) int {
 	n := 0
 	for i := 0; i < si.NumSrcs; i++ {
@@ -57,6 +59,8 @@ func (si *SteerInfo) OperandsIn(c ClusterID) int {
 
 // Clusters returns the machine's cluster count, defaulting to the paper's
 // two when the field was left unset (hand-built SteerInfos in tests).
+//
+//dca:hotpath
 func (si *SteerInfo) Clusters() int {
 	if si.NumClusters < 1 {
 		return 2
@@ -109,6 +113,8 @@ type NaiveSteerer struct{ NopSteerer }
 func (NaiveSteerer) Name() string { return "naive" }
 
 // Steer implements Steerer.
+//
+//dca:hotpath
 func (NaiveSteerer) Steer(info *SteerInfo) ClusterID {
 	if info.Forced != AnyCluster {
 		return info.Forced

@@ -52,6 +52,7 @@ type Tracer interface {
 // SetTracer installs (or, with nil, removes) a pipeline tracer.
 func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
 
+//dca:hotpath
 func (m *Machine) trace(ev Event, d *DynInst) {
 	if m.tracer != nil {
 		m.tracer.Trace(m.cycle, ev, d)

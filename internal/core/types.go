@@ -61,6 +61,8 @@ func (c ClusterID) String() string {
 // Other returns the opposite cluster on a two-cluster machine. It is only
 // meaningful there; N-cluster code paths select clusters by scanning or by
 // the steering policy instead.
+//
+//dca:hotpath
 func (c ClusterID) Other() ClusterID { return 1 - c }
 
 // ClusterSet is a bitmask of clusters (bit c = cluster c); it reports where
@@ -69,16 +71,24 @@ func (c ClusterID) Other() ClusterID { return 1 - c }
 type ClusterSet uint8
 
 // Has reports whether cluster c is in the set.
+//
+//dca:hotpath
 func (s ClusterSet) Has(c ClusterID) bool { return c >= 0 && s&(1<<uint(c)) != 0 }
 
 // Add returns the set with cluster c included.
+//
+//dca:hotpath
 func (s ClusterSet) Add(c ClusterID) ClusterSet { return s | 1<<uint(c) }
 
 // Count returns the number of clusters in the set.
+//
+//dca:hotpath
 func (s ClusterSet) Count() int { return bits.OnesCount8(uint8(s)) }
 
 // Single returns the only cluster in the set, or AnyCluster when the set
 // does not contain exactly one cluster.
+//
+//dca:hotpath
 func (s ClusterSet) Single() ClusterID {
 	if s.Count() != 1 {
 		return AnyCluster
@@ -197,9 +207,13 @@ type DynInst struct {
 }
 
 // HasDest reports whether the instruction allocates a destination register.
+//
+//dca:hotpath
 func (d *DynInst) HasDest() bool { return d.destPhys != noPhys }
 
 // SrcsReady reports whether every source operand is available.
+//
+//dca:hotpath
 func (d *DynInst) SrcsReady() bool {
 	for i := 0; i < d.numSrcs; i++ {
 		if !d.srcReady[i] {
@@ -213,6 +227,8 @@ func (d *DynInst) SrcsReady() bool {
 // Stores issue on their address operand alone (source 0): the effective
 // address is computed as soon as the base register is available, while the
 // data operand is only needed at commit, when the store writes memory.
+//
+//dca:hotpath
 func (d *DynInst) IssueReady() bool {
 	if d.isStore {
 		return d.numSrcs == 0 || d.srcReady[0]

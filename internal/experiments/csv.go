@@ -15,7 +15,9 @@ import (
 func (r *Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	clusters := 2
+	//dca:allow(determinism: computes a max over all cells, which is order-insensitive)
 	for _, benchRuns := range r.Runs {
+		//dca:allow(determinism: computes a max over all cells, which is order-insensitive)
 		for _, run := range benchRuns {
 			if run != nil && len(run.Steered) > clusters {
 				clusters = len(run.Steered)

@@ -80,7 +80,7 @@ func RunAll(ctx context.Context, jobs []Job, opts PoolOptions) ([]*stats.Run, er
 		mu        sync.Mutex // guards firstErr, completed, Progress calls
 		firstErr  error
 		completed int
-		started   = time.Now()
+		started   = time.Now() //dca:allow(determinism: feeds the progress ETA only, never a result or digest)
 	)
 
 	// Feed job indices until the batch is exhausted or cancelled.
@@ -115,6 +115,7 @@ func RunAll(ctx context.Context, jobs []Job, opts PoolOptions) ([]*stats.Run, er
 		// overestimates by up to the worker count — report no ETA until a
 		// second job lands.
 		if left := len(jobs) - completed; left > 0 && completed > 1 {
+			//dca:allow(determinism: feeds the progress ETA only, never a result or digest)
 			remaining = time.Duration(int64(time.Since(started)) / int64(completed) * int64(left))
 		}
 		opts.Progress(Progress{
@@ -136,11 +137,12 @@ func RunAll(ctx context.Context, jobs []Job, opts PoolOptions) ([]*stats.Run, er
 				if ctx.Err() != nil {
 					continue // drain: the batch is being cancelled
 				}
-				jobStart := time.Now()
+				jobStart := time.Now() //dca:allow(determinism: feeds the progress ETA only, never a result or digest)
 				r, err := runner.Run(ctx, jobs[i])
 				if err == nil {
 					runs[i] = r
 				}
+				//dca:allow(determinism: feeds the progress ETA only, never a result or digest)
 				report(i, time.Since(jobStart), err)
 			}
 		}()

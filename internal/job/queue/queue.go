@@ -281,6 +281,7 @@ func (q *Queue) enqueueOne(j job.Job, key string) EnqueueStatus {
 		// both here is genuinely unsimulated — without this re-check, an
 		// enqueue racing a completion could slip between the Put and the
 		// outside probe and simulate the job a second time.
+		//dca:allow(lockdiscipline: deliberate store read in the dedup critical section — the race it closes is documented above, and enqueue is not on the lease hot path)
 		if _, ok, err := q.opts.Results.Get(key); err == nil && ok {
 			q.stats.DedupedStore++
 			return StatusCached

@@ -1,0 +1,67 @@
+package lint
+
+// DefaultAnalyzers returns the repository's analyzer set with its scopes —
+// the single source of truth cmd/dcalint and ci's TestDCALint both run.
+//
+// Scope rationale:
+//
+//   - determinism covers every package a result digest or golden file can
+//     observe: the simulated machine (core, steer, emu, isa, bpred, mem),
+//     workload construction (prog, asm, workload), analysis outputs (rdg,
+//     stats, experiments), the machine description (config), and the job
+//     planners ("repro/internal/job" exactly — the queue, store and worker
+//     subpackages legitimately read the wall clock for leases and ETAs).
+//   - lockdiscipline covers the queue and store, whose mutexes every
+//     worker contends on.
+//   - wirecontract roots are the two digest formats (Job, stats.Run) and
+//     the serve/worker wire types; the closure walk pulls in everything
+//     they embed (config.Config, steer.Params, mem.HierarchyConfig, ...).
+//   - noalloc needs no scope: the //dca:hotpath annotation opts in
+//     function by function.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NewDeterminism(DeterminismConfig{
+			Packages: []string{
+				"repro/internal/core",
+				"repro/internal/steer",
+				"repro/internal/emu",
+				"repro/internal/isa",
+				"repro/internal/bpred",
+				"repro/internal/mem",
+				"repro/internal/prog",
+				"repro/internal/asm",
+				"repro/internal/workload",
+				"repro/internal/rdg",
+				"repro/internal/stats",
+				"repro/internal/config",
+				"repro/internal/experiments",
+				"repro/internal/job",
+			},
+		}),
+		NewNoalloc(),
+		NewLockDiscipline(LockDisciplineConfig{
+			Packages: []string{
+				"repro/internal/job/queue",
+				"repro/internal/job/store",
+			},
+			IOInterfaces: []string{
+				"repro/internal/job/store.Store",
+			},
+		}),
+		NewWireContract(WireContractConfig{
+			Module: "repro",
+			Roots: []string{
+				"repro/internal/job.Job",
+				"repro/internal/job.Spec",
+				"repro/internal/job.GridSpec",
+				"repro/internal/stats.Run",
+				"repro/internal/job/queue.Enqueued",
+				"repro/internal/job/queue.Lease",
+				"repro/internal/job/queue.LeaseRequest",
+				"repro/internal/job/queue.LeaseResponse",
+				"repro/internal/job/queue.CompleteRequest",
+				"repro/internal/job/queue.Stats",
+			},
+		}),
+	}
+}

@@ -1,0 +1,360 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismConfig scopes the determinism analyzer.
+type DeterminismConfig struct {
+	// Packages lists the import paths (exact, or prefixes ending in
+	// "/...") whose sources must be reproducible: everything that can
+	// reach a result digest or a golden file.
+	Packages []string
+}
+
+// NewDeterminism builds the determinism analyzer: in digest-affecting
+// packages it forbids the language and library constructs whose output
+// varies between runs of the same input —
+//
+//   - `range` over a map, unless the loop body is provably
+//     order-insensitive (it only inserts into maps, or accumulates
+//     integers with commutative operators) or the collected keys are
+//     sorted in the same function before use;
+//   - time.Now, time.Since and time.Until (wall-clock reads);
+//   - the unseeded global source of math/rand (rand.Intn, rand.Shuffle,
+//     ... — seeded rand.New(rand.NewSource(k)) is fine);
+//   - environment reads (os.Getenv, os.LookupEnv, os.Environ).
+//
+// The dynamic counterparts — the differential harness, the golden grids,
+// FuzzCoSimulate — prove determinism for the inputs they happen to run;
+// this analyzer proves the absence of the usual sources of
+// nondeterminism for every input.
+func NewDeterminism(cfg DeterminismConfig) *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid map iteration, wall-clock, unseeded rand and env reads in digest-affecting packages",
+		Run: func(p *Package) []Diagnostic {
+			if !pathInScope(p.Path, cfg.Packages) {
+				return nil
+			}
+			var out []Diagnostic
+			report := func(pos token.Pos, format string, args ...any) {
+				out = append(out, Diagnostic{
+					Pos:      p.Fset.Position(pos),
+					Analyzer: "determinism",
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			for _, f := range p.Files {
+				for _, decl := range f.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok || fn.Body == nil {
+						continue
+					}
+					checkDeterminismFunc(p, fn, report)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// pathInScope reports whether the import path matches the scope list
+// (exact entry, or an entry ending in "/..." as a prefix).
+func pathInScope(path string, scope []string) bool {
+	for _, s := range scope {
+		if path == s {
+			return true
+		}
+		if prefix, ok := cutSuffix(s, "/..."); ok {
+			if path == prefix || len(path) > len(prefix) && path[:len(prefix)] == prefix && path[len(prefix)] == '/' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func cutSuffix(s, suffix string) (string, bool) {
+	if len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix {
+		return s[:len(s)-len(suffix)], true
+	}
+	return s, false
+}
+
+func checkDeterminismFunc(p *Package, fn *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			t := p.Info.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			if orderInsensitiveBody(p, n.Body) {
+				return true
+			}
+			if sortedAfterLoop(p, fn, n) {
+				return true
+			}
+			report(n.Pos(), "map iteration order can reach output or state; iterate sorted keys, make the body order-insensitive, or justify with dca:allow")
+		case *ast.CallExpr:
+			checkDeterminismCall(p, n, report)
+		}
+		return true
+	})
+}
+
+// checkDeterminismCall flags wall-clock, environment and unseeded-rand
+// calls.
+func checkDeterminismCall(p *Package, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	pkgPath, name := calleePkgFunc(p, call)
+	if pkgPath == "" {
+		return
+	}
+	switch pkgPath {
+	case "time":
+		if name == "Now" || name == "Since" || name == "Until" {
+			report(call.Pos(), "time.%s in a digest-affecting package: results must not depend on the wall clock", name)
+		}
+	case "os":
+		switch name {
+		case "Getenv", "LookupEnv", "Environ":
+			report(call.Pos(), "os.%s in a digest-affecting package: results must not depend on the environment", name)
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors of explicitly seeded sources are fine; the
+		// package-level convenience functions draw from the shared,
+		// unseeded (or time-seeded) global source.
+		switch name {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		default:
+			report(call.Pos(), "%s.%s uses the global rand source: use rand.New(rand.NewSource(seed)) with a fixed seed", pkgPath, name)
+		}
+	}
+}
+
+// calleePkgFunc resolves a call to (package path, function name) when the
+// callee is a package-level function of an imported package; otherwise
+// returns "".
+func calleePkgFunc(p *Package, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pkgName, ok := p.Info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name
+}
+
+// orderInsensitiveBody reports whether executing the loop body for the
+// map's elements in any order produces the same final state: every
+// statement either inserts into a map (set building), deletes from one,
+// or accumulates integers with a commutative operator. Any other effect —
+// appends, I/O, early exits, float math — disqualifies the body.
+func orderInsensitiveBody(p *Package, body *ast.BlockStmt) bool {
+	ok := true
+	var check func(s ast.Stmt)
+	check = func(s ast.Stmt) {
+		if !ok {
+			return
+		}
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if !orderInsensitiveAssign(p, s) {
+				ok = false
+			}
+		case *ast.IncDecStmt:
+			if !isIntegerExpr(p, s.X) {
+				ok = false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				check(s.Init)
+			}
+			for _, inner := range s.Body.List {
+				check(inner)
+			}
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				for _, inner := range e.List {
+					check(inner)
+				}
+			case *ast.IfStmt:
+				check(e)
+			case nil:
+			default:
+				ok = false
+			}
+		case *ast.ExprStmt:
+			// delete(m, k) is the only order-insensitive call form.
+			call, isCall := s.X.(*ast.CallExpr)
+			if !isCall || !isBuiltin(p, call, "delete") {
+				ok = false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				ok = false
+			}
+		case *ast.DeclStmt:
+			// Local declarations are scoped to one iteration.
+		default:
+			ok = false
+		}
+	}
+	for _, s := range body.List {
+		check(s)
+	}
+	return ok
+}
+
+// orderInsensitiveAssign accepts `m[k] = v` (map insertion) and integer
+// accumulation with commutative operators (+=, |=, &=, ^=).
+func orderInsensitiveAssign(p *Package, s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ASSIGN:
+		for _, lhs := range s.Lhs {
+			idx, ok := lhs.(*ast.IndexExpr)
+			if !ok {
+				return false
+			}
+			t := p.Info.TypeOf(idx.X)
+			if t == nil {
+				return false
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return false
+			}
+			// The inserted value must not depend on previous iterations
+			// through the same map (e.g. m[k] = len(m) is order-sensitive);
+			// requiring a loop-local or constant RHS is out of scope, so
+			// accept plain insertions — the common set-building case.
+		}
+		return true
+	case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		for _, lhs := range s.Lhs {
+			if !isIntegerExpr(p, lhs) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// isIntegerExpr reports whether the expression has integer type (integer
+// accumulation commutes; float accumulation does not).
+func isIntegerExpr(p *Package, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(p *Package, call *ast.CallExpr, name string) bool {
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok || ident.Name != name {
+		return false
+	}
+	_, ok = p.Info.Uses[ident].(*types.Builtin)
+	return ok
+}
+
+// sortedAfterLoop reports whether the range loop only appends map keys or
+// values to slices that are passed to a sort call later in the same
+// function — the sorted-key iteration idiom
+// (keys := ...; for k := range m { keys = append(keys, k) }; sort.Strings(keys)).
+func sortedAfterLoop(p *Package, fn *ast.FuncDecl, rng *ast.RangeStmt) bool {
+	// Collect the objects appended to inside the body; every statement
+	// must be an append-to-local (or an if/continue wrapper around them).
+	targets := map[types.Object]bool{}
+	ok := true
+	var check func(s ast.Stmt)
+	check = func(s ast.Stmt) {
+		if !ok {
+			return
+		}
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 || s.Tok != token.ASSIGN {
+				ok = false
+				return
+			}
+			lhs, isIdent := s.Lhs[0].(*ast.Ident)
+			call, isCall := s.Rhs[0].(*ast.CallExpr)
+			if !isIdent || !isCall || !isBuiltin(p, call, "append") {
+				ok = false
+				return
+			}
+			obj := p.Info.Uses[lhs]
+			if obj == nil {
+				obj = p.Info.Defs[lhs]
+			}
+			if obj == nil {
+				ok = false
+				return
+			}
+			targets[obj] = true
+		case *ast.IfStmt:
+			for _, inner := range s.Body.List {
+				check(inner)
+			}
+			if s.Else != nil {
+				ok = false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				ok = false
+			}
+		default:
+			ok = false
+		}
+	}
+	for _, s := range rng.Body.List {
+		check(s)
+	}
+	if !ok || len(targets) == 0 {
+		return false
+	}
+
+	// Every appended-to slice must reach a sort call after the loop.
+	sorted := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall || call.Pos() < rng.End() {
+			return true
+		}
+		pkgPath, name := calleePkgFunc(p, call)
+		isSort := pkgPath == "sort" || (pkgPath == "slices" && (name == "Sort" || name == "SortFunc" || name == "SortStableFunc"))
+		if !isSort || len(call.Args) == 0 {
+			return true
+		}
+		if ident, isIdent := call.Args[0].(*ast.Ident); isIdent {
+			if obj := p.Info.Uses[ident]; obj != nil {
+				sorted[obj] = true
+			}
+		}
+		return true
+	})
+	for obj := range targets {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}

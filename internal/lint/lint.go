@@ -1,0 +1,183 @@
+// Package lint is the repository's static-analysis pass: a set of
+// stdlib-only analyzers (go/ast + go/types, no external dependencies) that
+// prove, at the source level, the invariants the dynamic harnesses enforce
+// at run time — deterministic digests, the allocation-free cycle loop, the
+// queue's lock discipline, and the JSON wire contract. cmd/dcalint runs
+// them from the command line; ci/ci_test.go runs them in-process so plain
+// `go test ./...` is the enforcement point. DESIGN.md's "Enforced
+// invariants" section maps each analyzer to its dynamic counterpart.
+//
+// Two source annotations steer the pass:
+//
+//   - `//dca:hotpath` on a function declaration opts the function into the
+//     noalloc analyzer: its body may not contain allocating constructs.
+//   - `//dca:allow(<analyzer>: <justification>)` on a flagged line (or the
+//     line directly above it) suppresses that analyzer's diagnostics for
+//     the line. The justification text is mandatory — an allow without one
+//     is itself a diagnostic — so every suppression documents why the
+//     invariant provably holds anyway.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a human-readable message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one check over a type-checked package.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and allow comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run reports the analyzer's findings for one package. Allow-comment
+	// filtering is applied by Lint, not by the analyzer.
+	Run func(p *Package) []Diagnostic
+}
+
+// allowRe matches the escape-hatch comment form `dca:allow(name: text)`.
+// The justification text is captured so Lint can require it to be
+// non-empty.
+var allowRe = regexp.MustCompile(`//\s*dca:allow\(([a-z]+)\s*(?::\s*(.*?))?\s*\)`)
+
+// allowSite is one parsed //dca:allow comment.
+type allowSite struct {
+	analyzer      string
+	justification string
+	pos           token.Position
+}
+
+// allowsIn parses every //dca:allow comment in the file, keyed by the line
+// it suppresses (its own line, covering both trailing and standalone
+// placement — a standalone allow on line N suppresses findings on N+1).
+func allowsIn(fset *token.FileSet, f *ast.File) map[int][]allowSite {
+	sites := make(map[int][]allowSite)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := allowRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			sites[pos.Line] = append(sites[pos.Line], allowSite{
+				analyzer:      m[1],
+				justification: strings.TrimSpace(m[2]),
+				pos:           pos,
+			})
+		}
+	}
+	return sites
+}
+
+// Lint runs the analyzers over the packages, applies //dca:allow
+// filtering, and returns the surviving diagnostics sorted by position.
+// Malformed allow comments (no justification text, or naming no known
+// analyzer) are reported as diagnostics of the pseudo-analyzer "allow".
+func Lint(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var out []Diagnostic
+	// Allow comments are collected globally (file -> line -> sites) before
+	// any analyzer runs: wirecontract follows type closures across package
+	// boundaries, so a diagnostic can land in a file of a package other
+	// than the one whose Run produced it.
+	allows := make(map[string]map[int][]allowSite)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			pos := p.Fset.Position(f.Pos())
+			fileAllows := allowsIn(p.Fset, f)
+			allows[pos.Filename] = fileAllows
+			for _, sites := range fileAllows {
+				for _, s := range sites {
+					if !known[s.analyzer] {
+						out = append(out, Diagnostic{
+							Pos:      s.pos,
+							Analyzer: "allow",
+							Message:  fmt.Sprintf("dca:allow names unknown analyzer %q", s.analyzer),
+						})
+					}
+					if s.justification == "" {
+						out = append(out, Diagnostic{
+							Pos:      s.pos,
+							Analyzer: "allow",
+							Message:  fmt.Sprintf("dca:allow(%s) has no justification text (write dca:allow(%s: why the invariant holds here))", s.analyzer, s.analyzer),
+						})
+					}
+				}
+			}
+		}
+	}
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				if allowed(allows[d.Pos.Filename], d.Pos.Line, a.Name) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// allowed reports whether an allow for the analyzer covers the line: a
+// justified dca:allow on the line itself or the line directly above.
+func allowed(fileAllows map[int][]allowSite, line int, analyzer string) bool {
+	for _, l := range [2]int{line, line - 1} {
+		for _, s := range fileAllows[l] {
+			if s.analyzer == analyzer && s.justification != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hotpathMarker is the annotation opting a function into noalloc checking.
+const hotpathMarker = "//dca:hotpath"
+
+// isHotpath reports whether the function declaration carries the
+// //dca:hotpath annotation in its doc comment group.
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), hotpathMarker) {
+			return true
+		}
+	}
+	return false
+}

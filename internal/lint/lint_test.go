@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+)
+
+// fixtureAnalyzers returns a fresh analyzer suite scoped to the fixture
+// module under testdata/src. Fresh per call: wirecontract's closure
+// dedup is per-instance state, so an instance must not be reused across
+// Lint runs.
+func fixtureAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NewDeterminism(DeterminismConfig{Packages: []string{"fixture/det"}}),
+		NewNoalloc(),
+		NewLockDiscipline(LockDisciplineConfig{
+			Packages:     []string{"fixture/lock"},
+			IOInterfaces: []string{"fixture/lock.Store"},
+		}),
+		NewWireContract(WireContractConfig{Module: "fixture", Roots: []string{"fixture/wire.Root"}}),
+	}
+}
+
+// fixturePkgs caches the type-checked fixture module: loading it pulls
+// net/http through the source importer, which is the expensive part.
+var fixturePkgs []*Package
+
+func loadFixtures(t *testing.T) []*Package {
+	t.Helper()
+	if fixturePkgs == nil {
+		pkgs, err := Load("testdata/src", nil)
+		if err != nil {
+			t.Fatalf("loading fixture module: %v", err)
+		}
+		if len(pkgs) == 0 {
+			t.Fatal("fixture module loaded no packages")
+		}
+		fixturePkgs = pkgs
+	}
+	return fixturePkgs
+}
+
+// expectation is one `// want "regexp"` comment in a fixture file: a
+// diagnostic must land on its file and line with a matching message.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	text    string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+func collectWants(t *testing.T, pkgs []*Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("bad want pattern %q: %v", m[1], err)
+						}
+						pos := p.Fset.Position(c.Pos())
+						out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, text: m[1]})
+					}
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no // want comments found in fixtures")
+	}
+	return out
+}
+
+// checkWants matches diagnostics against expectations by file, line and
+// message pattern. Both directions are violations: a diagnostic no want
+// expects, and a want no diagnostic fulfills.
+func checkWants(diags []Diagnostic, wants []*expectation) (unexpected, unmatched []string) {
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+			}
+		}
+		if !found {
+			unexpected = append(unexpected, d.String())
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			unmatched = append(unmatched, fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.text))
+		}
+	}
+	return unexpected, unmatched
+}
+
+// TestFixtureDiagnostics runs the full analyzer suite over the fixture
+// module and requires an exact two-way match with the // want comments:
+// every annotated line is flagged with the expected message, and nothing
+// unannotated is flagged.
+func TestFixtureDiagnostics(t *testing.T) {
+	pkgs := loadFixtures(t)
+	diags := Lint(pkgs, fixtureAnalyzers())
+	unexpected, unmatched := checkWants(diags, collectWants(t, pkgs))
+	for _, u := range unexpected {
+		t.Errorf("unexpected diagnostic: %s", u)
+	}
+	for _, u := range unmatched {
+		t.Errorf("missing diagnostic: %s", u)
+	}
+}
+
+// TestFixtureFailsWithAnalyzerDisabled proves each fixture actually
+// depends on its analyzer: removing any one analyzer from the suite must
+// leave at least one want unfulfilled — i.e. TestFixtureDiagnostics
+// would fail without it.
+func TestFixtureFailsWithAnalyzerDisabled(t *testing.T) {
+	pkgs := loadFixtures(t)
+	names := fixtureAnalyzers()
+	for i := range names {
+		name := names[i].Name
+		t.Run(name, func(t *testing.T) {
+			suite := fixtureAnalyzers()
+			suite = append(suite[:i:i], suite[i+1:]...)
+			_, unmatched := checkWants(Lint(pkgs, suite), collectWants(t, pkgs))
+			if len(unmatched) == 0 {
+				t.Fatalf("disabling %s left every want fulfilled: the fixture does not exercise it", name)
+			}
+		})
+	}
+}
+
+func TestPathInScope(t *testing.T) {
+	scope := []string{"repro/internal/core", "repro/internal/job/..."}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/core", true},
+		{"repro/internal/core/sub", false},
+		{"repro/internal/job", true},
+		{"repro/internal/job/queue", true},
+		{"repro/internal/jobqueue", false},
+		{"repro/internal/steer", false},
+	}
+	for _, c := range cases {
+		if got := pathInScope(c.path, scope); got != c.want {
+			t.Errorf("pathInScope(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

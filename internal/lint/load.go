@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, the unit every analyzer
+// operates on.
+type Package struct {
+	// Path is the import path ("repro/internal/core").
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	// Info records types, definitions and uses for every expression.
+	Info *types.Info
+}
+
+// moduleImporter resolves imports during type checking: module-internal
+// paths from the packages already checked (Load checks in dependency
+// order), everything else — the standard library, the only external
+// dependency this repository permits — through a source-level importer.
+type moduleImporter struct {
+	modulePath string
+	checked    map[string]*types.Package
+	std        types.ImporterFrom
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == m.modulePath || strings.HasPrefix(path, m.modulePath+"/") {
+		if p, ok := m.checked[path]; ok {
+			return p, nil
+		}
+		return nil, fmt.Errorf("lint: internal import %q not loaded (dependency cycle or load order bug)", path)
+	}
+	return m.std.ImportFrom(path, dir, mode)
+}
+
+// modulePathOf reads the module path from root/go.mod.
+func modulePathOf(root string) (string, error) {
+	raw, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// pkgDir is one directory of sources discovered by the walk.
+type pkgDir struct {
+	path  string // import path
+	dir   string
+	files []string // non-test .go files, sorted
+}
+
+// discover walks root for package directories, skipping testdata, hidden
+// directories and the module's own fixture trees.
+func discover(root, modulePath string) ([]*pkgDir, error) {
+	byDir := make(map[string]*pkgDir)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		p, ok := byDir[dir]
+		if !ok {
+			rel, err := filepath.Rel(root, dir)
+			if err != nil {
+				return err
+			}
+			imp := modulePath
+			if rel != "." {
+				imp = modulePath + "/" + filepath.ToSlash(rel)
+			}
+			p = &pkgDir{path: imp, dir: dir}
+			byDir[dir] = p
+		}
+		p.files = append(p.files, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*pkgDir, 0, len(byDir))
+	for _, p := range byDir {
+		sort.Strings(p.files)
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].path < out[j].path })
+	return out, nil
+}
+
+// Load parses and type-checks every non-test package under root (a module
+// root containing go.mod), in dependency order, using only the standard
+// library toolchain. patterns filters the result by import path: nil or
+// ["./..."] keeps everything; any other entry keeps packages whose import
+// path equals the pattern or, for patterns ending in "/...", starts with
+// its prefix. All packages are always loaded (type checking needs the full
+// dependency closure); patterns restrict only what is returned.
+func Load(root string, patterns []string) ([]*Package, error) {
+	modulePath, err := modulePathOf(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := discover(root, modulePath)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	parsed := make(map[string]*pkgDir, len(dirs))
+	asts := make(map[string][]*ast.File, len(dirs))
+	imports := make(map[string][]string, len(dirs))
+	for _, p := range dirs {
+		var files []*ast.File
+		seen := map[string]bool{}
+		for _, fp := range p.files {
+			f, err := parser.ParseFile(fset, fp, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			files = append(files, f)
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if !seen[ip] {
+					seen[ip] = true
+					imports[p.path] = append(imports[p.path], ip)
+				}
+			}
+		}
+		parsed[p.path] = p
+		asts[p.path] = files
+	}
+
+	order, err := topoSort(parsed, imports, modulePath)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &moduleImporter{
+		modulePath: modulePath,
+		checked:    make(map[string]*types.Package),
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+	var pkgs []*Package
+	for _, path := range order {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, asts[path], info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+		}
+		imp.checked[path] = tpkg
+		pkgs = append(pkgs, &Package{
+			Path:  path,
+			Dir:   parsed[path].dir,
+			Fset:  fset,
+			Files: asts[path],
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	return filterPatterns(pkgs, patterns), nil
+}
+
+// topoSort orders the module's packages so every package follows its
+// module-internal dependencies.
+func topoSort(parsed map[string]*pkgDir, imports map[string][]string, modulePath string) ([]string, error) {
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[string]int, len(parsed))
+	var order []string
+	var visit func(path string, chain []string) error
+	visit = func(path string, chain []string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle: %s", strings.Join(append(chain, path), " -> "))
+		}
+		state[path] = visiting
+		for _, dep := range imports[path] {
+			if dep != modulePath && !strings.HasPrefix(dep, modulePath+"/") {
+				continue
+			}
+			if _, ok := parsed[dep]; !ok {
+				return fmt.Errorf("lint: %s imports %s, which has no sources in the module", path, dep)
+			}
+			if err := visit(dep, append(chain, path)); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, path)
+		return nil
+	}
+	paths := make([]string, 0, len(parsed))
+	for path := range parsed {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(path, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// filterPatterns keeps the packages matching any pattern; nil or "./..."
+// keeps everything.
+func filterPatterns(pkgs []*Package, patterns []string) []*Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	match := func(p *Package) bool {
+		for _, pat := range patterns {
+			switch {
+			case pat == "./..." || pat == "...":
+				return true
+			case strings.HasSuffix(pat, "/..."):
+				prefix := strings.TrimSuffix(pat, "/...")
+				prefix = strings.TrimPrefix(prefix, "./")
+				if p.Path == prefix || strings.HasPrefix(p.Path, prefix+"/") ||
+					strings.HasSuffix(p.Path, "/"+prefix) || strings.Contains(p.Path, "/"+prefix+"/") {
+					return true
+				}
+			default:
+				trimmed := strings.TrimPrefix(pat, "./")
+				if p.Path == trimmed || strings.HasSuffix(p.Path, "/"+trimmed) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	var out []*Package
+	for _, p := range pkgs {
+		if match(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockDisciplineConfig scopes the lockdiscipline analyzer.
+type LockDisciplineConfig struct {
+	// Packages lists the import paths (exact, or "/..." prefixes) whose
+	// mutexes protect latency-sensitive shared state.
+	Packages []string
+	// IOInterfaces names interface types (full path, "pkg/path.Name")
+	// whose method calls count as I/O — calling them with a mutex held
+	// serializes every other caller behind a disk read or simulation.
+	IOInterfaces []string
+}
+
+// NewLockDiscipline builds the lockdiscipline analyzer: inside the scoped
+// packages, while a sync.Mutex or sync.RWMutex is held — between a
+// Lock/RLock call and the matching Unlock (or to the end of the function
+// after `defer Unlock`), and throughout functions named *Locked, the
+// repository's held-lock naming convention — the function may not
+//
+//   - send on or receive from a channel, or select over channel
+//     operations (close is fine: it never blocks);
+//   - perform I/O through one of the configured store interfaces;
+//   - issue HTTP calls or other net/http operations.
+//
+// The queue's contract depends on this: Lease long-polls *outside* the
+// lock, and every critical section is O(queue) pointer work, so no worker
+// can stall every other worker behind a blocking call. The race detector
+// (the dynamic counterpart) finds misuse only when two goroutines
+// actually collide under the test scheduler; this proves the sections are
+// non-blocking by construction.
+func NewLockDiscipline(cfg LockDisciplineConfig) *Analyzer {
+	ioIfaces := make(map[string]bool, len(cfg.IOInterfaces))
+	for _, n := range cfg.IOInterfaces {
+		ioIfaces[n] = true
+	}
+	return &Analyzer{
+		Name: "lockdiscipline",
+		Doc:  "forbid channel ops, HTTP and store I/O while a mutex is held",
+		Run: func(p *Package) []Diagnostic {
+			if !pathInScope(p.Path, cfg.Packages) {
+				return nil
+			}
+			var out []Diagnostic
+			report := func(pos token.Pos, format string, args ...any) {
+				out = append(out, Diagnostic{
+					Pos:      p.Fset.Position(pos),
+					Analyzer: "lockdiscipline",
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			for _, f := range p.Files {
+				for _, decl := range f.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok || fn.Body == nil {
+						continue
+					}
+					held := strings.HasSuffix(fn.Name.Name, "Locked")
+					walkLocked(p, fn, fn.Body.List, held, ioIfaces, report)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// walkLocked scans a statement list linearly, tracking whether a mutex is
+// held, and checks every statement executed under the lock. Branch bodies
+// are analyzed with the state at their entry; a Lock whose Unlock happens
+// on another path is treated as held until the end of the enclosing list
+// (conservative, and matches the straight-line critical sections this
+// repository uses). Returns whether a lock is still held at the end.
+func walkLocked(p *Package, fn *ast.FuncDecl, stmts []ast.Stmt, held bool, ioIfaces map[string]bool, report func(token.Pos, string, ...any)) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				switch lockCallKind(p, call) {
+				case "lock":
+					held = true
+					continue
+				case "unlock":
+					held = false
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			if lockCallKind(p, s.Call) == "unlock" {
+				// Held for the rest of the function; the defer itself is
+				// not a blocking operation.
+				held = true
+				continue
+			}
+		}
+		if held {
+			checkLockedStmt(p, fn, s, ioIfaces, report)
+		}
+		// Recurse into compound statements with the current state. State
+		// changes inside branches stay local to the branch except for
+		// blocks, which execute unconditionally.
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			held = walkLocked(p, fn, s.List, held, ioIfaces, report)
+		case *ast.IfStmt:
+			walkLocked(p, fn, s.Body.List, held, ioIfaces, report)
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				walkLocked(p, fn, e.List, held, ioIfaces, report)
+			case *ast.IfStmt:
+				walkLocked(p, fn, []ast.Stmt{e}, held, ioIfaces, report)
+			}
+		case *ast.ForStmt:
+			walkLocked(p, fn, s.Body.List, held, ioIfaces, report)
+		case *ast.RangeStmt:
+			walkLocked(p, fn, s.Body.List, held, ioIfaces, report)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLocked(p, fn, cc.Body, held, ioIfaces, report)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLocked(p, fn, cc.Body, held, ioIfaces, report)
+				}
+			}
+		}
+	}
+	return held
+}
+
+// checkLockedStmt reports blocking operations in one statement executed
+// with a mutex held. It inspects the statement shallowly plus its
+// expressions; nested compound statements are handled by walkLocked's
+// recursion.
+func checkLockedStmt(p *Package, fn *ast.FuncDecl, s ast.Stmt, ioIfaces map[string]bool, report func(token.Pos, string, ...any)) {
+	switch s := s.(type) {
+	case *ast.SendStmt:
+		report(s.Pos(), "channel send while a mutex is held in %s: a slow receiver stalls every other lock holder", fn.Name.Name)
+		return
+	case *ast.SelectStmt:
+		report(s.Pos(), "select over channel operations while a mutex is held in %s", fn.Name.Name)
+		return
+	case *ast.RangeStmt:
+		if t := p.Info.TypeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				report(s.Pos(), "range over a channel while a mutex is held in %s", fn.Name.Name)
+			}
+		}
+	case *ast.GoStmt, *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		// go statements run concurrently; compound bodies are recursed
+		// into by walkLocked. Check only their immediate expressions.
+	}
+	checkLockedExprs(p, fn, s, ioIfaces, report)
+}
+
+// checkLockedExprs inspects the statement's expression tree (but not
+// nested statement bodies) for receives, I/O-interface calls and net/http
+// calls.
+func checkLockedExprs(p *Package, fn *ast.FuncDecl, s ast.Stmt, ioIfaces map[string]bool, report func(token.Pos, string, ...any)) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			return false // bodies handled by walkLocked recursion
+		case *ast.FuncLit:
+			return false // runs later, not under this lock necessarily
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(n.Pos(), "channel receive while a mutex is held in %s", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkLockedCall(p, fn, n, ioIfaces, report)
+		}
+		return true
+	})
+}
+
+func checkLockedCall(p *Package, fn *ast.FuncDecl, call *ast.CallExpr, ioIfaces map[string]bool, report func(token.Pos, string, ...any)) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Package-level net/http functions (http.Get, http.Post, ...).
+	if pkgPath, name := calleePkgFunc(p, call); pkgPath == "net/http" {
+		report(call.Pos(), "net/http.%s while a mutex is held in %s", name, fn.Name.Name)
+		return
+	}
+	// Method calls: on configured I/O interfaces, or on net/http types
+	// (e.g. (*http.Client).Do).
+	recvT := p.Info.TypeOf(sel.X)
+	if recvT == nil {
+		return
+	}
+	if named := namedOf(recvT); named != nil {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			full := obj.Pkg().Path() + "." + obj.Name()
+			if ioIfaces[full] {
+				report(call.Pos(), "store I/O (%s.%s) while a mutex is held in %s: every other caller queues behind it", obj.Name(), sel.Sel.Name, fn.Name.Name)
+				return
+			}
+			if obj.Pkg().Path() == "net/http" {
+				report(call.Pos(), "net/http call (%s.%s) while a mutex is held in %s", obj.Name(), sel.Sel.Name, fn.Name.Name)
+			}
+		}
+	}
+}
+
+// namedOf unwraps pointers to the named type, if any.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// lockCallKind classifies a call as mutex lock ("lock"), unlock
+// ("unlock"), or neither (""), by method name and receiver type
+// (sync.Mutex, sync.RWMutex, or anything embedding them).
+func lockCallKind(p *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	var kind string
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = "lock"
+	case "Unlock", "RUnlock":
+		kind = "unlock"
+	default:
+		return ""
+	}
+	// The selection must resolve to a method of sync.Mutex/RWMutex
+	// (directly or through embedding).
+	if selInfo, ok := p.Info.Selections[sel]; ok {
+		if f, isFunc := selInfo.Obj().(*types.Func); isFunc {
+			if pkg := f.Pkg(); pkg != nil && pkg.Path() == "sync" {
+				return kind
+			}
+		}
+		return ""
+	}
+	// Package-qualified or unresolved: not a mutex method.
+	return ""
+}

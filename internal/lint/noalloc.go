@@ -1,0 +1,273 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewNoalloc builds the noalloc analyzer: functions annotated
+// `//dca:hotpath` (the cycle loop and everything it calls per cycle) may
+// not contain allocating constructs —
+//
+//   - slice, map and function (closure) literals;
+//   - the make and new builtins;
+//   - fmt and errors.New calls, except directly inside a return statement
+//     (an error return ends the run, so it executes at most once);
+//   - append to anything but a retained buffer: a struct field, a
+//     parameter, or a local derived by reslicing one of those (the
+//     `buf = buf[:0]` / `m.buf = append(m.buf, x)` amortized-steady-state
+//     idiom the cycle loop is built on);
+//   - implicit interface conversions of non-pointer-shaped values
+//     (boxing) in assignments and call arguments.
+//
+// The dynamic counterpart is TestSteadyStateCycleAllocs' 0-alloc gate,
+// which proves the steady state of the configurations it runs; this
+// analyzer pins the constructs themselves, for every configuration and
+// before any benchmark runs.
+func NewNoalloc() *Analyzer {
+	return &Analyzer{
+		Name: "noalloc",
+		Doc:  "forbid allocating constructs in //dca:hotpath functions",
+		Run: func(p *Package) []Diagnostic {
+			var out []Diagnostic
+			report := func(pos token.Pos, format string, args ...any) {
+				out = append(out, Diagnostic{
+					Pos:      p.Fset.Position(pos),
+					Analyzer: "noalloc",
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			for _, f := range p.Files {
+				for _, decl := range f.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok || fn.Body == nil || !isHotpath(fn) {
+						continue
+					}
+					checkNoallocFunc(p, fn, report)
+				}
+			}
+			return out
+		},
+	}
+}
+
+func checkNoallocFunc(p *Package, fn *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	allowedBases := retainedBases(p, fn)
+	inReturn := returnSpans(fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			t := p.Info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates in hotpath function %s", fn.Name.Name)
+			case *types.Map:
+				report(n.Pos(), "map literal allocates in hotpath function %s", fn.Name.Name)
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "closure literal may allocate in hotpath function %s", fn.Name.Name)
+			return false // the closure body is not hot-path code itself
+		case *ast.CallExpr:
+			checkNoallocCall(p, fn, n, allowedBases, inReturn, report)
+		}
+		return true
+	})
+}
+
+func checkNoallocCall(p *Package, fn *ast.FuncDecl, call *ast.CallExpr, allowedBases map[types.Object]bool, inReturn []span, report func(token.Pos, string, ...any)) {
+	if ident, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := p.Info.Uses[ident].(*types.Builtin); isBuiltin {
+			switch ident.Name {
+			case "make":
+				report(call.Pos(), "make allocates in hotpath function %s", fn.Name.Name)
+			case "new":
+				report(call.Pos(), "new allocates in hotpath function %s", fn.Name.Name)
+			case "append":
+				if len(call.Args) > 0 && !isRetainedBuffer(p, call.Args[0], allowedBases) {
+					report(call.Pos(), "append to a non-retained slice may allocate in hotpath function %s (append to a struct field, parameter, or a reslice of one)", fn.Name.Name)
+				}
+			}
+			return
+		}
+	}
+	if pkgPath, name := calleePkgFunc(p, call); pkgPath != "" {
+		allocCall := pkgPath == "fmt" || (pkgPath == "errors" && name == "New")
+		if allocCall && !posInSpans(call.Pos(), inReturn) {
+			report(call.Pos(), "%s.%s allocates in hotpath function %s (error-return paths are exempt; move it into the return statement)", pkgPath, name, fn.Name.Name)
+			return
+		}
+		if allocCall {
+			return
+		}
+	}
+	checkBoxing(p, fn, call, report)
+}
+
+// span is a [start, end) position range.
+type span struct{ start, end token.Pos }
+
+// returnSpans collects the source ranges of every return statement:
+// fmt.Errorf directly inside one is the cold error-exit idiom.
+func returnSpans(fn *ast.FuncDecl) []span {
+	var out []span
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			out = append(out, span{r.Pos(), r.End()})
+		}
+		return true
+	})
+	return out
+}
+
+func posInSpans(pos token.Pos, spans []span) bool {
+	for _, s := range spans {
+		if pos >= s.start && pos < s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// retainedBases collects the objects append may safely target: receiver
+// and parameter objects, plus locals initialized by reslicing a field,
+// parameter or array-backed local (capacity lives outside the loop, so
+// steady-state appends stay in place).
+func retainedBases(p *Package, fn *ast.FuncDecl) map[types.Object]bool {
+	bases := make(map[types.Object]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					bases[obj] = true
+				}
+			}
+		}
+	}
+	addFields(fn.Recv)
+	if fn.Type.Params != nil {
+		addFields(fn.Type.Params)
+	}
+	// Fixed point: `x := buf[:0]` makes x retained when buf is.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			lhs, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Defs[lhs]
+			if obj == nil {
+				obj = p.Info.Uses[lhs]
+			}
+			if obj == nil || bases[obj] {
+				return true
+			}
+			if isRetainedBuffer(p, as.Rhs[0], bases) {
+				bases[obj] = true
+				changed = true
+			}
+			return true
+		})
+	}
+	return bases
+}
+
+// isRetainedBuffer reports whether the expression denotes storage that
+// outlives the call: a selector (struct field), an identifier in bases, a
+// reslice of such, an array-backed slice expression, or an index into one.
+func isRetainedBuffer(p *Package, e ast.Expr, bases map[types.Object]bool) bool {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		return true // field access: the struct retains the buffer
+	case *ast.Ident:
+		obj := p.Info.Uses[e]
+		if obj == nil {
+			obj = p.Info.Defs[e]
+		}
+		return obj != nil && bases[obj]
+	case *ast.SliceExpr:
+		// buf[:0] over an array-typed operand is stack/struct storage.
+		if t := p.Info.TypeOf(e.X); t != nil {
+			if _, isArray := t.Underlying().(*types.Array); isArray {
+				return true
+			}
+			if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				if _, isArray := ptr.Elem().Underlying().(*types.Array); isArray {
+					return true
+				}
+			}
+		}
+		return isRetainedBuffer(p, e.X, bases)
+	case *ast.IndexExpr:
+		return isRetainedBuffer(p, e.X, bases)
+	case *ast.ParenExpr:
+		return isRetainedBuffer(p, e.X, bases)
+	}
+	return false
+}
+
+// checkBoxing flags call arguments whose implicit conversion to an
+// interface parameter boxes a non-pointer-shaped value on the heap.
+func checkBoxing(p *Package, fn *ast.FuncDecl, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	sigT := p.Info.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if s, isSlice := last.(*types.Slice); isSlice {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := p.Info.TypeOf(arg)
+		if at == nil || boxingFree(at) {
+			continue
+		}
+		report(arg.Pos(), "passing %s as interface %s boxes it on the heap in hotpath function %s", at, pt, fn.Name.Name)
+	}
+}
+
+// boxingFree reports whether converting a value of this type to an
+// interface never allocates: pointers, channels, maps, functions,
+// unsafe pointers, interfaces themselves, and untyped nil.
+func boxingFree(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	case *types.Slice:
+		// Slice headers are multi-word: boxing copies the header to the
+		// heap. Flag them.
+		return false
+	case *types.Basic:
+		return u.Kind() == types.UntypedNil || u.Kind() == types.UnsafePointer
+	}
+	return false
+}

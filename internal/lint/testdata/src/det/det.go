@@ -1,0 +1,97 @@
+// Package det exercises the determinism analyzer: every construct the
+// analyzer must flag carries a trailing `// want` comment, and every
+// idiom it must accept appears without one.
+package det
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// mapRangeFlagged lets map iteration order reach the returned slice.
+func mapRangeFlagged(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order"
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedKeys is the sorted-iteration idiom: the keys are sorted before
+// use, so iteration order cannot escape.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// orderInsensitive accumulates integers with a commutative operator.
+func orderInsensitive(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// setBuild only inserts into a map: order-insensitive.
+func setBuild(src map[string]int) map[string]bool {
+	set := make(map[string]bool, len(src))
+	for k := range src {
+		set[k] = true
+	}
+	return set
+}
+
+func wallClock() int64 {
+	return time.Now().Unix() // want "time.Now"
+}
+
+func sinceFlagged(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since"
+}
+
+func envRead() string {
+	return os.Getenv("HOME") // want "os.Getenv"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "global rand source"
+}
+
+// seededRand draws from an explicitly seeded source: reproducible.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// allowedMax carries a justified allow: the finding is suppressed.
+func allowedMax(m map[string]int) int {
+	best := 0
+	//dca:allow(determinism: a max over all values is order-insensitive)
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// badAllow has an allow with no justification: the allow itself is
+// reported, and the finding it covers is NOT suppressed.
+func badAllow(m map[string]int) []string {
+	var names []string
+	//dca:allow(determinism) // want "has no justification"
+	for k := range m { // want "map iteration order"
+		names = append(names, k)
+	}
+	return names
+}
+
+//dca:allow(nosuchcheck: the analyzer name is not real) // want "unknown analyzer"
+func unknownAllow() {}

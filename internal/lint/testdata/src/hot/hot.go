@@ -1,0 +1,120 @@
+// Package hot exercises the noalloc analyzer: only functions annotated
+// //dca:hotpath are checked, and inside them every allocating construct
+// carries a `// want` comment while the retained-buffer and cold-error
+// idioms appear without one.
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+type ring struct {
+	buf []int
+}
+
+// push appends to a retained field buffer: steady-state allocation-free.
+//
+//dca:hotpath
+func (r *ring) push(v int) {
+	r.buf = append(r.buf, v)
+}
+
+// reslice derives a local from a field reslice; the fixed point makes it
+// retained too.
+//
+//dca:hotpath
+func (r *ring) reslice() {
+	tmp := r.buf[:0]
+	tmp = append(tmp, 1)
+	r.buf = tmp
+}
+
+//dca:hotpath
+func sliceLit() []int {
+	return []int{1, 2, 3} // want "slice literal allocates"
+}
+
+//dca:hotpath
+func mapLit() map[string]int {
+	return map[string]int{} // want "map literal allocates"
+}
+
+//dca:hotpath
+func closure(xs []int) int {
+	f := func(x int) int { return x * 2 } // want "closure literal"
+	return f(xs[0])
+}
+
+//dca:hotpath
+func makes(n int) {
+	_ = make([]int, n) // want "make allocates"
+}
+
+//dca:hotpath
+func news() *ring {
+	return new(ring) // want "new allocates"
+}
+
+//dca:hotpath
+func appendLocal(xs []int) []int {
+	var out []int
+	out = append(out, xs...) // want "non-retained slice"
+	return out
+}
+
+// errorExit shows the cold error-return exemption: fmt.Errorf directly
+// inside a return statement runs at most once per call.
+//
+//dca:hotpath
+func errorExit(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative: %d", n)
+	}
+	return nil
+}
+
+//dca:hotpath
+func errNew(bad bool) error {
+	if bad {
+		return errors.New("cold error exit")
+	}
+	return nil
+}
+
+//dca:hotpath
+func fmtOutside() {
+	fmt.Println("hot") // want "fmt.Println allocates"
+}
+
+type token struct{ a, b int }
+
+func sink(v any) { _ = v }
+
+//dca:hotpath
+func boxes(t token) {
+	sink(t) // want "boxes it on the heap"
+}
+
+// pointerShaped passes a pointer: interface conversion is free.
+//
+//dca:hotpath
+func pointerShaped(t *token) {
+	sink(t)
+}
+
+// pooled documents the allow hatch inside a hotpath function.
+//
+//dca:hotpath
+func pooled(pool []*ring) *ring {
+	if len(pool) == 0 {
+		//dca:allow(noalloc: pool-dry fallback, runs only before steady state)
+		return new(ring)
+	}
+	return pool[len(pool)-1]
+}
+
+// coldPath is not annotated: the analyzer must ignore it entirely.
+func coldPath() []int {
+	return []int{1, 2, 3}
+}

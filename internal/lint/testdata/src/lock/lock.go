@@ -1,0 +1,120 @@
+// Package lock exercises the lockdiscipline analyzer: channel
+// operations, store I/O and net/http calls under a held mutex carry
+// `// want` comments; the straight-line critical sections and the
+// close-under-lock idiom appear without one.
+package lock
+
+import (
+	"net/http"
+	"sync"
+)
+
+// Store is the I/O interface the fixture configuration names.
+type Store interface {
+	Get(key string) (string, bool)
+	Put(key, val string)
+}
+
+type Q struct {
+	mu    sync.Mutex
+	wake  chan struct{}
+	store Store
+	n     int
+}
+
+// goodCriticalSection does O(1) pointer work under the lock and performs
+// I/O only after releasing it.
+func (q *Q) goodCriticalSection() {
+	q.mu.Lock()
+	q.n++
+	q.mu.Unlock()
+	q.store.Put("k", "v")
+}
+
+func (q *Q) sendUnderLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.wake <- struct{}{} // want "channel send while a mutex is held"
+}
+
+func (q *Q) recvUnderLock() {
+	q.mu.Lock()
+	<-q.wake // want "channel receive while a mutex is held"
+	q.mu.Unlock()
+}
+
+func (q *Q) storeUnderLock() (string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.store.Get("k") // want "store I/O"
+}
+
+func (q *Q) httpUnderLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	http.Get("http://example.invalid/") // want "net/http"
+}
+
+// closeUnderLock is fine: close never blocks.
+func (q *Q) closeUnderLock() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	close(q.wake)
+}
+
+// drainLocked follows the *Locked naming convention: the caller holds
+// q.mu, so the whole body is a critical section.
+func (q *Q) drainLocked() {
+	q.wake <- struct{}{} // want "channel send while a mutex is held"
+}
+
+// unlockedOps blocks freely: no mutex is held.
+func (q *Q) unlockedOps() {
+	q.wake <- struct{}{}
+	<-q.wake
+	q.store.Put("a", "b")
+}
+
+// allowedStoreCheck documents the escape hatch for a deliberate store
+// read inside a critical section.
+func (q *Q) allowedStoreCheck() (string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	//dca:allow(lockdiscipline: deliberate dedup re-check, documented in the fixture)
+	return q.store.Get("k")
+}
+
+// fakeLock is not a sync mutex: its Lock method must not start a
+// critical section.
+type fakeLock struct{}
+
+func (fakeLock) Lock()   {}
+func (fakeLock) Unlock() {}
+
+func notAMutex(q *Q, f fakeLock) {
+	f.Lock()
+	q.wake <- struct{}{}
+	f.Unlock()
+}
+
+type R struct {
+	mu sync.RWMutex
+	c  chan int
+}
+
+// readUnderRLock holds a read lock: still a critical section.
+func (r *R) readUnderRLock() int {
+	r.mu.RLock()
+	v := <-r.c // want "channel receive while a mutex is held"
+	r.mu.RUnlock()
+	return v
+}
+
+func (r *R) selectUnderLock() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select { // want "select over channel operations"
+	case <-r.c:
+	default:
+	}
+}

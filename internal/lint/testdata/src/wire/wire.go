@@ -1,0 +1,36 @@
+// Package wire exercises the wirecontract analyzer: the closure rooted
+// at Root must have an explicit json tag on every exported field, while
+// unexported fields and structs unreachable from any root are ignored.
+package wire
+
+type Root struct {
+	Name   string          `json:"Name"`
+	Count  int             // want "Root.Count has no json tag"
+	Inner  Inner           `json:"Inner"`
+	Ptr    *Inner          `json:"Ptr"`
+	List   []Leaf          `json:"List"`
+	ByName map[string]Leaf `json:"ByName"`
+	hidden int
+}
+
+type Inner struct {
+	A int `json:"A"`
+	B int // want "Inner.B has no json tag"
+}
+
+type Leaf struct {
+	V int `json:"V"`
+}
+
+// Unreachable is not part of any root closure: its missing tags are not
+// the wire contract's business.
+type Unreachable struct {
+	X int
+}
+
+func use() (int, int) {
+	var r Root
+	r.hidden = 1
+	var u Unreachable
+	return r.hidden, u.X
+}

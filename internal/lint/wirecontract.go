@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// WireContractConfig scopes the wirecontract analyzer.
+type WireContractConfig struct {
+	// Module is the module path; only structs defined inside the module
+	// are checked (stdlib types like time.Time marshal themselves).
+	Module string
+	// Roots lists the wire and digest root types as "pkg/path.Name":
+	// everything serialized between dcaserve and its workers, and
+	// everything whose JSON bytes feed a content digest. The analyzer
+	// checks each root and every module struct reachable through its
+	// fields.
+	Roots []string
+}
+
+// NewWireContract builds the wirecontract analyzer: every exported field
+// of every struct reachable from the configured wire/digest roots must
+// carry an explicit `json:"..."` tag. encoding/json's fallback — "no tag,
+// use the Go field name" — makes renames silent wire breaks and lets new
+// fields join the format implicitly; an explicit tag turns both into a
+// reviewed decision. Content digests (job.Key, job.ResultDigest) hash the
+// JSON encoding directly, so for those structs the tag IS the digest
+// format: a tag must only ever be added matching the existing field name,
+// never changed (the golden digests pin this).
+//
+// Closure traversal follows struct fields through pointers, slices,
+// arrays and maps, and stops at types defined outside the module.
+func NewWireContract(cfg WireContractConfig) *Analyzer {
+	rootsByPkg := make(map[string][]string)
+	for _, r := range cfg.Roots {
+		dot := strings.LastIndex(r, ".")
+		if dot < 0 {
+			continue
+		}
+		rootsByPkg[r[:dot]] = append(rootsByPkg[r[:dot]], r[dot+1:])
+	}
+	// seen spans packages: closure members shared between roots (stats.Run
+	// via Lease and via the store) are checked once.
+	seen := make(map[*types.TypeName]bool)
+	return &Analyzer{
+		Name: "wirecontract",
+		Doc:  "require explicit json tags on every exported field reachable from the wire/digest root types",
+		Run: func(p *Package) []Diagnostic {
+			names := rootsByPkg[p.Path]
+			if len(names) == 0 {
+				return nil
+			}
+			var out []Diagnostic
+			report := func(pos token.Pos, format string, args ...any) {
+				out = append(out, Diagnostic{
+					Pos:      p.Fset.Position(pos),
+					Analyzer: "wirecontract",
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			for _, name := range names {
+				obj, ok := p.Types.Scope().Lookup(name).(*types.TypeName)
+				if !ok {
+					report(token.NoPos, "wire root %s.%s is not a defined type", p.Path, name)
+					continue
+				}
+				checkWireClosure(cfg.Module, obj, seen, report)
+			}
+			return out
+		},
+	}
+}
+
+// checkWireClosure checks one named type and everything reachable from its
+// fields.
+func checkWireClosure(module string, tn *types.TypeName, seen map[*types.TypeName]bool, report func(token.Pos, string, ...any)) {
+	if seen[tn] || !inModule(module, tn) {
+		return
+	}
+	seen[tn] = true
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue // encoding/json ignores unexported fields
+		}
+		if _, hasTag := reflect.StructTag(st.Tag(i)).Lookup("json"); !hasTag {
+			report(f.Pos(), "exported field %s.%s has no json tag: the wire/digest name would default to the Go identifier, making renames silent format breaks", tn.Name(), f.Name())
+		}
+		visitWireType(module, f.Type(), seen, report)
+	}
+}
+
+// visitWireType recurses into the named structs a field type can
+// serialize, through pointers, slices, arrays and maps.
+func visitWireType(module string, t types.Type, seen map[*types.TypeName]bool, report func(token.Pos, string, ...any)) {
+	switch t := t.(type) {
+	case *types.Named:
+		checkWireClosure(module, t.Obj(), seen, report)
+	case *types.Pointer:
+		visitWireType(module, t.Elem(), seen, report)
+	case *types.Slice:
+		visitWireType(module, t.Elem(), seen, report)
+	case *types.Array:
+		visitWireType(module, t.Elem(), seen, report)
+	case *types.Map:
+		visitWireType(module, t.Key(), seen, report)
+		visitWireType(module, t.Elem(), seen, report)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			visitWireType(module, t.Field(i).Type(), seen, report)
+		}
+	}
+}
+
+// inModule reports whether the type is defined inside the module.
+func inModule(module string, tn *types.TypeName) bool {
+	pkg := tn.Pkg()
+	return pkg != nil && (pkg.Path() == module || strings.HasPrefix(pkg.Path(), module+"/"))
+}

@@ -25,15 +25,15 @@ type Level interface {
 // Config describes one cache level.
 type Config struct {
 	// Name identifies the cache in statistics ("L1I", "L1D", "L2").
-	Name string
+	Name string `json:"Name"`
 	// SizeBytes is the total capacity.
-	SizeBytes int
+	SizeBytes int `json:"SizeBytes"`
 	// LineBytes is the line (block) size.
-	LineBytes int
+	LineBytes int `json:"LineBytes"`
 	// Assoc is the set associativity.
-	Assoc int
+	Assoc int `json:"Assoc"`
 	// HitLatency is the access time in cycles on a hit.
-	HitLatency int
+	HitLatency int `json:"HitLatency"`
 }
 
 // Validate checks that the geometry is well formed (power-of-two line and
@@ -249,9 +249,9 @@ type Hierarchy struct {
 // HierarchyConfig carries the tunable parameters of the paper's Table 2
 // memory system.
 type HierarchyConfig struct {
-	L1I Config
-	L1D Config
-	L2  Config
+	L1I Config `json:"L1I"`
+	L1D Config `json:"L1D"`
+	L2  Config `json:"L2"`
 }
 
 // DefaultHierarchyConfig returns Table 2's memory parameters: 64KB 2-way

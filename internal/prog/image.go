@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 
 	"repro/internal/isa"
 )
@@ -162,7 +163,7 @@ func sortedLabelNames(m map[string]int) []string {
 	for n := range m {
 		names = append(names, n)
 	}
-	sortStrings(names)
+	sort.Strings(names)
 	return names
 }
 
@@ -171,16 +172,6 @@ func sortedSymbolNames(m map[string]uint64) []string {
 	for n := range m {
 		names = append(names, n)
 	}
-	sortStrings(names)
+	sort.Strings(names)
 	return names
-}
-
-// sortStrings is a tiny insertion sort to avoid importing sort in this
-// file's hot path — image writing happens rarely and name lists are short.
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

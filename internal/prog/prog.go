@@ -71,9 +71,11 @@ func (p *Program) Validate() error {
 }
 
 // LabelAt returns the label attached to instruction index pc, if any.
+// When several labels share the address, the lexicographically first one
+// wins, so disassembly output is reproducible.
 func (p *Program) LabelAt(pc int) (string, bool) {
-	for name, idx := range p.Labels {
-		if idx == pc {
+	for _, name := range sortedLabelNames(p.Labels) {
+		if p.Labels[name] == pc {
 			return name, true
 		}
 	}

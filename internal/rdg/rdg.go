@@ -167,6 +167,21 @@ func (g *Graph) Preds(n NodeID) []NodeID {
 	return out
 }
 
+// Succs returns the consumers fed by node n, sorted.
+func (g *Graph) Succs(n NodeID) []NodeID {
+	out := make([]NodeID, 0, len(g.succ[n]))
+	for s := range g.succ[n] {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PC != out[j].PC {
+			return out[i].PC < out[j].PC
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
 // HasEdge reports whether producer → consumer is in the graph.
 func (g *Graph) HasEdge(from, to NodeID) bool { return g.succ[from][to] }
 
@@ -187,7 +202,7 @@ func (g *Graph) BackwardSlice(v NodeID) map[NodeID]bool {
 	for len(work) > 0 {
 		n := work[len(work)-1]
 		work = work[:len(work)-1]
-		for p := range g.pred[n] {
+		for _, p := range g.Preds(n) {
 			if !slice[p] {
 				slice[p] = true
 				work = append(work, p)
@@ -250,8 +265,8 @@ func (g *Graph) Dot(name string) string {
 		}
 		fmt.Fprintf(&sb, "  %q [label=%q%s];\n", n.String(), label, shade)
 	}
-	for from, tos := range g.succ {
-		for to := range tos {
+	for _, from := range g.Nodes() {
+		for _, to := range g.Succs(from) {
 			fmt.Fprintf(&sb, "  %q -> %q;\n", from.String(), to.String())
 		}
 	}

@@ -20,9 +20,9 @@ import (
 type BalanceHist struct {
 	// Buckets[i] counts cycles with difference i−Range; index 2*Range is
 	// +Range. Differences beyond ±Range clip into the end buckets.
-	Buckets [2*BalanceRange + 1]uint64
+	Buckets [2*BalanceRange + 1]uint64 `json:"Buckets"`
 	// Samples is the total cycle count recorded.
-	Samples uint64
+	Samples uint64 `json:"Samples"`
 }
 
 // BalanceRange is the clip range of the histogram (the paper plots −10..10).
@@ -73,41 +73,41 @@ func (h *BalanceHist) ImbalancePercent(k int) float64 {
 // Run is the full measurement record of one simulation.
 type Run struct {
 	// Scheme and Benchmark identify the experiment cell.
-	Scheme    string
-	Benchmark string
+	Scheme    string `json:"Scheme"`
+	Benchmark string `json:"Benchmark"`
 
 	// Cycles and Instructions give IPC; Instructions counts committed
 	// program instructions (copies excluded, matching the paper's
 	// "dynamic instructions").
-	Cycles       uint64
-	Instructions uint64
+	Cycles       uint64 `json:"Cycles"`
+	Instructions uint64 `json:"Instructions"`
 
 	// Copies is the number of inter-cluster copy instructions inserted.
-	Copies uint64
+	Copies uint64 `json:"Copies"`
 	// CriticalCopies counts copies whose arrival found a consumer already
 	// waiting on them (the paper's "critical communication").
-	CriticalCopies uint64
+	CriticalCopies uint64 `json:"CriticalCopies"`
 
 	// Balance is the per-cycle ready-difference histogram.
-	Balance BalanceHist
+	Balance BalanceHist `json:"Balance"`
 
 	// ReplicatedRegsAvg is the average number of logical registers mapped
 	// in more than one cluster per cycle (Figure 15; on the two-cluster
 	// machine: mapped in both).
-	ReplicatedRegsAvg float64
+	ReplicatedRegsAvg float64 `json:"ReplicatedRegsAvg"`
 
 	// Steered counts instructions sent to each cluster (index = cluster;
 	// one entry per cluster of the simulated machine).
-	Steered []uint64
+	Steered []uint64 `json:"Steered"`
 
 	// Mispredicts counts resolved conditional-branch and indirect-target
 	// mispredictions; Branches the executed control transfers.
-	Mispredicts uint64
-	Branches    uint64
+	Mispredicts uint64 `json:"Mispredicts"`
+	Branches    uint64 `json:"Branches"`
 
 	// L1DMissRate and L1IMissRate snapshot cache behaviour.
-	L1DMissRate float64
-	L1IMissRate float64
+	L1DMissRate float64 `json:"L1DMissRate"`
+	L1IMissRate float64 `json:"L1IMissRate"`
 }
 
 // SteeredAt returns the number of instructions steered to cluster c, zero

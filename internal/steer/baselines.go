@@ -19,6 +19,8 @@ func NewOperand() *Operand { return &Operand{} }
 func (*Operand) Name() string { return "operand" }
 
 // Steer implements core.Steerer.
+//
+//dca:hotpath
 func (*Operand) Steer(info *core.SteerInfo) core.ClusterID {
 	if info.Forced != core.AnyCluster {
 		return info.Forced
@@ -50,6 +52,8 @@ func NewRandom(seed uint64) *Random { return &Random{state: seed | 1} }
 func (*Random) Name() string { return "random" }
 
 // Steer implements core.Steerer.
+//
+//dca:hotpath
 func (s *Random) Steer(info *core.SteerInfo) core.ClusterID {
 	if info.Forced != core.AnyCluster {
 		return info.Forced

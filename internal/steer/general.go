@@ -25,11 +25,15 @@ func NewGeneral(p Params) *General {
 func (s *General) Name() string { return "general" }
 
 // OnCycle implements core.Steerer.
+//
+//dca:hotpath
 func (s *General) OnCycle(cycle uint64, ready []int) {
 	s.im.onCycle(ready)
 }
 
 // Steer implements core.Steerer.
+//
+//dca:hotpath
 func (s *General) Steer(info *core.SteerInfo) core.ClusterID {
 	var c core.ClusterID
 	if info.Forced != core.AnyCluster {
@@ -58,6 +62,8 @@ func NewModulo() *Modulo { return &Modulo{} }
 func (s *Modulo) Name() string { return "modulo" }
 
 // Steer implements core.Steerer.
+//
+//dca:hotpath
 func (s *Modulo) Steer(info *core.SteerInfo) core.ClusterID {
 	if info.Forced != core.AnyCluster {
 		return info.Forced
@@ -86,6 +92,8 @@ func NewFIFOBased() *FIFOBased { return &FIFOBased{} }
 func (s *FIFOBased) Name() string { return "fifo" }
 
 // Steer implements core.Steerer.
+//
+//dca:hotpath
 func (s *FIFOBased) Steer(info *core.SteerInfo) core.ClusterID {
 	if info.Forced != core.AnyCluster {
 		return info.Forced

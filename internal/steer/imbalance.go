@@ -23,28 +23,28 @@ import "repro/internal/core"
 type Params struct {
 	// Threshold is the strong-imbalance cutoff on the combined counter
 	// (paper: 8).
-	Threshold int
+	Threshold int `json:"Threshold"`
 	// Window is the number of cycles the instantaneous imbalance metric
 	// I2 is averaged over (paper: N=16).
-	Window int
+	Window int `json:"Window"`
 	// Epoch is the criticality-threshold adjustment period in cycles for
 	// the priority scheme (paper: 8192).
-	Epoch uint64
+	Epoch uint64 `json:"Epoch"`
 	// CriticalFraction is the target fraction of instructions in critical
 	// slices (paper: 0.5).
-	CriticalFraction float64
+	CriticalFraction float64 `json:"CriticalFraction"`
 	// IssueWidth is the per-cluster issue width the I2 metric compares
 	// ready counts against (Table 2: 4).
-	IssueWidth int
+	IssueWidth int `json:"IssueWidth"`
 	// Clusters is the cluster count of the machine the policy will steer
 	// for; 0 means the paper's two. It must match the config.Config the
 	// core.Machine runs (experiments.RunOne and the CLIs keep them in
 	// sync).
-	Clusters int
+	Clusters int `json:"Clusters"`
 	// UseI1 and UseI2 optionally disable one component of the combined
 	// imbalance metric for the ablation study (nil or true = enabled).
-	UseI1 *bool
-	UseI2 *bool
+	UseI1 *bool `json:"UseI1"`
+	UseI2 *bool `json:"UseI2"`
 }
 
 // DefaultParams returns the paper's constants (on the paper's two-cluster
@@ -54,6 +54,8 @@ func DefaultParams() Params {
 }
 
 // clusterCount normalizes Params.Clusters (0 → the paper's 2).
+//
+//dca:hotpath
 func (p Params) clusterCount() int {
 	if p.Clusters < 1 {
 		return 2
@@ -114,6 +116,8 @@ func newImbalance(p Params) *imbalance {
 // recorded only when at least one cluster is above its issue width and at
 // least one below (the paper's gate: otherwise all clusters issue at full
 // rate); ungated cycles record zeros, decaying the window average.
+//
+//dca:hotpath
 func (im *imbalance) onCycle(ready []int) {
 	width := im.p.IssueWidth
 	gated := false
@@ -155,6 +159,8 @@ func (im *imbalance) onCycle(ready []int) {
 // the difference up beyond what a few balancing cycles can work off. The
 // counters are renormalized so their minimum stays at zero (differences,
 // the only thing decisions read, are unaffected).
+//
+//dca:hotpath
 func (im *imbalance) onSteer(c core.ClusterID) {
 	if !im.useI1 || c < 0 || int(c) >= im.n {
 		return
@@ -189,6 +195,8 @@ func (im *imbalance) onSteer(c core.ClusterID) {
 // when cluster c is more loaded than cluster o. The window average is
 // computed on the difference of sums, reproducing the truncated integer
 // division of the paper's single-counter hardware.
+//
+//dca:hotpath
 func (im *imbalance) delta(c, o core.ClusterID) int {
 	avg := 0
 	if im.filled > 0 {
@@ -204,6 +212,8 @@ func (im *imbalance) delta(c, o core.ClusterID) int {
 // with q = trunc(ds/f), q >= b reduces to ds >= b*f when ds >= 0 (floor)
 // and to ds > (b-1)*f when ds < 0 (ceiling). TestDeltaComparisons pins the
 // equivalence against the division form.
+//
+//dca:hotpath
 func (im *imbalance) deltaGE(c, o core.ClusterID, a int) bool {
 	di := im.i1[c] - im.i1[o]
 	if im.filled == 0 {
@@ -218,6 +228,8 @@ func (im *imbalance) deltaGE(c, o core.ClusterID, a int) bool {
 }
 
 // deltaSign returns the sign of delta(c, o) using only deltaGE.
+//
+//dca:hotpath
 func (im *imbalance) deltaSign(c, o core.ClusterID) int {
 	if im.deltaGE(c, o, 1) {
 		return 1
@@ -232,12 +244,16 @@ func (im *imbalance) deltaSign(c, o core.ClusterID) int {
 // the paper's combined imbalance counter (positive = FP cluster more
 // loaded). It is only meaningful on two clusters; N-cluster decisions use
 // delta/leastLoaded directly.
+//
+//dca:hotpath
 func (im *imbalance) value() int {
 	return im.delta(core.FPCluster, core.IntCluster)
 }
 
 // strong reports whether any pair of clusters differs by at least the
 // threshold (on two clusters: |combined counter| ≥ threshold).
+//
+//dca:hotpath
 func (im *imbalance) strong() bool {
 	for c := 0; c < im.n; c++ {
 		for o := c + 1; o < im.n; o++ {
@@ -251,43 +267,64 @@ func (im *imbalance) strong() bool {
 	return false
 }
 
+// allClusters returns the candidate set holding every cluster of the
+// machine.
+//
+//dca:hotpath
+func (im *imbalance) allClusters() core.ClusterSet {
+	return core.ClusterSet(1<<uint(im.n)) - 1
+}
+
 // overloaded reports whether cluster c is currently on the loaded side of
 // the counters: strictly more loaded than the least-loaded cluster.
+//
+//dca:hotpath
 func (im *imbalance) overloaded(c core.ClusterID) bool {
 	if c < 0 || int(c) >= im.n {
 		return false
 	}
-	return im.deltaGE(c, im.leastLoadedBy(nil, nil), 1)
+	return im.deltaGE(c, im.leastLoadedIn(im.allClusters(), nil), 1)
 }
 
 // leastLoaded returns the cluster the counters say has the most spare
 // capacity, falling back to the raw ready counts on ties (and to the
 // lowest cluster index after that).
+//
+//dca:hotpath
 func (im *imbalance) leastLoaded(ready []int) core.ClusterID {
-	return im.leastLoadedBy(nil, ready)
+	return im.leastLoadedIn(im.allClusters(), ready)
 }
 
 // leastLoadedOf restricts leastLoaded to the candidate set.
+//
+//dca:hotpath
 func (im *imbalance) leastLoadedOf(cands core.ClusterSet, ready []int) core.ClusterID {
-	in := func(c core.ClusterID) bool { return cands.Has(c) }
-	return im.leastLoadedBy(in, ready)
+	return im.leastLoadedIn(cands, ready)
 }
 
-// leastLoadedBy scans the clusters accepted by `in` (nil = all) and keeps
-// the least loaded: a candidate replaces the incumbent when its pairwise
-// counter says it is strictly less loaded, or on a counter tie when it has
-// strictly fewer raw ready instructions.
-func (im *imbalance) leastLoadedBy(in func(core.ClusterID) bool, ready []int) core.ClusterID {
-	readyAt := func(c core.ClusterID) int {
-		if ready != nil && int(c) < len(ready) {
-			return ready[c]
-		}
-		return 0
+// readyAt reads the ready count for cluster c, treating a short or nil
+// slice as zero.
+//
+//dca:hotpath
+func readyAt(ready []int, c core.ClusterID) int {
+	if int(c) < len(ready) {
+		return ready[c]
 	}
+	return 0
+}
+
+// leastLoadedIn scans the clusters in the candidate set and keeps the
+// least loaded: a candidate replaces the incumbent when its pairwise
+// counter says it is strictly less loaded, or on a counter tie when it has
+// strictly fewer raw ready instructions. It runs once per steered
+// instruction, so it stays closure- and allocation-free.
+//
+//dca:hotpath
+func (im *imbalance) leastLoadedIn(cands core.ClusterSet, ready []int) core.ClusterID {
 	best := core.AnyCluster
 	for i := 0; i < im.n; i++ {
 		c := core.ClusterID(i)
-		if in != nil && !in(c) {
+		if !cands.Has(c) {
 			continue
 		}
 		if best == core.AnyCluster {
@@ -298,7 +335,7 @@ func (im *imbalance) leastLoadedBy(in func(core.ClusterID) bool, ready []int) co
 		case -1:
 			best = c
 		case 0:
-			if readyAt(c) < readyAt(best) {
+			if readyAt(ready, c) < readyAt(ready, best) {
 				best = c
 			}
 		}

@@ -31,11 +31,15 @@ func (s *NonSliceBalance) Name() string {
 }
 
 // OnCycle implements core.Steerer.
+//
+//dca:hotpath
 func (s *NonSliceBalance) OnCycle(cycle uint64, ready []int) {
 	s.im.onCycle(ready)
 }
 
 // Steer implements core.Steerer.
+//
+//dca:hotpath
 func (s *NonSliceBalance) Steer(info *core.SteerInfo) core.ClusterID {
 	inSlice := s.slice.observe(info)
 	c := s.choose(info, inSlice)
@@ -43,6 +47,7 @@ func (s *NonSliceBalance) Steer(info *core.SteerInfo) core.ClusterID {
 	return c
 }
 
+//dca:hotpath
 func (s *NonSliceBalance) choose(info *core.SteerInfo, inSlice bool) core.ClusterID {
 	if info.Forced != core.AnyCluster {
 		return info.Forced
@@ -57,6 +62,8 @@ func (s *NonSliceBalance) choose(info *core.SteerInfo, inSlice bool) core.Cluste
 // strong imbalance go to the least loaded cluster; otherwise follow the
 // operands (the cluster holding most of them), breaking ties among the
 // operand-richest clusters toward the least loaded one.
+//
+//dca:hotpath
 func steerByOperandsAndBalance(info *core.SteerInfo, im *imbalance) core.ClusterID {
 	ready := info.Ready[:min(im.n, len(info.Ready))]
 	if im.strong() {

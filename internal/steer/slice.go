@@ -37,6 +37,8 @@ func (s *Slice) Name() string { return fmt.Sprintf("%s-slice", s.kind) }
 
 // observe updates the slice and parent tables for a decoded instruction
 // and reports whether it belongs to the tracked slice.
+//
+//dca:hotpath
 func (s *Slice) observe(info *core.SteerInfo) bool {
 	in := info.Inst
 	pc := info.PC
@@ -59,6 +61,8 @@ func (s *Slice) observe(info *core.SteerInfo) bool {
 }
 
 // Steer implements core.Steerer.
+//
+//dca:hotpath
 func (s *Slice) Steer(info *core.SteerInfo) core.ClusterID {
 	inSlice := s.observe(info)
 	if info.Forced != core.AnyCluster {
@@ -72,4 +76,6 @@ func (s *Slice) Steer(info *core.SteerInfo) core.ClusterID {
 
 // InSlice reports whether the static instruction at pc has been learned as
 // a slice member (exported for tests and the static partitioner).
+//
+//dca:hotpath
 func (s *Slice) InSlice(pc int) bool { return s.bits.get(pc) }

@@ -52,12 +52,16 @@ func NewSliceBalance(kind SliceKind, p Params) *SliceBalance {
 func (s *SliceBalance) Name() string { return fmt.Sprintf("%s-slicebal", s.kind) }
 
 // OnCycle implements core.Steerer.
+//
+//dca:hotpath
 func (s *SliceBalance) OnCycle(cycle uint64, ready []int) {
 	s.im.onCycle(ready)
 }
 
 // observe updates slice membership for the decoded instruction and returns
 // its slice id, if any.
+//
+//dca:hotpath
 func (s *SliceBalance) observe(info *core.SteerInfo) (int, bool) {
 	in := info.Inst
 	pc := info.PC
@@ -83,6 +87,8 @@ func (s *SliceBalance) observe(info *core.SteerInfo) (int, bool) {
 // slices start on the integer cluster: their defining instructions are
 // loads/stores/branches whose chains favor the memory datapath, and the
 // balance machinery migrates them as pressure builds.
+//
+//dca:hotpath
 func (s *SliceBalance) state(sid int) *sliceState {
 	st, ok := s.table[sid]
 	if !ok {
@@ -96,6 +102,8 @@ func (s *SliceBalance) state(sid int) *sliceState {
 // slice's cluster, re-mapping the whole slice to the least loaded cluster
 // first when its current cluster is strongly overloaded (on two clusters
 // that is exactly the paper's "the other cluster").
+//
+//dca:hotpath
 func (s *SliceBalance) steerSlice(sid int, info *core.SteerInfo) core.ClusterID {
 	ready := info.Ready[:min(s.im.n, len(info.Ready))]
 	st := s.state(sid)
@@ -110,6 +118,8 @@ func (s *SliceBalance) steerSlice(sid int, info *core.SteerInfo) core.ClusterID 
 }
 
 // Steer implements core.Steerer.
+//
+//dca:hotpath
 func (s *SliceBalance) Steer(info *core.SteerInfo) core.ClusterID {
 	sid, inSlice := s.observe(info)
 	c := s.choose(info, sid, inSlice)
@@ -117,6 +127,7 @@ func (s *SliceBalance) Steer(info *core.SteerInfo) core.ClusterID {
 	return c
 }
 
+//dca:hotpath
 func (s *SliceBalance) choose(info *core.SteerInfo, sid int, inSlice bool) core.ClusterID {
 	if info.Forced != core.AnyCluster {
 		return info.Forced
@@ -150,6 +161,8 @@ func (s *Priority) Name() string { return fmt.Sprintf("%s-priority", s.kind) }
 
 // OnCycle implements core.Steerer: besides the balance update, it runs the
 // 8192-cycle threshold adaptation loop of Section 3.7.
+//
+//dca:hotpath
 func (s *Priority) OnCycle(cycle uint64, ready []int) {
 	s.SliceBalance.OnCycle(cycle, ready)
 	if cycle-s.epochStart < s.im.p.Epoch {
@@ -170,6 +183,8 @@ func (s *Priority) OnCycle(cycle uint64, ready []int) {
 
 // OnBranchResolved implements core.Steerer: mispredictions raise the
 // criticality of Br slices.
+//
+//dca:hotpath
 func (s *Priority) OnBranchResolved(pc int, mispredicted bool) {
 	if s.kind == BrSlice && mispredicted {
 		s.state(pc).missCount++
@@ -178,6 +193,8 @@ func (s *Priority) OnBranchResolved(pc int, mispredicted bool) {
 
 // OnLoadResolved implements core.Steerer: L1 misses raise the criticality
 // of LdSt slices.
+//
+//dca:hotpath
 func (s *Priority) OnLoadResolved(pc int, l1Miss bool) {
 	if s.kind == LdStSlice && l1Miss {
 		s.state(pc).missCount++
@@ -185,11 +202,15 @@ func (s *Priority) OnLoadResolved(pc int, l1Miss bool) {
 }
 
 // critical reports whether slice sid has crossed the adaptive threshold.
+//
+//dca:hotpath
 func (s *Priority) critical(sid int) bool {
 	return s.state(sid).missCount >= s.threshold
 }
 
 // Steer implements core.Steerer.
+//
+//dca:hotpath
 func (s *Priority) Steer(info *core.SteerInfo) core.ClusterID {
 	sid, inSlice := s.observe(info)
 	s.totalCount++

@@ -128,6 +128,8 @@ func NewStaticConservative(p *prog.Program, kind SliceKind) *Static {
 func (s *Static) Name() string { return s.name }
 
 // Steer implements core.Steerer.
+//
+//dca:hotpath
 func (s *Static) Steer(info *core.SteerInfo) core.ClusterID {
 	if info.Forced != core.AnyCluster {
 		return info.Forced
@@ -139,6 +141,8 @@ func (s *Static) Steer(info *core.SteerInfo) core.ClusterID {
 }
 
 // Assignment exposes the frozen per-PC map (for tests).
+//
+//dca:hotpath
 func (s *Static) Assignment(pc int) (core.ClusterID, bool) {
 	c, ok := s.assign[pc]
 	return c, ok

@@ -23,6 +23,8 @@ func (k SliceKind) String() string {
 }
 
 // defines reports whether op starts a slice of this kind.
+//
+//dca:hotpath
 func (k SliceKind) defines(op isa.Opcode) bool {
 	if k == BrSlice {
 		return op.IsBranch()
@@ -39,6 +41,8 @@ type parentTable struct {
 }
 
 // lookup returns the last writer's PC for register r.
+//
+//dca:hotpath
 func (t *parentTable) lookup(r isa.Reg) (int, bool) {
 	if !r.Valid() || r.IsZero() {
 		return 0, false
@@ -47,6 +51,8 @@ func (t *parentTable) lookup(r isa.Reg) (int, bool) {
 }
 
 // record notes that the instruction at pc wrote register r.
+//
+//dca:hotpath
 func (t *parentTable) record(r isa.Reg, pc int) {
 	if !r.Valid() || r.IsZero() {
 		return
@@ -68,6 +74,8 @@ func (t *parentTable) record(r isa.Reg, pc int) {
 //     which has no RDG parents — propagation stops there (Figure 2: LD RCi
 //     is in the Br slice, its EA is not);
 //   - every other instruction propagates through all register sources.
+//
+//dca:hotpath
 func sliceSources(kind SliceKind, in isa.Inst, buf []isa.Reg) []isa.Reg {
 	if in.Op.IsMem() {
 		if kind == BrSlice {
@@ -93,7 +101,10 @@ func newSliceBitTable() *sliceBitTable {
 	return &sliceBitTable{bits: make(map[int]bool)}
 }
 
-func (t *sliceBitTable) set(pc int)      { t.bits[pc] = true }
+//dca:hotpath
+func (t *sliceBitTable) set(pc int) { t.bits[pc] = true }
+
+//dca:hotpath
 func (t *sliceBitTable) get(pc int) bool { return t.bits[pc] }
 
 // sliceIDTable maps each static instruction to the slice it belongs to,
@@ -107,8 +118,10 @@ func newSliceIDTable() *sliceIDTable {
 	return &sliceIDTable{ids: make(map[int]int)}
 }
 
+//dca:hotpath
 func (t *sliceIDTable) set(pc, slice int) { t.ids[pc] = slice + 1 }
 
+//dca:hotpath
 func (t *sliceIDTable) get(pc int) (int, bool) {
 	v, ok := t.ids[pc]
 	if !ok {
