@@ -26,9 +26,12 @@ cover:
 	echo "internal/core line coverage: $$pct%"; \
 	awk -v p="$$pct" 'BEGIN { if (p + 0 < 92.0) { print "coverage gate: " p "% < 92.0%"; exit 1 } }'
 
-# Fixed-budget coverage-guided smoke of the co-simulation property.
+# Fixed-budget coverage-guided smoke of the co-simulation property and of
+# the fast-forward differential (a skipping machine locked against a
+# tick-every-cycle one). Two invocations: go test accepts one -fuzz each.
 fuzz:
 	$(GO) test ./internal/core -run xxx -fuzz FuzzCoSimulate -fuzztime 20s
+	$(GO) test ./internal/core -run xxx -fuzz FuzzFastForward -fuzztime 10s
 
 # End-to-end smoke of the simulation service: build cmd/dcaserve, start
 # it, POST a tiny job, assert a 200 with a well-formed content-addressed

@@ -8,6 +8,7 @@
 package ci
 
 import (
+	"go/ast"
 	"go/format"
 	"go/parser"
 	"go/token"
@@ -91,6 +92,56 @@ func TestDCALint(t *testing.T) {
 	}
 	if len(diags) > 0 {
 		t.Logf("%d finding(s); fix the code or justify with //dca:allow(<analyzer>: <why>)", len(diags))
+	}
+}
+
+// TestFastForwardSuiteWired gates the fast-forward and checkpoint
+// locks: the differential test, the fuzz target and the checkpoint
+// round-trip must exist in internal/core (renaming or deleting one would
+// silently drop the bit-identity enforcement for the skip paths), and
+// both `make fuzz` and the CI workflow must run the fast-forward fuzz
+// smoke alongside the co-simulation one.
+func TestFastForwardSuiteWired(t *testing.T) {
+	want := map[string]bool{
+		"TestFastForwardDifferential": false,
+		"FuzzFastForward":             false,
+		"TestCheckpointRoundTrip":     false,
+	}
+	fset := token.NewFileSet()
+	dir := filepath.Join(repoRoot, "internal", "core")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil {
+				if _, tracked := want[fd.Name.Name]; tracked {
+					want[fd.Name.Name] = true
+				}
+			}
+		}
+	}
+	for name, found := range want {
+		if !found {
+			t.Errorf("internal/core has no %s — the fast-forward/checkpoint bit-identity lock is gone", name)
+		}
+	}
+	for _, path := range []string{"Makefile", filepath.Join(".github", "workflows", "ci.yml")} {
+		src, err := os.ReadFile(filepath.Join(repoRoot, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(src), "-fuzz FuzzFastForward") {
+			t.Errorf("%s does not run the FuzzFastForward smoke", path)
+		}
 	}
 }
 

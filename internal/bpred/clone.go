@@ -1,0 +1,77 @@
+package bpred
+
+// This file gives every predictor structure a deep Clone, so warm-state
+// checkpointing (internal/core's Checkpoint) can snapshot trained
+// predictor state at the warm-up boundary and replay it across
+// measurement runs. Clones share nothing mutable with their source.
+
+// ClonableDir is a direction predictor that can snapshot itself. The
+// concrete predictors in this package all implement it; a DirPredictor
+// from elsewhere that does not is simply not checkpointable.
+type ClonableDir interface {
+	DirPredictor
+	// CloneDir returns a deep copy sharing no mutable state.
+	CloneDir() DirPredictor
+}
+
+// CloneDir implements ClonableDir.
+func (b *Bimodal) CloneDir() DirPredictor {
+	nb := *b
+	nb.table = append([]counter2(nil), b.table...)
+	return &nb
+}
+
+// CloneDir implements ClonableDir.
+func (g *Gshare) CloneDir() DirPredictor {
+	ng := *g
+	ng.table = append([]counter2(nil), g.table...)
+	return &ng
+}
+
+// CloneDir implements ClonableDir. Both components must themselves be
+// clonable; it returns nil otherwise (callers treat nil as "cannot
+// checkpoint").
+func (c *Combined) CloneDir() DirPredictor {
+	c0, ok0 := c.comp0.(ClonableDir)
+	c1, ok1 := c.comp1.(ClonableDir)
+	if !ok0 || !ok1 {
+		return nil
+	}
+	nc := *c
+	nc.selector = append([]counter2(nil), c.selector...)
+	nc.comp0 = c0.CloneDir()
+	nc.comp1 = c1.CloneDir()
+	if nc.comp0 == nil || nc.comp1 == nil {
+		return nil
+	}
+	return &nc
+}
+
+// CloneDir implements ClonableDir (Taken is stateless).
+func (t Taken) CloneDir() DirPredictor { return t }
+
+// Clone returns a deep copy of the BTB. The set slices are re-sliced from
+// one backing array exactly as NewBTB lays them out.
+func (b *BTB) Clone() *BTB {
+	nb := *b
+	nsets := len(b.sets)
+	assoc := 0
+	if nsets > 0 {
+		assoc = len(b.sets[0])
+	}
+	sets := make([][]btbEntry, nsets)
+	backing := make([]btbEntry, nsets*assoc)
+	for i := range sets {
+		sets[i], backing = backing[:assoc], backing[assoc:]
+		copy(sets[i], b.sets[i])
+	}
+	nb.sets = sets
+	return &nb
+}
+
+// Clone returns a deep copy of the return-address stack.
+func (r *RAS) Clone() *RAS {
+	nr := *r
+	nr.stack = append([]int(nil), r.stack...)
+	return &nr
+}

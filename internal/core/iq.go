@@ -11,11 +11,16 @@ type issueQueue struct {
 	mode     config.IQMode
 	capacity int
 
-	// entries is maintained in dispatch (age) order for OoO selection.
-	entries []*DynInst
+	// qhead/qtail anchor the live window as an intrusive doubly-linked
+	// list (DynInst.prevQ/nextQ) in dispatch (age) order for OoO
+	// selection; count tracks occupancy. A list rather than a slice so
+	// Remove unlinks in O(1) — removals are not always near the front, and
+	// the slice shift was a measurable fraction of the cycle loop.
+	qhead, qtail *DynInst
+	count        int
 
-	// fifos holds the FIFO-mode organization; entries is still maintained
-	// for occupancy accounting and ready counting.
+	// fifos holds the FIFO-mode organization; the window list above is
+	// still maintained for occupancy accounting and ready counting.
 	fifos     [][]*DynInst
 	fifoDepth int
 
@@ -50,9 +55,6 @@ func newIssueQueue(cl config.Cluster, mode config.IQMode) *issueQueue {
 			q.fifos[f] = make([]*DynInst, 0, cl.FIFODepth)
 		}
 	}
-	// The dispatch-stage Free() check bounds occupancy by capacity, so the
-	// entries slice never reallocates after construction.
-	q.entries = make([]*DynInst, 0, q.capacity)
 	q.copies = make([]*DynInst, 0, q.capacity)
 	q.waiters = make([]*DynInst, cl.PhysRegs)
 	return q
@@ -61,12 +63,12 @@ func newIssueQueue(cl config.Cluster, mode config.IQMode) *issueQueue {
 // Len returns the current occupancy.
 //
 //dca:hotpath
-func (q *issueQueue) Len() int { return len(q.entries) }
+func (q *issueQueue) Len() int { return q.count }
 
 // Free returns the remaining capacity.
 //
 //dca:hotpath
-func (q *issueQueue) Free() int { return q.capacity - len(q.entries) }
+func (q *issueQueue) Free() int { return q.capacity - q.count }
 
 // Add inserts a dispatched instruction. In FIFO mode the caller must have
 // chosen d.fifo via ChooseFIFO beforehand; copies bypass the FIFOs (they
@@ -75,8 +77,16 @@ func (q *issueQueue) Free() int { return q.capacity - len(q.entries) }
 //
 //dca:hotpath
 func (q *issueQueue) Add(d *DynInst) {
-	q.entries = append(q.entries, d)
-	if d.state == stateWaiting && d.IssueReady() {
+	d.prevQ, d.nextQ = q.qtail, nil
+	if q.qtail != nil {
+		q.qtail.nextQ = d
+	} else {
+		q.qhead = d
+	}
+	q.qtail = d
+	q.count++
+	d.issueReady = d.IssueReady()
+	if d.state == stateWaiting && d.issueReady {
 		q.readyCount++
 	}
 	// Chain the entry under each distinct pending source register so the
@@ -166,13 +176,13 @@ func (q *issueQueue) Issuable(buf []*DynInst) []*DynInst {
 				continue
 			}
 			head := q.fifos[f][0]
-			if head.state == stateWaiting && head.IssueReady() {
+			if head.state == stateWaiting && head.issueReady {
 				buf = append(buf, head)
 			}
 		}
 		// Copies sit in the bus-interface buffer, not the FIFOs.
 		for _, d := range q.copies {
-			if d.state == stateWaiting && d.IssueReady() {
+			if d.state == stateWaiting && d.issueReady {
 				buf = append(buf, d)
 			}
 		}
@@ -180,9 +190,15 @@ func (q *issueQueue) Issuable(buf []*DynInst) []*DynInst {
 		sortBySeq(buf)
 		return buf
 	}
-	for _, d := range q.entries {
-		if d.state == stateWaiting && d.IssueReady() {
+	// readyCount counts exactly the entries this scan selects, so the walk
+	// can stop once it has found them all — ready instructions cluster
+	// near the front (oldest) of the window, making the early exit the
+	// common case.
+	want := q.readyCount
+	for d := q.qhead; d != nil && want > 0; d = d.nextQ {
+		if d.state == stateWaiting && d.issueReady {
 			buf = append(buf, d)
+			want--
 		}
 	}
 	return buf
@@ -192,14 +208,20 @@ func (q *issueQueue) Issuable(buf []*DynInst) []*DynInst {
 //
 //dca:hotpath
 func (q *issueQueue) Remove(d *DynInst) {
-	for i, e := range q.entries {
-		if e == d {
-			q.entries = append(q.entries[:i], q.entries[i+1:]...)
-			if d.state == stateWaiting && d.IssueReady() {
-				q.readyCount--
-			}
-			break
-		}
+	if d.prevQ != nil {
+		d.prevQ.nextQ = d.nextQ
+	} else {
+		q.qhead = d.nextQ
+	}
+	if d.nextQ != nil {
+		d.nextQ.prevQ = d.prevQ
+	} else {
+		q.qtail = d.prevQ
+	}
+	d.prevQ, d.nextQ = nil, nil
+	q.count--
+	if d.state == stateWaiting && d.issueReady {
+		q.readyCount--
 	}
 	if d.IsCopy {
 		for i, e := range q.copies {
@@ -245,13 +267,13 @@ func (q *issueQueue) wakeReg(p physReg) {
 			d.waiterReg[1] = noPhys
 		}
 		if d.state == stateWaiting {
-			wasReady := d.IssueReady()
 			for i := 0; i < d.numSrcs; i++ {
 				if d.srcPhys[i] == p {
 					d.srcReady[i] = true
 				}
 			}
-			if !wasReady && d.IssueReady() {
+			if !d.issueReady && d.IssueReady() {
+				d.issueReady = true
 				q.readyCount++
 			}
 		}

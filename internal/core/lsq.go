@@ -107,6 +107,26 @@ func (q *lsq) ReadyLoads(buf []*DynInst) []*DynInst {
 	return buf
 }
 
+// allBlocked reports whether every load currently eligible to attempt an
+// access or forward would classify as blocked behind an earlier store. It
+// is pure; fast-forward's idleness predicate uses it — a blocked
+// classification only changes through completion events (a store's address
+// becoming known or its data register turning ready), so the answer is
+// stable across an event-free window.
+//
+//dca:hotpath
+func (q *lsq) allBlocked(rf []regFile) bool {
+	for i := 0; i < q.n; i++ {
+		d := q.at(i)
+		if d.isLoad && d.lsqAddrKnown && !d.lsqAccessed && d.state == stateMemWait {
+			if q.classify(d, rf) != loadBlocked {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Remove deletes a committed memory instruction. Commit is in order, so
 // in production the removed instruction is always the oldest entry (the
 // O(1) head path); the general shift path keeps the structure correct for

@@ -72,6 +72,10 @@ type Machine struct {
 
 	// fetchStallUntil delays fetch (I-cache misses, post-redirect).
 	fetchStallUntil uint64
+	// l1iLineShift is log2 of the L1I line size when it is a power of two
+	// (the universal case), -1 otherwise; fetch's per-instruction line
+	// computation uses a shift instead of a 64-bit divide.
+	l1iLineShift int8
 	// waitBranchSeq is the ProgSeq of an unresolved mispredicted branch
 	// fetch is stalled on; waitingBranch gates it.
 	waitBranchSeq uint64
@@ -125,6 +129,15 @@ type Machine struct {
 	tracer        Tracer
 	issueBuf      []*DynInst
 	loadBuf       []*DynInst
+
+	// warmed is the committed-instruction budget the last Warm call was
+	// asked for; Measure adds its own budget on top so the two-phase run
+	// targets the same absolute commit count as a single-loop run.
+	warmed uint64
+
+	// fastForward enables event-driven skipping of provably idle cycles
+	// (on by default; see fastforward.go for the no-op predicate).
+	fastForward bool
 }
 
 // nextPow2 returns the smallest power of two >= n (and >= 1).
@@ -169,6 +182,7 @@ func New(cfg *config.Config, p *prog.Program, st Steerer) (*Machine, error) {
 		evtTail:     make([]*DynInst, initialWheelSize),
 		busUsed:     make([]int, cfg.NumClusters()),
 		readySample: make([]int, cfg.NumClusters()),
+		fastForward: true,
 	}
 	m.files = make([]regFile, 0, cfg.NumClusters())
 	m.iqs = make([]issueQueue, 0, cfg.NumClusters())
@@ -185,6 +199,10 @@ func New(cfg *config.Config, p *prog.Program, st Steerer) (*Machine, error) {
 	// lifetime: fill the reused SteerInfo once instead of per instruction.
 	for c := 0; c < cfg.NumClusters(); c++ {
 		m.steerBuf.IssueWidth[c] = cfg.Clusters[c].IssueWidth
+	}
+	m.l1iLineShift = -1
+	if lb := cfg.Mem.L1I.LineBytes; lb > 0 && lb&(lb-1) == 0 {
+		m.l1iLineShift = int8(bits.TrailingZeros(uint(lb)))
 	}
 	m.forcedByPC = make([]ClusterID, len(p.Text))
 	for pc, in := range p.Text {
@@ -362,35 +380,76 @@ func (m *Machine) Run(max uint64) (*stats.Run, error) {
 
 // RunWithWarmup simulates warmup committed instructions without measuring
 // (caches and predictors stay warm), resets the statistics, then measures
-// the next measure instructions (0 = until HALT).
+// the next measure instructions (0 = until HALT). It is Warm followed by
+// Measure; warm-state checkpointing (see Checkpoint) splits the two so a
+// grid can pay for the warm phase once per reusable key.
 func (m *Machine) RunWithWarmup(warmup, measure uint64) (*stats.Run, error) {
-	m.measuring = warmup == 0
-	if m.measuring {
+	if err := m.Warm(warmup); err != nil {
+		return nil, err
+	}
+	return m.Measure(measure)
+}
+
+// Warm simulates until warmup program instructions have committed (or HALT),
+// without measuring: caches, predictors and steering state warm up exactly
+// as they would under RunWithWarmup. A commit batch is never split, so the
+// machine may overshoot warmup by up to the retire width minus one; the
+// requested budget is recorded so Measure targets the same absolute commit
+// count an unbroken run would.
+func (m *Machine) Warm(warmup uint64) error {
+	m.warmed = warmup
+	if warmup == 0 {
+		return nil
+	}
+	m.measuring = false
+	return m.runUntil(warmup)
+}
+
+// Measure measures the next measure instructions (0 = until HALT) after a
+// Warm call (or from reset on a fresh machine) and finishes the record.
+func (m *Machine) Measure(measure uint64) (*stats.Run, error) {
+	target := uint64(0)
+	if measure > 0 {
+		target = m.warmed + measure
+	}
+	return m.measureTo(target)
+}
+
+// measureTo turns on measurement and simulates until target committed
+// program instructions (0 = until HALT), finishing the record. The target
+// is absolute — Measure passes warmed+measure — so a warm phase that
+// overshot its budget measures to the same cycle an unbroken run would.
+// A machine that halted during warm-up never begins measuring, matching
+// the single-loop behaviour this decomposition replaced.
+func (m *Machine) measureTo(target uint64) (*stats.Run, error) {
+	if !m.haltCommitted {
+		m.measuring = true
 		m.beginMeasurement()
 	}
-	target := func() uint64 {
-		if measure == 0 {
-			return 0
-		}
-		return warmup + measure
-	}()
-	for !m.haltCommitted {
-		if !m.measuring && m.committedProg >= warmup {
-			m.beginMeasurement()
-			m.measuring = true
-		}
-		if target > 0 && m.committedProg >= target {
-			break
-		}
-		if err := m.step(); err != nil {
-			return nil, err
-		}
-		if m.cycle-m.lastCommitAt > watchdogCycles {
-			return nil, fmt.Errorf("core: no commit for %d cycles at cycle %d (deadlock?)", watchdogCycles, m.cycle)
-		}
+	if err := m.runUntil(target); err != nil {
+		return nil, err
 	}
 	m.finishMeasurement()
 	return &m.run, nil
+}
+
+// runUntil is the simulation loop shared by the warm and measure phases:
+// step — fast-forwarding across provably idle stretches — until target
+// committed program instructions (0 = until HALT), with the no-commit
+// watchdog.
+func (m *Machine) runUntil(target uint64) error {
+	for !m.haltCommitted && (target == 0 || m.committedProg < target) {
+		if m.fastForward {
+			m.tryFastForward()
+		}
+		if err := m.step(); err != nil {
+			return err
+		}
+		if m.cycle-m.lastCommitAt > watchdogCycles {
+			return fmt.Errorf("core: no commit for %d cycles at cycle %d (deadlock?)", watchdogCycles, m.cycle)
+		}
+	}
+	return nil
 }
 
 func (m *Machine) beginMeasurement() {
@@ -475,6 +534,7 @@ func (m *Machine) fetch() {
 		return
 	}
 	lineBytes := m.cfg.Mem.L1I.LineBytes
+	lineShift := m.l1iLineShift
 	curLine := uint64(0)
 	haveLine := false
 	for n := 0; n < m.cfg.FetchWidth; n++ {
@@ -483,7 +543,12 @@ func (m *Machine) fetch() {
 			return
 		}
 		pc := m.oracle.PC
-		line := lineOf(pc, lineBytes)
+		var line uint64
+		if lineShift >= 0 {
+			line = (textBase + uint64(pc)*isa.Word) >> uint(lineShift)
+		} else {
+			line = lineOf(pc, lineBytes)
+		}
 		if !haveLine || line != curLine {
 			lat := m.hier.L1I.Access(textBase+uint64(pc)*isa.Word, false)
 			if lat > m.cfg.Mem.L1I.HitLatency {
@@ -494,15 +559,20 @@ func (m *Machine) fetch() {
 			}
 			curLine, haveLine = line, true
 		}
-		st, err := m.oracle.Step()
-		if err != nil {
-			// The oracle only errors on malformed programs, which
-			// Validate excluded; treat as end of stream.
+		// The oracle writes straight into the ring slot (no Step copies);
+		// on error the slot is released again. The oracle only errors on
+		// malformed programs, which Validate excluded; treat as end of
+		// stream.
+		fi := m.dqPush()
+		fi.mispredict = false
+		fi.steered = false
+		fi.availableAt = m.cycle + uint64(m.cfg.FrontEndDepth)
+		if err := m.oracle.StepInto(&fi.step); err != nil {
+			m.dqLen--
 			m.fetchDone = true
 			return
 		}
-		fi := m.dqPush()
-		*fi = fetched{step: st, availableAt: m.cycle + uint64(m.cfg.FrontEndDepth)}
+		st := &fi.step
 		op := st.Inst.Op
 		if op == isa.HALT {
 			m.fetchDone = true
@@ -523,7 +593,7 @@ func (m *Machine) fetch() {
 			m.waitBranchSeq = st.Seq
 			return
 		}
-		if st.Inst.Op.IsBranch() && st.Taken {
+		if op.IsBranch() && st.Taken {
 			// At most one taken branch per fetch group.
 			return
 		}
@@ -534,7 +604,7 @@ func (m *Machine) fetch() {
 // reports whether it mispredicts.
 //
 //dca:hotpath
-func (m *Machine) predictBranch(st emu.Step) bool {
+func (m *Machine) predictBranch(st *emu.Step) bool {
 	op := st.Inst.Op
 	pc := st.PC
 	switch {
@@ -707,6 +777,103 @@ type copyPlan struct {
 	fromReg physReg
 }
 
+// resolveTarget maps an already-steered front instruction to its final
+// placement: out-of-range policy answers clamp to the integer cluster, the
+// capability safety net moves operations to a cluster that can execute them
+// (a policy on a partially symmetric machine could otherwise deadlock an FP
+// multiply in a cluster with only FP adders; the nearest capable cluster,
+// by copy distance with ties to the lowest index, takes over), and in FIFO
+// mode the joint cluster+FIFO heuristic of Palacharla/Jouppi/Smith runs
+// with the policy's choice as tie-break. It is pure: fast-forward's
+// idleness predicate shares it with dispatch.
+//
+//dca:hotpath
+func (m *Machine) resolveTarget(fi *fetched) ClusterID {
+	in := fi.step.Inst
+	target := fi.target
+	if target < 0 || int(target) >= m.cfg.NumClusters() {
+		target = IntCluster
+	}
+	if !m.fus[target].CanEverIssue(in.Op) && m.cfg.NumClusters() > 1 {
+		if c := m.nearestIn(m.capableClusters(in.Op), target); c != AnyCluster {
+			target = c
+		}
+	}
+	if m.cfg.Mode == config.IQFIFO {
+		target = m.fifoCluster(fi, m.forcedByPC[fi.step.PC], target)
+	}
+	return target
+}
+
+// planCopies computes the inter-cluster copies that placing fi on target
+// requires: one per source operand without a valid mapping in the target
+// cluster, sourced from the nearest cluster holding the value (by copy
+// latency, ties to the lowest index; on the two-cluster machine simply the
+// other cluster). An instruction reading the same remote register twice
+// needs only one copy. It is pure — reads of the map table only — and the
+// error cases are dispatch-time invariant violations.
+//
+//dca:hotpath
+func (m *Machine) planCopies(fi *fetched, target ClusterID) (plans [2]copyPlan, nPlans int, err error) {
+	var srcs [2]isa.Reg
+	nsrc := len(fi.step.Inst.Srcs(srcs[:0]))
+planSrcs:
+	for i := 0; i < nsrc; i++ {
+		if _, ok := m.rt.lookup(srcs[i], target); ok {
+			continue
+		}
+		for j := 0; j < nPlans; j++ {
+			if plans[j].logical == srcs[i] {
+				continue planSrcs
+			}
+		}
+		from := m.nearestIn(m.rt.home(srcs[i]), target)
+		if from == AnyCluster {
+			return plans, 0, fmt.Errorf("core: register %v mapped nowhere at PC %d", srcs[i], fi.step.PC)
+		}
+		p, ok := m.rt.lookup(srcs[i], from)
+		if !ok {
+			return plans, 0, fmt.Errorf("core: register %v mapped nowhere at PC %d", srcs[i], fi.step.PC)
+		}
+		plans[nPlans] = copyPlan{srcIdx: i, logical: srcs[i], from: from, fromReg: p}
+		nPlans++
+	}
+	return plans, nPlans, nil
+}
+
+// dispatchBlocked is the structural resource check: in-flight window for
+// the program instruction (copies ride along in the ROB for ordering and
+// register reclamation but, as in the paper, compete only for issue slots,
+// queue entries and registers — not window capacity), destination
+// registers (the copies' dests plus the instruction's own), IQ slots per
+// cluster, and an LSQ slot for memory operations. It is pure and consumes
+// no sequence number; fast-forward's idleness predicate shares it with
+// dispatch, which keeps the two in lock-step.
+//
+//dca:hotpath
+func (m *Machine) dispatchBlocked(fi *fetched, target ClusterID, plans *[2]copyPlan, nPlans int) bool {
+	if m.progInFlight+1 > m.cfg.MaxInFlight {
+		return true
+	}
+	if m.files[target].FreeCount() < nPlans+1 {
+		return true
+	}
+	var iqNeed [config.MaxClusters]int
+	iqNeed[target]++
+	for j := 0; j < nPlans; j++ {
+		iqNeed[plans[j].from]++
+	}
+	for c := 0; c < m.cfg.NumClusters(); c++ {
+		if need := iqNeed[c]; need > 0 && m.iqs[c].Free() < need {
+			return true
+		}
+	}
+	if fi.step.Inst.Op.IsMem() && m.ldst.Free() < 1 {
+		return true
+	}
+	return false
+}
+
 //dca:hotpath
 func (m *Machine) dispatch() error {
 	width := m.cfg.DecodeWidth
@@ -720,97 +887,27 @@ func (m *Machine) dispatch() error {
 
 		// Build the steering view and consult the policy for every
 		// program instruction (it maintains its tables in decode order).
-		var target ClusterID
-		if fi.steered {
-			target = fi.target
-		} else {
+		if !fi.steered {
 			info := m.steerInfo(fi, forced)
-			target = m.steerer.Steer(info)
+			target := m.steerer.Steer(info)
 			if forced != AnyCluster {
 				target = forced
 			}
 			fi.steered = true
 			fi.target = target
 		}
-		if target < 0 || int(target) >= m.cfg.NumClusters() {
-			target = IntCluster
-		}
-		// Capability safety net: never dispatch to a cluster that lacks
-		// the functional unit the operation needs (a policy on a partially
-		// symmetric machine could otherwise deadlock an FP multiply in a
-		// cluster with only FP adders). The nearest capable cluster (by
-		// copy distance, ties to the lowest index) takes over.
-		if !m.fus[target].CanEverIssue(in.Op) && m.cfg.NumClusters() > 1 {
-			if c := m.nearestIn(m.capableClusters(in.Op), target); c != AnyCluster {
-				target = c
-			}
-		}
-		if m.cfg.Mode == config.IQFIFO {
-			// The FIFO organization chooses cluster and FIFO jointly: the
-			// dependence-chain heuristic looks at every allowed cluster's
-			// FIFO tails (Palacharla/Jouppi/Smith), constrained by the
-			// datapath. The policy's choice is the tie-break.
-			target = m.fifoCluster(fi, forced, target)
-		}
+		target := m.resolveTarget(fi)
 
 		// Plan the copies this placement requires.
-		var srcs [2]isa.Reg
-		nsrc := len(in.Srcs(srcs[:0]))
-		var plans [2]copyPlan
-		nPlans := 0
-	planSrcs:
-		for i := 0; i < nsrc; i++ {
-			if _, ok := m.rt.lookup(srcs[i], target); ok {
-				continue
-			}
-			// An instruction reading the same remote register twice needs
-			// only one copy.
-			for j := 0; j < nPlans; j++ {
-				if plans[j].logical == srcs[i] {
-					continue planSrcs
-				}
-			}
-			// The value lives in one or more remote clusters; source the
-			// copy from the nearest one (by copy latency, ties to the
-			// lowest index). On the two-cluster machine this is simply the
-			// other cluster.
-			from := m.nearestIn(m.rt.home(srcs[i]), target)
-			if from == AnyCluster {
-				return fmt.Errorf("core: register %v mapped nowhere at PC %d", srcs[i], fi.step.PC)
-			}
-			p, ok := m.rt.lookup(srcs[i], from)
-			if !ok {
-				return fmt.Errorf("core: register %v mapped nowhere at PC %d", srcs[i], fi.step.PC)
-			}
-			plans[nPlans] = copyPlan{srcIdx: i, logical: srcs[i], from: from, fromReg: p}
-			nPlans++
+		plans, nPlans, err := m.planCopies(fi, target)
+		if err != nil {
+			return err
 		}
 		if nPlans > 0 && m.cfg.InterClusterBuses == 0 {
 			return fmt.Errorf("core: copy required but no inter-cluster buses (PC %d, %v)", fi.step.PC, in)
 		}
 
-		// Resource check: in-flight window for the program instruction
-		// (copies ride along in the ROB for ordering and register
-		// reclamation but, as in the paper, compete only for issue slots,
-		// queue entries and registers — not window capacity), IQ slots,
-		// destination registers, LSQ slot.
-		if m.progInFlight+1 > m.cfg.MaxInFlight {
-			return nil
-		}
-		if m.files[target].FreeCount() < nPlans+1 { // copies' dests + own dest
-			return nil
-		}
-		var iqNeed [config.MaxClusters]int
-		iqNeed[target]++
-		for j := 0; j < nPlans; j++ {
-			iqNeed[plans[j].from]++
-		}
-		for c := 0; c < m.cfg.NumClusters(); c++ {
-			if need := iqNeed[c]; need > 0 && m.iqs[c].Free() < need {
-				return nil
-			}
-		}
-		if in.Op.IsMem() && m.ldst.Free() < 1 {
+		if m.dispatchBlocked(fi, target, &plans, nPlans) {
 			return nil
 		}
 
@@ -831,6 +928,8 @@ func (m *Machine) dispatch() error {
 			}
 		}
 		// Rename sources in the target cluster.
+		var srcs [2]isa.Reg
+		nsrc := len(in.Srcs(srcs[:0]))
 		for i := 0; i < nsrc; i++ {
 			p, ok := m.rt.lookup(srcs[i], target)
 			if !ok {
@@ -883,24 +982,26 @@ func (m *Machine) newDynInst(fi *fetched) *DynInst {
 	st := fi.step
 	in := st.Inst
 	d := m.allocDyn()
-	*d = DynInst{
-		Seq:          m.seq,
-		ProgSeq:      st.Seq,
-		PC:           st.PC,
-		Inst:         in,
-		destPhys:     noPhys,
-		prevMapping:  noPrevMapping(),
-		isLoad:       in.Op.IsLoad(),
-		isStore:      in.Op.IsStore(),
-		memAddr:      st.MemAddr,
-		memWidth:     in.Op.MemWidth(),
-		isBranch:     in.Op.IsBranch(),
-		taken:        st.Taken,
-		nextPC:       st.NextPC,
-		mispredicted: fi.mispredict,
-		state:        stateWaiting,
-		readyCycle:   m.cycle,
-	}
+	// Zero-then-assign rather than a struct literal: the literal builds a
+	// temporary DynInst and copies it, twice the memory traffic of a clear
+	// plus direct field stores on this per-instruction path.
+	*d = DynInst{}
+	d.Seq = m.seq
+	d.ProgSeq = st.Seq
+	d.PC = st.PC
+	d.Inst = in
+	d.destPhys = noPhys
+	d.prevMapping = noPrevMapping()
+	d.isLoad = in.Op.IsLoad()
+	d.isStore = in.Op.IsStore()
+	d.memAddr = st.MemAddr
+	d.memWidth = in.Op.MemWidth()
+	d.isBranch = in.Op.IsBranch()
+	d.taken = st.Taken
+	d.nextPC = st.NextPC
+	d.mispredicted = fi.mispredict
+	d.state = stateWaiting
+	d.readyCycle = m.cycle
 	m.seq++
 	return d
 }
@@ -915,20 +1016,19 @@ func (m *Machine) insertCopy(consumer *DynInst, cp copyPlan, target ClusterID) (
 		return nil, false
 	}
 	cpy := m.allocDyn()
-	*cpy = DynInst{
-		Seq:         m.seq,
-		ProgSeq:     consumer.ProgSeq,
-		PC:          consumer.PC,
-		IsCopy:      true,
-		SrcCluster:  cp.from,
-		Cluster:     target,
-		numSrcs:     1,
-		destPhys:    p,
-		destLogical: cp.logical,
-		prevMapping: noPrevMapping(),
-		state:       stateWaiting,
-		readyCycle:  m.cycle,
-	}
+	*cpy = DynInst{}
+	cpy.Seq = m.seq
+	cpy.ProgSeq = consumer.ProgSeq
+	cpy.PC = consumer.PC
+	cpy.IsCopy = true
+	cpy.SrcCluster = cp.from
+	cpy.Cluster = target
+	cpy.numSrcs = 1
+	cpy.destPhys = p
+	cpy.destLogical = cp.logical
+	cpy.prevMapping = noPrevMapping()
+	cpy.state = stateWaiting
+	cpy.readyCycle = m.cycle
 	m.seq++
 	cpy.srcPhys[0] = cp.fromReg
 	cpy.srcReady[0] = m.files[cp.from].Ready(cp.fromReg)
@@ -984,6 +1084,11 @@ func (m *Machine) steerInfo(fi *fetched, forced ClusterID) *SteerInfo {
 //dca:hotpath
 func (m *Machine) issue() {
 	for c := 0; c < m.cfg.NumClusters(); c++ {
+		if m.iqs[c].ReadyCount() == 0 {
+			// Issuable only returns waiting-and-ready entries, so an empty
+			// ready count means an empty scan.
+			continue
+		}
 		budget := m.cfg.Clusters[c].IssueWidth
 		m.issueBuf = m.issueBuf[:0]
 		m.issueBuf = m.iqs[c].Issuable(m.issueBuf)
@@ -1096,11 +1201,15 @@ func (m *Machine) noteReady(c ClusterID, p physReg) {
 
 // noteCopyArrival implements the paper's criticality test: a communication
 // is critical when an instruction in the destination cluster was already
-// waiting for the value when it arrived.
+// waiting for the value when it arrived. The scan's only output is the
+// CriticalCopies stat, so warm-up cycles (measuring off) skip it.
 //
 //dca:hotpath
 func (m *Machine) noteCopyArrival(cpy *DynInst) {
-	for _, d := range m.iqs[cpy.Cluster].entries {
+	if !m.measuring {
+		return
+	}
+	for d := m.iqs[cpy.Cluster].qhead; d != nil; d = d.nextQ {
 		if d.state != stateWaiting || d.readyCycle >= m.cycle {
 			continue
 		}

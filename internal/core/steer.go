@@ -91,6 +91,22 @@ type Steerer interface {
 	OnLoadResolved(pc int, l1Miss bool)
 }
 
+// CloneableSteerer is a Steerer that can snapshot its mutable state.
+// Machine.Checkpoint requires it: a warm-state checkpoint must own a
+// private copy of the steering tables and balance counters so replaying a
+// measurement run cannot disturb the frozen warm state. A policy that
+// does not implement it is simply not checkpointable (the runner falls
+// back to simulating the warm-up each time).
+//
+// NopSteerer deliberately does not implement the interface: a promoted
+// no-op CloneSteerer on a stateful policy would silently share state.
+type CloneableSteerer interface {
+	Steerer
+	// CloneSteerer returns a deep copy sharing no mutable state with the
+	// receiver. Immutable policies may return the receiver itself.
+	CloneSteerer() Steerer
+}
+
 // NopSteerer provides no-op hook implementations for policies that do not
 // need them; embed it and override Steer.
 type NopSteerer struct{}
@@ -121,3 +137,6 @@ func (NaiveSteerer) Steer(info *SteerInfo) ClusterID {
 	}
 	return IntCluster
 }
+
+// CloneSteerer implements CloneableSteerer (NaiveSteerer is stateless).
+func (s NaiveSteerer) CloneSteerer() Steerer { return s }

@@ -158,7 +158,12 @@ type DynInst struct {
 	prevMask    uint8
 
 	// State machine.
-	state      instState
+	state instState
+	// issueReady caches IssueReady while the instruction sits in an issue
+	// queue: sources only become ready (never unready), so the flag is
+	// computed at Add and raised by wakeReg, sparing the per-entry source
+	// loop on every selection scan.
+	issueReady bool
 	readyCycle uint64 // earliest cycle the instruction may issue
 	completeAt uint64 // cycle the result becomes available
 	issuedAt   uint64
@@ -166,6 +171,11 @@ type DynInst struct {
 	// machine's timing wheel (intrusive list: scheduling an event never
 	// allocates).
 	nextEvt *DynInst
+
+	// prevQ/nextQ link the instruction into its issue queue's age-ordered
+	// window (intrusive doubly-linked list: Remove unlinks in O(1) instead
+	// of shifting a slice). Nil outside the queue.
+	prevQ, nextQ *DynInst
 
 	// nextWaiter and waiterReg link the instruction into its issue queue's
 	// per-physical-register waiter lists (one slot per distinct pending

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/config"
@@ -89,6 +90,145 @@ func TestTimingWheelGrowthMidFlight(t *testing.T) {
 	}
 	if early.state != stateDone || late.state != stateDone {
 		t.Fatal("events not completed after drain")
+	}
+}
+
+// checkWheelInvariant verifies the structural invariant fast-forward's
+// wake scan (ffWake) and growWheel both rely on: no pending event is in
+// the past, every chain links events of one completion cycle only, each
+// chain hangs off the slot its cycle masks to, and evtTail points at the
+// chain's last element.
+func checkWheelInvariant(t *testing.T, m *Machine) {
+	t.Helper()
+	mask := uint64(len(m.evtHead) - 1)
+	for slot := range m.evtHead {
+		head := m.evtHead[slot]
+		if head == nil {
+			if m.evtTail[slot] != nil {
+				t.Fatalf("cycle %d slot %d: tail set with nil head", m.cycle, slot)
+			}
+			continue
+		}
+		at := head.completeAt
+		if at&mask != uint64(slot) {
+			t.Fatalf("cycle %d: event for cycle %d hangs off slot %d (want %d)", m.cycle, at, slot, at&mask)
+		}
+		if at < m.cycle {
+			t.Fatalf("cycle %d: pending event already due at %d", m.cycle, at)
+		}
+		last := head
+		for d := head; d != nil; d = d.nextEvt {
+			if d.completeAt != at {
+				t.Fatalf("cycle %d slot %d: chain mixes completion cycles %d and %d", m.cycle, slot, at, d.completeAt)
+			}
+			last = d
+		}
+		if m.evtTail[slot] != last {
+			t.Fatalf("cycle %d slot %d: tail does not point at last chain element", m.cycle, slot)
+		}
+	}
+}
+
+// TestTimingWheelAdversarialSchedules drives the wheel with randomized
+// adversarial completion schedules — bursts clustered just ahead of the
+// current cycle, exactly at the span boundary, and far enough out to force
+// growth mid-stream — interleaved with partial drains, the pattern a
+// fast-forwarding run produces when it jumps between sparse events. After
+// every burst the structural invariant must hold, ffWake must report the
+// earliest pending event, and the final drain must deliver every event at
+// exactly its completion cycle in schedule order (growth must never
+// reorder a chain).
+func TestTimingWheelAdversarialSchedules(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	m := wheelMachine(t)
+	m.cycle = 500 // absolute indexing: start away from zero
+
+	scheduled := map[uint64][]uint64{} // completion cycle -> Seqs in schedule order
+	delivered := map[uint64][]uint64{}
+	m.SetTracer(tracerFunc(func(cycle uint64, ev Event, d *DynInst) {
+		if ev == EvComplete {
+			if cycle != d.completeAt {
+				t.Fatalf("event %d delivered at cycle %d, scheduled for %d", d.Seq, cycle, d.completeAt)
+			}
+			delivered[cycle] = append(delivered[cycle], d.Seq)
+		}
+	}))
+
+	pending := 0
+	seq := uint64(0)
+	for round := 0; round < 60; round++ {
+		burst := 1 + r.Intn(8)
+		for i := 0; i < burst; i++ {
+			var off uint64
+			switch r.Intn(4) {
+			case 0: // just ahead: dense same-cycle chains
+				off = 1 + uint64(r.Intn(3))
+			case 1: // at the current span boundary
+				off = uint64(len(m.evtHead) - 1)
+			case 2: // past the span: forces growWheel with live chains
+				// (bounded — every unbounded hit would double the wheel)
+				if len(m.evtHead) < 8192 {
+					off = uint64(len(m.evtHead)) + uint64(r.Intn(64))
+				} else {
+					off = 1 + uint64(r.Intn(1000))
+				}
+			default:
+				off = 1 + uint64(r.Intn(1000))
+			}
+			at := m.cycle + off
+			d := &DynInst{Seq: seq, destPhys: noPhys, state: stateIssued, completeAt: at}
+			m.schedule(d)
+			scheduled[at] = append(scheduled[at], seq)
+			seq++
+			pending++
+		}
+		checkWheelInvariant(t, m)
+
+		// ffWake must find the earliest pending event (nothing else is
+		// pending on this machine, and the watchdog clamp is far away).
+		earliest := uint64(0)
+		for at := uint64(m.cycle) + 1; earliest == 0 && at <= m.cycle+uint64(len(m.evtHead)); at++ {
+			if len(scheduled[at]) > len(delivered[at]) {
+				earliest = at
+			}
+		}
+		if earliest != 0 {
+			if wake := m.ffWake(); wake != earliest {
+				t.Fatalf("cycle %d: ffWake = %d, earliest pending event at %d", m.cycle, wake, earliest)
+			}
+		}
+
+		// Partial drain: complete a random number of cycles.
+		for i, n := 0, r.Intn(12); i < n; i++ {
+			before := len(delivered[m.cycle])
+			m.complete()
+			pending -= len(delivered[m.cycle]) - before
+			m.cycle++
+		}
+		checkWheelInvariant(t, m)
+	}
+	// Final drain.
+	for guard := 0; pending > 0; guard++ {
+		if guard > 1<<20 {
+			t.Fatalf("wheel never drained: %d events pending", pending)
+		}
+		before := len(delivered[m.cycle])
+		m.complete()
+		pending -= len(delivered[m.cycle]) - before
+		m.cycle++
+	}
+	m.SetTracer(nil)
+
+	for at, want := range scheduled {
+		got := delivered[at]
+		if len(got) != len(want) {
+			t.Fatalf("cycle %d: delivered %d events, scheduled %d", at, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cycle %d: delivery order %v, want %v (growth reordered a chain?)", at, got, want)
+			}
+		}
 	}
 }
 

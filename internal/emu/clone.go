@@ -1,0 +1,29 @@
+package emu
+
+// Clone returns a deep copy of the architectural state: registers, PC,
+// halt flag, instruction count and every touched memory page. The loaded
+// program is shared — it is immutable after assembly. Warm-state
+// checkpointing (internal/core's Checkpoint) uses it to snapshot the
+// oracle at the warm-up boundary.
+func (m *Machine) Clone() *Machine {
+	c := *m
+	c.Mem = m.Mem.Clone()
+	return &c
+}
+
+// Clone returns a deep copy of the memory: every touched page is
+// duplicated, so writes through either machine never alias. The one-entry
+// page cache is deliberately left empty — a carried-over pointer would
+// alias a page of the source memory.
+func (m *Memory) Clone() *Memory {
+	pages := make(map[uint64]*page, len(m.pages))
+	for pn, p := range m.pages {
+		pages[pn] = clonePage(p)
+	}
+	return &Memory{pages: pages}
+}
+
+func clonePage(p *page) *page {
+	q := *p
+	return &q
+}

@@ -77,24 +77,42 @@ func (m *Machine) setReg(r isa.Reg, v int64) {
 	m.Reg[r] = v
 }
 
+// regVal reads a register; invalid or absent operands read as zero. A
+// method rather than a closure inside Step so the compiler inlines it —
+// Step is the per-fetched-instruction oracle call of the timing core's
+// hot loop.
+func (m *Machine) regVal(reg isa.Reg) int64 {
+	if reg == isa.NoReg || !reg.Valid() {
+		return 0
+	}
+	return m.Reg[reg]
+}
+
 // Step executes one instruction and reports what happened. Calling Step on
 // a halted machine returns an error.
 func (m *Machine) Step() (Step, error) {
+	var st Step
+	err := m.StepInto(&st)
+	return st, err
+}
+
+// StepInto executes one instruction, writing the report into st. It is the
+// copy-free form of Step for callers that own a Step slot (the timing
+// core's fetch stage writes straight into its decode-queue ring).
+func (m *Machine) StepInto(st *Step) error {
 	if m.Halted {
-		return Step{}, fmt.Errorf("emu: machine is halted")
+		return fmt.Errorf("emu: machine is halted")
 	}
 	if m.PC < 0 || m.PC >= len(m.Prog.Text) {
-		return Step{}, fmt.Errorf("emu: PC %d out of range [0,%d)", m.PC, len(m.Prog.Text))
+		return fmt.Errorf("emu: PC %d out of range [0,%d)", m.PC, len(m.Prog.Text))
 	}
 	in := m.Prog.Text[m.PC]
-	st := Step{Seq: m.Count, PC: m.PC, Inst: in, NextPC: m.PC + 1}
+	*st = Step{}
+	st.Seq = m.Count
+	st.PC = m.PC
+	st.Inst = in
+	st.NextPC = m.PC + 1
 
-	r := func(reg isa.Reg) int64 {
-		if reg == isa.NoReg || !reg.Valid() {
-			return 0
-		}
-		return m.Reg[reg]
-	}
 	write := func(reg isa.Reg, v int64) {
 		m.setReg(reg, v)
 		if reg != isa.NoReg && !reg.IsZero() && reg.Valid() {
@@ -110,43 +128,43 @@ func (m *Machine) Step() (Step, error) {
 
 	// Integer ALU.
 	case isa.ADD:
-		write(in.Rd, r(in.Rs1)+r(in.Rs2))
+		write(in.Rd, m.regVal(in.Rs1)+m.regVal(in.Rs2))
 	case isa.SUB:
-		write(in.Rd, r(in.Rs1)-r(in.Rs2))
+		write(in.Rd, m.regVal(in.Rs1)-m.regVal(in.Rs2))
 	case isa.AND:
-		write(in.Rd, r(in.Rs1)&r(in.Rs2))
+		write(in.Rd, m.regVal(in.Rs1)&m.regVal(in.Rs2))
 	case isa.OR:
-		write(in.Rd, r(in.Rs1)|r(in.Rs2))
+		write(in.Rd, m.regVal(in.Rs1)|m.regVal(in.Rs2))
 	case isa.XOR:
-		write(in.Rd, r(in.Rs1)^r(in.Rs2))
+		write(in.Rd, m.regVal(in.Rs1)^m.regVal(in.Rs2))
 	case isa.NOR:
-		write(in.Rd, ^(r(in.Rs1) | r(in.Rs2)))
+		write(in.Rd, ^(m.regVal(in.Rs1) | m.regVal(in.Rs2)))
 	case isa.SLL:
-		write(in.Rd, r(in.Rs1)<<(uint64(r(in.Rs2))&63))
+		write(in.Rd, m.regVal(in.Rs1)<<(uint64(m.regVal(in.Rs2))&63))
 	case isa.SRL:
-		write(in.Rd, int64(uint64(r(in.Rs1))>>(uint64(r(in.Rs2))&63)))
+		write(in.Rd, int64(uint64(m.regVal(in.Rs1))>>(uint64(m.regVal(in.Rs2))&63)))
 	case isa.SRA:
-		write(in.Rd, r(in.Rs1)>>(uint64(r(in.Rs2))&63))
+		write(in.Rd, m.regVal(in.Rs1)>>(uint64(m.regVal(in.Rs2))&63))
 	case isa.SLT:
-		write(in.Rd, boolTo64(r(in.Rs1) < r(in.Rs2)))
+		write(in.Rd, boolTo64(m.regVal(in.Rs1) < m.regVal(in.Rs2)))
 	case isa.SLTU:
-		write(in.Rd, boolTo64(uint64(r(in.Rs1)) < uint64(r(in.Rs2))))
+		write(in.Rd, boolTo64(uint64(m.regVal(in.Rs1)) < uint64(m.regVal(in.Rs2))))
 	case isa.ADDI:
-		write(in.Rd, r(in.Rs1)+int64(in.Imm))
+		write(in.Rd, m.regVal(in.Rs1)+int64(in.Imm))
 	case isa.ANDI:
-		write(in.Rd, r(in.Rs1)&int64(in.Imm))
+		write(in.Rd, m.regVal(in.Rs1)&int64(in.Imm))
 	case isa.ORI:
-		write(in.Rd, r(in.Rs1)|int64(in.Imm))
+		write(in.Rd, m.regVal(in.Rs1)|int64(in.Imm))
 	case isa.XORI:
-		write(in.Rd, r(in.Rs1)^int64(in.Imm))
+		write(in.Rd, m.regVal(in.Rs1)^int64(in.Imm))
 	case isa.SLLI:
-		write(in.Rd, r(in.Rs1)<<(uint32(in.Imm)&63))
+		write(in.Rd, m.regVal(in.Rs1)<<(uint32(in.Imm)&63))
 	case isa.SRLI:
-		write(in.Rd, int64(uint64(r(in.Rs1))>>(uint32(in.Imm)&63)))
+		write(in.Rd, int64(uint64(m.regVal(in.Rs1))>>(uint32(in.Imm)&63)))
 	case isa.SRAI:
-		write(in.Rd, r(in.Rs1)>>(uint32(in.Imm)&63))
+		write(in.Rd, m.regVal(in.Rs1)>>(uint32(in.Imm)&63))
 	case isa.SLTI:
-		write(in.Rd, boolTo64(r(in.Rs1) < int64(in.Imm)))
+		write(in.Rd, boolTo64(m.regVal(in.Rs1) < int64(in.Imm)))
 	case isa.LUI:
 		write(in.Rd, int64(in.Imm)<<16)
 
@@ -154,23 +172,23 @@ func (m *Machine) Step() (Step, error) {
 	// buggy workloads fail loudly in their own logic rather than crash the
 	// simulator.
 	case isa.MUL:
-		write(in.Rd, r(in.Rs1)*r(in.Rs2))
+		write(in.Rd, m.regVal(in.Rs1)*m.regVal(in.Rs2))
 	case isa.DIV:
-		if d := r(in.Rs2); d != 0 {
-			write(in.Rd, r(in.Rs1)/d)
+		if d := m.regVal(in.Rs2); d != 0 {
+			write(in.Rd, m.regVal(in.Rs1)/d)
 		} else {
 			write(in.Rd, 0)
 		}
 	case isa.REM:
-		if d := r(in.Rs2); d != 0 {
-			write(in.Rd, r(in.Rs1)%d)
+		if d := m.regVal(in.Rs2); d != 0 {
+			write(in.Rd, m.regVal(in.Rs1)%d)
 		} else {
 			write(in.Rd, 0)
 		}
 
 	// Memory.
 	case isa.LD, isa.LW, isa.LB, isa.FLD:
-		addr := uint64(r(in.Rs1) + int64(in.Imm))
+		addr := uint64(m.regVal(in.Rs1) + int64(in.Imm))
 		st.MemAddr = addr
 		raw := m.Mem.Read(addr, in.Op.MemWidth())
 		var v int64
@@ -184,23 +202,23 @@ func (m *Machine) Step() (Step, error) {
 		}
 		write(in.Rd, v)
 	case isa.ST, isa.SW, isa.SB, isa.FST:
-		addr := uint64(r(in.Rs1) + int64(in.Imm))
+		addr := uint64(m.regVal(in.Rs1) + int64(in.Imm))
 		st.MemAddr = addr
-		m.Mem.Write(addr, in.Op.MemWidth(), uint64(r(in.Rs2)))
+		m.Mem.Write(addr, in.Op.MemWidth(), uint64(m.regVal(in.Rs2)))
 
 	// Control transfers.
 	case isa.BEQ:
-		st.Taken = r(in.Rs1) == r(in.Rs2)
+		st.Taken = m.regVal(in.Rs1) == m.regVal(in.Rs2)
 	case isa.BNE:
-		st.Taken = r(in.Rs1) != r(in.Rs2)
+		st.Taken = m.regVal(in.Rs1) != m.regVal(in.Rs2)
 	case isa.BLT:
-		st.Taken = r(in.Rs1) < r(in.Rs2)
+		st.Taken = m.regVal(in.Rs1) < m.regVal(in.Rs2)
 	case isa.BGE:
-		st.Taken = r(in.Rs1) >= r(in.Rs2)
+		st.Taken = m.regVal(in.Rs1) >= m.regVal(in.Rs2)
 	case isa.BLTU:
-		st.Taken = uint64(r(in.Rs1)) < uint64(r(in.Rs2))
+		st.Taken = uint64(m.regVal(in.Rs1)) < uint64(m.regVal(in.Rs2))
 	case isa.BGEU:
-		st.Taken = uint64(r(in.Rs1)) >= uint64(r(in.Rs2))
+		st.Taken = uint64(m.regVal(in.Rs1)) >= uint64(m.regVal(in.Rs2))
 	case isa.J:
 		st.Taken = true
 		st.NextPC = int(in.Imm)
@@ -210,41 +228,41 @@ func (m *Machine) Step() (Step, error) {
 		st.NextPC = int(in.Imm)
 	case isa.JR:
 		st.Taken = true
-		st.NextPC = int(r(in.Rs1))
+		st.NextPC = int(m.regVal(in.Rs1))
 	case isa.JALR:
 		st.Taken = true
-		target := int(r(in.Rs1))
+		target := int(m.regVal(in.Rs1))
 		write(in.Rd, int64(m.PC+1))
 		st.NextPC = target
 
 	// Floating point.
 	case isa.FADD:
-		write(in.Rd, bits64(f64(r(in.Rs1))+f64(r(in.Rs2))))
+		write(in.Rd, bits64(f64(m.regVal(in.Rs1))+f64(m.regVal(in.Rs2))))
 	case isa.FSUB:
-		write(in.Rd, bits64(f64(r(in.Rs1))-f64(r(in.Rs2))))
+		write(in.Rd, bits64(f64(m.regVal(in.Rs1))-f64(m.regVal(in.Rs2))))
 	case isa.FMUL:
-		write(in.Rd, bits64(f64(r(in.Rs1))*f64(r(in.Rs2))))
+		write(in.Rd, bits64(f64(m.regVal(in.Rs1))*f64(m.regVal(in.Rs2))))
 	case isa.FDIV:
-		write(in.Rd, bits64(f64(r(in.Rs1))/f64(r(in.Rs2))))
+		write(in.Rd, bits64(f64(m.regVal(in.Rs1))/f64(m.regVal(in.Rs2))))
 	case isa.FNEG:
-		write(in.Rd, bits64(-f64(r(in.Rs1))))
+		write(in.Rd, bits64(-f64(m.regVal(in.Rs1))))
 	case isa.FABS:
-		write(in.Rd, bits64(math.Abs(f64(r(in.Rs1)))))
+		write(in.Rd, bits64(math.Abs(f64(m.regVal(in.Rs1)))))
 	case isa.FMOV:
-		write(in.Rd, r(in.Rs1))
+		write(in.Rd, m.regVal(in.Rs1))
 	case isa.FCVTIF:
-		write(in.Rd, bits64(float64(r(in.Rs1))))
+		write(in.Rd, bits64(float64(m.regVal(in.Rs1))))
 	case isa.FCVTFI:
-		write(in.Rd, int64(f64(r(in.Rs1))))
+		write(in.Rd, int64(f64(m.regVal(in.Rs1))))
 	case isa.FEQ:
-		write(in.Rd, boolTo64(f64(r(in.Rs1)) == f64(r(in.Rs2))))
+		write(in.Rd, boolTo64(f64(m.regVal(in.Rs1)) == f64(m.regVal(in.Rs2))))
 	case isa.FLT:
-		write(in.Rd, boolTo64(f64(r(in.Rs1)) < f64(r(in.Rs2))))
+		write(in.Rd, boolTo64(f64(m.regVal(in.Rs1)) < f64(m.regVal(in.Rs2))))
 	case isa.FLE:
-		write(in.Rd, boolTo64(f64(r(in.Rs1)) <= f64(r(in.Rs2))))
+		write(in.Rd, boolTo64(f64(m.regVal(in.Rs1)) <= f64(m.regVal(in.Rs2))))
 
 	default:
-		return Step{}, fmt.Errorf("emu: unimplemented opcode %v at PC %d", in.Op, m.PC)
+		return fmt.Errorf("emu: unimplemented opcode %v at PC %d", in.Op, m.PC)
 	}
 
 	if in.Op.IsCondBranch() && st.Taken {
@@ -252,12 +270,12 @@ func (m *Machine) Step() (Step, error) {
 	}
 	if !m.Halted {
 		if st.NextPC < 0 || st.NextPC >= len(m.Prog.Text) {
-			return Step{}, fmt.Errorf("emu: jump to out-of-range PC %d from %d (%v)", st.NextPC, m.PC, in)
+			return fmt.Errorf("emu: jump to out-of-range PC %d from %d (%v)", st.NextPC, m.PC, in)
 		}
 		m.PC = st.NextPC
 	}
 	m.Count++
-	return st, nil
+	return nil
 }
 
 // Run executes until HALT or until max instructions have run (0 = no

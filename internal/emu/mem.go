@@ -12,9 +12,14 @@ type page [pageSize]byte
 
 // Memory is a sparse, byte-addressable 64-bit memory. Pages are allocated
 // on first touch; reads of untouched memory return zero, matching a
-// zero-initialized address space.
+// zero-initialized address space. A one-entry page cache short-circuits
+// the page-table lookup for the common case of consecutive accesses to
+// the same page (the timing simulator's oracle steps exhibit strong
+// locality); it is pure memoization and never observable in results.
 type Memory struct {
-	pages map[uint64]*page
+	pages    map[uint64]*page
+	lastPN   uint64
+	lastPage *page
 }
 
 // NewMemory returns an empty memory.
@@ -24,10 +29,16 @@ func NewMemory() *Memory {
 
 func (m *Memory) pageFor(addr uint64, create bool) *page {
 	pn := addr >> pageShift
+	if p := m.lastPage; p != nil && pn == m.lastPN {
+		return p
+	}
 	p := m.pages[pn]
 	if p == nil && create {
 		p = new(page)
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }
@@ -49,6 +60,22 @@ func (m *Memory) SetByte(addr uint64, b byte) {
 // Read returns width bytes starting at addr as a little-endian unsigned
 // integer. width must be 1, 4 or 8. Accesses may straddle page boundaries.
 func (m *Memory) Read(addr uint64, width int) uint64 {
+	if off := addr & pageMask; off+uint64(width) <= pageSize {
+		// Fast path: the access is contained in one page (one table
+		// lookup instead of one per byte).
+		p := m.pageFor(addr, false)
+		if p == nil {
+			return 0
+		}
+		switch width {
+		case 1:
+			return uint64(p[off])
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		default:
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+	}
 	var buf [8]byte
 	for i := 0; i < width; i++ {
 		buf[i] = m.ByteAt(addr + uint64(i))
@@ -65,6 +92,18 @@ func (m *Memory) Read(addr uint64, width int) uint64 {
 
 // Write stores the low width bytes of val at addr, little-endian.
 func (m *Memory) Write(addr uint64, width int, val uint64) {
+	if off := addr & pageMask; off+uint64(width) <= pageSize {
+		p := m.pageFor(addr, true)
+		switch width {
+		case 1:
+			p[off] = byte(val)
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(val))
+		default:
+			binary.LittleEndian.PutUint64(p[off:], val)
+		}
+		return
+	}
 	for i := 0; i < width; i++ {
 		m.SetByte(addr+uint64(i), byte(val>>(8*uint(i))))
 	}

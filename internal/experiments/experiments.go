@@ -50,8 +50,12 @@ type Options struct {
 	// arrive from worker goroutines — keep the callback fast.
 	Progress func(Progress)
 	// Runner executes each cell; nil means job.Direct{} (simulate
-	// in-process). Inject a store.Cached to reuse results across grids —
-	// cache hits are bit-identical to fresh simulations (golden-locked).
+	// in-process). Inject a store.Cached to reuse results across grids, or
+	// a job.Checkpointed to simulate each cell's warm phase once and replay
+	// measurement runs from the warm-state snapshot (worthwhile when the
+	// same grid runs repeatedly — benchmark iterations, window sweeps).
+	// Either way results are bit-identical to fresh direct simulations
+	// (golden-locked).
 	Runner job.Runner
 }
 

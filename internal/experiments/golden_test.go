@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/job"
 	"repro/internal/stats"
 	"repro/internal/steer"
 )
@@ -79,6 +80,22 @@ func TestGoldenTwoClusterBitIdentity(t *testing.T) {
 		return
 	}
 
+	covered := verifyGoldenFile(t, opts)
+
+	// Completeness gate: a steering scheme registered without golden
+	// coverage would silently escape the bit-identity lock.
+	for _, scheme := range goldenSchemes() {
+		if !covered[scheme] {
+			t.Errorf("scheme %q has no golden coverage (rerun with -update)", scheme)
+		}
+	}
+}
+
+// verifyGoldenFile replays every cell recorded in testdata/golden_n2.txt
+// under opts and requires each rendered record to match byte for byte. It
+// returns the set of schemes the file covered.
+func verifyGoldenFile(t *testing.T, opts Options) map[string]bool {
+	t.Helper()
 	f, err := os.Open("testdata/golden_n2.txt")
 	if err != nil {
 		t.Fatal(err)
@@ -108,12 +125,21 @@ func TestGoldenTwoClusterBitIdentity(t *testing.T) {
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
+	return covered
+}
 
-	// Completeness gate: a steering scheme registered without golden
-	// coverage would silently escape the bit-identity lock.
-	for _, scheme := range goldenSchemes() {
-		if !covered[scheme] {
-			t.Errorf("scheme %q has no golden coverage (rerun with -update)", scheme)
-		}
+// TestGoldenCheckpointedRunner replays the same golden grid through a
+// shared job.Checkpointed runner: planning each cell, warming it behind a
+// warm-state snapshot and measuring must leave every statistic — cycle
+// counts, copies, steering splits, the full balance histogram —
+// bit-identical to the per-cycle, direct-runner record. Combined with the
+// runner-level round-trip tests in internal/job, this locks the whole
+// warm-checkpoint path end to end.
+func TestGoldenCheckpointedRunner(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden files are updated through the default runner")
 	}
+	opts := goldenOpts()
+	opts.Runner = &job.Checkpointed{}
+	verifyGoldenFile(t, opts)
 }

@@ -1,0 +1,41 @@
+package mem
+
+// Clone returns a deep copy of the cache over the given next level: tag
+// state, LRU clock and statistics are duplicated, so accesses through
+// either cache never alias. The set slices are re-sliced from one backing
+// array exactly as NewCache lays them out. Warm-state checkpointing
+// (internal/core's Checkpoint) snapshots hierarchies with it at the
+// warm-up boundary.
+func (c *Cache) Clone(next Level) *Cache {
+	nc := *c
+	nc.next = next
+	nsets := len(c.sets)
+	sets := make([][]cacheLine, nsets)
+	backing := make([]cacheLine, nsets*c.cfg.Assoc)
+	for i := range sets {
+		sets[i], backing = backing[:c.cfg.Assoc], backing[c.cfg.Assoc:]
+		copy(sets[i], c.sets[i])
+	}
+	nc.sets = sets
+	return &nc
+}
+
+// Clone returns a copy of the DRAM model (its state is only counters).
+func (d *DRAM) Clone() *DRAM {
+	nd := *d
+	return &nd
+}
+
+// Clone returns a deep copy of the hierarchy with the level links rebuilt
+// to mirror NewHierarchy: both L1s miss into the copied L2, which misses
+// into the copied DRAM.
+func (h *Hierarchy) Clone() *Hierarchy {
+	main := h.Main.Clone()
+	l2 := h.L2.Clone(main)
+	return &Hierarchy{
+		L1I:  h.L1I.Clone(l2),
+		L1D:  h.L1D.Clone(l2),
+		L2:   l2,
+		Main: main,
+	}
+}
