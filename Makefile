@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover fuzz bench serve-smoke worker-smoke ci fmt vet lint
+.PHONY: all build test race cover fuzz bench serve-smoke worker-smoke load-smoke ci fmt vet lint
 
 all: build
 
@@ -45,6 +45,13 @@ serve-smoke:
 worker-smoke:
 	./ci/worker_smoke.sh
 
+# End-to-end smoke of the hardening layer: dcaserve with tight rate limits,
+# a short dcaload mixed-traffic run, then assertions that the report is
+# well-formed, the limiter shed load (429s observed), and /metrics exposes
+# moving counters in Prometheus text format.
+load-smoke:
+	./ci/load_smoke.sh
+
 # Regenerate the reference benchmark records (BENCH_core.json,
 # BENCH_clusters.json, BENCH_serve.json) with current environment metadata
 # so the checked-in numbers cannot drift silently from the code.
@@ -64,4 +71,4 @@ vet:
 lint:
 	$(GO) run ./cmd/dcalint ./...
 
-ci: fmt vet lint build race cover fuzz serve-smoke worker-smoke
+ci: fmt vet lint build race cover fuzz serve-smoke worker-smoke load-smoke

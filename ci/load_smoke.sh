@@ -1,0 +1,66 @@
+#!/bin/sh
+# load_smoke.sh — end-to-end smoke of the hardening layer: build dcaserve
+# and dcaload, start the server with tight admission limits, drive a short
+# mixed load at saturation, and assert (1) the report is well-formed JSON
+# with throughput/latency percentiles, (2) the rate limiter actually shed
+# load (non-zero 429s), and (3) /metrics exposes moving dcaserve counters
+# in Prometheus text format. Run from the repo root (`make load-smoke` or
+# the CI step). Ports: serve_smoke uses 8097, worker_smoke 8098 — this one
+# takes 8099 so the three can share a machine.
+set -eu
+
+ADDR=127.0.0.1:8099
+SRV="${TMPDIR:-/tmp}/dcaserve-load-smoke"
+LOAD="${TMPDIR:-/tmp}/dcaload-load-smoke"
+OUT="${TMPDIR:-/tmp}/dcaload-load-smoke.json"
+METRICS="${TMPDIR:-/tmp}/dcaload-load-smoke.metrics"
+
+go build -o "$SRV" ./cmd/dcaserve
+go build -o "$LOAD" ./cmd/dcaload
+
+# Tight limits so a tiny smoke run still saturates: 50 req/s per client
+# with a small burst guarantees 429s from any concurrency above ~1.
+"$SRV" -addr "$ADDR" -rate 50 -burst 20 -admit 8 &
+PID=$!
+trap 'kill $PID 2>/dev/null || true' EXIT
+
+# Wait for the listener (up to ~5s).
+i=0
+until curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "dcaserve did not come up on $ADDR" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# Short mixed run: enough traffic to move every counter, quick enough for
+# CI. dcaload exits non-zero only on transport errors, not on 429s.
+"$LOAD" -server "http://$ADDR" -c 8 -d 3s -out "$OUT"
+
+# The report must be well-formed with the advertised fields.
+grep -q '"throughput_rps"' "$OUT"
+grep -q '"p50_ms"' "$OUT"
+grep -q '"p95_ms"' "$OUT"
+grep -q '"p99_ms"' "$OUT"
+grep -q '"throttled_rate"' "$OUT"
+grep -q '"server_metrics"' "$OUT"
+
+# The limiter must have shed load during the run.
+if grep -q '"throttled": 0,' "$OUT"; then
+  echo "rate limiter shed nothing under saturation" >&2
+  exit 1
+fi
+
+# /metrics must expose the serving counters in text exposition format.
+curl -fsS "http://$ADDR/metrics" >"$METRICS"
+grep -q '^# TYPE dcaserve_store_hits_total counter' "$METRICS"
+grep -q '^# TYPE dcaserve_throttled_total counter' "$METRICS"
+grep -q '^# TYPE http_request_seconds histogram' "$METRICS"
+# At least one store hit and one throttle landed, with non-zero values.
+# ($NF, not $2: label values may contain spaces, e.g. endpoint="POST /v1/jobs".)
+awk '$1 == "dcaserve_store_hits_total" && $NF + 0 > 0 { ok = 1 } END { exit !ok }' "$METRICS"
+awk '/^dcaserve_throttled_total/ && $NF + 0 > 0 { ok = 1 } END { exit !ok }' "$METRICS"
+
+echo "dcaload smoke OK ($(sed -n 's/.*"throughput_rps": \([0-9.]*\).*/\1/p' "$OUT" | head -1) req/s)"

@@ -1,0 +1,375 @@
+// Command dcaload is the load-test harness for dcaserve: it drives the
+// service at saturation with a configurable mix of traffic shapes and
+// reports throughput, latency percentiles and shed-load (429) rates, both
+// overall and per shape. The shapes cover the service's three cost
+// regimes:
+//
+//   - warm:  POST /v1/jobs with one fixed cell — after the first request
+//     every hit is a pure content-addressed cache read.
+//   - cold:  POST /v1/jobs with a distinct cell per request (the warmup
+//     window varies) — every request simulates, saturating the
+//     admission queue and simulation semaphore.
+//   - queue: POST /v1/queue with a distinct cell per request — cheap
+//     enqueues that exercise the asynchronous path and its dedup.
+//
+// After the run it scrapes GET /metrics and embeds the server-side
+// counters next to the client-side numbers, so a run's report correlates
+// both views of the same traffic. With -out it writes the full report as
+// JSON (the BENCH_load.json trajectory record); it always prints a
+// human-readable summary.
+//
+// Usage:
+//
+//	dcaload -server http://localhost:8080 -d 10s -c 32
+//	dcaload -server http://localhost:8080 -warm 1 -cold 0 -queue 0   # pure cache-hit load
+//	dcaload -server http://localhost:8080 -out BENCH_load.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// shape names, in report order.
+var shapeNames = []string{"warm", "cold", "queue"}
+
+// sample is one completed request.
+type sample struct {
+	shape  string
+	status int
+	dur    time.Duration
+}
+
+// latencySummary is a distribution over one shape (or all traffic).
+type latencySummary struct {
+	Requests   int     `json:"requests"`
+	OK         int     `json:"ok"`
+	Throttled  int     `json:"throttled"` // HTTP 429
+	Errors     int     `json:"errors"`    // anything else non-2xx, or transport failures
+	Throughput float64 `json:"throughput_rps"`
+	// ThrottledRate is Throttled/Requests — the acceptance signal that the
+	// rate limiter sheds load instead of queueing it.
+	ThrottledRate float64 `json:"throttled_rate"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	MaxMS         float64 `json:"max_ms"`
+}
+
+// report is the BENCH_load.json record.
+type report struct {
+	Benchmark   string                    `json:"benchmark"`
+	Date        string                    `json:"date"`
+	Description string                    `json:"description"`
+	Environment map[string]any            `json:"environment"`
+	Config      runConfig                 `json:"config"`
+	Total       latencySummary            `json:"total"`
+	PerShape    map[string]latencySummary `json:"per_shape"`
+	// ServerMetrics are selected dcaserve_* counters scraped from
+	// GET /metrics after the run — the server-side view of the same
+	// traffic (hit/miss split, throttle counts, queue churn).
+	ServerMetrics map[string]float64 `json:"server_metrics,omitempty"`
+}
+
+// runConfig records how the load was generated.
+type runConfig struct {
+	Server      string  `json:"server"`
+	Concurrency int     `json:"concurrency"`
+	DurationMS  int64   `json:"duration_ms"`
+	WarmWeight  float64 `json:"warm_weight"`
+	ColdWeight  float64 `json:"cold_weight"`
+	QueueWeight float64 `json:"queue_weight"`
+	Measure     uint64  `json:"measure"`
+	ClientID    string  `json:"client_id"`
+}
+
+func main() {
+	var (
+		server  = flag.String("server", "http://localhost:8080", "dcaserve base URL")
+		conc    = flag.Int("c", 4*runtime.GOMAXPROCS(0), "concurrent client connections")
+		dur     = flag.Duration("d", 10*time.Second, "load duration")
+		warm    = flag.Float64("warm", 0.5, "weight of cache-hit traffic")
+		cold    = flag.Float64("cold", 0.3, "weight of distinct-cell simulation traffic")
+		queueW  = flag.Float64("queue", 0.2, "weight of asynchronous enqueue traffic")
+		measure = flag.Uint64("measure", 1000, "measure window per generated cell (small = request-rate bound)")
+		id      = flag.String("id", "dcaload", "X-Client-ID sent with every request")
+		out     = flag.String("out", "", "write the JSON report here (e.g. BENCH_load.json)")
+	)
+	flag.Parse()
+	if *warm+*cold+*queueW <= 0 {
+		fatal(fmt.Errorf("traffic weights sum to zero"))
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	if err := waitHealthy(client, *server, 10*time.Second); err != nil {
+		fatal(err)
+	}
+
+	cfg := runConfig{
+		Server: *server, Concurrency: *conc, DurationMS: dur.Milliseconds(),
+		WarmWeight: *warm, ColdWeight: *cold, QueueWeight: *queueW,
+		Measure: *measure, ClientID: *id,
+	}
+	fmt.Printf("dcaload: %d clients against %s for %s (warm %.0f%% / cold %.0f%% / queue %.0f%%)\n",
+		*conc, *server, *dur,
+		100**warm/(*warm+*cold+*queueW),
+		100**cold/(*warm+*cold+*queueW),
+		100**queueW/(*warm+*cold+*queueW))
+
+	samples, elapsed := drive(client, cfg, *dur)
+	rep := summarize(cfg, samples, elapsed)
+	rep.ServerMetrics = scrapeMetrics(client, *server)
+	printSummary(rep)
+
+	if *out != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dcaload: report written to %s\n", *out)
+	}
+}
+
+// drive runs the client fleet and collects every sample.
+func drive(client *http.Client, cfg runConfig, dur time.Duration) ([]sample, time.Duration) {
+	var (
+		mu      sync.Mutex
+		samples []sample
+		coldSeq atomic.Uint64
+		wg      sync.WaitGroup
+	)
+	warmBody := specBody("modulo", 100, cfg.Measure)
+	started := time.Now()
+	deadline := started.Add(dur)
+	wg.Add(cfg.Concurrency)
+	for i := 0; i < cfg.Concurrency; i++ {
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(time.Now().UnixNano() + int64(worker)))
+			for time.Now().Before(deadline) {
+				shape, path, body := nextRequest(rng, cfg, warmBody, &coldSeq)
+				s := issue(client, cfg, path, body)
+				s.shape = shape
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+				if s.status == http.StatusTooManyRequests {
+					// Shed load means back off a beat; hammering a closed
+					// door would just measure the door.
+					time.Sleep(time.Duration(1+rng.Intn(5)) * time.Millisecond)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return samples, time.Since(started)
+}
+
+// nextRequest picks a traffic shape by weight and builds its request.
+func nextRequest(rng *rand.Rand, cfg runConfig, warmBody []byte, coldSeq *atomic.Uint64) (shape, path string, body []byte) {
+	total := cfg.WarmWeight + cfg.ColdWeight + cfg.QueueWeight
+	switch p := rng.Float64() * total; {
+	case p < cfg.WarmWeight:
+		return "warm", "/v1/jobs", warmBody
+	case p < cfg.WarmWeight+cfg.ColdWeight:
+		// A distinct warmup window per request gives every cell its own
+		// content digest: no cache hit, no coalescing — a full simulation.
+		n := coldSeq.Add(1)
+		return "cold", "/v1/jobs", specBody("modulo", 1000+n, cfg.Measure)
+	default:
+		n := coldSeq.Add(1)
+		spec := specBody("fifo", 1000+n, cfg.Measure)
+		return "queue", "/v1/queue", []byte(`{"spec":` + string(spec) + `}`)
+	}
+}
+
+// specBody builds one job spec. The scheme stays fixed; warmup varies the
+// digest.
+func specBody(scheme string, warmup, measure uint64) []byte {
+	return []byte(fmt.Sprintf(`{"scheme":%q,"benchmark":"go","warmup":%d,"measure":%d}`,
+		scheme, warmup, measure))
+}
+
+// issue sends one POST and classifies the outcome.
+func issue(client *http.Client, cfg runConfig, path string, body []byte) sample {
+	req, err := http.NewRequest(http.MethodPost, cfg.Server+path, bytes.NewReader(body))
+	if err != nil {
+		return sample{status: 0}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", cfg.ClientID)
+	start := time.Now()
+	resp, err := client.Do(req)
+	dur := time.Since(start)
+	if err != nil {
+		return sample{status: 0, dur: dur}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return sample{status: resp.StatusCode, dur: dur}
+}
+
+// summarize reduces the samples to the report's distributions.
+func summarize(cfg runConfig, samples []sample, elapsed time.Duration) *report {
+	perShape := make(map[string][]sample, len(shapeNames))
+	for _, s := range samples {
+		perShape[s.shape] = append(perShape[s.shape], s)
+	}
+	rep := &report{
+		Benchmark: "dcaload",
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Description: "dcaserve under mixed saturation load: warm = repeated cell (cache hits), " +
+			"cold = distinct cells (full simulations through admission control), queue = async enqueues. " +
+			"Latencies are client-observed HTTP round trips; throttled counts HTTP 429 from the rate " +
+			"limiter and admission queue. Regenerate with ci/load_smoke.sh or " +
+			"`dcaload -server ... -out BENCH_load.json` against a saturated server.",
+		Environment: map[string]any{
+			"goos":    runtime.GOOS,
+			"goarch":  runtime.GOARCH,
+			"num_cpu": runtime.NumCPU(),
+		},
+		Config:   cfg,
+		Total:    reduce(samples, elapsed),
+		PerShape: make(map[string]latencySummary, len(shapeNames)),
+	}
+	for _, name := range shapeNames {
+		if ss := perShape[name]; len(ss) > 0 {
+			rep.PerShape[name] = reduce(ss, elapsed)
+		}
+	}
+	return rep
+}
+
+// reduce computes one latencySummary.
+func reduce(samples []sample, elapsed time.Duration) latencySummary {
+	sum := latencySummary{Requests: len(samples)}
+	if len(samples) == 0 {
+		return sum
+	}
+	durs := make([]float64, len(samples))
+	for i, s := range samples {
+		durs[i] = float64(s.dur.Microseconds()) / 1e3
+		switch {
+		case s.status >= 200 && s.status <= 299:
+			sum.OK++
+		case s.status == http.StatusTooManyRequests:
+			sum.Throttled++
+		default:
+			sum.Errors++
+		}
+	}
+	sort.Float64s(durs)
+	sum.Throughput = float64(len(samples)) / elapsed.Seconds()
+	sum.ThrottledRate = float64(sum.Throttled) / float64(len(samples))
+	sum.P50MS = percentile(durs, 50)
+	sum.P95MS = percentile(durs, 95)
+	sum.P99MS = percentile(durs, 99)
+	sum.MaxMS = durs[len(durs)-1]
+	return sum
+}
+
+// percentile reads the p-th percentile (nearest-rank) from sorted values.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p / 100 * float64(len(sorted)))
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// scrapeMetrics pulls the dcaserve_* families from GET /metrics — the
+// server-side counters this run moved. Parse failures degrade to an
+// absent map, never a failed run: the load numbers stand on their own.
+func scrapeMetrics(client *http.Client, server string) map[string]float64 {
+	resp, err := client.Get(server + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") || !strings.HasPrefix(line, "dcaserve_") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok || strings.Contains(name, "{") {
+			continue // labeled series are per-endpoint detail; totals suffice
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			continue
+		}
+		out[name] = v
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// waitHealthy polls /healthz until the server answers.
+func waitHealthy(client *http.Client, server string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(server + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server %s not healthy after %s: %v", server, timeout, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// printSummary writes the human-readable digest of the run.
+func printSummary(rep *report) {
+	t := rep.Total
+	fmt.Printf("dcaload: %d requests in %.1fs — %.0f req/s, p50 %.2fms p95 %.2fms p99 %.2fms\n",
+		t.Requests, float64(rep.Config.DurationMS)/1e3, t.Throughput, t.P50MS, t.P95MS, t.P99MS)
+	fmt.Printf("dcaload: %d ok, %d throttled (%.1f%%), %d errors\n",
+		t.OK, t.Throttled, 100*t.ThrottledRate, t.Errors)
+	for _, name := range shapeNames {
+		s, ok := rep.PerShape[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("dcaload:   %-5s %6d req  %7.0f req/s  p50 %8.2fms  p99 %8.2fms  429 %5.1f%%\n",
+			name, s.Requests, s.Throughput, s.P50MS, s.P99MS, 100*s.ThrottledRate)
+	}
+	if hits, ok := rep.ServerMetrics["dcaserve_store_hits_total"]; ok {
+		fmt.Printf("dcaload: server saw %.0f store hits, %.0f misses, %.0f coalesced\n",
+			hits, rep.ServerMetrics["dcaserve_store_misses_total"], rep.ServerMetrics["dcaserve_store_coalesced_total"])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dcaload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// This file is the admission-control layer: a per-client token-bucket rate
+// limiter on the submission endpoints, and a bounded waiting room in front
+// of the simulation semaphore. Both shed load as 429 + Retry-After instead
+// of letting a thundering herd queue without bound — the client is told
+// when to come back, and the server's latency for admitted work stays flat.
+
+// limits is the admission-control configuration (zero values disable each
+// mechanism's flag-tunable part and fall back to defaults).
+type limits struct {
+	// Rate is the sustained per-client request rate (requests/second) on
+	// the submission endpoints (/v1/jobs, /v1/grids, /v1/queue); <= 0
+	// disables rate limiting.
+	Rate float64
+	// Burst is the token-bucket depth — how many requests a client may
+	// send back-to-back before the sustained rate applies. <= 0 means
+	// 2*Rate (minimum 1).
+	Burst int
+	// AdmitQueue bounds how many /v1/jobs requests may wait on the
+	// simulation semaphore beyond the ones actually running; <= 0 means
+	// 4 * parallelism.
+	AdmitQueue int
+}
+
+// rateLimiter is a per-client token-bucket limiter. Buckets refill at rate
+// tokens/second up to burst; a request takes one token or is refused with
+// the time until a token exists. Idle buckets are pruned so one-shot
+// clients do not accumulate forever.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	lastPrune time.Time
+}
+
+// bucket is one client's token balance at time last.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter returns a limiter allowing rate requests/second with the
+// given burst per client key.
+func newRateLimiter(rate float64, burst int, now func() time.Time) *rateLimiter {
+	b := float64(burst)
+	if burst <= 0 {
+		b = math.Max(1, 2*rate)
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   b,
+		now:     now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow takes one token from client's bucket. When the bucket is empty it
+// reports false plus how long until the next token accrues — the
+// Retry-After the handler sends.
+func (l *rateLimiter) allow(client string) (retryAfter time.Duration, ok bool) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pruneLocked(now)
+	b, present := l.buckets[client]
+	if !present {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	return time.Duration((1 - b.tokens) / l.rate * float64(time.Second)), false
+}
+
+// pruneLocked drops buckets idle long enough to have refilled completely —
+// indistinguishable from fresh ones, so the map stays bounded by the
+// active client set. Runs at most once per minute. Callers hold l.mu.
+func (l *rateLimiter) pruneLocked(now time.Time) {
+	if now.Sub(l.lastPrune) < time.Minute {
+		return
+	}
+	l.lastPrune = now
+	full := time.Duration(l.burst / l.rate * float64(time.Second))
+	for key, b := range l.buckets {
+		if now.Sub(b.last) > full {
+			delete(l.buckets, key)
+		}
+	}
+}
+
+// clientKey identifies the requester for rate limiting and log
+// attribution: the self-reported X-Client-ID when present (workers and
+// load generators name themselves), the peer address otherwise.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// throttle wraps a submission endpoint with the per-client rate limiter.
+// With no limiter configured it is a no-op, so the default server behaves
+// exactly as before the admission layer existed.
+func (s *server) throttle(endpoint string, next http.Handler) http.Handler {
+	if s.limiter == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		retry, ok := s.limiter.allow(clientKey(r))
+		if !ok {
+			s.metrics.throttled.With(endpoint).Inc()
+			writeRetryAfter(w, retry)
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("rate limit exceeded; retry after %s", retry.Round(time.Millisecond)))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// writeRetryAfter sets Retry-After in whole seconds, rounded up so a
+// client that honors it exactly never arrives early, with a floor of 1
+// (the header's granularity).
+func writeRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}

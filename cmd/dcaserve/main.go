@@ -18,10 +18,21 @@
 //	                            Runs EXACTLY the cells submitted (unlike /v1/grids, which adds
 //	                            the base pseudo-scheme for speed-up normalization)
 //	GET  /v1/queue/stats        queue depth/inflight/retry counters
+//	GET  /v1/watch?keys=k1,k2   NDJSON stream: "done"/"failed" per key as it settles
+//	                            (worker uploads included), then a "complete" summary
 //	POST /v1/leases             worker long-poll: lease a job batch
 //	POST /v1/leases/{id}/complete  upload a verified result (or nack with an error)
 //	POST /v1/leases/{id}/extend    heartbeat a long-running lease
 //	GET  /healthz               liveness + cache and queue counters
+//	GET  /metrics               Prometheus text exposition: store hit/miss/coalesced,
+//	                            queue depth and lease churn, per-endpoint latency
+//
+// Admission control: -rate/-burst put a per-client token bucket (keyed by
+// X-Client-ID, falling back to remote address) on the submission endpoints
+// (/v1/jobs, /v1/grids, /v1/queue); -admit bounds how many /v1/jobs
+// requests may wait on the simulation semaphore. Both shed excess load as
+// 429 with a Retry-After header. The worker lease protocol is never
+// throttled. Every request also emits one structured JSON access-log line.
 //
 // Usage:
 //
@@ -29,6 +40,8 @@
 //	dcaserve -addr :9000 -store ./res # persist results under ./res
 //	dcaserve -cache 4096 -j 8         # bigger LRU, 8 grid workers
 //	dcaserve -lease-ttl 2m -retries 5 # slow cells, patient queue
+//	dcaserve -rate 50 -burst 100      # ≤50 req/s sustained per client
+//	dcaserve -admit 32                # ≤32 jobs waiting beyond those running
 //
 //	curl -s localhost:8080/v1/jobs -d '{"scheme":"general","benchmark":"go","warmup":1000,"measure":10000}'
 //	curl -s localhost:8080/v1/queue -d '{"grid":{"schemes":["general"],"warmup":1000,"measure":10000}}'
@@ -64,6 +77,9 @@ func main() {
 		leaseTTL = flag.Duration("lease-ttl", queue.DefaultLeaseTTL, "worker lease duration before a job requeues")
 		retries  = flag.Int("retries", queue.DefaultMaxAttempts, "attempts per queued job before it parks as failed")
 		drain    = flag.Duration("drain", 30*time.Second, "shutdown grace for in-flight requests")
+		rate     = flag.Float64("rate", 0, "per-client request rate on submission endpoints, req/s (0 = unlimited)")
+		burst    = flag.Int("burst", 0, "per-client burst above -rate (0 = 2×rate)")
+		admit    = flag.Int("admit", 0, "max /v1/jobs requests waiting on the simulator beyond those running (0 = 4×parallelism)")
 	)
 	flag.Parse()
 
@@ -76,7 +92,9 @@ func main() {
 		st = store.Tiered{Fast: st, Slow: disk}
 		fmt.Printf("dcaserve: %d results on disk under %s\n", disk.Len(), *diskDir)
 	}
-	srv := newServer(st, nil, *jobs, queue.Options{LeaseTTL: *leaseTTL, MaxAttempts: *retries})
+	srv := newServer(st, nil, *jobs,
+		queue.Options{LeaseTTL: *leaseTTL, MaxAttempts: *retries},
+		limits{Rate: *rate, Burst: *burst, AdmitQueue: *admit})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"net/http"
+	"sync"
+
+	"repro/internal/job/queue"
+	"repro/internal/obs"
+)
+
+// This file wires the run layer's existing counters into an obs.Registry
+// and serves it at GET /metrics in the Prometheus text exposition format.
+// Nothing here adds instrumentation to hot paths: store and queue counters
+// already exist and are read at scrape time; only the HTTP middleware
+// observes per-request.
+
+// serverMetrics bundles the server's registry and the handles the
+// admission and watch layers update directly.
+type serverMetrics struct {
+	reg *obs.Registry
+	// httpm wraps every route with request counts, latency histograms and
+	// in-flight gauges labeled by route pattern.
+	httpm *obs.HTTPMetrics
+	// throttled counts requests refused by the per-client rate limiter,
+	// by endpoint; admissionRejected counts /v1/jobs requests refused
+	// because the bounded waiting room was full. Both are 429s — split so
+	// a dashboard can tell "client over its budget" from "server full".
+	throttled         *obs.CounterVec
+	admissionRejected *obs.Counter
+}
+
+// initMetrics builds the registry over the server's store, runner and
+// queue. The queue's counters come from one Stats() snapshot per scrape
+// (taken by an OnCollect hook) rather than one call per metric.
+func (s *server) initMetrics() {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg:   reg,
+		httpm: obs.NewHTTPMetrics(reg),
+		throttled: reg.CounterVec("dcaserve_throttled_total",
+			"Requests refused by the per-client rate limiter, by endpoint.", "endpoint"),
+		admissionRejected: reg.Counter("dcaserve_admission_rejected_total",
+			"Job submissions refused because the admission queue was full."),
+	}
+
+	// Store: the coalescing runner's counters and the cache size.
+	reg.CounterFunc("dcaserve_store_hits_total",
+		"Simulation requests served straight from the result store.",
+		func() float64 { return float64(s.runner.Metrics().Hits) })
+	reg.CounterFunc("dcaserve_store_misses_total",
+		"Simulation requests that missed the store and simulated.",
+		func() float64 { return float64(s.runner.Metrics().Misses) })
+	reg.CounterFunc("dcaserve_store_coalesced_total",
+		"Simulation requests coalesced onto an identical in-flight run.",
+		func() float64 { return float64(s.runner.Metrics().Coalesced) })
+	reg.GaugeFunc("dcaserve_store_results",
+		"Results currently held by the store.",
+		func() float64 { return float64(s.st.Len()) })
+
+	// Queue: one snapshot per scrape, shared by every family below.
+	var qmu sync.Mutex
+	var qs queue.Stats
+	reg.OnCollect(func() {
+		snap := s.queue.Stats()
+		qmu.Lock()
+		qs = snap
+		qmu.Unlock()
+	})
+	stat := func(read func(queue.Stats) float64) func() float64 {
+		return func() float64 {
+			qmu.Lock()
+			defer qmu.Unlock()
+			return read(qs)
+		}
+	}
+	reg.GaugeFunc("dcaserve_queue_depth",
+		"Jobs pending in the queue.",
+		stat(func(q queue.Stats) float64 { return float64(q.Depth) }))
+	reg.GaugeFunc("dcaserve_queue_inflight",
+		"Jobs currently leased to workers.",
+		stat(func(q queue.Stats) float64 { return float64(q.Inflight) }))
+	reg.GaugeFunc("dcaserve_queue_failed",
+		"Jobs parked as failed after exhausting their attempt budget.",
+		stat(func(q queue.Stats) float64 { return float64(q.Failed) }))
+	for _, c := range []struct {
+		name, help string
+		read       func(queue.Stats) float64
+	}{
+		{"dcaserve_queue_enqueued_total", "Jobs accepted into the queue.",
+			func(q queue.Stats) float64 { return float64(q.Enqueued) }},
+		{"dcaserve_queue_deduped_queue_total", "Submissions satisfied by an identical queued or leased job.",
+			func(q queue.Stats) float64 { return float64(q.DedupedQueue) }},
+		{"dcaserve_queue_deduped_store_total", "Submissions satisfied by a stored result.",
+			func(q queue.Stats) float64 { return float64(q.DedupedStore) }},
+		{"dcaserve_queue_leased_total", "Lease hand-outs, retries included.",
+			func(q queue.Stats) float64 { return float64(q.Leased) }},
+		{"dcaserve_queue_completed_total", "Jobs completed under a live lease.",
+			func(q queue.Stats) float64 { return float64(q.Completed) }},
+		{"dcaserve_queue_late_completed_total", "Uploads accepted after their lease expired.",
+			func(q queue.Stats) float64 { return float64(q.LateCompleted) }},
+		{"dcaserve_queue_expired_total", "Lease deadlines that lapsed.",
+			func(q queue.Stats) float64 { return float64(q.Expired) }},
+		{"dcaserve_queue_nacked_total", "Explicit failure reports from workers.",
+			func(q queue.Stats) float64 { return float64(q.Nacked) }},
+		{"dcaserve_queue_retried_total", "Jobs requeued after an expiry or nack.",
+			func(q queue.Stats) float64 { return float64(q.Retried) }},
+		{"dcaserve_queue_exhausted_total", "Jobs that hit their attempt budget and parked as failed.",
+			func(q queue.Stats) float64 { return float64(q.Exhausted) }},
+	} {
+		reg.CounterFunc(c.name, c.help, stat(c.read))
+	}
+
+	// Watch subscriptions.
+	reg.GaugeFunc("dcaserve_watch_keys",
+		"Result keys with at least one live /v1/watch subscriber.",
+		func() float64 { return float64(s.watch.watcherCount()) })
+
+	s.metrics = m
+}
+
+// handleMetrics serves the registry as Prometheus scrape input.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.reg.WritePrometheus(w); err != nil {
+		logf("dcaserve: write metrics: %v", err)
+	}
+}

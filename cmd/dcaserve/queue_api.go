@@ -22,6 +22,11 @@ import (
 // short idle timeouts still get a well-formed (empty) response.
 const maxLeaseWait = 30 * time.Second
 
+// maxLeaseBatch caps max_jobs per lease request: big enough to amortize
+// polling on tiny cells, small enough that one worker cannot drain the
+// whole queue into leases it may then lose.
+const maxLeaseBatch = 64
+
 // queueRequest is the body of POST /v1/queue: exactly one of Spec (one
 // cell) or Grid (a whole batch).
 type queueRequest struct {
@@ -100,6 +105,17 @@ func (s *server) handleLease(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed lease request: %w", err))
 		return
+	}
+	// A non-positive batch is a client bug, not a preference: it would
+	// long-poll the full wait to return nothing by construction. Reject it
+	// while the caller can still see why; cap the top end server-side.
+	if req.MaxJobs <= 0 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("max_jobs must be positive, got %d", req.MaxJobs))
+		return
+	}
+	if req.MaxJobs > maxLeaseBatch {
+		req.MaxJobs = maxLeaseBatch
 	}
 	wait := time.Duration(req.WaitMS) * time.Millisecond
 	if wait < 0 {

@@ -26,7 +26,7 @@ import (
 // newQueueTestServer boots a server with queue tuning under test control.
 func newQueueTestServer(t *testing.T, qopts queue.Options) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(store.NewMemory(0), nil, 2, qopts).handler())
+	ts := httptest.NewServer(newServer(store.NewMemory(0), nil, 2, qopts, limits{}).handler())
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/job/queue"
 	"repro/internal/job/store"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/steer"
 	"repro/internal/workload"
@@ -32,6 +33,14 @@ type server struct {
 	// requests (grids bound their own worker pools): N clients posting N
 	// distinct expensive cells queue here instead of pinning N cores.
 	sem chan struct{}
+	// admit is the bounded waiting room in front of sem: a /v1/jobs
+	// request takes an admit slot (non-blocking — full means 429) before
+	// it may wait on sem, so the line outside the simulator has a fixed
+	// length instead of growing with the herd.
+	admit   chan struct{}
+	limiter *rateLimiter // nil = rate limiting off
+	watch   *watchHub
+	metrics *serverMetrics
 }
 
 // newServer builds a server over st; next is the underlying executor (nil
@@ -39,35 +48,65 @@ type server struct {
 // parallelism bounds each grid's worker pool and the total concurrent
 // single-job simulations (0 = all cores). qopts tunes the distributed
 // queue (lease TTL, attempt budget); its Results store is always this
-// server's st, so workers and in-process simulations share one cache.
-func newServer(st store.Store, next job.Runner, parallelism int, qopts queue.Options) *server {
+// server's st — wrapped in store.Notify so the watch hub hears every
+// completion — and its OnFailed hook feeds the hub too. lim configures
+// admission control (zero values: limiter off, default waiting room).
+func newServer(st store.Store, next job.Runner, parallelism int, qopts queue.Options, lim limits) *server {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	qopts.Results = st
-	return &server{
-		st:          st,
-		runner:      store.NewCached(st, next),
+	hub := newWatchHub()
+	notifying := store.NewNotify(st, hub.done)
+	qopts.Results = notifying
+	qopts.OnFailed = hub.failed
+	admitQueue := lim.AdmitQueue
+	if admitQueue <= 0 {
+		admitQueue = 4 * parallelism
+	}
+	s := &server{
+		st:          notifying,
+		runner:      store.NewCached(notifying, next),
 		queue:       queue.New(qopts),
 		parallelism: parallelism,
 		sem:         make(chan struct{}, parallelism),
+		admit:       make(chan struct{}, parallelism+admitQueue),
+		watch:       hub,
 	}
+	if lim.Rate > 0 {
+		s.limiter = newRateLimiter(lim.Rate, lim.Burst, time.Now)
+	}
+	s.initMetrics()
+	return s
 }
 
-// handler routes the v1 API.
+// handler routes the v1 API. Every route is wrapped in the per-endpoint
+// metrics middleware; the submission endpoints additionally pass the
+// per-client rate limiter; the whole mux emits one structured access-log
+// line per request (the outermost wrapper, so 404s are logged too).
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
-	mux.HandleFunc("POST /v1/jobs", s.handleJob)
-	mux.HandleFunc("POST /v1/grids", s.handleGrid)
-	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
-	mux.HandleFunc("POST /v1/queue", s.handleQueue)
-	mux.HandleFunc("GET /v1/queue/stats", s.handleQueueStats)
-	mux.HandleFunc("POST /v1/leases", s.handleLease)
-	mux.HandleFunc("POST /v1/leases/{id}/complete", s.handleComplete)
-	mux.HandleFunc("POST /v1/leases/{id}/extend", s.handleExtend)
-	return mux
+	route := func(pattern string, h http.HandlerFunc, throttled bool) {
+		var wrapped http.Handler = h
+		if throttled {
+			wrapped = s.throttle(pattern, wrapped)
+		}
+		mux.Handle(pattern, s.metrics.httpm.Handler(pattern, wrapped))
+	}
+	route("GET /healthz", s.handleHealth, false)
+	route("GET /metrics", s.handleMetrics, false)
+	route("GET /v1/catalog", s.handleCatalog, false)
+	route("POST /v1/jobs", s.handleJob, true)
+	route("POST /v1/grids", s.handleGrid, true)
+	route("GET /v1/results/{key}", s.handleResult, false)
+	route("GET /v1/watch", s.handleWatch, false)
+	route("POST /v1/queue", s.handleQueue, true)
+	route("GET /v1/queue/stats", s.handleQueueStats, false)
+	// The lease protocol is never throttled: a worker's heartbeat or
+	// upload refused with 429 would requeue finished work.
+	route("POST /v1/leases", s.handleLease, false)
+	route("POST /v1/leases/{id}/complete", s.handleComplete, false)
+	route("POST /v1/leases/{id}/extend", s.handleExtend, false)
+	return obs.AccessLog(mux, func(format string, args ...any) { logf(format, args...) })
 }
 
 // jobResponse is the reply to POST /v1/jobs and GET /v1/results/{key}.
@@ -112,6 +151,47 @@ func writeJSON(w http.ResponseWriter, status int, v any) error {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// ndjsonStream writes one JSON value per line to a streaming response,
+// with writeJSON's log-and-stop contract adapted to streams: the first
+// encode failure (almost always the client hanging up mid-stream) is
+// logged once, and every later emit is dropped instead of encoding and
+// flushing into a dead connection. Not safe for concurrent emits — stream
+// handlers already serialize theirs (grid progress callbacks run under the
+// pool's mutex and the final event after the pool drains).
+type ndjsonStream struct {
+	enc     *json.Encoder
+	flusher http.Flusher
+	dead    bool
+}
+
+func newNDJSONStream(w http.ResponseWriter) *ndjsonStream {
+	// Commit the status and flush headers now, before the first event:
+	// callers only construct the stream once validation has passed, and a
+	// client must be able to learn its request was accepted even when the
+	// first event is minutes away.
+	flusher, _ := w.(http.Flusher)
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	return &ndjsonStream{enc: json.NewEncoder(w), flusher: flusher}
+}
+
+// emit writes one event line and flushes it to the client.
+func (s *ndjsonStream) emit(v any) {
+	if s.dead {
+		return
+	}
+	if err := s.enc.Encode(v); err != nil {
+		s.dead = true
+		logf("dcaserve: write stream event: %v", err)
+		return
+	}
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -184,6 +264,19 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Enter the bounded waiting room first: when even the line is full,
+	// shed the request now with 429 + Retry-After instead of parking an
+	// unbounded herd on the semaphore.
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		s.metrics.admissionRejected.Inc()
+		writeRetryAfter(w, time.Second)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("admission queue full (%d requests admitted or waiting)", cap(s.admit)))
+		return
+	}
+	defer func() { <-s.admit }()
 	// Acquire a simulation slot (callers can give up while queued; store
 	// hits inside the runner still pay the queue, which is what keeps a
 	// thundering herd of distinct expensive jobs bounded).
@@ -209,20 +302,31 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // gridEvent is one NDJSON line of a /v1/grids response: progress events
-// while the grid runs, then a final result (or error) event.
+// while the grid runs, then a final result (or error) event. The progress
+// counters live in a pointer sub-struct rather than omitempty scalars:
+// legitimate zeros (remaining_ms of 0 on the first cell before an ETA
+// exists) must reach the wire, and presence-of-progress is signaled by the
+// sub-object, not by which fields survived omitempty.
 type gridEvent struct {
 	Type string `json:"type"` // "progress" | "result" | "error"
-	// Progress fields.
-	Scheme      string  `json:"scheme,omitempty"`
-	Benchmark   string  `json:"benchmark,omitempty"`
-	Completed   int     `json:"completed,omitempty"`
-	Total       int     `json:"total,omitempty"`
-	ElapsedMS   float64 `json:"elapsed_ms,omitempty"`
-	RemainingMS float64 `json:"remaining_ms,omitempty"`
+	// Progress payload, set on "progress" events only.
+	Progress *gridProgress `json:"progress,omitempty"`
 	// Result payload.
 	Grid *experiments.Export `json:"grid,omitempty"`
 	// Error payload.
 	Error string `json:"error,omitempty"`
+}
+
+// gridProgress is one completed cell's progress snapshot. No omitempty on
+// any field: a zero is data here ("completed":0 never occurs, but
+// "remaining_ms":0 does, on every first event).
+type gridProgress struct {
+	Scheme      string  `json:"scheme"`
+	Benchmark   string  `json:"benchmark"`
+	Completed   int     `json:"completed"`
+	Total       int     `json:"total"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	RemainingMS float64 `json:"remaining_ms"`
 }
 
 // handleGrid runs a whole scheme × benchmark batch and streams progress:
@@ -236,8 +340,10 @@ func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed grid spec: %w", err))
 		return
 	}
-	if spec.Measure == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("measure must be positive"))
+	// Validate through the shared job validator, so this entry point
+	// rejects bad windows with the same error text as every other.
+	if err := job.ValidateMeasure(spec.Measure); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	// Validate up front, while the status code is still writable — once
@@ -252,14 +358,8 @@ func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	emit := func(ev gridEvent) {
-		enc.Encode(ev)
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
+	stream := newNDJSONStream(w)
+	emit := func(ev gridEvent) { stream.emit(ev) }
 
 	opts := experiments.Options{
 		Warmup:      spec.Warmup,
@@ -274,13 +374,15 @@ func (s *server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		Runner: semRunner{sem: s.sem, next: s.runner},
 		Progress: func(p experiments.Progress) {
 			emit(gridEvent{
-				Type:        "progress",
-				Scheme:      p.Cell.Scheme,
-				Benchmark:   p.Cell.Benchmark,
-				Completed:   p.Completed,
-				Total:       p.Total,
-				ElapsedMS:   float64(p.Elapsed.Microseconds()) / 1e3,
-				RemainingMS: float64(p.Remaining.Microseconds()) / 1e3,
+				Type: "progress",
+				Progress: &gridProgress{
+					Scheme:      p.Cell.Scheme,
+					Benchmark:   p.Cell.Benchmark,
+					Completed:   p.Completed,
+					Total:       p.Total,
+					ElapsedMS:   float64(p.Elapsed.Microseconds()) / 1e3,
+					RemainingMS: float64(p.Remaining.Microseconds()) / 1e3,
+				},
 			})
 		},
 	}

@@ -42,7 +42,7 @@ func (c *countingRunner) count() int {
 func newTestServer(t *testing.T) (*httptest.Server, *countingRunner) {
 	t.Helper()
 	counting := &countingRunner{}
-	ts := httptest.NewServer(newServer(store.NewMemory(0), counting, 2, queue.Options{}).handler())
+	ts := httptest.NewServer(newServer(store.NewMemory(0), counting, 2, queue.Options{}, limits{}).handler())
 	t.Cleanup(ts.Close)
 	return ts, counting
 }
@@ -237,8 +237,11 @@ func TestGridEndpoint(t *testing.T) {
 		switch ev.Type {
 		case "progress":
 			progress++
-			if ev.Total != 4 {
-				t.Errorf("progress Total = %d, want 4 (base+modulo x 2 benchmarks)", ev.Total)
+			if ev.Progress == nil {
+				t.Fatalf("progress event without progress payload: %s", sc.Text())
+			}
+			if ev.Progress.Total != 4 {
+				t.Errorf("progress Total = %d, want 4 (base+modulo x 2 benchmarks)", ev.Progress.Total)
 			}
 		case "result":
 			result = &ev
@@ -326,7 +329,7 @@ func TestHealthz(t *testing.T) {
 //	       pure cache hit (store decode + HTTP).
 func BenchmarkServeThroughput(b *testing.B) {
 	bench := func(b *testing.B, body func(i int64) string) {
-		ts := httptest.NewServer(newServer(store.NewMemory(0), nil, 0, queue.Options{}).handler())
+		ts := httptest.NewServer(newServer(store.NewMemory(0), nil, 0, queue.Options{}, limits{}).handler())
 		defer ts.Close()
 		var ctr atomic.Int64
 		b.ResetTimer()

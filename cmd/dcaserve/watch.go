@@ -1,0 +1,209 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is GET /v1/watch: a streaming NDJSON subscription on result
+// keys, generalizing the /v1/grids progress-stream pattern to the
+// asynchronous queue. A client that enqueued work follows completion live —
+// including results uploaded by remote workers — instead of polling
+// /v1/results. The watch hub hears about every completion through the
+// store.Notify wrapper (all write paths share the server's store) and about
+// terminal failures through the queue's OnFailed hook.
+
+// maxWatchKeys bounds one subscription; a grid of every scheme × benchmark
+// fits comfortably, while an unbounded list would let one request pin
+// arbitrary server memory.
+const maxWatchKeys = 1024
+
+// watchRecheck is the belt-and-braces sweep interval: subscriptions also
+// re-poll their pending keys directly, so a notification lost to a full
+// subscriber buffer delays an event rather than losing it.
+const watchRecheck = 2 * time.Second
+
+// watchNote is one hub fan-out message.
+type watchNote struct {
+	key    string
+	failed bool
+	reason string
+}
+
+// watchHub fans completion and failure notifications out to subscribed
+// watch streams. Sends never block: each subscriber channel is buffered
+// and written best-effort (the periodic re-check recovers drops), so a
+// slow watcher cannot stall the store Put or queue settlement that fired
+// the notification.
+type watchHub struct {
+	mu   sync.Mutex
+	subs map[string]map[chan watchNote]struct{} // key -> subscribers
+}
+
+func newWatchHub() *watchHub {
+	return &watchHub{subs: make(map[string]map[chan watchNote]struct{})}
+}
+
+// subscribe registers ch for every key; the caller must unsubscribe.
+func (h *watchHub) subscribe(keys []string, ch chan watchNote) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, key := range keys {
+		set, ok := h.subs[key]
+		if !ok {
+			set = make(map[chan watchNote]struct{})
+			h.subs[key] = set
+		}
+		set[ch] = struct{}{}
+	}
+}
+
+// unsubscribe removes ch from every key.
+func (h *watchHub) unsubscribe(keys []string, ch chan watchNote) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, key := range keys {
+		if set, ok := h.subs[key]; ok {
+			delete(set, ch)
+			if len(set) == 0 {
+				delete(h.subs, key)
+			}
+		}
+	}
+}
+
+// done announces a completed result (the store.Notify hook).
+func (h *watchHub) done(key string) { h.notify(watchNote{key: key}) }
+
+// failed announces a terminally-failed job (the queue.Options.OnFailed
+// hook).
+func (h *watchHub) failed(key, reason string) {
+	h.notify(watchNote{key: key, failed: true, reason: reason})
+}
+
+func (h *watchHub) notify(n watchNote) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs[n.key] {
+		select {
+		case ch <- n:
+		default: // full buffer: the watcher's re-check sweep recovers
+		}
+	}
+}
+
+// watcherCount reports how many keys currently have subscribers (the
+// dcaserve_watch_keys gauge).
+func (h *watchHub) watcherCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// watchEvent is one NDJSON line of a /v1/watch response. Per-key events
+// ("done", "failed") carry Key (and Error for failures); the final
+// "complete" event carries the Summary tally. The counts live in a pointer
+// sub-struct — not omitempty scalars — so a summary with zero failures
+// still puts "failed":0 on the wire.
+type watchEvent struct {
+	Type    string        `json:"type"` // "done" | "failed" | "complete"
+	Key     string        `json:"key,omitempty"`
+	Error   string        `json:"error,omitempty"`
+	Summary *watchSummary `json:"summary,omitempty"`
+}
+
+// watchSummary tallies a finished subscription.
+type watchSummary struct {
+	Done   int `json:"done"`
+	Failed int `json:"failed"`
+}
+
+// handleWatch streams completion events for the requested keys: one
+// "done"/"failed" event per key as it settles (keys already settled at
+// subscription time settle immediately), then one "complete" summary, then
+// EOF. A failed job can still succeed later (re-enqueueing resets its
+// budget), but for the watcher it is terminal — the stream reports the
+// state and moves on.
+func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	raw := strings.Split(r.URL.Query().Get("keys"), ",")
+	keys := make([]string, 0, len(raw))
+	seen := make(map[string]bool, len(raw))
+	for _, k := range raw {
+		k = strings.TrimSpace(k)
+		if k == "" || seen[k] {
+			continue
+		}
+		if !validKey(k) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("watch key %q is not a result key (keys are hex sha-256 digests)", k))
+			return
+		}
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("watch needs ?keys=<key>[,<key>...]"))
+		return
+	}
+	if len(keys) > maxWatchKeys {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("watch accepts at most %d keys, got %d", maxWatchKeys, len(keys)))
+		return
+	}
+
+	// Subscribe BEFORE the initial sweep: a completion landing between the
+	// sweep and the subscription would otherwise be missed until re-check.
+	ch := make(chan watchNote, 2*len(keys)+4)
+	s.watch.subscribe(keys, ch)
+	defer s.watch.unsubscribe(keys, ch)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	stream := newNDJSONStream(w)
+	summary := watchSummary{}
+	pending := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		pending[k] = true
+	}
+	settle := func(key string, failed bool, reason string) {
+		if !pending[key] {
+			return
+		}
+		delete(pending, key)
+		if failed {
+			summary.Failed++
+			stream.emit(watchEvent{Type: "failed", Key: key, Error: reason})
+			return
+		}
+		summary.Done++
+		stream.emit(watchEvent{Type: "done", Key: key})
+	}
+	sweep := func() {
+		for key := range pending {
+			if _, ok, err := s.st.Get(key); err == nil && ok {
+				settle(key, false, "")
+				continue
+			}
+			if reason, ok := s.queue.Failed(key); ok {
+				settle(key, true, reason)
+			}
+		}
+	}
+
+	sweep()
+	ticker := time.NewTicker(watchRecheck)
+	defer ticker.Stop()
+	for len(pending) > 0 && !stream.dead {
+		select {
+		case <-r.Context().Done():
+			return
+		case n := <-ch:
+			settle(n.key, n.failed, n.reason)
+		case <-ticker.C:
+			sweep()
+		}
+	}
+	stream.emit(watchEvent{Type: "complete", Summary: &summary})
+}

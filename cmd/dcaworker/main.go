@@ -38,6 +38,7 @@ func main() {
 		batch   = flag.Int("batch", 1, "jobs leased per poll")
 		wait    = flag.Duration("wait", 10*time.Second, "server-side long-poll budget per lease request")
 		backoff = flag.Duration("backoff", 5*time.Second, "max jittered sleep after an empty poll or server error")
+		id      = flag.String("id", "", "client ID sent as X-Client-ID (names this worker in server logs and rate limits)")
 		verbose = flag.Bool("v", false, "log per-job events")
 	)
 	flag.Parse()
@@ -55,6 +56,7 @@ func main() {
 		Wait:       *wait,
 		MaxBackoff: *backoff,
 		Logf:       logf,
+		ClientID:   *id,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcaworker:", err)

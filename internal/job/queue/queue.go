@@ -64,6 +64,13 @@ type Options struct {
 	// Results is the shared result store: Enqueue deduplicates against it
 	// and Complete writes verified uploads into it. Required.
 	Results store.Store
+	// OnFailed, when set, is called with the key and last error of every
+	// job that exhausts its attempt budget and parks as failed — the
+	// terminal outcome a result-store hook can never observe. It runs on
+	// its own goroutine (failure parking happens inside the queue's
+	// critical sections), so it may block without stalling the queue,
+	// and it must be safe for concurrent use.
+	OnFailed func(key, reason string)
 	// now is the clock seam for expiry tests; nil means time.Now.
 	now func() time.Time
 }
@@ -107,7 +114,9 @@ type Lease struct {
 
 // LeaseRequest is the body of POST /v1/leases.
 type LeaseRequest struct {
-	// MaxJobs bounds the batch; 0 means 1.
+	// MaxJobs bounds the batch. The server rejects non-positive values
+	// with 400 (a zero batch would long-poll 30s to return nothing by
+	// construction) and caps the batch at its own maximum.
 	MaxJobs int `json:"max_jobs"`
 	// WaitMS long-polls an empty queue up to this long (the server caps
 	// it); 0 returns immediately.
@@ -325,6 +334,7 @@ func (q *Queue) expireLocked(now time.Time) bool {
 			e.state = stateFailed
 			e.lastErr = fmt.Sprintf("lease expired after %d attempts", e.attempts)
 			q.stats.Exhausted++
+			q.notifyFailedLocked(e.key, e.lastErr)
 			continue
 		}
 		// Requeue at the back: a job that already burned a lease should
@@ -516,6 +526,7 @@ func (q *Queue) Nack(leaseID, reason string) error {
 	if e.attempts >= q.opts.MaxAttempts {
 		e.state = stateFailed
 		q.stats.Exhausted++
+		q.notifyFailedLocked(e.key, e.lastErr)
 		return nil
 	}
 	e.state = statePending
@@ -540,6 +551,30 @@ func (q *Queue) Extend(leaseID string) (time.Time, error) {
 	}
 	e.deadline = now.Add(q.opts.LeaseTTL)
 	return e.deadline, nil
+}
+
+// notifyFailedLocked dispatches the OnFailed hook for a job that just
+// parked as failed. Callers hold q.mu; the hook itself runs on a fresh
+// goroutine so a slow or re-entrant subscriber cannot deadlock the queue.
+func (q *Queue) notifyFailedLocked(key, reason string) {
+	if q.opts.OnFailed == nil {
+		return
+	}
+	go q.opts.OnFailed(key, reason)
+}
+
+// Failed reports whether key is currently parked as failed, and the last
+// error recorded for it. Watchers consult this to settle subscriptions to
+// jobs that died before they subscribed (the OnFailed hook only covers
+// failures that happen while they are listening).
+func (q *Queue) Failed(key string) (reason string, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, present := q.byKey[key]
+	if !present || e.state != stateFailed {
+		return "", false
+	}
+	return e.lastErr, true
 }
 
 // Stats returns a snapshot of the queue's counters, reclaiming expired

@@ -482,3 +482,64 @@ func TestConcurrentEnqueueLease(t *testing.T) {
 			s.DedupedQueue, s.DedupedStore, 3*len(jobs))
 	}
 }
+
+// TestOnFailedHookAndFailedLookup pins the terminal-failure signal: a job
+// that exhausts its attempt budget — by explicit nack or by lease expiry —
+// fires Options.OnFailed with its key and last error, and Failed reports
+// it until a re-enqueue resurrects the entry.
+func TestOnFailedHookAndFailedLookup(t *testing.T) {
+	clock := newFakeClock()
+	st := store.NewMemory(0)
+	type failure struct{ key, reason string }
+	failures := make(chan failure, 4)
+	q := New(Options{
+		LeaseTTL:    time.Minute,
+		MaxAttempts: 1,
+		Results:     st,
+		now:         clock.Now,
+		OnFailed:    func(key, reason string) { failures <- failure{key, reason} },
+	})
+
+	// Nack path: one attempt allowed, so the first nack parks the job.
+	j := planJob(t, "modulo", "go")
+	q.Enqueue([]job.Job{j})
+	l := mustLease(t, q, 1)[0]
+	if err := q.Nack(l.ID, "simulator exploded"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-failures:
+		if f.key != j.Key() || f.reason != "simulator exploded" {
+			t.Fatalf("OnFailed(%q, %q), want key %s reason %q", f.key, f.reason, j.Key(), "simulator exploded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnFailed never fired for the nacked job")
+	}
+	if reason, ok := q.Failed(j.Key()); !ok || reason != "simulator exploded" {
+		t.Fatalf("Failed(%s) = (%q, %v), want the parked reason", j.Key(), reason, ok)
+	}
+
+	// Expiry path: the deadline lapsing must fire the hook too.
+	j2 := planJob(t, "fifo", "go")
+	q.Enqueue([]job.Job{j2})
+	mustLease(t, q, 1)
+	clock.Advance(2 * time.Minute)
+	q.Stats() // reaps the expired lease
+	select {
+	case f := <-failures:
+		if f.key != j2.Key() {
+			t.Fatalf("OnFailed fired for %s, want %s", f.key, j2.Key())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnFailed never fired for the expired job")
+	}
+
+	// A healthy key reports no failure; a resurrected one stops reporting.
+	if _, ok := q.Failed("no-such-key"); ok {
+		t.Fatal("Failed reported an unknown key as failed")
+	}
+	q.Enqueue([]job.Job{j})
+	if _, ok := q.Failed(j.Key()); ok {
+		t.Fatal("Failed still reports a re-enqueued (pending) job")
+	}
+}

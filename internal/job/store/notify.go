@@ -1,0 +1,37 @@
+package store
+
+import "repro/internal/stats"
+
+// Notify wraps a Store so every successful Put also invokes a hook with
+// the completed key. It is how the serving layer observes completions
+// without owning every write path: the in-process Cached runner and the
+// queue's Complete both write the same server store, so a single wrapper
+// at the store seam sees synchronous jobs, grid cells and worker uploads
+// alike. The hook runs after the entry is readable — a Get issued from
+// inside the hook observes the new result.
+type Notify struct {
+	Store
+	// OnPut is called after each successful Put with the stored key.
+	// It must be safe for concurrent use and should not block: Put
+	// callers (handlers, the queue's Complete) wait for it to return.
+	OnPut func(key string)
+}
+
+// NewNotify wraps next so onPut fires after every successful Put. A nil
+// hook makes the wrapper transparent.
+func NewNotify(next Store, onPut func(key string)) *Notify {
+	return &Notify{Store: next, OnPut: onPut}
+}
+
+// Put implements Store, invoking the hook only when the underlying write
+// succeeded — watchers must never be told about a result that is not
+// actually readable.
+func (n *Notify) Put(key string, r *stats.Run) error {
+	if err := n.Store.Put(key, r); err != nil {
+		return err
+	}
+	if n.OnPut != nil {
+		n.OnPut(key)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// failPut is a Store whose writes always fail — the hook-suppression case.
+type failPut struct{ Store }
+
+func (f failPut) Put(string, *stats.Run) error { return fmt.Errorf("disk full") }
+
+// TestNotifyFiresAfterReadable pins the wrapper's ordering contract: the
+// hook sees the key only after a Get for it succeeds, and Gets pass
+// through untouched.
+func TestNotifyFiresAfterReadable(t *testing.T) {
+	var fired []string
+	var n *Notify
+	n = NewNotify(NewMemory(0), func(key string) {
+		if _, ok, err := n.Get(key); err != nil || !ok {
+			t.Errorf("hook for %s fired before the entry was readable (ok=%v err=%v)", key, ok, err)
+		}
+		fired = append(fired, key)
+	})
+	r := &stats.Run{Scheme: "modulo", Benchmark: "go"}
+	if err := n.Put("k1", r); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Put("k2", r); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != "k1" || fired[1] != "k2" {
+		t.Fatalf("hook calls = %v, want [k1 k2]", fired)
+	}
+	if got, ok, err := n.Get("k1"); err != nil || !ok || got.Scheme != "modulo" {
+		t.Fatalf("Get through wrapper = (%v, %v, %v)", got, ok, err)
+	}
+}
+
+// TestNotifySuppressedOnFailedPut: a write that never landed must not be
+// announced — watchers act on the hook by reading the store.
+func TestNotifySuppressedOnFailedPut(t *testing.T) {
+	n := NewNotify(failPut{NewMemory(0)}, func(key string) {
+		t.Errorf("hook fired for failed Put of %s", key)
+	})
+	if err := n.Put("k", &stats.Run{}); err == nil {
+		t.Fatal("failed Put reported success")
+	}
+}
+
+// TestNotifyNilHookTransparent: a nil hook must not panic.
+func TestNotifyNilHookTransparent(t *testing.T) {
+	n := NewNotify(NewMemory(0), nil)
+	if err := n.Put("k", &stats.Run{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := n.Get("k"); !ok {
+		t.Fatal("entry not stored through nil-hook wrapper")
+	}
+}

@@ -55,6 +55,10 @@ type Options struct {
 	// Logf, when non-nil, receives one line per notable event (lease
 	// errors, nacks, lost leases). nil discards them.
 	Logf func(format string, args ...any)
+	// ClientID, when non-empty, is sent as the X-Client-ID header on every
+	// request, so the server's access logs and per-client rate limits
+	// attribute this worker's traffic by name rather than by address.
+	ClientID string
 }
 
 // Metrics counts a fleet's work across all loops.
@@ -322,6 +326,9 @@ func (f *Fleet) post(ctx context.Context, path string, body, out any) error {
 		return fmt.Errorf("worker: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if f.opts.ClientID != "" {
+		req.Header.Set("X-Client-ID", f.opts.ClientID)
+	}
 	resp, err := f.opts.Client.Do(req)
 	if err != nil {
 		return fmt.Errorf("worker: %s: %w", path, err)

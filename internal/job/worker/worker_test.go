@@ -322,3 +322,43 @@ func TestWorkerBacksOffWhenIdle(t *testing.T) {
 type runnerFunc func(ctx context.Context, j job.Job) (*stats.Run, error)
 
 func (f runnerFunc) Run(ctx context.Context, j job.Job) (*stats.Run, error) { return f(ctx, j) }
+
+// TestWorkerSendsClientID: every request — lease, complete, extend —
+// carries the configured X-Client-ID so the server can attribute and
+// rate-limit the worker by name.
+func TestWorkerSendsClientID(t *testing.T) {
+	var mu sync.Mutex
+	ids := map[string]string{} // path -> header seen
+	stub := newStubServer()
+	stub.addLease(t, "lease-1", time.Minute)
+	inner := stub.handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ids[r.URL.Path] = r.Header.Get("X-Client-ID")
+		mu.Unlock()
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	f, err := New(Options{Server: ts.URL, Loops: 1, ClientID: "worker-7", Wait: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { f.Run(ctx); close(done) }()
+	waitFor(t, 5*time.Second, func() bool { return f.Metrics().Completed == 1 }, "completion")
+	cancel()
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	for path, id := range ids {
+		if id != "worker-7" {
+			t.Errorf("%s: X-Client-ID = %q, want worker-7", path, id)
+		}
+	}
+	if _, ok := ids["/v1/leases"]; !ok {
+		t.Error("no lease request observed")
+	}
+}

@@ -61,6 +61,8 @@ func DefaultAnalyzers() []*Analyzer {
 				"repro/internal/job/queue.LeaseResponse",
 				"repro/internal/job/queue.CompleteRequest",
 				"repro/internal/job/queue.Stats",
+				"repro/cmd/dcaserve.gridEvent",
+				"repro/cmd/dcaserve.watchEvent",
 			},
 		}),
 	}

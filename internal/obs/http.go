@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// HTTPMetrics instruments endpoints with the three signals a dashboard
+// needs: request counts by status code, latency histograms, and in-flight
+// gauges — all labeled by the endpoint's route pattern, so one family
+// covers the whole API.
+type HTTPMetrics struct {
+	requests *CounterVec   // endpoint, code
+	seconds  *HistogramVec // endpoint
+	inflight *GaugeVec     // endpoint
+}
+
+// NewHTTPMetrics registers the http_* families on reg.
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: reg.CounterVec("http_requests_total",
+			"HTTP requests served, by endpoint pattern and status code.", "endpoint", "code"),
+		seconds: reg.HistogramVec("http_request_seconds",
+			"HTTP request latency in seconds, by endpoint pattern.", nil, "endpoint"),
+		inflight: reg.GaugeVec("http_inflight_requests",
+			"Requests currently being served, by endpoint pattern.", "endpoint"),
+	}
+}
+
+// Handler wraps next so its requests are counted, timed and tracked under
+// the endpoint label. Wrap each route at registration — the label is the
+// route pattern, known statically there, which keeps the cardinality equal
+// to the API surface no matter what clients request.
+func (m *HTTPMetrics) Handler(endpoint string, next http.Handler) http.Handler {
+	inflight := m.inflight.With(endpoint)
+	seconds := m.seconds.With(endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started := time.Now()
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		rec := &responseRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		seconds.Observe(time.Since(started).Seconds())
+		m.requests.With(endpoint, strconv.Itoa(rec.Status())).Inc()
+	})
+}
+
+// requestLog is one access-log line: everything needed to reconstruct who
+// asked for what, what they got, and how long it took — as JSON so log
+// pipelines need no bespoke parser.
+type requestLog struct {
+	Time     string  `json:"time"`
+	Method   string  `json:"method"`
+	Path     string  `json:"path"`
+	Pattern  string  `json:"pattern,omitempty"`
+	Status   int     `json:"status"`
+	Bytes    int64   `json:"bytes"`
+	DurMS    float64 `json:"dur_ms"`
+	Client   string  `json:"client"`
+	ClientID string  `json:"client_id,omitempty"`
+}
+
+// AccessLog wraps a handler (typically the whole mux) so every request —
+// matched or 404 — emits one structured JSON line through logf. Pattern is
+// read after serving: ServeMux fills Request.Pattern on match, so the
+// outermost middleware still sees the route that handled the request.
+func AccessLog(next http.Handler, logf func(format string, args ...any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started := time.Now()
+		rec := &responseRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		line := requestLog{
+			Time:     started.UTC().Format(time.RFC3339Nano),
+			Method:   r.Method,
+			Path:     r.URL.Path,
+			Pattern:  r.Pattern,
+			Status:   rec.Status(),
+			Bytes:    rec.bytes,
+			DurMS:    float64(time.Since(started).Microseconds()) / 1e3,
+			Client:   r.RemoteAddr,
+			ClientID: r.Header.Get("X-Client-ID"),
+		}
+		raw, err := json.Marshal(line)
+		if err != nil {
+			return // a flat struct of scalars cannot fail to marshal
+		}
+		logf("%s", raw)
+	})
+}
+
+// responseRecorder captures the status code and body size while forwarding
+// everything — including Flush, which the NDJSON streaming endpoints
+// depend on — to the underlying ResponseWriter.
+type responseRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+// Status returns the response code, defaulting to 200 when the handler
+// never called WriteHeader explicitly.
+func (r *responseRecorder) Status() int {
+	if r.status == 0 {
+		return http.StatusOK
+	}
+	return r.status
+}
+
+// WriteHeader implements http.ResponseWriter.
+func (r *responseRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Write implements http.ResponseWriter.
+func (r *responseRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (r *responseRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

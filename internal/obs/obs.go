@@ -1,0 +1,420 @@
+// Package obs is the service's observability layer: a dependency-free
+// metrics registry — counters, gauges and histograms, optionally labeled —
+// rendered in the Prometheus text exposition format, plus net/http
+// middleware that instruments every endpoint (request counts by status,
+// latency histograms, in-flight gauges) and emits one structured JSON log
+// line per request. cmd/dcaserve mounts a Registry at GET /metrics and
+// wires it to the counters the run layer already keeps (store hit rates,
+// queue depth and lease churn); cmd/dcaload reads the same endpoint to
+// correlate client-side load numbers with server-side truth.
+//
+// The registry is deliberately small: metric values are float64, label
+// sets are fixed at registration, and rendering is deterministic (families
+// and series sorted by name), so scrapes diff cleanly in tests. It is not
+// a Prometheus client library — there is no push, no exemplars, no
+// sharding — but the exposition output is valid scrape input for one.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency histogram bounds in seconds, spanning
+// sub-millisecond cache hits to multi-second saturated simulations.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// metricKind is the TYPE line a family renders.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// Registry holds metric families and renders them. All methods are safe
+// for concurrent use; registration methods panic on invalid or duplicate
+// names (programmer errors, caught by any test that builds the registry).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	collect  []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one named metric with a fixed label schema and its live series.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64      // histograms only
+	fn      func() float64 // func-backed families (no labels, no series)
+
+	mu     sync.Mutex
+	series map[string]*series // joined label values -> series
+}
+
+// series is one (metric, label values) time series.
+type series struct {
+	values []string
+	bits   atomic.Uint64 // float64 bits: counters and gauges
+
+	// Histogram state, guarded by hmu: Observe is a few adds, so a plain
+	// mutex is cheap next to the HTTP request it measures.
+	hmu    sync.Mutex
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+// register validates and installs a family.
+func (r *Registry) register(name, help string, kind metricKind, labels []string, buckets []float64, fn func() float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %s", l, name))
+		}
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, buckets: buckets, fn: fn,
+		series: make(map[string]*series)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.families[name] = f
+	return f
+}
+
+// OnCollect registers a callback invoked at the start of every render —
+// the seam for mirroring externally-kept counters (a queue's stats
+// snapshot) into registered metrics exactly once per scrape instead of
+// once per metric.
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collect = append(r.collect, fn)
+}
+
+// Counter registers an unlabeled monotonically-increasing counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil, nil, nil)
+	return &Counter{s: f.get(nil)}
+}
+
+// CounterVec registers a counter family with the given label schema.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil, nil)}
+}
+
+// CounterFunc registers a counter whose value is read from fn at render
+// time (for counters another subsystem already maintains).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindCounter, nil, nil, fn)
+}
+
+// Gauge registers an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil, nil, nil)
+	return &Gauge{s: f.get(nil)}
+}
+
+// GaugeVec registers a gauge family with the given label schema.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil, nil)}
+}
+
+// GaugeFunc registers a gauge read from fn at render time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGauge, nil, nil, fn)
+}
+
+// Histogram registers an unlabeled histogram over buckets (ascending upper
+// bounds; +Inf is implicit). Nil buckets means DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, kindHistogram, nil, histBuckets(buckets), nil)
+	return &Histogram{s: f.get(nil), buckets: f.buckets}
+}
+
+// HistogramVec registers a histogram family with the given label schema.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, histBuckets(buckets), nil)}
+}
+
+func histBuckets(b []float64) []float64 {
+	if b == nil {
+		b = DefBuckets
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not strictly ascending at %v", b[i]))
+		}
+	}
+	return b
+}
+
+// get returns (creating on first use) the series for the label values.
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label value(s), got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{values: append([]string(nil), values...)}
+		if f.kind == kindHistogram {
+			s.counts = make([]uint64, len(f.buckets))
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter is a monotonically-increasing metric.
+type Counter struct{ s *series }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v (must be >= 0; negative deltas are silently dropped so a
+// buggy caller cannot make a counter run backwards).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	addFloat(&c.s.bits, v)
+}
+
+// Value returns the current value (for tests and health handlers).
+func (c *Counter) Value() float64 { return math.Float64frombits(c.s.bits.Load()) }
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the label values, creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter { return &Counter{s: v.f.get(values)} }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.s.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (negative to subtract).
+func (g *Gauge) Add(v float64) { addFloat(&g.s.bits, v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.s.bits.Load()) }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the label values, creating it on first use.
+func (v *GaugeVec) With(values ...string) *Gauge { return &Gauge{s: v.f.get(values)} }
+
+// Histogram observes a distribution into fixed buckets.
+type Histogram struct {
+	s       *series
+	buckets []float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	s := h.s
+	s.hmu.Lock()
+	for i, ub := range h.buckets {
+		if v <= ub {
+			s.counts[i]++
+			break
+		}
+	}
+	s.sum += v
+	s.count++
+	s.hmu.Unlock()
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the label values, creating it on first
+// use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return &Histogram{s: v.f.get(values), buckets: v.f.buckets}
+}
+
+// addFloat atomically adds v to a float64 stored as uint64 bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by label
+// values, histograms as cumulative _bucket/_sum/_count. OnCollect hooks
+// run first. The one write error worth returning is the caller's
+// ResponseWriter failing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.collect...)
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		if f.fn != nil {
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.fn()))
+			continue
+		}
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		all := make([]*series, len(keys))
+		for i, k := range keys {
+			all[i] = f.series[k]
+		}
+		f.mu.Unlock()
+		for _, s := range all {
+			f.renderSeries(&b, s)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// renderSeries writes one series' sample lines.
+func (f *family) renderSeries(b *strings.Builder, s *series) {
+	switch f.kind {
+	case kindHistogram:
+		s.hmu.Lock()
+		counts := append([]uint64(nil), s.counts...)
+		sum, count := s.sum, s.count
+		s.hmu.Unlock()
+		var cum uint64
+		for i, ub := range f.buckets {
+			cum += counts[i]
+			b.WriteString(f.name)
+			b.WriteString("_bucket")
+			writeLabels(b, f.labels, s.values, "le", formatFloat(ub))
+			fmt.Fprintf(b, " %d\n", cum)
+		}
+		b.WriteString(f.name)
+		b.WriteString("_bucket")
+		writeLabels(b, f.labels, s.values, "le", "+Inf")
+		fmt.Fprintf(b, " %d\n", count)
+		b.WriteString(f.name)
+		b.WriteString("_sum")
+		writeLabels(b, f.labels, s.values, "", "")
+		fmt.Fprintf(b, " %s\n", formatFloat(sum))
+		b.WriteString(f.name)
+		b.WriteString("_count")
+		writeLabels(b, f.labels, s.values, "", "")
+		fmt.Fprintf(b, " %d\n", count)
+	default:
+		b.WriteString(f.name)
+		writeLabels(b, f.labels, s.values, "", "")
+		fmt.Fprintf(b, " %s\n", formatFloat(math.Float64frombits(s.bits.Load())))
+	}
+}
+
+// writeLabels renders {k="v",...}, appending one extra pair (the histogram
+// "le" bound) when extraK is non-empty. No braces are written for an empty
+// label set.
+func writeLabels(b *strings.Builder, names, values []string, extraK, extraV string) {
+	if len(names) == 0 && extraK == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(extraV)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// formatFloat renders a sample value: integers without an exponent, +Inf
+// in Prometheus spelling.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// validName reports whether s is a legal metric or label name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
