@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover fuzz bench serve-smoke worker-smoke load-smoke ci fmt vet lint
+.PHONY: all build test race cover fuzz bench serve-smoke worker-smoke load-smoke trace-smoke ci fmt vet lint
 
 all: build
 
@@ -26,12 +26,14 @@ cover:
 	echo "internal/core line coverage: $$pct%"; \
 	awk -v p="$$pct" 'BEGIN { if (p + 0 < 92.0) { print "coverage gate: " p "% < 92.0%"; exit 1 } }'
 
-# Fixed-budget coverage-guided smoke of the co-simulation property and of
+# Fixed-budget coverage-guided smoke of the co-simulation property, of
 # the fast-forward differential (a skipping machine locked against a
-# tick-every-cycle one). Two invocations: go test accepts one -fuzz each.
+# tick-every-cycle one), and of the trace record/replay bit-identity
+# property. One invocation per target: go test accepts one -fuzz each.
 fuzz:
 	$(GO) test ./internal/core -run xxx -fuzz FuzzCoSimulate -fuzztime 20s
 	$(GO) test ./internal/core -run xxx -fuzz FuzzFastForward -fuzztime 10s
+	$(GO) test ./internal/trace -run xxx -fuzz FuzzTraceReplay -fuzztime 10s
 
 # End-to-end smoke of the simulation service: build cmd/dcaserve, start
 # it, POST a tiny job, assert a 200 with a well-formed content-addressed
@@ -52,6 +54,13 @@ worker-smoke:
 load-smoke:
 	./ci/load_smoke.sh
 
+# End-to-end smoke of the oracle trace layer: record a 1k-instruction
+# window with dcatrace, replay it through dcasim and a dcaserve -traced
+# job, assert the result digests are bit-identical to the live run, and
+# check that a truncated recording fails loudly.
+trace-smoke:
+	./ci/trace_smoke.sh
+
 # Regenerate the reference benchmark records (BENCH_core.json,
 # BENCH_clusters.json, BENCH_serve.json) with current environment metadata
 # so the checked-in numbers cannot drift silently from the code.
@@ -71,4 +80,4 @@ vet:
 lint:
 	$(GO) run ./cmd/dcalint ./...
 
-ci: fmt vet lint build race cover fuzz serve-smoke worker-smoke load-smoke
+ci: fmt vet lint build race cover fuzz serve-smoke worker-smoke load-smoke trace-smoke

@@ -368,6 +368,34 @@ func BenchmarkGridParallelism(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceReplay measures the record-once/replay-many oracle front
+// end on the fig14 grid (modulo, general, ub + implicit base over all
+// benchmarks — the same grid as BenchmarkGridParallelism): "direct"
+// re-executes the functional emulator inside every cell, "traced" records
+// each benchmark's oracle stream once (internal/trace) and replays the
+// compact encoding for every other scheme cell. The ratio of the two
+// ns/op values is the grid-throughput multiple BENCH_trace.json records;
+// results are bit-identical either way (golden-locked by
+// TestGoldenTracedRunner).
+func BenchmarkTraceReplay(b *testing.B) {
+	for _, mode := range []string{"direct", "traced"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := benchOpts()
+			if mode == "traced" {
+				// One runner for all iterations: the first grid records
+				// once per benchmark, everything after replays — the
+				// steady state a -traced dcabench/dcaserve process lives in.
+				opts.Runner = &job.Traced{}
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Run([]string{"modulo", "general", experiments.UBScheme}, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Substrate micro-benchmarks ---
 
 // BenchmarkCoreCyclesPerSecond measures raw simulation throughput.

@@ -145,6 +145,67 @@ func TestFastForwardSuiteWired(t *testing.T) {
 	}
 }
 
+// TestTraceSuiteWired gates the oracle trace layer's bit-identity locks:
+// the record/replay fidelity tests and the fuzz target must exist in
+// internal/trace, the golden grid must run through job.Traced in
+// internal/experiments (renaming or deleting one would silently drop the
+// replay-equals-live enforcement), and both `make fuzz`/`make
+// trace-smoke` and the CI workflow must run the trace fuzz smoke and the
+// end-to-end trace smoke.
+func TestTraceSuiteWired(t *testing.T) {
+	suites := map[string]map[string]bool{
+		filepath.Join("internal", "trace"): {
+			"TestReplayMachineBitIdentity":  false,
+			"TestDecodeRejectsEveryBitFlip": false,
+			"FuzzTraceReplay":               false,
+		},
+		filepath.Join("internal", "experiments"): {
+			"TestGoldenTracedRunner": false,
+		},
+	}
+	fset := token.NewFileSet()
+	for rel, want := range suites {
+		dir := filepath.Join(repoRoot, rel)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil {
+					if _, tracked := want[fd.Name.Name]; tracked {
+						want[fd.Name.Name] = true
+					}
+				}
+			}
+		}
+		for name, found := range want {
+			if !found {
+				t.Errorf("%s has no %s — the trace replay bit-identity lock is gone", rel, name)
+			}
+		}
+	}
+	for _, path := range []string{"Makefile", filepath.Join(".github", "workflows", "ci.yml")} {
+		src, err := os.ReadFile(filepath.Join(repoRoot, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(src), "-fuzz FuzzTraceReplay") {
+			t.Errorf("%s does not run the FuzzTraceReplay smoke", path)
+		}
+		if !strings.Contains(string(src), "trace_smoke.sh") {
+			t.Errorf("%s does not run the end-to-end trace smoke", path)
+		}
+	}
+}
+
 // TestEveryPackageHasDoc requires a package doc comment in every package
 // directory: at least one file whose package clause carries a doc comment.
 // Package docs are how ARCHITECTURE.md's package map stays discoverable

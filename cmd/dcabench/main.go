@@ -13,6 +13,7 @@
 //	dcabench -progress=false      # silence the per-cell completion log
 //	dcabench -json grid.json      # archive the grid (jobs + digests + stats)
 //	dcabench -store ./results     # reuse cells across invocations by digest
+//	dcabench -traced              # record each oracle stream once, replay per cell
 package main
 
 import (
@@ -40,6 +41,7 @@ func main() {
 		jobs     = flag.Int("j", 0, "grid cells to simulate in parallel (0 = all cores)")
 		clusters = flag.Int("clusters", 2, "cluster count of the steered machine (2 = the paper's asymmetric processor, else config.ClusteredN)")
 		progress = flag.Bool("progress", true, "log per-cell completion and ETA to stderr")
+		traced   = flag.Bool("traced", false, "record each (benchmark, window) oracle stream once and replay it for every cell (internal/trace)")
 	)
 	flag.Parse()
 
@@ -72,13 +74,27 @@ func main() {
 		}
 	}
 
+	// Runner stack, innermost first: Traced (record-once/replay-many
+	// front end) under Cached (content-addressed result reuse). The same
+	// tiered store carries both the JSON results and the encoded traces.
 	var cached *store.Cached
+	var tracedRunner *job.Traced
+	if *traced {
+		tracedRunner = &job.Traced{}
+		opts.Runner = tracedRunner
+	}
 	if *storeDir != "" {
 		disk, err := store.NewDisk(*storeDir)
 		if err != nil {
 			fatal(err)
 		}
-		cached = store.NewCached(store.Tiered{Fast: store.NewMemory(1024), Slow: disk}, nil)
+		tiered := store.Tiered{Fast: store.NewMemory(1024), Slow: disk}
+		var next job.Runner
+		if tracedRunner != nil {
+			tracedRunner.Blobs = tiered
+			next = tracedRunner
+		}
+		cached = store.NewCached(tiered, next)
 		opts.Runner = cached
 	}
 
@@ -161,6 +177,11 @@ func main() {
 	if cached != nil {
 		m := cached.Metrics()
 		fmt.Fprintf(human, "result store: %d hits, %d simulated, %d coalesced\n", m.Hits, m.Misses, m.Coalesced)
+	}
+	if tracedRunner != nil {
+		m := tracedRunner.Metrics()
+		fmt.Fprintf(human, "trace layer: %d recorded, %d from store, %d replayed, %d live fallbacks\n",
+			m.Recordings, m.BlobHits, m.Replays, m.LiveFallbacks)
 	}
 	fmt.Fprintf(human, "total simulation time: %v\n", time.Since(start).Round(time.Millisecond))
 }

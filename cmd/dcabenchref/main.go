@@ -1,9 +1,9 @@
 // Command dcabenchref regenerates the repository's reference benchmark
-// records (BENCH_core.json, BENCH_clusters.json, BENCH_serve.json) by
-// running the relevant `go test -bench` targets and rewriting each file's
-// environment, date and results — so the checked-in numbers can never
-// silently drift from the code. Curated fields (description, reading,
-// baseline) are preserved.
+// records (BENCH_core.json, BENCH_clusters.json, BENCH_serve.json,
+// BENCH_trace.json) by running the relevant `go test -bench` targets and
+// rewriting each file's environment, date and results — so the checked-in
+// numbers can never silently drift from the code. Curated fields
+// (description, reading, baseline) are preserved.
 //
 // Usage:
 //
@@ -11,6 +11,7 @@
 //	dcabenchref -core      # only BENCH_core.json
 //	dcabenchref -clusters  # only BENCH_clusters.json
 //	dcabenchref -serve     # only BENCH_serve.json (dcaserve jobs/sec)
+//	dcabenchref -trace     # only BENCH_trace.json (direct vs replayed grid)
 package main
 
 import (
@@ -43,10 +44,15 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+)
 func runBench(pkg, bench, benchtime string) (env map[string]any, results []result, err error) {
 	cmd := exec.Command("go", "test", pkg, "-run", "xxx", "-bench", bench,
 		"-benchtime", benchtime, "-count", "1")
-	out, err := cmd.CombinedOutput()
-	if err != nil {
-		return nil, nil, fmt.Errorf("go test -bench %s: %v\n%s", bench, err, out)
+	// Parse stdout only: benchmarks that start servers (dcaserve) log to
+	// stderr, and an access-log line flushed between a benchmark's name and
+	// its result column would corrupt the combined stream.
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go test -bench %s: %v\n%s%s", bench, err, stdout.String(), stderr.String())
 	}
+	out := stdout.String()
 	env = map[string]any{
 		"goos":    runtime.GOOS,
 		"goarch":  runtime.GOARCH,
@@ -54,7 +60,7 @@ func runBench(pkg, bench, benchtime string) (env map[string]any, results []resul
 		"num_cpu": runtime.NumCPU(),
 	}
 	prefix := bench + "/"
-	for _, line := range strings.Split(string(out), "\n") {
+	for _, line := range strings.Split(out, "\n") {
 		line = strings.TrimSpace(line)
 		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
 			env["cpu"] = cpu
@@ -121,9 +127,10 @@ func main() {
 		coreOnly     = flag.Bool("core", false, "only regenerate BENCH_core.json")
 		clustersOnly = flag.Bool("clusters", false, "only regenerate BENCH_clusters.json")
 		serveOnly    = flag.Bool("serve", false, "only regenerate BENCH_serve.json")
+		traceOnly    = flag.Bool("trace", false, "only regenerate BENCH_trace.json")
 	)
 	flag.Parse()
-	all := !*coreOnly && !*clustersOnly && !*serveOnly
+	all := !*coreOnly && !*clustersOnly && !*serveOnly && !*traceOnly
 	if *coreOnly || all {
 		if err := rewrite("BENCH_core.json", "./internal/core", "BenchmarkMachineCycle", "300000x"); err != nil {
 			fmt.Fprintln(os.Stderr, "dcabenchref:", err)
@@ -138,6 +145,14 @@ func main() {
 	}
 	if *serveOnly || all {
 		if err := rewrite("BENCH_serve.json", "./cmd/dcaserve", "BenchmarkServeThroughput", "300x"); err != nil {
+			fmt.Fprintln(os.Stderr, "dcabenchref:", err)
+			os.Exit(1)
+		}
+	}
+	if *traceOnly || all {
+		// 5 iterations: enough for the one-time recording sweep to amortize
+		// so the traced number reflects replay steady state.
+		if err := rewrite("BENCH_trace.json", ".", "BenchmarkTraceReplay", "5x"); err != nil {
 			fmt.Fprintln(os.Stderr, "dcabenchref:", err)
 			os.Exit(1)
 		}

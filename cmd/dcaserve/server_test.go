@@ -329,6 +329,13 @@ func TestHealthz(t *testing.T) {
 //	       pure cache hit (store decode + HTTP).
 func BenchmarkServeThroughput(b *testing.B) {
 	bench := func(b *testing.B, body func(i int64) string) {
+		// Silence the access log: a line per request would dominate the
+		// measurement and corrupt `go test -bench` output parsing
+		// (cmd/dcabenchref), since the test binary's stderr is merged into
+		// go test's stdout mid-line.
+		prev := logf
+		logf = func(string, ...any) {}
+		b.Cleanup(func() { logf = prev })
 		ts := httptest.NewServer(newServer(store.NewMemory(0), nil, 0, queue.Options{}, limits{}).handler())
 		defer ts.Close()
 		var ctr atomic.Int64

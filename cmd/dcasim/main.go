@@ -14,6 +14,8 @@
 //	dcasim -bench li -machine base           # the conventional baseline
 //	dcasim -bench go -clusters 4             # a 4-cluster symmetric machine
 //	dcasim -program prog.s -scheme general   # assemble and run a file
+//	dcasim -bench go -pipetrace 5000         # pipeline trace from cycle 5000
+//	dcasim -bench go -replay go.trace        # fetch from a dcatrace recording
 package main
 
 import (
@@ -30,22 +32,32 @@ import (
 	"repro/internal/prog"
 	"repro/internal/stats"
 	"repro/internal/steer"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		bench    = flag.String("bench", "compress", "workload name (see -list)")
-		file     = flag.String("program", "", "assembly file to run instead of a named workload")
-		scheme   = flag.String("scheme", "general", "steering scheme (see -list)")
-		machine  = flag.String("machine", "", "machine override: base | clustered | fifo | ub")
-		clusters = flag.Int("clusters", 2, "cluster count (2 = the paper's asymmetric machine, else config.ClusteredN)")
-		warmup   = flag.Uint64("warmup", 100_000, "warm-up instructions")
-		measure  = flag.Uint64("measure", 1_000_000, "measured instructions (0 = run to halt)")
-		list     = flag.Bool("list", false, "list workloads and schemes, then exit")
-		traceAt  = flag.Uint64("trace", 0, "print a pipeline trace for 30 cycles starting at this cycle")
+		bench       = flag.String("bench", "compress", "workload name (see -list)")
+		file        = flag.String("program", "", "assembly file to run instead of a named workload")
+		scheme      = flag.String("scheme", "general", "steering scheme (see -list)")
+		machine     = flag.String("machine", "", "machine override: base | clustered | fifo | ub")
+		clusters    = flag.Int("clusters", 2, "cluster count (2 = the paper's asymmetric machine, else config.ClusteredN)")
+		warmup      = flag.Uint64("warmup", 100_000, "warm-up instructions")
+		measure     = flag.Uint64("measure", 1_000_000, "measured instructions (0 = run to halt)")
+		list        = flag.Bool("list", false, "list workloads and schemes, then exit")
+		pipetrace   = flag.Uint64("pipetrace", 0, "print a pipeline trace for 30 cycles starting at this cycle")
+		legacyTrace = flag.Uint64("trace", 0, "deprecated alias for -pipetrace (kept for old scripts)")
+		replay      = flag.String("replay", "", "fetch the oracle stream from this dcatrace recording instead of the live emulator")
 	)
 	flag.Parse()
+	traceAt := *pipetrace
+	if *legacyTrace != 0 {
+		fmt.Fprintln(os.Stderr, "dcasim: -trace is deprecated (it names the oracle trace layer now); use -pipetrace")
+		if traceAt == 0 {
+			traceAt = *legacyTrace
+		}
+	}
 
 	if *list {
 		fmt.Println("workloads:", workload.Names())
@@ -65,7 +77,7 @@ func main() {
 		key string
 		err error
 	)
-	if *file == "" && *machine == "" && *traceAt == 0 {
+	if *file == "" && *machine == "" && traceAt == 0 && *replay == "" {
 		// The standard case is one cell of the evaluation grid: plan it as
 		// a canonical job and execute through the run layer.
 		var j job.Job
@@ -82,7 +94,7 @@ func main() {
 		cfg, key = j.Config, j.Key()
 		r, err = job.Direct{}.Run(context.Background(), j)
 	} else {
-		r, cfg, err = runDirect(*file, *bench, *scheme, *machine, *clusters, *warmup, *measure, *traceAt)
+		r, cfg, err = runDirect(*file, *bench, *scheme, *machine, *clusters, *warmup, *measure, traceAt, *replay)
 	}
 	if err != nil {
 		fatal(err)
@@ -94,6 +106,9 @@ func main() {
 	if key != "" {
 		t.AddRow("job key", key[:16]+"…")
 	}
+	// The full-result digest: what the trace smoke compares between live
+	// and replayed runs (bit-identity, not just matching headline numbers).
+	t.AddRow("result digest", job.ResultDigest(r))
 	t.AddRow("cycles", fmt.Sprintf("%d", r.Cycles))
 	t.AddRow("instructions", fmt.Sprintf("%d", r.Instructions))
 	t.AddRow("IPC", fmt.Sprintf("%.3f", r.IPC()))
@@ -131,8 +146,9 @@ func main() {
 }
 
 // runDirect is the power-user path — assembly files, pipeline traces,
-// machine overrides — driving the core directly instead of the job layer.
-func runDirect(file, bench, scheme, machine string, clusters int, warmup, measure, traceAt uint64) (*stats.Run, *config.Config, error) {
+// machine overrides, trace replay — driving the core directly instead of
+// the job layer.
+func runDirect(file, bench, scheme, machine string, clusters int, warmup, measure, traceAt uint64, replay string) (*stats.Run, *config.Config, error) {
 	var p *prog.Program
 	var err error
 	if file != "" {
@@ -186,7 +202,24 @@ func runDirect(file, bench, scheme, machine string, clusters int, warmup, measur
 			return nil, nil, err
 		}
 	}
-	m, err := core.New(cfg, p, st)
+	var m *core.Machine
+	if replay != "" {
+		raw, rerr := os.ReadFile(replay)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		tr, derr := trace.Decode(raw)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		rep, rerr := trace.NewReplayer(tr, p)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		m, err = core.NewWithOracle(cfg, p, st, rep)
+	} else {
+		m, err = core.New(cfg, p, st)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

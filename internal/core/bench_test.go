@@ -11,6 +11,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/prog"
 	"repro/internal/steer"
+	"repro/internal/trace"
 )
 
 // benchProgram builds the benchmark workload: a long counted loop whose
@@ -114,6 +115,14 @@ func benchCases() []benchCase {
 // (ROB, queues, event wheel) at steady-state size.
 func newBenchMachine(tb testing.TB, bc benchCase) *core.Machine {
 	tb.Helper()
+	return newBenchMachineWithOracle(tb, bc, nil)
+}
+
+// newBenchMachineWithOracle is newBenchMachine with an explicit oracle
+// (nil = the live emulator), so the suite covers the replay front end
+// under the same steady-state conditions as the live one.
+func newBenchMachineWithOracle(tb testing.TB, bc benchCase, o core.Oracle) *core.Machine {
+	tb.Helper()
 	p := benchProgram()
 	params := steer.DefaultParams()
 	params.Clusters = bc.cfg.NumClusters()
@@ -121,7 +130,7 @@ func newBenchMachine(tb testing.TB, bc benchCase) *core.Machine {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	m, err := core.New(bc.cfg, p, st)
+	m, err := core.NewWithOracle(bc.cfg, p, st, o)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -134,6 +143,28 @@ func newBenchMachine(tb testing.TB, bc benchCase) *core.Machine {
 	// run (dcabench, the experiment grid) pays per cycle.
 	m.BeginMeasurement()
 	return m
+}
+
+// newReplayBenchMachine records the benchmark program's oracle stream
+// (internal/trace) and returns a warmed machine fetching from the
+// replayed recording instead of the live emulator — the configuration
+// whose per-cycle cost the record-once/replay-many layer banks on.
+func newReplayBenchMachine(tb testing.TB, bc benchCase) *core.Machine {
+	tb.Helper()
+	p := benchProgram()
+	rec := trace.NewRecorder(p)
+	// The stream is architectural: how far it must extend depends only on
+	// how many instructions the consumer fetches. 300k instructions cover
+	// the 20k warm-up cycles plus the measured cycles at any fetch rate
+	// the machine can sustain; a shortfall fails loudly (ErrOracleExhausted).
+	if err := rec.Extend(300_000); err != nil {
+		tb.Fatal(err)
+	}
+	rep, err := trace.NewReplayer(rec.Finalize(0), p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return newBenchMachineWithOracle(tb, bc, rep)
 }
 
 // BenchmarkMachineCycle measures the steady-state cost of one simulated
@@ -183,6 +214,30 @@ func TestSteadyStateCycleAllocs(t *testing.T) {
 			}
 			if avg != 0 {
 				t.Fatalf("steady-state cycle allocates: %.3f allocs/cycle (want 0)", avg)
+			}
+		})
+	}
+	// The replay front end (internal/trace) must hold the same invariant:
+	// a machine fetching from a recorded trace steps allocation-free too.
+	// One narrow and one wide machine cover both fetch-runahead profiles.
+	for _, bc := range []benchCase{
+		{"base/naive", config.Base(), "naive"},
+		{"n2/general", config.Clustered(), "general"},
+		{"n8/general", config.ClusteredN(8), "general"},
+	} {
+		t.Run(bc.name+"/replay", func(t *testing.T) {
+			m := newReplayBenchMachine(t, bc)
+			var stepErr error
+			avg := testing.AllocsPerRun(2000, func() {
+				if err := m.StepOneCycle(); err != nil {
+					stepErr = err
+				}
+			})
+			if stepErr != nil {
+				t.Fatal(stepErr)
+			}
+			if avg != 0 {
+				t.Fatalf("replaying steady-state cycle allocates: %.3f allocs/cycle (want 0)", avg)
 			}
 		})
 	}

@@ -92,10 +92,17 @@ func (m *Machine) clone() (*Machine, bool) {
 	if !okSteer {
 		return nil, false
 	}
+	co, okOracle := m.oracle.(CloneableOracle)
+	if !okOracle {
+		// A recording oracle (internal/trace.Recorder) is deliberately not
+		// cloneable: two machines appending to one trace buffer would
+		// interleave. The caller falls back to an unsnapshotted run.
+		return nil, false
+	}
 
 	c := new(Machine)
 	*c = *m
-	c.oracle = m.oracle.Clone()
+	c.oracle = co.CloneOracle()
 	c.steerer = cs.CloneSteerer()
 	c.hier = m.hier.Clone()
 	c.bp = nbp

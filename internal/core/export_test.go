@@ -15,8 +15,9 @@ func (m *Machine) StepOneCycle() error { return m.step() }
 
 // OracleRegisters returns a copy of the embedded oracle's architectural
 // register file; the differential harness compares it against an
-// independently stepped reference emulator.
-func (m *Machine) OracleRegisters() [isa.NumRegs]int64 { return m.oracle.Reg }
+// independently stepped reference emulator. It requires a live-emulator
+// oracle (the default) — replayed traces carry no register file.
+func (m *Machine) OracleRegisters() [isa.NumRegs]int64 { return m.oracle.(EmuOracle).M.Reg }
 
 // HaltCommitted reports whether the machine has committed its HALT.
 func (m *Machine) HaltCommitted() bool { return m.haltCommitted }

@@ -81,10 +81,11 @@ func coSimulate(t *testing.T, cfg *config.Config, seed int64) {
 		t.Fatalf("seed %d/%s: committed %d, emulator executed %d",
 			seed, cfg.Name, run.Instructions, wantInsts)
 	}
+	oracleReg := m.OracleRegisters()
 	for i := 0; i < isa.NumRegs; i++ {
-		if m.oracle.Reg[i] != ref.Reg[i] {
+		if oracleReg[i] != ref.Reg[i] {
 			t.Fatalf("seed %d/%s: r%d differs: oracle %d, reference %d",
-				seed, cfg.Name, i, m.oracle.Reg[i], ref.Reg[i])
+				seed, cfg.Name, i, oracleReg[i], ref.Reg[i])
 		}
 	}
 	checkRegisterConservation(t, m)

@@ -38,8 +38,13 @@ const initialWheelSize = 128
 type Machine struct {
 	cfg     *config.Config
 	prog    *prog.Program
-	oracle  *emu.Machine
+	oracle  Oracle
 	steerer Steerer
+
+	// oracleErr latches a fetch-stage oracle failure (a replayed trace
+	// exhausting mid-run); runUntil surfaces it instead of finishing on a
+	// stream that diverged from what live fetch would have seen.
+	oracleErr error
 
 	hier *mem.Hierarchy
 	bp   bpred.DirPredictor
@@ -149,8 +154,17 @@ func nextPow2(n int) int {
 	return p
 }
 
-// New builds a machine running p under cfg with the given steering policy.
+// New builds a machine running p under cfg with the given steering policy,
+// fetching from a fresh functional emulator over p.
 func New(cfg *config.Config, p *prog.Program, st Steerer) (*Machine, error) {
+	return NewWithOracle(cfg, p, st, nil)
+}
+
+// NewWithOracle builds a machine fetching from the supplied oracle (nil
+// means a fresh EmuOracle over p). The oracle's stream must have been
+// produced by p — the fetch stage indexes p's text by the stream's PCs —
+// and must start at the beginning of the program; see Oracle.
+func NewWithOracle(cfg *config.Config, p *prog.Program, st Steerer, o Oracle) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -165,10 +179,13 @@ func New(cfg *config.Config, p *prog.Program, st Steerer) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o == nil {
+		o = EmuOracle{M: emu.New(p)}
+	}
 	m := &Machine{
 		cfg:         cfg,
 		prog:        p,
-		oracle:      emu.New(p),
+		oracle:      o,
 		steerer:     st,
 		hier:        hier,
 		bp:          bpred.NewPaperPredictor(),
@@ -445,6 +462,13 @@ func (m *Machine) runUntil(target uint64) error {
 		if err := m.step(); err != nil {
 			return err
 		}
+		// An oracle failure ends the run even when this same cycle reached
+		// the commit target: live fetch would still have run this cycle,
+		// updating I-cache and predictor statistics, so a result produced
+		// past the failure point cannot be trusted to be bit-identical.
+		if m.oracleErr != nil {
+			return m.oracleErr
+		}
 		if m.cycle-m.lastCommitAt > watchdogCycles {
 			return fmt.Errorf("core: no commit for %d cycles at cycle %d (deadlock?)", watchdogCycles, m.cycle)
 		}
@@ -538,11 +562,20 @@ func (m *Machine) fetch() {
 	curLine := uint64(0)
 	haveLine := false
 	for n := 0; n < m.cfg.FetchWidth; n++ {
-		if m.oracle.Halted {
+		if m.oracle.Halted() {
 			m.fetchDone = true
 			return
 		}
-		pc := m.oracle.PC
+		pc := m.oracle.PC()
+		if pc < 0 {
+			// The stream ended without a HALT (a replayed trace ran out).
+			// Fail before touching the I-cache: continuing with a garbage
+			// PC would perturb measured miss rates, and ending quietly
+			// would yield a silently short run.
+			m.fetchDone = true
+			m.oracleErr = ErrOracleExhausted
+			return
+		}
 		var line uint64
 		if lineShift >= 0 {
 			line = (textBase + uint64(pc)*isa.Word) >> uint(lineShift)
@@ -560,9 +593,11 @@ func (m *Machine) fetch() {
 			curLine, haveLine = line, true
 		}
 		// The oracle writes straight into the ring slot (no Step copies);
-		// on error the slot is released again. The oracle only errors on
-		// malformed programs, which Validate excluded; treat as end of
-		// stream.
+		// on error the slot is released again. A live emulator only
+		// errors on malformed programs (a runaway indirect jump); a
+		// replayer also errors on a truncated stream. Either way the
+		// stream cannot continue: latch the error so the run fails loudly
+		// instead of finishing on a quietly shortened stream.
 		fi := m.dqPush()
 		fi.mispredict = false
 		fi.steered = false
@@ -570,6 +605,7 @@ func (m *Machine) fetch() {
 		if err := m.oracle.StepInto(&fi.step); err != nil {
 			m.dqLen--
 			m.fetchDone = true
+			m.oracleErr = err
 			return
 		}
 		st := &fi.step

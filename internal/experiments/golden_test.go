@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/job"
+	"repro/internal/job/store"
 	"repro/internal/stats"
 	"repro/internal/steer"
 )
@@ -141,5 +142,46 @@ func TestGoldenCheckpointedRunner(t *testing.T) {
 	}
 	opts := goldenOpts()
 	opts.Runner = &job.Checkpointed{}
+	verifyGoldenFile(t, opts)
+}
+
+// TestGoldenTracedRunner replays the full golden grid through the
+// record-once / replay-many trace layer, twice: cold (this process
+// records the oracle stream once per benchmark and replays it for every
+// scheme) and store-warm (a second Traced runner serving recordings from
+// the shared blob store, modelling a later process). Every statistic
+// must stay bit-identical to the direct-runner record — replaying a
+// recorded front end is an optimization, never a behaviour.
+func TestGoldenTracedRunner(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden files are updated through the default runner")
+	}
+	opts := goldenOpts()
+	blobs := store.NewMemory(0)
+
+	cold := &job.Traced{Blobs: blobs}
+	opts.Runner = cold
+	verifyGoldenFile(t, opts)
+	m := cold.Metrics()
+	// One recording per benchmark of the grid — the amortization the
+	// layer exists for — and no cell may outrun the slack margin (a
+	// fallback would still be bit-identical, but the perf win gone).
+	if want := uint64(len(opts.Benchmarks)); m.Recordings != want {
+		t.Errorf("cold grid made %d recordings, want exactly %d (one per benchmark)", m.Recordings, want)
+	}
+	if m.LiveFallbacks != 0 {
+		t.Errorf("cold grid fell back live %d times, want 0", m.LiveFallbacks)
+	}
+
+	warm := &job.Traced{Blobs: blobs}
+	opts.Runner = warm
+	verifyGoldenFile(t, opts)
+	if m := warm.Metrics(); m.Recordings != 0 || m.BlobHits != uint64(len(opts.Benchmarks)) {
+		t.Errorf("store-warm grid metrics %+v, want 0 recordings and %d blob hits", m, len(opts.Benchmarks))
+	}
+
+	// The composed stack — traces over warm snapshots — is the production
+	// configuration (dcabench -traced -store); it must hold the same line.
+	opts.Runner = &job.Traced{Next: &job.Checkpointed{}, Blobs: blobs}
 	verifyGoldenFile(t, opts)
 }

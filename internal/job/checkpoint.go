@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/stats"
-	"repro/internal/steer"
 	"repro/internal/workload"
 )
 
@@ -96,7 +95,7 @@ func (c *Checkpointed) Run(ctx context.Context, j Job) (*stats.Run, error) {
 	}
 	c.mu.Unlock()
 
-	m, err := c.warm(j, e)
+	m, err := c.warm(ctx, j, e)
 	close(e.ready)
 	if err != nil {
 		return nil, err
@@ -114,23 +113,13 @@ func (c *Checkpointed) Run(ctx context.Context, j Job) (*stats.Run, error) {
 // warm builds the job's machine exactly as Direct does, runs the warm
 // phase, and fills the entry with the snapshot (or the error; both are
 // deterministic, so sharing them with followers preserves bit-identity).
-func (c *Checkpointed) warm(j Job, e *warmEntry) (*core.Machine, error) {
+func (c *Checkpointed) warm(ctx context.Context, j Job, e *warmEntry) (*core.Machine, error) {
 	p, err := workload.Load(j.Benchmark)
 	if err != nil {
 		e.err = fmt.Errorf("job: %w", err)
 		return nil, e.err
 	}
-	var st core.Steerer
-	if j.Scheme == BaseScheme || j.Scheme == UBScheme {
-		st = core.NaiveSteerer{}
-	} else {
-		st, err = steer.NewWithParams(j.Scheme, p, j.Params)
-		if err != nil {
-			e.err = err
-			return nil, err
-		}
-	}
-	m, err := core.New(j.Config, p, st)
+	m, err := newMachine(ctx, j, p)
 	if err != nil {
 		e.err = err
 		return nil, err

@@ -1,0 +1,64 @@
+package job
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/steer"
+)
+
+// oracleSource builds the fetch oracle for one machine. Runners that
+// construct machines (Direct, Checkpointed's warm phase) call it once per
+// machine, so a source backed by a recorded trace hands out a fresh
+// replay cursor to every consumer. A nil source in the context means the
+// live functional emulator, which is what every run used before the
+// trace layer existed.
+type oracleSource func() (core.Oracle, error)
+
+// oracleSourceKey carries the source through the context from the
+// wrapping runner (Traced) to whichever machine-building runner sits
+// below it; the indirection is what lets Traced compose under
+// Checkpointed without either knowing the other's concrete type.
+type oracleSourceKey struct{}
+
+// withOracleSource returns ctx with src as the machine fetch oracle.
+func withOracleSource(ctx context.Context, src oracleSource) context.Context {
+	return context.WithValue(ctx, oracleSourceKey{}, src)
+}
+
+// oracleSourceFrom extracts the source, nil when the context carries none.
+func oracleSourceFrom(ctx context.Context) oracleSource {
+	src, _ := ctx.Value(oracleSourceKey{}).(oracleSource)
+	return src
+}
+
+// steererFor builds the job's steering policy: the paper's conventional
+// split for the base and upper-bound machines, the registered scheme
+// with the job's parameters otherwise.
+func steererFor(j Job, p *prog.Program) (core.Steerer, error) {
+	if j.Scheme == BaseScheme || j.Scheme == UBScheme {
+		return core.NaiveSteerer{}, nil
+	}
+	return steer.NewWithParams(j.Scheme, p, j.Params)
+}
+
+// newMachine builds the job's machine over p, fetching from the
+// context's oracle source when one is set and from the live emulator
+// otherwise. Direct and Checkpointed both construct machines through
+// this seam, so a trace-replaying run travels exactly the code path a
+// live run does — the bit-identity arguments stay one argument.
+func newMachine(ctx context.Context, j Job, p *prog.Program) (*core.Machine, error) {
+	st, err := steererFor(j, p)
+	if err != nil {
+		return nil, err
+	}
+	if src := oracleSourceFrom(ctx); src != nil {
+		o, err := src()
+		if err != nil {
+			return nil, err
+		}
+		return core.NewWithOracle(j.Config, p, st, o)
+	}
+	return core.New(j.Config, p, st)
+}

@@ -4,9 +4,7 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/stats"
-	"repro/internal/steer"
 	"repro/internal/workload"
 )
 
@@ -34,16 +32,7 @@ func (Direct) Run(ctx context.Context, j Job) (*stats.Run, error) {
 	if err != nil {
 		return nil, fmt.Errorf("job: %w", err)
 	}
-	var st core.Steerer
-	if j.Scheme == BaseScheme || j.Scheme == UBScheme {
-		st = core.NaiveSteerer{}
-	} else {
-		st, err = steer.NewWithParams(j.Scheme, p, j.Params)
-		if err != nil {
-			return nil, err
-		}
-	}
-	m, err := core.New(j.Config, p, st)
+	m, err := newMachine(ctx, j, p)
 	if err != nil {
 		return nil, err
 	}

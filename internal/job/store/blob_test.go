@@ -1,0 +1,174 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestMemoryBlobRoundTrip(t *testing.T) {
+	m := NewMemory(0)
+	if _, ok, err := m.GetBlob("aa"); ok || err != nil {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	want := []byte{0xde, 0xad, 0xbe, 0xef}
+	if err := m.PutBlob("aa", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := m.GetBlob("aa")
+	if !ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %x want %x", got, want)
+	}
+	// The caller owns the returned slice.
+	got[0] = 0
+	if again, _, _ := m.GetBlob("aa"); !bytes.Equal(again, want) {
+		t.Fatal("mutating a returned blob corrupted the store")
+	}
+}
+
+// TestMemoryBlobKeyspaceSeparation: a blob and a result under the same
+// content address must not collide.
+func TestMemoryBlobKeyspaceSeparation(t *testing.T) {
+	m := NewMemory(0)
+	if err := m.Put("aa", &stats.Run{Cycles: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PutBlob("aa", []byte("raw")); err != nil {
+		t.Fatal(err)
+	}
+	r, ok, err := m.Get("aa")
+	if !ok || err != nil || r.Cycles != 7 {
+		t.Fatalf("result clobbered by blob: ok=%v err=%v r=%+v", ok, err, r)
+	}
+	raw, ok, _ := m.GetBlob("aa")
+	if !ok || string(raw) != "raw" {
+		t.Fatalf("blob clobbered by result: %q", raw)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len=%d, want 2 (one result + one blob)", m.Len())
+	}
+}
+
+// TestMemoryBlobEviction: blobs participate in the shared LRU.
+func TestMemoryBlobEviction(t *testing.T) {
+	m := NewMemory(2)
+	if err := m.PutBlob("aa", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PutBlob("bb", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.GetBlob("aa"); err != nil { // touch: bb becomes LRU
+		t.Fatal(err)
+	}
+	if err := m.PutBlob("cc", []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := m.GetBlob("bb"); ok {
+		t.Fatal("least recently used blob survived eviction")
+	}
+	if _, ok, _ := m.GetBlob("aa"); !ok {
+		t.Fatal("recently used blob evicted")
+	}
+}
+
+func TestDiskBlobRoundTrip(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := d.GetBlob("aa"); ok || err != nil {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	want := []byte("DCATR\x01 pretend trace bytes")
+	if err := d.PutBlob("aa", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := d.GetBlob("aa")
+	if !ok || err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("ok=%v err=%v got=%q", ok, err, got)
+	}
+	if err := d.Put("aa", &stats.Run{Cycles: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Results and blobs live side by side; Len counts results only.
+	if d.Len() != 1 || d.BlobLen() != 1 {
+		t.Fatalf("Len=%d BlobLen=%d, want 1/1", d.Len(), d.BlobLen())
+	}
+	if _, err := d.blobPath("../escape"); err == nil {
+		t.Fatal("hostile blob key accepted")
+	}
+}
+
+func TestDiskBlobLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PutBlob("aa", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := filepath.Glob(filepath.Join(dir, "put-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmp) != 0 {
+		t.Fatalf("temp files left behind: %v", tmp)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "aa.trace" {
+		t.Fatalf("unexpected directory contents: %v", entries)
+	}
+}
+
+// plainStore is a Store without blob support, for the graceful-skip path.
+type plainStore struct{ Store }
+
+func TestTieredBlobPromotionAndWriteThrough(t *testing.T) {
+	fast := NewMemory(8)
+	slowDisk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := Tiered{Fast: fast, Slow: slowDisk}
+	want := []byte("blob")
+	if err := tiered.PutBlob("aa", want); err != nil {
+		t.Fatal(err)
+	}
+	// Write-through: both tiers hold it.
+	if _, ok, _ := fast.GetBlob("aa"); !ok {
+		t.Fatal("fast tier missed after write-through")
+	}
+	if _, ok, _ := slowDisk.GetBlob("aa"); !ok {
+		t.Fatal("slow tier missed after write-through")
+	}
+	// Promotion: a slow-only entry lands in fast after a read.
+	if err := slowDisk.PutBlob("bb", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := tiered.GetBlob("bb")
+	if !ok || err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("ok=%v err=%v got=%q", ok, err, got)
+	}
+	if _, ok, _ := fast.GetBlob("bb"); !ok {
+		t.Fatal("slow hit not promoted")
+	}
+	// A blob-incapable tier is skipped, not fatal.
+	noBlobs := Tiered{Fast: plainStore{NewMemory(8)}, Slow: slowDisk}
+	if err := noBlobs.PutBlob("cc", want); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := noBlobs.GetBlob("cc"); !ok || !bytes.Equal(got, want) {
+		t.Fatal("blob lost behind a blob-incapable fast tier")
+	}
+}

@@ -1,0 +1,287 @@
+package job
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/prog"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// BlobStore is the byte-blob cache Traced persists encoded recordings
+// through. It is structurally satisfied by the store backends
+// (store.Memory, store.Disk, store.Tiered); the interface is declared
+// here rather than imported because package store already depends on job
+// (store.Cached wraps a Runner), so this dependency must point the other
+// way — the same convention as store.BlobStore, which documents the
+// implementation contract.
+type BlobStore interface {
+	GetBlob(key string) ([]byte, bool, error)
+	PutBlob(key string, raw []byte) error
+}
+
+// defaultTraceLimit bounds the decoded traces retained in memory. A trace
+// is a few bytes per instruction of its window — far smaller than a warm
+// snapshot — so the default matches Checkpointed's.
+const defaultTraceLimit = 128
+
+// traceSlackInstructions is the recording margin past the nominal window.
+// A cell commits Warmup+Measure instructions but its front end fetches
+// ahead by a scheme- and configuration-dependent amount (in-flight
+// window, decode queue growth), so the recording covers twice the window
+// plus a fixed floor. The margin is a performance knob, not a correctness
+// one: a consumer that still outruns the trace fails loudly
+// (core.ErrOracleExhausted) and Traced re-records a longer trace — see
+// maxExtendAttempts.
+const traceSlackInstructions = 4096
+
+// maxExtendAttempts bounds the re-record-with-doubled-budget loop a cell
+// runs when its front end outruns the recording (some workloads fetch
+// several windows ahead of commit; vortex needs ~3x). Each attempt doubles
+// the recorded steps, so the cap allows a 2^maxExtendAttempts-fold margin
+// before the cell gives up and re-runs against the live emulator.
+const maxExtendAttempts = 6
+
+// Traced is a Runner that amortizes the functional front end across the
+// grid: the oracle stream for a (program, window) pair is recorded at
+// most once — functionally, without a timing machine — and every cell's
+// machine then fetches from a replay cursor over the shared recording
+// instead of re-executing the emulator. The stream is architectural
+// (scheme- and cluster-independent), so one recording serves every
+// scheme, cluster count and steering policy in the grid; results are
+// bit-identical to live runs (the golden grids and FuzzTraceReplay lock
+// this).
+//
+// Encoded recordings are cached through Blobs when set (the same tiered
+// store the results live in), so later processes skip even the one
+// recording. The zero value is ready to use and safe for concurrent use;
+// concurrent requests for one trace key coalesce onto a single recording,
+// mirroring Checkpointed's warm coalescing.
+//
+// Traced composes with the other runners: it delegates execution to Next
+// (default Direct) with the replay source threaded through the context,
+// so Traced{Next: &Checkpointed{}} replays the warm phase once per warm
+// key and snapshots it — the replay cursor is cloneable state.
+type Traced struct {
+	// Next runs the job once the oracle source is prepared; nil means
+	// Direct{}. Set before the first Run.
+	Next Runner
+	// Blobs persists encoded recordings across processes; nil records
+	// in-process only. Set before the first Run.
+	Blobs BlobStore
+	// Limit caps retained decoded traces (oldest evicted first); 0 means
+	// defaultTraceLimit. Set before the first Run.
+	Limit int
+
+	mu      sync.Mutex
+	entries map[string]*traceEntry
+	order   []string
+	metrics TracedMetrics
+}
+
+// traceEntry is one trace key's slot: ready closes when the recording
+// (or the blob fetch) finished.
+type traceEntry struct {
+	ready chan struct{}
+	tr    *trace.Trace
+	err   error
+}
+
+// TracedMetrics counts the runner's traffic since creation.
+type TracedMetrics struct {
+	// Recordings is the number of functional recordings performed.
+	Recordings uint64
+	// BlobHits is the number of recordings served from the blob store.
+	BlobHits uint64
+	// Replays is the number of cells run from a replay cursor.
+	Replays uint64
+	// Extensions counts recordings redone with a doubled budget after a
+	// cell's front end outran the trace.
+	Extensions uint64
+	// LiveFallbacks counts cells re-run live after outrunning the trace
+	// even at the maximum extension budget.
+	LiveFallbacks uint64
+}
+
+// Metrics returns a snapshot of the runner's counters.
+func (c *Traced) Metrics() TracedMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.metrics
+}
+
+func (c *Traced) next() Runner {
+	if c.Next != nil {
+		return c.Next
+	}
+	return Direct{}
+}
+
+// Run executes the job from the shared recording, recording it first if
+// this is the key's leader.
+func (c *Traced) Run(ctx context.Context, j Job) (*stats.Run, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	window := j.Warmup + j.Measure
+	if window == 0 {
+		// A run-to-halt job has no instruction bound to record against;
+		// run it live.
+		return c.next().Run(ctx, j)
+	}
+	p, err := workload.Load(j.Benchmark)
+	if err != nil {
+		return nil, fmt.Errorf("job: %w", err)
+	}
+	key := trace.Key(p.Digest(), window)
+
+	tr, err := c.traceFor(p, window, key, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	c.metrics.Replays++
+	c.mu.Unlock()
+
+	src := func() (core.Oracle, error) { return trace.NewReplayer(tr, p) }
+	r, err := c.next().Run(withOracleSource(ctx, src), j)
+	for attempt := 0; errors.Is(err, core.ErrOracleExhausted) && !tr.Halted && attempt < maxExtendAttempts; attempt++ {
+		// The cell's front end fetched past the recording. Correctness is
+		// preserved by construction — the replayed prefix was bit-exact —
+		// so re-record with a doubled budget and redo the run from the
+		// longer trace. The retry bypasses Next: warm state Next may have
+		// snapshotted is keyed to the exhausted cursor and must not be
+		// reused. The longer recording replaces the cached (and blob-
+		// stored) one, so later cells replay it directly.
+		c.mu.Lock()
+		c.metrics.Extensions++
+		c.mu.Unlock()
+		tr, err = c.traceFor(p, window, key, 2*tr.Steps)
+		if err != nil {
+			return nil, err
+		}
+		longSrc := func() (core.Oracle, error) { return trace.NewReplayer(tr, p) }
+		r, err = Direct{}.Run(withOracleSource(ctx, longSrc), j)
+	}
+	if errors.Is(err, core.ErrOracleExhausted) {
+		// Even the maximum extension budget was outrun (or the program
+		// halts mid-fetch in a way replay cannot serve): redo the run
+		// against the live emulator.
+		c.mu.Lock()
+		c.metrics.LiveFallbacks++
+		c.mu.Unlock()
+		return Direct{}.Run(ctx, j)
+	}
+	return r, err
+}
+
+// traceFor returns the cached trace for key, recording it (or fetching it
+// from the blob store) if absent — coalescing concurrent requests onto one
+// leader. A cached or blob-stored trace shorter than minSteps is treated
+// as absent and replaced by a longer recording, unless it already runs to
+// HALT (a halted trace is the whole program; no extension can lengthen
+// it).
+func (c *Traced) traceFor(p *prog.Program, window uint64, key string, minSteps uint64) (*trace.Trace, error) {
+	for {
+		c.mu.Lock()
+		if c.entries == nil {
+			c.entries = make(map[string]*traceEntry)
+		}
+		e, ok := c.entries[key]
+		if ok {
+			c.mu.Unlock()
+			<-e.ready
+			if e.err != nil {
+				return nil, e.err
+			}
+			if e.tr.Halted || e.tr.Steps >= minSteps {
+				return e.tr, nil
+			}
+			// Too short for this caller: retire the entry (one winner) and
+			// loop; the next pass installs a longer recording.
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+			continue
+		}
+		e = &traceEntry{ready: make(chan struct{})}
+		c.entries[key] = e
+		c.rememberLocked(key)
+		c.mu.Unlock()
+
+		e.tr, e.err = c.record(p, window, key, minSteps)
+		close(e.ready)
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.tr, nil
+	}
+}
+
+// rememberLocked appends key to the eviction order (once) and evicts the
+// oldest entry past the limit. Caller holds c.mu.
+func (c *Traced) rememberLocked(key string) {
+	for _, k := range c.order {
+		if k == key {
+			return
+		}
+	}
+	c.order = append(c.order, key)
+	limit := c.Limit
+	if limit <= 0 {
+		limit = defaultTraceLimit
+	}
+	if len(c.order) > limit {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// record produces the trace for (p, window): from the blob store when a
+// previous process already recorded a sufficient one, by running the
+// functional emulator otherwise. Recording needs no timing machine — the
+// stream depends only on the program — so the leader's cost is one
+// emulator sweep over the window plus slack (or minSteps, when an
+// exhausted replay is asking for a longer recording). A blob that fails
+// to decode, belongs to another program, or is shorter than minSteps is
+// treated as a miss and re-recorded, so a damaged or outgrown cache
+// self-heals the way store.Cached's result reads do.
+func (c *Traced) record(p *prog.Program, window uint64, key string, minSteps uint64) (*trace.Trace, error) {
+	if c.Blobs != nil {
+		if raw, ok, _ := c.Blobs.GetBlob(key); ok {
+			if tr, err := trace.Decode(raw); err == nil && tr.ProgramDigest == p.Digest() &&
+				(tr.Halted || tr.Steps >= minSteps) {
+				c.mu.Lock()
+				c.metrics.BlobHits++
+				c.mu.Unlock()
+				return tr, nil
+			}
+		}
+	}
+	budget := 2*window + traceSlackInstructions
+	if minSteps > budget {
+		budget = minSteps
+	}
+	rec := trace.NewRecorder(p)
+	if err := rec.Extend(budget); err != nil {
+		return nil, fmt.Errorf("job: recording %s over %d instructions: %w", p.Name, window, err)
+	}
+	tr := rec.Finalize(window)
+	c.mu.Lock()
+	c.metrics.Recordings++
+	c.mu.Unlock()
+	if c.Blobs != nil {
+		// Best-effort: a full or read-only store costs persistence, not
+		// correctness.
+		_ = c.Blobs.PutBlob(key, tr.Encode())
+	}
+	return tr, nil
+}

@@ -1,0 +1,317 @@
+package job
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// memBlobs is the minimal in-process BlobStore for these tests (the store
+// backends are exercised by their own package; here only the protocol
+// matters).
+type memBlobs struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+	puts  int
+}
+
+func (m *memBlobs) GetBlob(key string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	raw, ok := m.blobs[key]
+	return raw, ok, nil
+}
+
+func (m *memBlobs) PutBlob(key string, raw []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.blobs == nil {
+		m.blobs = make(map[string][]byte)
+	}
+	m.blobs[key] = raw
+	m.puts++
+	return nil
+}
+
+// TestTracedMatchesDirect is the runner-level bit-identity lock for the
+// trace layer: every cell run from a replayed recording must digest
+// identically to a live Direct run, across both pseudo-schemes, trained
+// balance schemes, the FIFO machine and a 4-cluster fabric.
+func TestTracedMatchesDirect(t *testing.T) {
+	c := &Traced{}
+	for _, j := range cpJobs(t) {
+		want := directDigest(t, j)
+		for pass := 1; pass <= 2; pass++ {
+			r, err := c.Run(context.Background(), j)
+			if err != nil {
+				t.Fatalf("%s/%s pass %d: %v", j.Scheme, j.Benchmark, pass, err)
+			}
+			if got := ResultDigest(r); got != want {
+				t.Errorf("%s/%s pass %d: digest %s, direct %s", j.Scheme, j.Benchmark, pass, got, want)
+			}
+		}
+	}
+	m := c.Metrics()
+	if m.LiveFallbacks != 0 {
+		t.Errorf("%d live fallbacks on the standard grid, want 0 (slack margin too small)", m.LiveFallbacks)
+	}
+}
+
+// TestTracedRecordsOncePerProgramWindow is the amortization contract: a
+// grid of cells over one (program, window) pair triggers exactly one
+// recording no matter how many schemes and cluster counts consume it,
+// and a new window records again.
+func TestTracedRecordsOncePerProgramWindow(t *testing.T) {
+	c := &Traced{}
+	var jobs []Job
+	for _, scheme := range []string{BaseScheme, UBScheme, "fifo", "general", "modulo"} {
+		for _, clusters := range []int{2, 4} {
+			if (scheme == BaseScheme || scheme == UBScheme) && clusters != 2 {
+				continue
+			}
+			j, err := Spec{Scheme: scheme, Benchmark: "compress", Clusters: clusters,
+				Warmup: 2_000, Measure: 5_000}.Plan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	for _, j := range jobs {
+		if _, err := c.Run(context.Background(), j); err != nil {
+			t.Fatalf("%s/%d: %v", j.Scheme, j.Config.NumClusters(), err)
+		}
+	}
+	m := c.Metrics()
+	if m.Recordings != 1 {
+		t.Fatalf("%d recordings for %d cells of one (program, window), want exactly 1", m.Recordings, len(jobs))
+	}
+	if m.Replays != uint64(len(jobs)) {
+		t.Fatalf("%d replays for %d cells, want one each", m.Replays, len(jobs))
+	}
+
+	// A different measurement window is a different trace key.
+	j := jobs[0]
+	j.Measure += 1_000
+	if _, err := c.Run(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+	if m := c.Metrics(); m.Recordings != 2 {
+		t.Fatalf("%d recordings after a second window, want 2", m.Recordings)
+	}
+}
+
+// TestTracedConcurrentCoalesces hammers one trace key from many
+// goroutines: the recording must coalesce onto a single leader.
+func TestTracedConcurrentCoalesces(t *testing.T) {
+	j, err := Spec{Scheme: "general", Benchmark: "go", Warmup: 2_000, Measure: 4_000}.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := directDigest(t, j)
+	c := &Traced{}
+	const workers = 8
+	errs := make([]error, workers)
+	digests := make([]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r, err := c.Run(context.Background(), j)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			digests[w] = ResultDigest(r)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if digests[w] != want {
+			t.Errorf("worker %d: digest %s, direct %s", w, digests[w], want)
+		}
+	}
+	if m := c.Metrics(); m.Recordings != 1 {
+		t.Errorf("%d recordings after coalesced runs, want 1", m.Recordings)
+	}
+}
+
+// TestTracedBlobStoreWarm: a second process (modelled by a fresh Traced
+// over the same blob store) serves its recording from the store instead
+// of re-recording, with identical results.
+func TestTracedBlobStoreWarm(t *testing.T) {
+	j, err := Spec{Scheme: "general", Benchmark: "compress", Warmup: 2_000, Measure: 5_000}.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := directDigest(t, j)
+	blobs := &memBlobs{}
+
+	cold := &Traced{Blobs: blobs}
+	r, err := cold.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ResultDigest(r); got != want {
+		t.Errorf("cold: digest %s, direct %s", got, want)
+	}
+	if m := cold.Metrics(); m.Recordings != 1 || m.BlobHits != 0 {
+		t.Fatalf("cold metrics %+v, want 1 recording and 0 blob hits", m)
+	}
+	if blobs.puts != 1 {
+		t.Fatalf("%d blobs persisted, want 1", blobs.puts)
+	}
+
+	warm := &Traced{Blobs: blobs}
+	r, err = warm.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ResultDigest(r); got != want {
+		t.Errorf("store-warm: digest %s, direct %s", got, want)
+	}
+	if m := warm.Metrics(); m.Recordings != 0 || m.BlobHits != 1 {
+		t.Fatalf("store-warm metrics %+v, want 0 recordings and 1 blob hit", m)
+	}
+}
+
+// TestTracedCorruptBlobSelfHeals: a damaged cached trace is re-recorded,
+// not trusted and not fatal — mirroring the store's read-errors-as-misses
+// rule.
+func TestTracedCorruptBlobSelfHeals(t *testing.T) {
+	j, err := Spec{Scheme: "general", Benchmark: "compress", Warmup: 2_000, Measure: 5_000}.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workload.Load(j.Benchmark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := trace.Key(p.Digest(), j.Warmup+j.Measure)
+	blobs := &memBlobs{blobs: map[string][]byte{key: []byte("not a trace")}}
+
+	c := &Traced{Blobs: blobs}
+	r, err := c.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ResultDigest(r), directDigest(t, j); got != want {
+		t.Errorf("digest %s, direct %s", got, want)
+	}
+	if m := c.Metrics(); m.Recordings != 1 || m.BlobHits != 0 {
+		t.Fatalf("metrics %+v, want the corrupt blob re-recorded", m)
+	}
+	blobs.mu.Lock()
+	healed := string(blobs.blobs[key]) != "not a trace"
+	blobs.mu.Unlock()
+	if !healed {
+		t.Error("corrupt blob left in place")
+	}
+}
+
+// TestTracedExhaustionExtendsRecording seeds the blob store with a
+// deliberately short recording under the correct key: replay must fail
+// loudly mid-run and Traced must re-record with a doubled budget and
+// redo the cell from the longer trace, bit-identical to Direct — never
+// return a silently short measurement.
+func TestTracedExhaustionExtendsRecording(t *testing.T) {
+	j, err := Spec{Scheme: "general", Benchmark: "compress", Warmup: 2_000, Measure: 5_000}.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workload.Load(j.Benchmark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := j.Warmup + j.Measure
+	rec := trace.NewRecorder(p)
+	if err := rec.Extend(window / 4); err != nil {
+		t.Fatal(err)
+	}
+	short := rec.Finalize(window)
+	if short.Halted {
+		t.Fatal("short recording unexpectedly reached HALT")
+	}
+	key := trace.Key(p.Digest(), window)
+	blobs := &memBlobs{blobs: map[string][]byte{key: short.Encode()}}
+
+	c := &Traced{Blobs: blobs}
+	r, err := c.Run(context.Background(), j)
+	if err != nil {
+		t.Fatalf("exhausted replay should extend the recording, got %v", err)
+	}
+	if got, want := ResultDigest(r), directDigest(t, j); got != want {
+		t.Errorf("extended-replay digest %s, direct %s", got, want)
+	}
+	m := c.Metrics()
+	if m.BlobHits != 1 || m.Extensions == 0 || m.Recordings == 0 || m.LiveFallbacks != 0 {
+		t.Fatalf("metrics %+v, want the short blob accepted once, then extended by a fresh recording with no live fallback", m)
+	}
+
+	// The longer recording must have replaced the short blob (the cache
+	// self-upgrades), and a later cell must replay it with no further
+	// recording work.
+	long, err := trace.Decode(blobs.blobs[key])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Steps <= short.Steps {
+		t.Fatalf("blob still holds %d steps, want more than the short recording's %d", long.Steps, short.Steps)
+	}
+	before := c.Metrics()
+	if _, err := c.Run(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+	after := c.Metrics()
+	if after.Recordings != before.Recordings || after.Extensions != before.Extensions {
+		t.Fatalf("second run re-recorded: before %+v after %+v", before, after)
+	}
+}
+
+// TestTracedComposesWithCheckpointed runs the trace layer over the warm
+// snapshot layer: replay cursors are cloneable, so the composition warms
+// once per warm key and still digests identically to Direct.
+func TestTracedComposesWithCheckpointed(t *testing.T) {
+	cp := &Checkpointed{}
+	c := &Traced{Next: cp}
+	for _, j := range cpJobs(t) {
+		want := directDigest(t, j)
+		for pass := 1; pass <= 2; pass++ {
+			r, err := c.Run(context.Background(), j)
+			if err != nil {
+				t.Fatalf("%s/%s pass %d: %v", j.Scheme, j.Benchmark, pass, err)
+			}
+			if got := ResultDigest(r); got != want {
+				t.Errorf("%s/%s pass %d: digest %s, direct %s", j.Scheme, j.Benchmark, pass, got, want)
+			}
+		}
+	}
+	for key, e := range cp.entries {
+		if e.cp == nil && e.err == nil {
+			t.Errorf("warm key %s: replayed machine was not snapshottable", key)
+		}
+	}
+}
+
+// TestTracedErrors pins the edges: unknown benchmarks fail, cancelled
+// contexts are refused, and a zero-window job runs live (nothing bounded
+// to record).
+func TestTracedErrors(t *testing.T) {
+	c := &Traced{}
+	if _, err := c.Run(context.Background(), Job{Scheme: "general", Benchmark: "nope", Measure: 100}); err == nil {
+		t.Fatal("unknown benchmark succeeded")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Run(ctx, cpJobs(t)[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context: %v", err)
+	}
+}

@@ -8,14 +8,17 @@ package lint
 //   - determinism covers every package a result digest or golden file can
 //     observe: the simulated machine (core, steer, emu, isa, bpred, mem),
 //     workload construction (prog, asm, workload), analysis outputs (rdg,
-//     stats, experiments), the machine description (config), and the job
-//     planners ("repro/internal/job" exactly — the queue, store and worker
+//     stats, experiments), the machine description (config), the oracle
+//     trace codec (trace — its encodings are content-addressed, so any
+//     nondeterminism would change digests), and the job planners
+//     ("repro/internal/job" exactly — the queue, store and worker
 //     subpackages legitimately read the wall clock for leases and ETAs).
 //   - lockdiscipline covers the queue and store, whose mutexes every
 //     worker contends on.
-//   - wirecontract roots are the two digest formats (Job, stats.Run) and
-//     the serve/worker wire types; the closure walk pulls in everything
-//     they embed (config.Config, steer.Params, mem.HierarchyConfig, ...).
+//   - wirecontract roots are the two digest formats (Job, stats.Run), the
+//     serve/worker wire types, and the trace header (trace.Meta — what
+//     dcatrace info prints and tools parse); the closure walk pulls in
+//     everything they embed (config.Config, steer.Params, ...).
 //   - noalloc needs no scope: the //dca:hotpath annotation opts in
 //     function by function.
 func DefaultAnalyzers() []*Analyzer {
@@ -36,6 +39,7 @@ func DefaultAnalyzers() []*Analyzer {
 				"repro/internal/config",
 				"repro/internal/experiments",
 				"repro/internal/job",
+				"repro/internal/trace",
 			},
 		}),
 		NewNoalloc(),
@@ -63,6 +67,7 @@ func DefaultAnalyzers() []*Analyzer {
 				"repro/internal/job/queue.Stats",
 				"repro/cmd/dcaserve.gridEvent",
 				"repro/cmd/dcaserve.watchEvent",
+				"repro/internal/trace.Meta",
 			},
 		}),
 	}

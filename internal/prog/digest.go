@@ -1,0 +1,37 @@
+package prog
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"repro/internal/isa"
+)
+
+// Digest returns the hex SHA-256 of the program's execution-relevant
+// identity: name, entry point, encoded text segment, data base and data
+// image. Two programs with equal digests produce identical oracle streams
+// for any instruction budget, which is what makes the digest usable as a
+// content address for recorded traces (internal/trace stores it in every
+// trace header and refuses to replay against a different program).
+//
+// Labels and symbols are deliberately excluded: they are diagnostic
+// metadata and cannot affect execution.
+func (p *Program) Digest() string {
+	h := sha256.New()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(p.Name)))
+	h.Write(n[:])
+	h.Write([]byte(p.Name))
+	binary.LittleEndian.PutUint64(n[:], uint64(p.Entry))
+	h.Write(n[:])
+	binary.LittleEndian.PutUint64(n[:], uint64(len(p.Text)))
+	h.Write(n[:])
+	h.Write(isa.EncodeText(p.Text))
+	binary.LittleEndian.PutUint64(n[:], p.DataBase)
+	h.Write(n[:])
+	binary.LittleEndian.PutUint64(n[:], uint64(len(p.Data)))
+	h.Write(n[:])
+	h.Write(p.Data)
+	return hex.EncodeToString(h.Sum(nil))
+}

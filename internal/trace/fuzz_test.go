@@ -1,0 +1,129 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/rdg"
+	"repro/internal/steer"
+	"repro/internal/trace"
+)
+
+// fuzzConfigs mirrors the core co-simulation matrix: the paper's
+// two-cluster machines plus N-cluster crossbar/ring fabrics, so the
+// replay path is exercised under every fetch-runahead profile (the
+// stream a machine consumes depends on how far its front end runs
+// ahead, which depends on the configuration).
+func fuzzConfigs() []*config.Config {
+	return []*config.Config{
+		config.Clustered(),
+		config.Base(),
+		config.UpperBound(),
+		config.FIFOClustered(),
+		config.Symmetric(),
+		config.ClusteredN(4),
+		config.ClusteredNRing(4),
+		config.ClusteredN(8),
+	}
+}
+
+// FuzzTraceReplay is the native fuzz target over the trace layer's two
+// load-bearing properties:
+//
+//  1. record-then-replay transparency — a timing machine fetching from a
+//     Replayer produces the same full-run statistics as one fetching the
+//     live functional emulator, for random programs, machine
+//     configurations and measurement windows;
+//  2. byte stability — encode→decode→encode is the identity on the
+//     trace's bytes, so Trace.Digest is a well-defined content address.
+//
+// The checked-in corpus (testdata/fuzz/FuzzTraceReplay) pins program
+// seeds with dense load/store aliasing and FP chains (the step shapes
+// with the most non-derivable payload) across two-cluster, ring and
+// 8-cluster machines, with windows that both cover the program and cut
+// it short. CI runs a fixed-budget smoke (`go test -fuzz FuzzTraceReplay`).
+func FuzzTraceReplay(f *testing.F) {
+	for _, c := range []struct {
+		seed    int64
+		cfgIdx  uint8
+		measure uint16
+	}{
+		{7, 0, 0}, {7, 6, 500}, {9, 3, 0}, {9, 7, 200},
+		{19, 0, 1000}, {23, 5, 0}, {31, 4, 100}, {1, 1, 0}, {13, 2, 50},
+	} {
+		f.Add(c.seed, c.cfgIdx, c.measure)
+	}
+	configs := fuzzConfigs()
+	f.Fuzz(func(t *testing.T, seed int64, cfgIdx uint8, measure uint16) {
+		cfg := configs[int(cfgIdx)%len(configs)]
+		p := rdg.RandomProgram(seed)
+		newSteerer := func() core.Steerer {
+			// The machines without steering freedom take the conventional
+			// split; the rest the general policy at the machine's width.
+			if cfg.Name == "base" || cfg.Name == "upper-bound" {
+				return core.NaiveSteerer{}
+			}
+			params := steer.DefaultParams()
+			params.Clusters = cfg.NumClusters()
+			st, err := steer.NewWithParams("general", p, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}
+		// A measurement window below the program's length exercises the
+		// slack margin: the recording machine stops mid-program and Extend
+		// must cover any same-window consumer's fetch runahead.
+		warmup := uint64(measure) / 4
+		run := func(o core.Oracle) string {
+			var m *core.Machine
+			var err error
+			if o == nil {
+				m, err = core.New(cfg, p, newSteerer())
+			} else {
+				m, err = core.NewWithOracle(cfg, p, newSteerer(), o)
+			}
+			if err != nil {
+				t.Fatalf("seed %d/%s: %v", seed, cfg.Name, err)
+			}
+			r, err := m.RunWithWarmup(warmup, uint64(measure))
+			if err != nil {
+				t.Fatalf("seed %d/%s: %v", seed, cfg.Name, err)
+			}
+			return runDigest(t, r)
+		}
+
+		want := run(nil)
+
+		rec := trace.NewRecorder(p)
+		if got := run(rec); got != want {
+			t.Fatalf("seed %d/%s: recording machine diverged from live", seed, cfg.Name)
+		}
+		if err := rec.Extend(4096); err != nil {
+			t.Fatalf("seed %d/%s: extend: %v", seed, cfg.Name, err)
+		}
+		tr := rec.Finalize(uint64(measure))
+
+		enc := tr.Encode()
+		tr2, err := trace.Decode(enc)
+		if err != nil {
+			t.Fatalf("seed %d/%s: decode: %v", seed, cfg.Name, err)
+		}
+		if !bytes.Equal(enc, tr2.Encode()) {
+			t.Fatalf("seed %d/%s: encode→decode→encode not byte-stable", seed, cfg.Name)
+		}
+		if err := tr2.Validate(p); err != nil {
+			t.Fatalf("seed %d/%s: validate: %v", seed, cfg.Name, err)
+		}
+
+		rep, err := trace.NewReplayer(tr2, p)
+		if err != nil {
+			t.Fatalf("seed %d/%s: replayer: %v", seed, cfg.Name, err)
+		}
+		if got := run(rep); got != want {
+			t.Fatalf("seed %d/%s: replaying machine diverged from live", seed, cfg.Name)
+		}
+	})
+}
