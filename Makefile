@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover fuzz bench serve-smoke worker-smoke load-smoke trace-smoke ci fmt vet lint
+.PHONY: all build test race cover fuzz bench serve-smoke worker-smoke load-smoke trace-smoke probe-smoke ci fmt vet lint
 
 all: build
 
@@ -61,6 +61,14 @@ load-smoke:
 trace-smoke:
 	./ci/trace_smoke.sh
 
+# End-to-end smoke of the introspection layer: run one cell plain and with
+# the full probe stack (-attrib + -konata), assert bit-identical digests,
+# a cycle attribution that sums to the measured cycles, a well-formed
+# Konata trace, and a probed dcaserve submission whose attribution rides
+# the response without touching the stored result.
+probe-smoke:
+	./ci/probe_smoke.sh
+
 # Regenerate the reference benchmark records (BENCH_core.json,
 # BENCH_clusters.json, BENCH_serve.json) with current environment metadata
 # so the checked-in numbers cannot drift silently from the code.
@@ -80,4 +88,4 @@ vet:
 lint:
 	$(GO) run ./cmd/dcalint ./...
 
-ci: fmt vet lint build race cover fuzz serve-smoke worker-smoke load-smoke trace-smoke
+ci: fmt vet lint build race cover fuzz serve-smoke worker-smoke load-smoke trace-smoke probe-smoke

@@ -206,6 +206,79 @@ func TestTraceSuiteWired(t *testing.T) {
 	}
 }
 
+// TestProbeSuiteWired gates the introspection layer's passivity locks:
+// the probed differential, the fast-forward attribution identity and the
+// conservation test must exist in internal/core, the golden grid must
+// reconcile detached and probed runs in internal/experiments, the serve
+// path must keep attribution out of the store (cmd/dcaserve), the
+// probeguard analyzer must stay in the default lint suite, and both the
+// Makefile and the CI workflow must run the end-to-end probe smoke.
+// Renaming or deleting any of these would silently drop the proof that
+// observation never changes a result.
+func TestProbeSuiteWired(t *testing.T) {
+	suites := map[string]map[string]bool{
+		filepath.Join("internal", "core"): {
+			"TestProbePassivityDifferential":   false,
+			"TestProbeFastForwardIdentity":     false,
+			"TestProbeAttributionSumsToCycles": false,
+			"TestSteadyStateCycleAllocs":       false,
+		},
+		filepath.Join("internal", "experiments"): {
+			"TestGoldenProbeInvariants": false,
+		},
+		filepath.Join("cmd", "dcaserve"): {
+			"TestJobProbed": false,
+		},
+	}
+	fset := token.NewFileSet()
+	for rel, want := range suites {
+		dir := filepath.Join(repoRoot, rel)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil {
+					if _, tracked := want[fd.Name.Name]; tracked {
+						want[fd.Name.Name] = true
+					}
+				}
+			}
+		}
+		for name, found := range want {
+			if !found {
+				t.Errorf("%s has no %s — the probe passivity lock is gone", rel, name)
+			}
+		}
+	}
+	hasProbeGuard := false
+	for _, a := range lint.DefaultAnalyzers() {
+		if a.Name == "probeguard" {
+			hasProbeGuard = true
+		}
+	}
+	if !hasProbeGuard {
+		t.Error("lint.DefaultAnalyzers no longer includes probeguard — unguarded probe calls in the cycle loop would go unflagged")
+	}
+	for _, path := range []string{"Makefile", filepath.Join(".github", "workflows", "ci.yml")} {
+		src, err := os.ReadFile(filepath.Join(repoRoot, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(src), "probe_smoke.sh") {
+			t.Errorf("%s does not run the end-to-end probe smoke", path)
+		}
+	}
+}
+
 // TestEveryPackageHasDoc requires a package doc comment in every package
 // directory: at least one file whose package clause carries a doc comment.
 // Package docs are how ARCHITECTURE.md's package map stays discoverable

@@ -14,6 +14,7 @@
 //	dcabench -json grid.json      # archive the grid (jobs + digests + stats)
 //	dcabench -store ./results     # reuse cells across invocations by digest
 //	dcabench -traced              # record each oracle stream once, replay per cell
+//	dcabench -attrib              # per-cell stall taxonomy (printed + in -json)
 package main
 
 import (
@@ -42,6 +43,7 @@ func main() {
 		clusters = flag.Int("clusters", 2, "cluster count of the steered machine (2 = the paper's asymmetric processor, else config.ClusteredN)")
 		progress = flag.Bool("progress", true, "log per-cell completion and ETA to stderr")
 		traced   = flag.Bool("traced", false, "record each (benchmark, window) oracle stream once and replay it for every cell (internal/trace)")
+		attrib   = flag.Bool("attrib", false, "attribute every measured cycle to a stall class; breakdowns are printed and folded into -json")
 	)
 	flag.Parse()
 
@@ -49,6 +51,7 @@ func main() {
 	opts.Warmup, opts.Measure = *warmup, *measure
 	opts.Parallelism = *jobs
 	opts.Clusters = *clusters
+	opts.Attrib = *attrib
 	if *progress {
 		opts.Progress = func(p experiments.Progress) {
 			if p.Err != nil {
@@ -142,6 +145,10 @@ func main() {
 	for _, e := range wanted {
 		fmt.Fprintln(human, "==", e.Title)
 		fmt.Fprintln(human, e.Render(res))
+	}
+	if *attrib {
+		fmt.Fprintln(human, "== Cycle attribution (stall taxonomy per cell)")
+		fmt.Fprintln(human, res.FormatAttribution())
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

@@ -1,9 +1,9 @@
 // Command dcabenchref regenerates the repository's reference benchmark
 // records (BENCH_core.json, BENCH_clusters.json, BENCH_serve.json,
-// BENCH_trace.json) by running the relevant `go test -bench` targets and
-// rewriting each file's environment, date and results — so the checked-in
-// numbers can never silently drift from the code. Curated fields
-// (description, reading, baseline) are preserved.
+// BENCH_trace.json, BENCH_probe.json) by running the relevant `go test
+// -bench` targets and rewriting each file's environment, date and results
+// — so the checked-in numbers can never silently drift from the code.
+// Curated fields (description, reading, baseline) are preserved.
 //
 // Usage:
 //
@@ -12,6 +12,7 @@
 //	dcabenchref -clusters  # only BENCH_clusters.json
 //	dcabenchref -serve     # only BENCH_serve.json (dcaserve jobs/sec)
 //	dcabenchref -trace     # only BENCH_trace.json (direct vs replayed grid)
+//	dcabenchref -probe     # only BENCH_probe.json (cycle loop with probes)
 package main
 
 import (
@@ -128,9 +129,10 @@ func main() {
 		clustersOnly = flag.Bool("clusters", false, "only regenerate BENCH_clusters.json")
 		serveOnly    = flag.Bool("serve", false, "only regenerate BENCH_serve.json")
 		traceOnly    = flag.Bool("trace", false, "only regenerate BENCH_trace.json")
+		probeOnly    = flag.Bool("probe", false, "only regenerate BENCH_probe.json")
 	)
 	flag.Parse()
-	all := !*coreOnly && !*clustersOnly && !*serveOnly && !*traceOnly
+	all := !*coreOnly && !*clustersOnly && !*serveOnly && !*traceOnly && !*probeOnly
 	if *coreOnly || all {
 		if err := rewrite("BENCH_core.json", "./internal/core", "BenchmarkMachineCycle", "300000x"); err != nil {
 			fmt.Fprintln(os.Stderr, "dcabenchref:", err)
@@ -153,6 +155,14 @@ func main() {
 		// 5 iterations: enough for the one-time recording sweep to amortize
 		// so the traced number reflects replay steady state.
 		if err := rewrite("BENCH_trace.json", ".", "BenchmarkTraceReplay", "5x"); err != nil {
+			fmt.Fprintln(os.Stderr, "dcabenchref:", err)
+			os.Exit(1)
+		}
+	}
+	if *probeOnly || all {
+		// Same iteration budget as BENCH_core.json so the detached number
+		// is directly comparable to BenchmarkMachineCycle's n2/general row.
+		if err := rewrite("BENCH_probe.json", "./internal/core", "BenchmarkProbeCycle", "300000x"); err != nil {
 			fmt.Fprintln(os.Stderr, "dcabenchref:", err)
 			os.Exit(1)
 		}

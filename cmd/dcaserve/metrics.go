@@ -27,6 +27,12 @@ type serverMetrics struct {
 	// a dashboard can tell "client over its budget" from "server full".
 	throttled         *obs.CounterVec
 	admissionRejected *obs.Counter
+	// probeRuns counts probed job submissions (simulated with a
+	// cycle-attribution probe attached); probeStallCycles accumulates the
+	// cycles those runs attributed, by stall class — a fleet-level view of
+	// where the simulated machines' time goes.
+	probeRuns        *obs.Counter
+	probeStallCycles *obs.CounterVec
 }
 
 // initMetrics builds the registry over the server's store, runner and
@@ -41,6 +47,10 @@ func (s *server) initMetrics() {
 			"Requests refused by the per-client rate limiter, by endpoint.", "endpoint"),
 		admissionRejected: reg.Counter("dcaserve_admission_rejected_total",
 			"Job submissions refused because the admission queue was full."),
+		probeRuns: reg.Counter("dcaserve_probe_runs_total",
+			"Job submissions simulated with a cycle-attribution probe attached."),
+		probeStallCycles: reg.CounterVec("dcaserve_probe_stall_cycles_total",
+			"Measured cycles attributed by probed runs, by stall class.", "class"),
 	}
 
 	// Store: the coalescing runner's counters and the cache size.

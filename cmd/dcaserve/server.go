@@ -15,6 +15,7 @@ import (
 	"repro/internal/job/queue"
 	"repro/internal/job/store"
 	"repro/internal/obs"
+	"repro/internal/probe"
 	"repro/internal/stats"
 	"repro/internal/steer"
 	"repro/internal/workload"
@@ -109,6 +110,18 @@ func (s *server) handler() http.Handler {
 	return obs.AccessLog(mux, func(format string, args ...any) { logf(format, args...) })
 }
 
+// jobSubmission is the POST /v1/jobs request body: a job spec plus the
+// probe opt-in.
+type jobSubmission struct {
+	job.Spec
+	// Probe attaches a cycle-attribution probe to this submission's
+	// simulation. The stall breakdown comes back in the response's
+	// attribution field — alongside the digest-addressed result, never
+	// inside it, so the stored result stays bit-identical to an unprobed
+	// run's.
+	Probe bool `json:"probe"`
+}
+
 // jobResponse is the reply to POST /v1/jobs and GET /v1/results/{key}.
 type jobResponse struct {
 	// Key is the job's content digest — the handle GET /v1/results serves
@@ -122,6 +135,10 @@ type jobResponse struct {
 	ElapsedMS    float64    `json:"elapsed_ms"`
 	Result       *stats.Run `json:"result"`
 	ResultDigest string     `json:"result_digest"`
+	// Attribution is the stall breakdown of a probed submission; absent
+	// otherwise (GET /v1/results never carries one — attribution needs a
+	// live machine and is not stored).
+	Attribution *probe.Report `json:"attribution,omitempty"`
 }
 
 // errorResponse is the JSON error envelope.
@@ -254,12 +271,12 @@ func (s *server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 // a miss (coalescing with any identical in-flight submission).
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	started := time.Now()
-	var spec job.Spec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+	var sub jobSubmission
+	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed job spec: %w", err))
 		return
 	}
-	j, err := spec.Plan()
+	j, err := sub.Spec.Plan()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -286,7 +303,35 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, r.Context().Err())
 		return
 	}
-	run, outcome, err := s.runner.RunWithOutcome(r.Context(), j)
+	var (
+		run    *stats.Run
+		rep    *probe.Report
+		cached bool
+	)
+	if sub.Probe {
+		// A probed submission always simulates — attribution needs a live
+		// machine, and the store holds results only. The result is
+		// bit-identical to an unprobed run's (the probe layer's passivity
+		// contract), so it feeds the digest-addressed store exactly like a
+		// cache miss would; attribution rides the response and is never
+		// stored.
+		run, rep, err = job.RunWithAttribution(r.Context(), j)
+		if err == nil {
+			s.metrics.probeRuns.Inc()
+			for _, b := range rep.Buckets {
+				if b.Cycles > 0 {
+					s.metrics.probeStallCycles.With(b.Class).Add(float64(b.Cycles))
+				}
+			}
+			if perr := s.st.Put(j.Key(), run); perr != nil {
+				logf("dcaserve: store probed result %s: %v", j.Key(), perr)
+			}
+		}
+	} else {
+		var outcome store.Outcome
+		run, outcome, err = s.runner.RunWithOutcome(r.Context(), j)
+		cached = outcome == store.OutcomeHit
+	}
 	<-s.sem
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -294,10 +339,11 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, jobResponse{
 		Key:          j.Key(),
-		Cached:       outcome == store.OutcomeHit,
+		Cached:       cached,
 		ElapsedMS:    float64(time.Since(started).Microseconds()) / 1e3,
 		Result:       run,
 		ResultDigest: job.ResultDigest(run),
+		Attribution:  rep,
 	})
 }
 

@@ -133,6 +133,81 @@ func TestJobValidation(t *testing.T) {
 	}
 }
 
+// TestJobProbed checks the probe opt-in: a {"probe":true} submission
+// returns a stall breakdown that reconciles with the result, the result
+// itself is bit-identical to an unprobed submission of the same spec
+// (attribution rides alongside, never inside, the digest-addressed
+// result), the probed run feeds the store, and the probe counters reach
+// /metrics.
+func TestJobProbed(t *testing.T) {
+	ts, counting := newTestServer(t)
+
+	plain, status := postJob(t, ts, tinySpec)
+	if status != http.StatusOK {
+		t.Fatalf("plain status = %d", status)
+	}
+	if plain.Attribution != nil {
+		t.Error("unprobed submission carries attribution")
+	}
+
+	probed, status := postJob(t, ts, `{"scheme":"general","benchmark":"go","warmup":100,"measure":1000,"probe":true}`)
+	if status != http.StatusOK {
+		t.Fatalf("probed status = %d", status)
+	}
+	if probed.Key != plain.Key {
+		t.Errorf("probe flag changed the job key: %s vs %s", probed.Key, plain.Key)
+	}
+	if probed.ResultDigest != plain.ResultDigest {
+		t.Error("probed result digest differs from the unprobed one (probe is not passive)")
+	}
+	rep := probed.Attribution
+	if rep == nil {
+		t.Fatal("probed submission returned no attribution")
+	}
+	if rep.Sum() != rep.TotalCycles || rep.TotalCycles != probed.Result.Cycles {
+		t.Errorf("attribution (%d summed, %d total) does not reconcile with %d measured cycles",
+			rep.Sum(), rep.TotalCycles, probed.Result.Cycles)
+	}
+	// The probed run simulated (it cannot be served from the store), so two
+	// submissions → one cached-runner simulation + one probed one.
+	if n := counting.count(); n != 1 {
+		t.Errorf("cached runner simulated %d times, want 1 (probed path runs direct)", n)
+	}
+
+	// GET /v1/results serves the stored result without attribution.
+	resp, err := http.Get(ts.URL + "/v1/results/" + probed.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got jobResponse
+	err = json.NewDecoder(resp.Body).Decode(&got)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attribution != nil {
+		t.Error("stored result carries attribution")
+	}
+	if got.ResultDigest != plain.ResultDigest {
+		t.Error("stored result drifted after the probed run fed the store")
+	}
+
+	// The serve-path probe counters are exported.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics := string(raw)
+	if !strings.Contains(metrics, "dcaserve_probe_runs_total 1") {
+		t.Error("metrics miss dcaserve_probe_runs_total 1")
+	}
+	if !strings.Contains(metrics, `dcaserve_probe_stall_cycles_total{class="committing"}`) {
+		t.Error("metrics miss the per-class stall cycle counters")
+	}
+}
+
 // TestJobCoalescing is the service's concurrency contract: many parallel
 // submissions of the same job key trigger exactly one simulation, and
 // every caller gets the same result.

@@ -16,6 +16,9 @@
 //	dcasim -program prog.s -scheme general   # assemble and run a file
 //	dcasim -bench go -pipetrace 5000         # pipeline trace from cycle 5000
 //	dcasim -bench go -replay go.trace        # fetch from a dcatrace recording
+//	dcasim -bench go -attrib                 # stall taxonomy: where cycles went
+//	dcasim -bench go -konata go.kanata       # pipeline trace for the Konata viewer
+//	dcasim -bench go -disagree               # scheme×scheme steering disagreement
 package main
 
 import (
@@ -24,11 +27,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/asm"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/job"
+	"repro/internal/probe"
 	"repro/internal/prog"
 	"repro/internal/stats"
 	"repro/internal/steer"
@@ -49,6 +54,11 @@ func main() {
 		pipetrace   = flag.Uint64("pipetrace", 0, "print a pipeline trace for 30 cycles starting at this cycle")
 		legacyTrace = flag.Uint64("trace", 0, "deprecated alias for -pipetrace (kept for old scripts)")
 		replay      = flag.String("replay", "", "fetch the oracle stream from this dcatrace recording instead of the live emulator")
+		attrib      = flag.Bool("attrib", false, "attribute every measured cycle to a stall class and print the breakdown")
+		konata      = flag.String("konata", "", "write a Konata (Kanata) pipeline trace of the run to this file")
+		konataFrom  = flag.Uint64("konata-from", 0, "first cycle of the Konata export window")
+		konataTo    = flag.Uint64("konata-to", 0, "last cycle of the Konata export window (0 = to the end)")
+		disagree    = flag.Bool("disagree", false, "replay one recorded oracle stream through every scheme and print the steering disagreement matrix")
 	)
 	flag.Parse()
 	traceAt := *pipetrace
@@ -70,6 +80,39 @@ func main() {
 	if err := job.ValidateScheme(*scheme); err != nil {
 		fatal(err)
 	}
+	if *disagree {
+		if err := runDisagree(*bench, *clusters, *warmup, *measure); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	// Assemble the requested probe stack. Probes are passive — the printed
+	// measurements and the result digest are bit-identical with and without
+	// them — so they attach to either execution path uniformly.
+	var (
+		at     *probe.Attribution
+		fore   *probe.Forensics
+		kon    *probe.Konata
+		kfile  *os.File
+		probes []core.Probe
+	)
+	if *attrib {
+		at = probe.NewAttribution()
+		fore = &probe.Forensics{}
+		probes = append(probes, at, fore)
+	}
+	if *konata != "" {
+		f, err := os.Create(*konata)
+		if err != nil {
+			fatal(err)
+		}
+		kfile = f
+		kon = probe.NewKonata(f)
+		kon.From, kon.To = *konataFrom, *konataTo
+		probes = append(probes, kon)
+	}
+	stack := probe.Multi(probes...)
 
 	var (
 		r   *stats.Run
@@ -92,9 +135,13 @@ func main() {
 			fatal(err)
 		}
 		cfg, key = j.Config, j.Key()
-		r, err = job.Direct{}.Run(context.Background(), j)
+		if stack != nil {
+			r, err = job.RunProbed(context.Background(), j, stack)
+		} else {
+			r, err = job.Direct{}.Run(context.Background(), j)
+		}
 	} else {
-		r, cfg, err = runDirect(*file, *bench, *scheme, *machine, *clusters, *warmup, *measure, traceAt, *replay)
+		r, cfg, err = runDirect(*file, *bench, *scheme, *machine, *clusters, *warmup, *measure, traceAt, *replay, stack)
 	}
 	if err != nil {
 		fatal(err)
@@ -143,12 +190,50 @@ func main() {
 		}
 		fmt.Printf("%+4d %5.1f%% %s\n", d, r.Balance.Percent(d), bar)
 	}
+
+	if at != nil {
+		fmt.Printf("\ncycle attribution (%d measured cycles, total and exclusive):\n%s",
+			at.Total(), at.Report().Table())
+		fmt.Printf("\nsteering decisions (%d, by deciding mechanism):\n%s",
+			fore.Decisions(), fore.ReasonTable())
+	}
+	if kon != nil {
+		if err := kon.Close(); err != nil {
+			fatal(err)
+		}
+		if err := kfile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nKonata pipeline trace written to %s (open with the Konata viewer)\n", *konata)
+	}
+}
+
+// runDisagree replays one oracle recording of the benchmark through every
+// registered steering scheme and prints how often each pair placed the
+// same instruction differently.
+func runDisagree(bench string, clusters int, warmup, measure uint64) error {
+	schemes := steer.Names()
+	sort.Strings(schemes)
+	d, err := job.Disagreement(context.Background(), job.GridSpec{
+		Schemes:    schemes,
+		Benchmarks: []string{bench},
+		Clusters:   clusters,
+		Warmup:     warmup,
+		Measure:    measure,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("steering disagreement on %s (%% of decisions placed on different clusters;\none oracle recording replayed through every scheme, decisions index-aligned):\n\n%s",
+		bench, d.Table())
+	return nil
 }
 
 // runDirect is the power-user path — assembly files, pipeline traces,
 // machine overrides, trace replay — driving the core directly instead of
-// the job layer.
-func runDirect(file, bench, scheme, machine string, clusters int, warmup, measure, traceAt uint64, replay string) (*stats.Run, *config.Config, error) {
+// the job layer. The extra probe stack (attribution, Konata) composes with
+// the text pipeline tracer through the same seam.
+func runDirect(file, bench, scheme, machine string, clusters int, warmup, measure, traceAt uint64, replay string, extra core.Probe) (*stats.Run, *config.Config, error) {
 	var p *prog.Program
 	var err error
 	if file != "" {
@@ -223,8 +308,15 @@ func runDirect(file, bench, scheme, machine string, clusters int, warmup, measur
 	if err != nil {
 		return nil, nil, err
 	}
+	// The text pipeline tracer rides the probe seam like every other
+	// observer (core.TracerProbe adapts the legacy Tracer interface), so
+	// -pipetrace composes with -attrib and -konata on one machine.
 	if traceAt > 0 {
-		m.SetTracer(&core.TextTracer{W: os.Stdout, From: traceAt, To: traceAt + 30})
+		extra = probe.Multi(extra,
+			core.TracerProbe(&core.TextTracer{W: os.Stdout, From: traceAt, To: traceAt + 30}))
+	}
+	if extra != nil {
+		m.SetProbe(extra)
 	}
 	r, err := m.RunWithWarmup(warmup, measure)
 	if err != nil {

@@ -65,7 +65,7 @@ func (c *Checkpoint) Measure(measure uint64) (*stats.Run, error) {
 
 // clone deep-copies the machine. The configuration, program and the
 // derived forcedByPC table are shared (immutable after construction); the
-// tracer is carried as-is (a tracer observing both machines is the
+// probe is carried as-is (a probe observing both machines is the
 // caller's choice). Everything else — including every live DynInst and the
 // intrusive pointers between them — is duplicated so the two machines
 // share no mutable state.

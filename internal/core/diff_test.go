@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/probe"
 	"repro/internal/rdg"
 	"repro/internal/steer"
 )
@@ -93,6 +94,15 @@ func regHash(regs [isa.NumRegs]int64) string {
 // lock-step oracle checking and renders its digest line.
 func diffLine(t *testing.T, n int, scheme string, seed int64) string {
 	t.Helper()
+	return diffLineProbed(t, n, scheme, seed, nil)
+}
+
+// diffLineProbed is diffLine with an extra probe attached alongside the
+// lock-step tracer; TestProbePassivityDifferential uses it to prove the
+// probe stack leaves every digest untouched. A nil extra exercises the
+// legacy SetTracer path (the Tracer→Probe adapter).
+func diffLineProbed(t *testing.T, n int, scheme string, seed int64, extra core.Probe) string {
+	t.Helper()
 	p := rdg.RandomProgram(seed)
 	cfg := diffConfigFor(scheme, n)
 	params := steer.DefaultParams()
@@ -106,7 +116,11 @@ func diffLine(t *testing.T, n int, scheme string, seed int64) string {
 		t.Fatalf("n=%d %s seed=%d: %v", n, scheme, seed, err)
 	}
 	ls := &lockstep{ref: emu.New(p)}
-	m.SetTracer(ls)
+	if extra != nil {
+		m.SetProbe(probe.Multi(core.TracerProbe(ls), extra))
+	} else {
+		m.SetTracer(ls)
+	}
 	r, err := m.Run(0)
 	if err != nil {
 		t.Fatalf("n=%d %s seed=%d: %v", n, scheme, seed, err)
@@ -135,6 +149,29 @@ func diffLine(t *testing.T, n int, scheme string, seed int64) string {
 }
 
 const diffGoldenPath = "testdata/diff_golden.txt"
+
+// readGoldenDigests loads the pinned digest lines; both the plain harness
+// and the probed passivity variant compare against the same file.
+func readGoldenDigests(t *testing.T) []string {
+	t.Helper()
+	f, err := os.Open(diffGoldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to capture a golden baseline)", err)
+	}
+	defer f.Close()
+	var want []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if l := strings.TrimSpace(sc.Text()); l != "" {
+			want = append(want, l)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
 
 // TestDifferentialHarness simulates every registered steering scheme on
 // 2-, 4- and 8-cluster machines over rdg random programs, verifying three
@@ -168,22 +205,7 @@ func TestDifferentialHarness(t *testing.T) {
 		return
 	}
 
-	f, err := os.Open(diffGoldenPath)
-	if err != nil {
-		t.Fatalf("%v (run with -update to capture a golden baseline)", err)
-	}
-	defer f.Close()
-	var want []string
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		if l := strings.TrimSpace(sc.Text()); l != "" {
-			want = append(want, l)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		t.Fatal(err)
-	}
+	want := readGoldenDigests(t)
 	if len(want) != len(lines) {
 		t.Fatalf("golden has %d digests, harness produced %d (matrix changed? rerun with -update)",
 			len(want), len(lines))

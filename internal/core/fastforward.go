@@ -160,9 +160,14 @@ func (m *Machine) tryFastForward() {
 		m.steerer.OnCycle(cyc, m.readySample)
 	}
 	if m.measuring {
-		m.run.Balance.RecordN(balanceDiff(m.readySample), n)
+		m.run.Balance.RecordN(BalanceDiff(m.readySample), n)
 		m.replicatedSum += n * uint64(m.rt.replicatedCount())
 		m.cyclesMeasured += n
 	}
+	// One batched introspection sample stands for the whole window: the
+	// classification and every sampled quantity are constant across it
+	// (the same argument that lets the balance sample batch), so a probed
+	// skipping run attributes exactly like a probed tick-every-cycle run.
+	m.probeCycle(n, 0)
 	m.cycle = wake
 }

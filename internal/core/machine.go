@@ -131,9 +131,22 @@ type Machine struct {
 
 	haltCommitted bool
 	progInFlight  int
-	tracer        Tracer
 	issueBuf      []*DynInst
 	loadBuf       []*DynInst
+
+	// probe is the introspection seam (see probe.go); nil by default, and
+	// every callsite is guarded so a detached machine pays one pointer
+	// test per hook. The buffers below are reused across calls so probing
+	// never allocates on the cycle loop.
+	probe         Probe
+	probeFetchSeq uint64
+	probeFetchBuf FetchInfo
+	probeSteerBuf SteerDecision
+	probeSample   CycleSample
+	// lastRedirect is the cycle of the most recent post-misprediction
+	// fetch redirect (0 = never). It feeds only the probe's stall
+	// taxonomy — an unconditional store keeps the hot path branch-free.
+	lastRedirect uint64
 
 	// warmed is the committed-instruction budget the last Warm call was
 	// asked for; Measure adds its own budget on top so the two-phase run
@@ -241,6 +254,9 @@ type fetched struct {
 	// consult the policy (and update its tables) again.
 	steered bool
 	target  ClusterID
+	// probeID is the probe-scoped fetch id (see Probe.Fetch); zero while
+	// no probe is attached.
+	probeID uint64
 }
 
 // Cycle returns the current cycle number.
@@ -516,7 +532,7 @@ func (m *Machine) step() error {
 	}
 
 	// 2. Commit (uses D-cache ports for stores).
-	m.commit()
+	retired := m.commit()
 
 	// 3. Completions and wakeup.
 	m.complete()
@@ -537,6 +553,9 @@ func (m *Machine) step() error {
 
 	// 8. Fetch from the oracle stream.
 	m.fetch()
+
+	// 9. Per-cycle introspection sample (no-op with no probe attached).
+	m.probeCycle(1, retired)
 
 	if m.measuring {
 		m.cyclesMeasured++
@@ -622,6 +641,7 @@ func (m *Machine) fetch() {
 				}
 			}
 		}
+		m.probeFetched(fi)
 		if fi.mispredict {
 			// Fetch stalls until the branch resolves; wrong-path
 			// instructions are not simulated (see package comment).
@@ -925,12 +945,14 @@ func (m *Machine) dispatch() error {
 		// program instruction (it maintains its tables in decode order).
 		if !fi.steered {
 			info := m.steerInfo(fi, forced)
-			target := m.steerer.Steer(info)
+			policy := m.steerer.Steer(info)
+			target := policy
 			if forced != AnyCluster {
 				target = forced
 			}
 			fi.steered = true
 			fi.target = target
+			m.probeSteered(fi, forced, policy)
 		}
 		target := m.resolveTarget(fi)
 
@@ -954,6 +976,10 @@ func (m *Machine) dispatch() error {
 		d := m.newDynInst(fi)
 		d.Cluster = target
 		for j := 0; j < nPlans; j++ {
+			// srcViaCopy feeds only the probe's stall taxonomy (copy-wait
+			// vs operand-wait); the write is unconditional to keep the hot
+			// path branch-free, and nothing the simulation computes reads it.
+			d.srcViaCopy[plans[j].srcIdx] = true
 			if _, ok := m.insertCopy(d, plans[j], target); !ok {
 				// FIFO-slot exhaustion: stall this cycle. The abandoned
 				// skeleton was never enqueued anywhere, so recycle it (its
@@ -1001,7 +1027,7 @@ func (m *Machine) dispatch() error {
 		m.robPush(d)
 		m.progInFlight++
 		m.iqs[target].Add(d)
-		m.trace(EvDispatch, d)
+		m.probeEvent(EvDispatch, d)
 		if m.measuring {
 			m.run.Steered[target]++
 		}
@@ -1038,6 +1064,7 @@ func (m *Machine) newDynInst(fi *fetched) *DynInst {
 	d.mispredicted = fi.mispredict
 	d.state = stateWaiting
 	d.readyCycle = m.cycle
+	d.FetchID = fi.probeID
 	m.seq++
 	return d
 }
@@ -1075,7 +1102,13 @@ func (m *Machine) insertCopy(consumer *DynInst, cp copyPlan, target ClusterID) (
 	m.rt.setMapping(cp.logical, target, p)
 	m.robPush(cpy)
 	m.iqs[cp.from].Add(cpy)
-	m.trace(EvCopyInserted, cpy)
+	if m.probe != nil {
+		// Copies never pass through fetch; give them their own fetch id so
+		// pipeline-trace exports can render them as distinct rows.
+		m.probeFetchSeq++
+		cpy.FetchID = m.probeFetchSeq
+	}
+	m.probeEvent(EvCopyInserted, cpy)
 	if m.measuring {
 		m.run.Copies++
 	}
@@ -1145,7 +1178,7 @@ func (m *Machine) issue() {
 				d.issuedAt = m.cycle
 				d.completeAt = m.cycle + uint64(m.cfg.CopyLatencyBetween(int(d.SrcCluster), int(d.Cluster)))
 				m.schedule(d)
-				m.trace(EvIssue, d)
+				m.probeEvent(EvIssue, d)
 				continue
 			}
 			lat, ok := m.fus[c].TryIssue(d.Inst.Op, m.cycle)
@@ -1164,7 +1197,7 @@ func (m *Machine) issue() {
 				d.completeAt = m.cycle + uint64(lat)
 			}
 			m.schedule(d)
-			m.trace(EvIssue, d)
+			m.probeEvent(EvIssue, d)
 		}
 	}
 }
@@ -1183,7 +1216,7 @@ func (m *Machine) complete() {
 	for next := d; d != nil; d = next {
 		next = d.nextEvt
 		d.nextEvt = nil
-		m.trace(EvComplete, d)
+		m.probeEvent(EvComplete, d)
 		switch {
 		case d.IsCopy:
 			m.noteReady(d.Cluster, d.destPhys)
@@ -1277,7 +1310,8 @@ func (m *Machine) resolveBranch(d *DynInst) {
 		if m.fetchStallUntil < m.cycle+1 {
 			m.fetchStallUntil = m.cycle + 1
 		}
-		m.trace(EvRedirect, d)
+		m.lastRedirect = m.cycle
+		m.probeEvent(EvRedirect, d)
 	}
 }
 
@@ -1313,21 +1347,24 @@ func (m *Machine) memStep() {
 
 // --- Commit ---
 
+// commit retires finished instructions in order and reports how many it
+// retired this cycle (the probe's cycle sample attributes on it).
+//
 //dca:hotpath
-func (m *Machine) commit() {
+func (m *Machine) commit() int {
 	retired := 0
 	for retired < m.cfg.RetireWidth && m.robLen > 0 {
 		d := m.robFront()
 		if d.state != stateDone {
-			return
+			return retired
 		}
 		if d.isStore {
 			// The store needs its data and a cache port to write.
 			if d.numSrcs > 1 && !m.files[d.Cluster].Ready(d.srcPhys[1]) {
-				return
+				return retired
 			}
 			if m.dcachePortsUsed >= m.cfg.DCachePorts {
-				return
+				return retired
 			}
 			m.dcachePortsUsed++
 			m.hier.L1D.Access(d.memAddr, true)
@@ -1344,7 +1381,7 @@ func (m *Machine) commit() {
 		m.robPop()
 		m.lastCommitAt = m.cycle
 		retired++
-		m.trace(EvCommit, d)
+		m.probeEvent(EvCommit, d)
 		if !d.IsCopy {
 			m.progInFlight--
 			m.committedProg++
@@ -1353,11 +1390,12 @@ func (m *Machine) commit() {
 			}
 			if d.Inst.Op == isa.HALT {
 				m.haltCommitted = true
-				return
+				return retired
 			}
 		}
 		m.freeDyn(d)
 	}
+	return retired
 }
 
 // --- Sampling ---
@@ -1369,34 +1407,7 @@ func (m *Machine) sample() {
 	}
 	m.steerer.OnCycle(m.cycle, m.readySample)
 	if m.measuring {
-		m.run.Balance.Record(balanceDiff(m.readySample))
+		m.run.Balance.Record(BalanceDiff(m.readySample))
 		m.replicatedSum += uint64(m.rt.replicatedCount())
-	}
-}
-
-// balanceDiff reduces the per-cluster ready counts to the histogram's
-// scalar: on one and two clusters the paper's signed difference
-// (ready[1] − ready[0], with ready[1] = 0 on a single cluster); on more
-// clusters the max−min spread, the natural unsigned generalization of
-// "how far apart are the clusters this cycle".
-//
-//dca:hotpath
-func balanceDiff(ready []int) int {
-	switch len(ready) {
-	case 1:
-		return -ready[0]
-	case 2:
-		return ready[1] - ready[0]
-	default:
-		lo, hi := ready[0], ready[0]
-		for _, r := range ready[1:] {
-			if r < lo {
-				lo = r
-			}
-			if r > hi {
-				hi = r
-			}
-		}
-		return hi - lo
 	}
 }

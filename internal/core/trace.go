@@ -44,19 +44,37 @@ func (e Event) String() string {
 }
 
 // Tracer receives pipeline events. Implementations must be fast; the
-// machine calls them inline.
+// machine calls them inline. Tracer predates the Probe seam and remains
+// the convenient interface when only the event stream matters; it rides
+// the seam via TracerProbe, so the core has exactly one observation
+// mechanism.
 type Tracer interface {
 	Trace(cycle uint64, ev Event, d *DynInst)
 }
 
-// SetTracer installs (or, with nil, removes) a pipeline tracer.
-func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
-
-//dca:hotpath
-func (m *Machine) trace(ev Event, d *DynInst) {
-	if m.tracer != nil {
-		m.tracer.Trace(m.cycle, ev, d)
+// SetTracer installs (or, with nil, removes) a pipeline tracer. It is
+// shorthand for SetProbe(TracerProbe(t)) and therefore displaces any
+// probe installed earlier (and vice versa).
+func (m *Machine) SetTracer(t Tracer) {
+	if t == nil {
+		m.SetProbe(nil)
+		return
 	}
+	m.SetProbe(TracerProbe(t))
+}
+
+// TracerProbe adapts a legacy Tracer to the Probe seam: pipeline events
+// forward to Trace; the probe-only hooks (fetch records, steering
+// decisions, cycle samples) are dropped.
+func TracerProbe(t Tracer) Probe { return tracerProbe{t} }
+
+type tracerProbe struct{ t Tracer }
+
+func (p tracerProbe) Fetch(uint64, *FetchInfo) {}
+func (p tracerProbe) Steer(*SteerDecision)     {}
+func (p tracerProbe) Cycle(*CycleSample)       {}
+func (p tracerProbe) Event(cycle uint64, ev Event, d *DynInst) {
+	p.t.Trace(cycle, ev, d)
 }
 
 // TextTracer writes one line per event within a cycle window, in the style

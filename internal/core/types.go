@@ -143,11 +143,20 @@ type DynInst struct {
 	IsCopy     bool
 	SrcCluster ClusterID
 
+	// FetchID is the probe-scoped fetch id (see Probe.Fetch); copies get
+	// their own id at insertion. Zero while no probe is attached — the id
+	// counter only advances under the probe guard.
+	FetchID uint64
+
 	// Renamed operands.
 	numSrcs  int
 	srcPhys  [2]physReg
 	srcReady [2]bool
-	destPhys physReg
+	// srcViaCopy marks sources whose value an inserted inter-cluster copy
+	// delivers. It feeds only the probe's stall taxonomy (copy-wait vs
+	// operand-wait); the simulation itself never reads it.
+	srcViaCopy [2]bool
+	destPhys   physReg
 	// destLogical is the architectural destination (NoReg if none).
 	destLogical isa.Reg
 	// prevMapping records the per-cluster physical registers that held
@@ -220,6 +229,17 @@ type DynInst struct {
 //
 //dca:hotpath
 func (d *DynInst) HasDest() bool { return d.destPhys != noPhys }
+
+// DestReg returns the architectural destination register (isa.NoReg when
+// the instruction writes none); probes use it to label copies and
+// dependences without reaching into rename state.
+func (d *DynInst) DestReg() isa.Reg { return d.destLogical }
+
+// IsLoad reports whether the instruction is a load.
+func (d *DynInst) IsLoad() bool { return d.isLoad }
+
+// IsStore reports whether the instruction is a store.
+func (d *DynInst) IsStore() bool { return d.isStore }
 
 // SrcsReady reports whether every source operand is available.
 //

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// FormatAttribution renders the grid's stall breakdowns as text, one
+// table per attributed cell, BaseScheme first and the remaining schemes
+// sorted. Cells without a report (grid run without Opts.Attrib, or served
+// from a cache) are skipped; the empty string means nothing was
+// attributed.
+func (r *Result) FormatAttribution() string {
+	if r.attrib == nil {
+		return ""
+	}
+	schemes := make([]string, 0, len(r.Runs))
+	for _, s := range stats.SortedKeys(r.Runs) {
+		if s != BaseScheme {
+			schemes = append(schemes, s)
+		}
+	}
+	if _, ok := r.Runs[BaseScheme]; ok {
+		schemes = append([]string{BaseScheme}, schemes...)
+	}
+	var sb strings.Builder
+	for _, scheme := range schemes {
+		for _, bench := range r.Opts.Benchmarks {
+			rep := r.Attribution(scheme, bench)
+			if rep == nil {
+				continue
+			}
+			fmt.Fprintf(&sb, "%s/%s — where %d measured cycles went:\n%s\n",
+				scheme, bench, rep.TotalCycles, rep.Table())
+		}
+	}
+	return sb.String()
+}

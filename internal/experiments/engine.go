@@ -109,9 +109,20 @@ func RunContext(ctx context.Context, schemes []string, opts Options) (*Result, e
 			})
 		}
 	}
+	// With Opts.Attrib set, every cell that simulates does so with a
+	// cycle-attribution probe attached; the wrapper keeps the reports by
+	// job key and rides on the Result for retrieval. Probes are passive,
+	// so the measurements are unchanged.
+	runner := opts.Runner
+	var attrib *job.Attributed
+	if opts.Attrib {
+		attrib = &job.Attributed{Next: opts.Runner}
+		runner = attrib
+	}
+
 	runs, err := job.RunAll(ctx, jobs, job.PoolOptions{
 		Parallelism: opts.Parallelism,
-		Runner:      opts.Runner,
+		Runner:      runner,
 		Progress:    progress,
 	})
 	if err != nil {
@@ -120,7 +131,7 @@ func RunContext(ctx context.Context, schemes []string, opts Options) (*Result, e
 
 	// Assemble the map in job order — deterministic regardless of which
 	// worker finished when.
-	res := &Result{Runs: make(map[string]map[string]*stats.Run), Opts: opts}
+	res := &Result{Runs: make(map[string]map[string]*stats.Run), Opts: opts, attrib: attrib}
 	for i, j := range jobs {
 		m, ok := res.Runs[j.Scheme]
 		if !ok {

@@ -8,6 +8,7 @@ import (
 	"context"
 
 	"repro/internal/job"
+	"repro/internal/probe"
 	"repro/internal/stats"
 	"repro/internal/steer"
 )
@@ -57,6 +58,12 @@ type Options struct {
 	// Either way results are bit-identical to fresh direct simulations
 	// (golden-locked).
 	Runner job.Runner
+	// Attrib attaches a cycle-attribution probe to every cell that
+	// actually simulates; the per-cell stall breakdowns are retrievable via
+	// Result.Attribution and ride along in Export. Attribution is
+	// observability, never behaviour: the measurements and their digests
+	// are bit-identical with it on or off (TestGoldenProbeInvariants).
+	Attrib bool
 }
 
 // DefaultOptions returns the standard grid configuration. The default
@@ -80,6 +87,10 @@ type Result struct {
 	Runs map[string]map[string]*stats.Run
 	// Opts echoes the options the grid ran with.
 	Opts Options
+
+	// attrib holds the per-cell stall breakdowns when Opts.Attrib was set
+	// (the job.Attributed wrapper the grid ran through).
+	attrib *job.Attributed
 }
 
 // RunOne simulates a single (scheme, benchmark) cell: it plans the cell's
@@ -119,6 +130,40 @@ func (r *Result) Get(scheme, bench string) *stats.Run {
 		return m[bench]
 	}
 	return nil
+}
+
+// cellKey re-plans the cell's canonical job and returns its content
+// digest; planning is deterministic, so the key matches the job the grid
+// actually ran.
+func (r *Result) cellKey(scheme, bench string) (string, error) {
+	params := r.Opts.Params
+	j, err := job.Spec{
+		Scheme:    scheme,
+		Benchmark: bench,
+		Clusters:  r.Opts.Clusters,
+		Warmup:    r.Opts.Warmup,
+		Measure:   r.Opts.Measure,
+		Params:    &params,
+	}.Plan()
+	if err != nil {
+		return "", err
+	}
+	return j.Key(), nil
+}
+
+// Attribution returns the stall breakdown recorded for (scheme, bench):
+// nil when the grid ran without Opts.Attrib, or when the cell never
+// simulated in this process (e.g. it was served from an injected cache,
+// whose machines the attribution wrapper never saw).
+func (r *Result) Attribution(scheme, bench string) *probe.Report {
+	if r.attrib == nil {
+		return nil
+	}
+	key, err := r.cellKey(scheme, bench)
+	if err != nil {
+		return nil
+	}
+	return r.attrib.Report(key)
 }
 
 // Speedup returns the percent IPC improvement of scheme over the base

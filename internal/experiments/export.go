@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/job"
+	"repro/internal/probe"
 	"repro/internal/stats"
 )
 
@@ -28,6 +29,11 @@ type ExportCell struct {
 	// ResultDigest is the SHA-256 of the result's JSON encoding; equal
 	// digests mean bit-identical measurements.
 	ResultDigest string `json:"result_digest"`
+	// Attribution is the cell's stall breakdown when the grid ran with
+	// Options.Attrib. It rides alongside the result, never inside it: the
+	// digest above covers the measurements only, so attributed and plain
+	// exports of the same grid carry identical digests.
+	Attribution *probe.Report `json:"attribution,omitempty"`
 }
 
 // Export re-plans the grid's jobs from the result's options (planning is
@@ -67,12 +73,16 @@ func (r *Result) Export() (*Export, error) {
 			if err != nil {
 				return nil, err
 			}
-			out.Cells = append(out.Cells, ExportCell{
+			cell := ExportCell{
 				Job:          j,
 				Key:          j.Key(),
 				Result:       run,
 				ResultDigest: job.ResultDigest(run),
-			})
+			}
+			if r.attrib != nil {
+				cell.Attribution = r.attrib.Report(j.Key())
+			}
+			out.Cells = append(out.Cells, cell)
 		}
 	}
 	return out, nil

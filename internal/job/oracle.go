@@ -53,12 +53,26 @@ func newMachine(ctx context.Context, j Job, p *prog.Program) (*core.Machine, err
 	if err != nil {
 		return nil, err
 	}
+	var m *core.Machine
 	if src := oracleSourceFrom(ctx); src != nil {
 		o, err := src()
 		if err != nil {
 			return nil, err
 		}
-		return core.NewWithOracle(j.Config, p, st, o)
+		m, err = core.NewWithOracle(j.Config, p, st, o)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		m, err = core.New(j.Config, p, st)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return core.New(j.Config, p, st)
+	// Attach the context's probe, if any (see probed.go). Probes observe
+	// and never steer, so this cannot change the result.
+	if ps := probeFrom(ctx); ps != nil {
+		m.SetProbe(ps())
+	}
+	return m, nil
 }

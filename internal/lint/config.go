@@ -12,15 +12,25 @@ package lint
 //     trace codec (trace — its encodings are content-addressed, so any
 //     nondeterminism would change digests), and the job planners
 //     ("repro/internal/job" exactly — the queue, store and worker
-//     subpackages legitimately read the wall clock for leases and ETAs).
+//     subpackages legitimately read the wall clock for leases and ETAs),
+//     and the introspection reports (probe — attribution, forensics and
+//     disagreement tables ride grid exports and server responses, so
+//     their content must be as reproducible as the digests they ride
+//     alongside).
 //   - lockdiscipline covers the queue and store, whose mutexes every
 //     worker contends on.
 //   - wirecontract roots are the two digest formats (Job, stats.Run), the
-//     serve/worker wire types, and the trace header (trace.Meta — what
-//     dcatrace info prints and tools parse); the closure walk pulls in
-//     everything they embed (config.Config, steer.Params, ...).
+//     serve/worker wire types, the trace header (trace.Meta — what
+//     dcatrace info prints and tools parse), and the attribution report
+//     (probe.Report — it rides dcaserve job responses and dcabench -json
+//     exports); the closure walk pulls in everything they embed
+//     (config.Config, steer.Params, ...).
 //   - noalloc needs no scope: the //dca:hotpath annotation opts in
 //     function by function.
+//   - probeguard names the timing core's observation interface: its
+//     methods may be called from hotpath functions only behind the
+//     `m.probe != nil` guard, which is what makes a detached machine pay
+//     one predictable branch and no interface dispatch per hook.
 func DefaultAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		NewDeterminism(DeterminismConfig{
@@ -40,9 +50,13 @@ func DefaultAnalyzers() []*Analyzer {
 				"repro/internal/experiments",
 				"repro/internal/job",
 				"repro/internal/trace",
+				"repro/internal/probe",
 			},
 		}),
 		NewNoalloc(),
+		NewProbeGuard(ProbeGuardConfig{
+			Interfaces: []string{"repro/internal/core.Probe"},
+		}),
 		NewLockDiscipline(LockDisciplineConfig{
 			Packages: []string{
 				"repro/internal/job/queue",
@@ -68,6 +82,7 @@ func DefaultAnalyzers() []*Analyzer {
 				"repro/cmd/dcaserve.gridEvent",
 				"repro/cmd/dcaserve.watchEvent",
 				"repro/internal/trace.Meta",
+				"repro/internal/probe.Report",
 			},
 		}),
 	}

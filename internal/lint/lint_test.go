@@ -14,6 +14,7 @@ func fixtureAnalyzers() []*Analyzer {
 	return []*Analyzer{
 		NewDeterminism(DeterminismConfig{Packages: []string{"fixture/det"}}),
 		NewNoalloc(),
+		NewProbeGuard(ProbeGuardConfig{Interfaces: []string{"fixture/probe.Probe"}}),
 		NewLockDiscipline(LockDisciplineConfig{
 			Packages:     []string{"fixture/lock"},
 			IOInterfaces: []string{"fixture/lock.Store"},

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ProbeGuardConfig scopes the probeguard analyzer.
+type ProbeGuardConfig struct {
+	// Interfaces lists the fully qualified named interface types
+	// ("repro/internal/core.Probe") whose methods are observation hooks.
+	// Inside //dca:hotpath functions, every call through a value of one of
+	// these types must sit behind an explicit nil check of that same value.
+	Interfaces []string
+}
+
+// NewProbeGuard builds the probeguard analyzer: in //dca:hotpath functions
+// (the cycle loop and everything it calls per cycle), a method call through
+// a probe interface must be dominated by a nil check of the receiver
+// expression —
+//
+//	if m.probe != nil { m.probe.Event(...) }      // guarded body
+//	if m.probe == nil { return }; m.probe.Event()  // early return
+//	if m.probe == nil { ... } else { m.probe.X() } // else branch
+//
+// The guard is what makes the seam free when detached: with no probe
+// installed the hot path executes one predictable branch and no interface
+// dispatch. The dynamic counterparts are TestSteadyStateCycleAllocs (the
+// detached cycle loop allocates nothing) and the probed differential
+// harness (attachment changes no digest); this analyzer pins the guard
+// idiom itself at every callsite, for every probe hook present or future.
+func NewProbeGuard(cfg ProbeGuardConfig) *Analyzer {
+	ifaces := make(map[string]bool, len(cfg.Interfaces))
+	for _, n := range cfg.Interfaces {
+		ifaces[n] = true
+	}
+	return &Analyzer{
+		Name: "probeguard",
+		Doc:  "probe interface calls in //dca:hotpath functions must sit behind their nil guard",
+		Run: func(p *Package) []Diagnostic {
+			var out []Diagnostic
+			report := func(pos token.Pos, format string, args ...any) {
+				out = append(out, Diagnostic{
+					Pos:      p.Fset.Position(pos),
+					Analyzer: "probeguard",
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			for _, f := range p.Files {
+				for _, decl := range f.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok || fn.Body == nil || !isHotpath(fn) {
+						continue
+					}
+					checkProbeGuardFunc(p, fn, ifaces, report)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// guardSpan records that the expression (by canonical source text) is known
+// non-nil throughout the position range.
+type guardSpan struct {
+	expr string
+	span span
+}
+
+func checkProbeGuardFunc(p *Package, fn *ast.FuncDecl, ifaces map[string]bool, report func(token.Pos, string, ...any)) {
+	guards := collectNilGuards(fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(sel.X)
+		if t == nil || !ifaces[t.String()] {
+			return true
+		}
+		recv := types.ExprString(sel.X)
+		for _, g := range guards {
+			if g.expr == recv && posInSpans(call.Pos(), []span{g.span}) {
+				return true
+			}
+		}
+		report(call.Pos(), "call to %s method %s in hotpath function %s is not behind its nil guard (wrap in `if %s != nil { ... }`)",
+			t, sel.Sel.Name, fn.Name.Name, recv)
+		return true
+	})
+}
+
+// collectNilGuards finds every source range where an expression is
+// dominated by a nil check:
+//
+//   - the body of `if E != nil { ... }` (and every `!= nil` conjunct of a
+//     && condition);
+//   - the rest of the enclosing block after `if E == nil { return }` (and
+//     every `== nil` disjunct of a || condition, when the body terminates
+//     and there is no else);
+//   - the else branch of `if E == nil { ... } else { ... }`.
+func collectNilGuards(fn *ast.FuncDecl) []guardSpan {
+	var out []guardSpan
+	add := func(exprs []ast.Expr, s span) {
+		for _, e := range exprs {
+			out = append(out, guardSpan{expr: types.ExprString(e), span: s})
+		}
+	}
+	var stack []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		add(nilNeqExprs(ifs.Cond), span{ifs.Body.Pos(), ifs.Body.End()})
+		eq := nilEqExprs(ifs.Cond)
+		if len(eq) == 0 {
+			return true
+		}
+		if ifs.Else != nil {
+			add(eq, span{ifs.Else.Pos(), ifs.Else.End()})
+		} else if terminates(ifs.Body) {
+			if blk := enclosingBlock(stack); blk != nil {
+				add(eq, span{ifs.End(), blk.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// nilNeqExprs returns the expressions a true condition proves non-nil:
+// every `E != nil` conjunct reachable through && and parentheses.
+func nilNeqExprs(cond ast.Expr) []ast.Expr {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return nilNeqExprs(e.X)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			return append(nilNeqExprs(e.X), nilNeqExprs(e.Y)...)
+		case token.NEQ:
+			if isNilIdent(e.Y) {
+				return []ast.Expr{e.X}
+			}
+			if isNilIdent(e.X) {
+				return []ast.Expr{e.Y}
+			}
+		}
+	}
+	return nil
+}
+
+// nilEqExprs returns the expressions a false condition proves non-nil:
+// every `E == nil` disjunct reachable through || and parentheses
+// (after `if E == nil { return }`, and in the else branch, !cond holds,
+// which by De Morgan makes every disjunct's operand non-nil).
+func nilEqExprs(cond ast.Expr) []ast.Expr {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return nilEqExprs(e.X)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			return append(nilEqExprs(e.X), nilEqExprs(e.Y)...)
+		case token.EQL:
+			if isNilIdent(e.Y) {
+				return []ast.Expr{e.X}
+			}
+			if isNilIdent(e.X) {
+				return []ast.Expr{e.Y}
+			}
+		}
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	ident, ok := e.(*ast.Ident)
+	return ok && ident.Name == "nil"
+}
+
+// terminates reports whether the block always transfers control out of the
+// enclosing statement sequence: its last statement is a return, a branch
+// (break/continue/goto), or a panic call.
+func terminates(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		ident, ok := call.Fun.(*ast.Ident)
+		return ok && ident.Name == "panic"
+	}
+	return false
+}
+
+// enclosingBlock returns the innermost *ast.BlockStmt on the ancestor
+// stack, excluding the node itself (the top of the stack).
+func enclosingBlock(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 2; i >= 0; i-- {
+		if blk, ok := stack[i].(*ast.BlockStmt); ok {
+			return blk
+		}
+	}
+	return nil
+}

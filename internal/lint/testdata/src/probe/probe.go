@@ -1,0 +1,113 @@
+// Package probe exercises the probeguard analyzer: inside //dca:hotpath
+// functions every call through the Probe interface must sit behind a nil
+// check of the same receiver expression. The guarded idioms — enclosing
+// `!= nil` body, `== nil` early return, `== nil` else branch, `!= nil`
+// conjunct — appear without a want comment; bare and wrongly-guarded calls
+// carry one. Unannotated functions are never checked.
+package probe
+
+// Probe is the fixture analog of the timing core's observation interface
+// (the real scope entry is repro/internal/core.Probe).
+type Probe interface {
+	Event(cycle uint64)
+	Cycle(cycle uint64)
+}
+
+type machine struct {
+	probe Probe
+	cycle uint64
+	on    bool
+}
+
+// guardedBody is the canonical callsite shape.
+//
+//dca:hotpath
+func (m *machine) guardedBody() {
+	if m.probe != nil {
+		m.probe.Event(m.cycle)
+		m.probe.Cycle(m.cycle)
+	}
+}
+
+// earlyReturn guards by terminating when the probe is absent.
+//
+//dca:hotpath
+func (m *machine) earlyReturn() {
+	if m.probe == nil {
+		return
+	}
+	m.probe.Event(m.cycle)
+}
+
+// elseBranch guards in the else arm of an equality check.
+//
+//dca:hotpath
+func (m *machine) elseBranch() {
+	if m.probe == nil {
+		m.cycle++
+	} else {
+		m.probe.Event(m.cycle)
+	}
+}
+
+// conjunct guards with a compound condition: the != nil conjunct of a &&
+// still dominates the body.
+//
+//dca:hotpath
+func (m *machine) conjunct() {
+	if m.on && m.probe != nil {
+		m.probe.Event(m.cycle)
+	}
+}
+
+// localCopy guards a local holding the interface value; the guard and the
+// call name the same expression.
+//
+//dca:hotpath
+func (m *machine) localCopy() {
+	p := m.probe
+	if p != nil {
+		p.Event(m.cycle)
+	}
+}
+
+//dca:hotpath
+func (m *machine) bare() {
+	m.probe.Event(m.cycle) // want "not behind its nil guard"
+}
+
+// wrongGuard checks a different expression than the one it calls through.
+//
+//dca:hotpath
+func (m *machine) wrongGuard(other Probe) {
+	if other != nil {
+		m.probe.Event(m.cycle) // want "not behind its nil guard"
+	}
+}
+
+// outsideGuard calls after the guarded body has closed.
+//
+//dca:hotpath
+func (m *machine) outsideGuard() {
+	if m.probe != nil {
+		m.probe.Event(m.cycle)
+	}
+	m.probe.Cycle(m.cycle) // want "not behind its nil guard"
+}
+
+// eqNoReturn: an equality check whose body does not terminate proves
+// nothing about the statements after it.
+//
+//dca:hotpath
+func (m *machine) eqNoReturn() {
+	if m.probe == nil {
+		m.cycle++
+	}
+	m.probe.Event(m.cycle) // want "not behind its nil guard"
+}
+
+// cold is not annotated: the probe call is on a cold path and the guard is
+// the caller's concern.
+func (m *machine) cold() {
+	m.probe.Event(m.cycle)
+}

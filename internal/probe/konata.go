@@ -1,0 +1,154 @@
+package probe
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Konata streams a run as a Kanata pipeline-trace log (the format of the
+// Konata visualizer, github.com/shioyadan/Konata — also emitted by
+// Onikiri and gem5's Kanata trace support), so any simulated cell can be
+// inspected stage by stage in a standard viewer.
+//
+// Lane 0 stages: F (fetch) → Iq (issue-queue wait, from dispatch) → Ex
+// (execution) → Mem (a load waiting in the LSQ after address generation)
+// → Wb (result produced) → retire. Inter-cluster copies appear as their
+// own rows labelled "copy", starting at insertion. Wrong-path
+// instructions are never simulated (fetch stalls on a mispredict), so
+// the log contains no flushed rows.
+type Konata struct {
+	// From and To bound the exported cycles (To = 0 means unbounded): an
+	// instruction is included iff it was fetched inside the window.
+	From, To uint64
+
+	w       *bufio.Writer
+	err     error
+	started bool
+	cur     uint64
+	retires uint64
+	// memPhase marks load ids whose address-generation completion was
+	// already seen, so the second completion maps to Wb; emitted is the
+	// set of ids the log contains (events for other ids are dropped, which
+	// implements the From/To window).
+	memPhase map[uint64]bool
+	emitted  map[uint64]bool
+}
+
+// NewKonata builds a Konata exporter writing to w; call Close when the
+// run finishes to flush it.
+func NewKonata(w io.Writer) *Konata {
+	return &Konata{
+		w:        bufio.NewWriter(w),
+		memPhase: make(map[uint64]bool),
+		emitted:  make(map[uint64]bool),
+	}
+}
+
+// Close flushes buffered output and reports the first write error.
+func (k *Konata) Close() error {
+	if err := k.w.Flush(); k.err == nil {
+		k.err = err
+	}
+	return k.err
+}
+
+// advance emits the header on first use and the cycle-delta line when the
+// clock moved.
+func (k *Konata) advance(cycle uint64) {
+	if !k.started {
+		k.printf("Kanata\t0004\n")
+		k.printf("C=\t%d\n", cycle)
+		k.cur = cycle
+		k.started = true
+		return
+	}
+	if cycle > k.cur {
+		k.printf("C\t%d\n", cycle-k.cur)
+		k.cur = cycle
+	}
+}
+
+func (k *Konata) printf(format string, args ...any) {
+	if k.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(k.w, format, args...); err != nil {
+		k.err = err
+	}
+}
+
+// inWindow reports whether a cycle falls in the export window.
+func (k *Konata) inWindow(cycle uint64) bool {
+	return cycle >= k.From && (k.To == 0 || cycle <= k.To)
+}
+
+// Fetch implements core.Probe: a new row enters the F stage.
+func (k *Konata) Fetch(cycle uint64, f *core.FetchInfo) {
+	if !k.inWindow(cycle) {
+		return
+	}
+	k.advance(cycle)
+	k.emitted[f.ID] = true
+	k.printf("I\t%d\t%d\t0\n", f.ID, f.Seq)
+	k.printf("L\t%d\t0\t%d: %v\n", f.ID, f.PC, f.Inst)
+	if f.Mispredict {
+		k.printf("L\t%d\t1\tmispredicted — fetch stalls until resolution\n", f.ID)
+	}
+	k.printf("S\t%d\t0\tF\n", f.ID)
+}
+
+// Event implements core.Probe: pipeline boundaries become stage
+// transitions.
+func (k *Konata) Event(cycle uint64, ev core.Event, d *core.DynInst) {
+	if d == nil || d.FetchID == 0 {
+		return
+	}
+	id := d.FetchID
+	if ev == core.EvCopyInserted {
+		// Copies never pass through fetch: open their row here.
+		if !k.inWindow(cycle) {
+			return
+		}
+		k.advance(cycle)
+		k.emitted[id] = true
+		k.printf("I\t%d\t%d\t0\n", id, d.ProgSeq)
+		k.printf("L\t%d\t0\tcopy %v %v->%v\n", id, d.DestReg(), d.SrcCluster, d.Cluster)
+		k.printf("S\t%d\t0\tIq\n", id)
+		return
+	}
+	if !k.emitted[id] {
+		return
+	}
+	k.advance(cycle)
+	switch ev {
+	case core.EvDispatch:
+		k.printf("L\t%d\t1\tsteered to %v\n", id, d.Cluster)
+		k.printf("S\t%d\t0\tIq\n", id)
+	case core.EvIssue:
+		k.printf("S\t%d\t0\tEx\n", id)
+	case core.EvComplete:
+		if d.IsLoad() && !k.memPhase[id] {
+			// First completion: the address is known; the load waits in
+			// the LSQ for disambiguation and a cache port.
+			k.memPhase[id] = true
+			k.printf("S\t%d\t0\tMem\n", id)
+			return
+		}
+		k.printf("S\t%d\t0\tWb\n", id)
+	case core.EvCommit:
+		k.printf("R\t%d\t%d\t0\n", id, k.retires)
+		k.retires++
+		delete(k.memPhase, id)
+		delete(k.emitted, id)
+	}
+}
+
+// Steer implements core.Probe (unused).
+func (k *Konata) Steer(*core.SteerDecision) {}
+
+// Cycle implements core.Probe (unused — the clock advances lazily with
+// each emitted line).
+func (k *Konata) Cycle(*core.CycleSample) {}

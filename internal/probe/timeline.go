@@ -1,0 +1,120 @@
+package probe
+
+import (
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// DefaultTimelineBuckets is the default bucket budget of a Timeline.
+const DefaultTimelineBuckets = 512
+
+// TimeBucket aggregates a span of consecutive cycles. The per-cluster
+// entries are cycle-weighted sums over the span; divide by Cycles for the
+// span average. Copies counts inter-cluster copies that left each source
+// cluster during the span (a sum, not an average).
+type TimeBucket struct {
+	// Start is the first cycle of the span; Cycles its length.
+	Start  uint64 `json:"start"`
+	Cycles uint64 `json:"cycles"`
+	// NumClusters sizes the arrays (first entries meaningful).
+	NumClusters int                        `json:"num_clusters"`
+	Ready       [config.MaxClusters]uint64 `json:"ready"`
+	IQLen       [config.MaxClusters]uint64 `json:"iqlen"`
+	Copies      [config.MaxClusters]uint64 `json:"copies"`
+}
+
+// Timeline downsamples the per-cycle sample stream into a bounded number
+// of buckets: it accumulates fixed-width spans, and whenever the budget
+// fills it halves the resolution by collapsing adjacent pairs — so an
+// arbitrarily long run always fits in at most MaxBuckets buckets of equal
+// width (the final partial bucket aside) without ever re-reading the run.
+type Timeline struct {
+	// MaxBuckets is the bucket budget (0 = DefaultTimelineBuckets;
+	// values below 2 clamp to 2). The retained resolution is the smallest
+	// power-of-two width that fits the run in the budget.
+	MaxBuckets int
+
+	width   uint64
+	buckets []TimeBucket
+	cur     TimeBucket
+	open    bool
+}
+
+// Fetch implements core.Probe (unused).
+func (t *Timeline) Fetch(uint64, *core.FetchInfo) {}
+
+// Event implements core.Probe (unused).
+func (t *Timeline) Event(uint64, core.Event, *core.DynInst) {}
+
+// Steer implements core.Probe (unused).
+func (t *Timeline) Steer(*core.SteerDecision) {}
+
+// Cycle implements core.Probe. A fast-forwarded window (N > 1) lands in
+// the bucket containing its first cycle — windows can therefore stretch a
+// bucket past its nominal width, which the bucket's own Cycles field
+// records.
+func (t *Timeline) Cycle(s *core.CycleSample) {
+	if !t.open {
+		t.width = 1
+		t.cur = TimeBucket{Start: s.Cycle, NumClusters: s.NumClusters}
+		t.open = true
+	}
+	t.cur.Cycles += s.N
+	for c := 0; c < s.NumClusters; c++ {
+		t.cur.Ready[c] += uint64(s.Ready[c]) * s.N
+		t.cur.IQLen[c] += uint64(s.IQLen[c]) * s.N
+		t.cur.Copies[c] += uint64(s.BusUsed[c])
+	}
+	if t.cur.Cycles >= t.width {
+		t.flush(s.Cycle + s.N)
+	}
+}
+
+// flush appends the open bucket and, when the budget fills, collapses
+// adjacent pairs to halve the resolution.
+func (t *Timeline) flush(nextStart uint64) {
+	t.buckets = append(t.buckets, t.cur)
+	t.cur = TimeBucket{Start: nextStart, NumClusters: t.cur.NumClusters}
+	budget := t.MaxBuckets
+	if budget == 0 {
+		budget = DefaultTimelineBuckets
+	}
+	if budget < 2 {
+		budget = 2
+	}
+	if len(t.buckets) < budget {
+		return
+	}
+	half := len(t.buckets) / 2
+	for i := 0; i < half; i++ {
+		a, b := t.buckets[2*i], t.buckets[2*i+1]
+		a.Cycles += b.Cycles
+		for c := 0; c < a.NumClusters; c++ {
+			a.Ready[c] += b.Ready[c]
+			a.IQLen[c] += b.IQLen[c]
+			a.Copies[c] += b.Copies[c]
+		}
+		t.buckets[i] = a
+	}
+	if len(t.buckets)%2 == 1 {
+		// An odd tail keeps its own (half-width) bucket; the next flushes
+		// merge into it naturally via the series order.
+		t.buckets[half] = t.buckets[len(t.buckets)-1]
+		half++
+	}
+	t.buckets = t.buckets[:half]
+	t.width *= 2
+}
+
+// Width returns the current nominal bucket width in cycles.
+func (t *Timeline) Width() uint64 { return t.width }
+
+// Series returns the downsampled buckets in cycle order, including the
+// open partial bucket. The result is a fresh slice.
+func (t *Timeline) Series() []TimeBucket {
+	out := append([]TimeBucket(nil), t.buckets...)
+	if t.open && t.cur.Cycles > 0 {
+		out = append(out, t.cur)
+	}
+	return out
+}
